@@ -1,0 +1,115 @@
+// Ablation bench for the design choices DESIGN.md calls out:
+//
+//  A. Graph reduction (§5) on/off on the EXPANDED graph — how many weak
+//     candidate options do conflict-ridden pruning and conflict-free
+//     extraction remove, and what does that do to plan finder work?
+//  B. Conflict resolution / expansion (§7.1) on/off — how much plan score
+//     does resolving conflicts buy, at what optimizer cost? (Sized so the
+//     finder completes on the expanded graph; with unbounded expansion the
+//     finder would fall back to GWMIN, which is exactly the §6 story.)
+//  C. Invalid-branch pruning (§6) — plan finder (valid-space traversal)
+//     vs exhaustive subset enumeration on identical graphs.
+//
+// Weights come from the real cost model over an e-commerce stream.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace sharon {
+namespace {
+
+using bench::Num;
+
+void Run() {
+  std::printf("=== Ablation: Sharon optimizer pruning machinery ===\n");
+
+  EcommerceConfig scfg;
+  scfg.duration = Minutes(1);
+  Scenario s = GenerateEcommerce(scfg);
+  CostModel cm(EstimateRates(s));
+
+  for (uint32_t queries : {6, 8, 10}) {
+    WorkloadGenConfig wcfg;
+    wcfg.num_queries = queries;
+    wcfg.pattern_length = 4;
+    wcfg.cluster_size = 3;
+    wcfg.backbone_extra = 2;
+    wcfg.window = {Minutes(2), Seconds(30)};
+    wcfg.partition_attr = 0;
+    Workload w = GenerateWorkload(wcfg, scfg.num_items);
+    auto candidates = FindSharableCandidates(w);
+    auto weight = [&](const Candidate& c) { return cm.BValue(c, w); };
+
+    std::printf("\n--- %u queries (%zu candidates) ---\n", queries,
+                candidates.size());
+
+    // A: reduction on/off, with expansion on (the §5 pruning acts on the
+    // expanded graph in the full SO pipeline).
+    for (bool reduce : {true, false}) {
+      OptimizerConfig config;
+      config.expand = true;
+      config.reduce = reduce;
+      config.expansion.max_options_per_candidate = 16;
+      config.expansion.max_total_candidates = 256;
+      config.finder.time_limit_seconds = 20;
+      OptimizerResult r = OptimizeSharon(w, candidates, weight, config);
+      std::printf(
+          "  reduction %-3s  expanded %3zu -> kept %3zu  plans %9llu  "
+          "time %8.2fms  score %10.0f%s\n",
+          reduce ? "ON" : "OFF", r.expanded_vertices,
+          reduce ? r.reduced_vertices : r.expanded_vertices,
+          static_cast<unsigned long long>(r.plans_considered),
+          r.TotalMillis(), r.score, r.completed ? "" : " (fallback)");
+    }
+
+    // B: expansion on/off.
+    for (bool expand : {false, true}) {
+      OptimizerConfig config;
+      config.expand = expand;
+      config.expansion.max_options_per_candidate = 16;
+      config.expansion.max_total_candidates = 256;
+      config.finder.time_limit_seconds = 20;
+      OptimizerResult r = OptimizeSharon(w, candidates, weight, config);
+      std::printf(
+          "  expansion %-3s  vertices %4zu  time %8.2fms  score %10.0f%s\n",
+          expand ? "ON" : "OFF",
+          expand ? r.expanded_vertices : r.graph_vertices, r.TotalMillis(),
+          r.score, r.completed ? "" : " (fallback)");
+    }
+
+    // C: valid-space traversal vs exhaustive subsets on the same graph.
+    SharonGraph g = SharonGraph::Build(w, candidates, weight);
+    if (g.num_vertices() <= 24) {
+      PlanFinderOptions opts;
+      opts.time_limit_seconds = 30;
+      StopWatch t1;
+      PlanFinderResult finder = FindOptimalPlan(g, opts);
+      double finder_ms = t1.ElapsedMillis();
+      StopWatch t2;
+      PlanFinderResult exhaustive = ExhaustiveSearch(g, opts);
+      double exhaustive_ms = t2.ElapsedMillis();
+      std::printf(
+          "  invalid-branch pruning: finder %llu plans / %.2fms vs "
+          "exhaustive %llu subsets / %.2fms (same optimum: %s)\n",
+          static_cast<unsigned long long>(finder.plans_considered),
+          finder_ms,
+          static_cast<unsigned long long>(exhaustive.plans_considered),
+          exhaustive_ms,
+          finder.best_score == exhaustive.best_score ? "yes" : "NO");
+    } else {
+      std::printf(
+          "  invalid-branch pruning: graph too large for exhaustive "
+          "comparison (%zu vertices)\n",
+          g.num_vertices());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sharon
+
+int main() {
+  sharon::Run();
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Reproduces Fig. 15(a,b): optimizer latency and memory — Sharon optimizer
+// (SO) vs greedy optimizer (GO) vs exhaustive optimizer (EO) on e-commerce
+// query workloads, varying the number of queries. Each bar is segmented
+// into pipeline phases exactly as in the paper (graph construction, graph
+// expansion, graph reduction / GWMIN, plan search).
+//
+// Expected shape (§8.3): EO explodes and stops terminating beyond ~20
+// queries; SO stays orders of magnitude below EO thanks to reduction and
+// invalid-branch pruning but above polynomial GO; GO's own cost is
+// dominated by graph construction.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace sharon {
+namespace {
+
+using bench::Bytes;
+using bench::Num;
+
+void PrintResult(const char* name, const OptimizerResult& r) {
+  std::printf("  %-10s total=%9.2fms peak=%10s score=%8.0f %s\n", name,
+              r.TotalMillis(), Bytes(r.PeakBytes()).c_str(), r.score,
+              r.completed ? "" : (r.used_fallback ? "(GWMIN fallback)"
+                                                  : "(did not finish)"));
+  for (const auto& phase : r.phases) {
+    std::printf("      %-20s %9.2fms %10s\n", phase.name.c_str(),
+                phase.millis, Bytes(phase.bytes).c_str());
+  }
+}
+
+void Run() {
+  std::printf(
+      "=== Fig. 15: optimizer latency and memory by phase (e-commerce "
+      "workloads) ===\n");
+
+  EcommerceConfig scfg;
+  scfg.duration = Minutes(1);
+  Scenario s = GenerateEcommerce(scfg);
+  CostModel cm(EstimateRates(s));
+
+  OptimizerConfig config;  // default SO/EO settings
+  config.finder.time_limit_seconds = 20.0;
+  config.expansion.max_options_per_candidate = 32;
+  config.expansion.max_total_candidates = 1024;
+
+  for (int queries : {10, 20, 30, 40, 50, 60, 70}) {
+    WorkloadGenConfig wcfg;
+    wcfg.num_queries = static_cast<uint32_t>(queries);
+    wcfg.pattern_length = 6;
+    wcfg.cluster_size = 5;
+    wcfg.backbone_extra = 2;
+    wcfg.window = {Minutes(2), Seconds(30)};
+    wcfg.partition_attr = 0;
+    Workload w = GenerateWorkload(wcfg, scfg.num_items);
+
+    std::printf("\n--- %d queries ---\n", queries);
+    OptimizerResult go = OptimizeGreedy(w, cm);
+    PrintResult("GO", go);
+
+    if (queries <= 20) {
+      OptimizerConfig eo_config = config;
+      eo_config.finder.time_limit_seconds = 30.0;
+      // The naive exhaustive search enumerates 2^V subsets. It runs on
+      // the unexpanded graph: with §7.1 options included even 10-query
+      // graphs exceed 2^35 subsets, while the paper's EO still terminates
+      // at 20 queries — the unexpanded graph reproduces that boundary.
+      eo_config.expand = false;
+      OptimizerResult eo = OptimizeExhaustive(w, cm, eo_config);
+      PrintResult("EO", eo);
+    } else {
+      std::printf("  %-10s (skipped: fails to terminate beyond 20 queries, "
+                  "as in the paper)\n", "EO");
+    }
+
+    OptimizerResult so = OptimizeSharon(w, cm, config);
+    PrintResult("SO", so);
+    std::printf(
+        "  SO pruning: %zu candidates -> %zu vertices -> %zu expanded -> "
+        "%zu after reduction (%zu ridden pruned, %zu conflict-free)\n",
+        so.candidates, so.graph_vertices, so.expanded_vertices,
+        so.reduced_vertices, so.pruned_ridden, so.conflict_free);
+  }
+  std::printf(
+      "\nPaper: EO is 4 orders of magnitude slower than GO at 20 queries "
+      "and fails beyond; SO sits in between, ~3 orders below EO in latency "
+      "and 2 in memory, and on average prunes 36%% of expanded candidates "
+      "= 99%% of the plan search space.\n");
+}
+
+}  // namespace
+}  // namespace sharon
+
+int main() {
+  sharon::Run();
+  return 0;
+}

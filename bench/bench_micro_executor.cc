@@ -1,0 +1,98 @@
+// Google-benchmark micro benchmarks for the executor building blocks:
+// per-event cost of SegmentCounter updates, chain combination, and the
+// complete engines (A-Seq vs Sharon) on a canned stream.
+
+#include <benchmark/benchmark.h>
+
+#include "src/sharon.h"
+
+namespace sharon {
+namespace {
+
+std::vector<Event> CannedStream(size_t n, uint32_t num_types,
+                                uint64_t seed = 3) {
+  Rng rng(seed);
+  std::vector<Event> events;
+  events.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    Event e;
+    e.time = static_cast<Timestamp>(i + 1);
+    e.type = static_cast<EventTypeId>(rng.Below(num_types));
+    e.attrs = {static_cast<AttrValue>(rng.Below(8)),
+               static_cast<AttrValue>(rng.Below(100))};
+    events.push_back(std::move(e));
+  }
+  return events;
+}
+
+void BM_SegmentCounterUpdate(benchmark::State& state) {
+  const auto len = static_cast<size_t>(state.range(0));
+  std::vector<EventTypeId> types(len);
+  for (size_t i = 0; i < len; ++i) types[i] = static_cast<EventTypeId>(i);
+  auto events = CannedStream(1 << 14, static_cast<uint32_t>(len));
+  for (auto _ : state) {
+    SegmentCounter sc(Pattern(types), AggSpec::CountStar(), {512, 64});
+    for (const Event& e : events) sc.OnEvent(e);
+    benchmark::DoNotOptimize(sc.num_live_starts());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(events.size()));
+}
+BENCHMARK(BM_SegmentCounterUpdate)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_AggStateConcat(benchmark::State& state) {
+  AggState a, b;
+  a.count = 17; a.sum = 130; a.target_count = 9; a.min = 2; a.max = 80;
+  b.count = 5; b.sum = 44; b.target_count = 3; b.min = 1; b.max = 90;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(AggState::Concat(a, b));
+  }
+}
+BENCHMARK(BM_AggStateConcat);
+
+Workload SharedWorkload(uint32_t num_queries, uint32_t len,
+                        uint32_t num_types) {
+  WorkloadGenConfig cfg;
+  cfg.num_queries = num_queries;
+  cfg.pattern_length = len;
+  cfg.cluster_size = num_queries;  // one cluster: maximal sharing
+  cfg.backbone_extra = 2;
+  cfg.window = {512, 64};
+  cfg.partition_attr = 0;
+  return GenerateWorkload(cfg, num_types);
+}
+
+void BM_EngineNonShared(benchmark::State& state) {
+  const auto queries = static_cast<uint32_t>(state.range(0));
+  Workload w = SharedWorkload(queries, 6, 12);
+  auto events = CannedStream(1 << 14, 12);
+  for (auto _ : state) {
+    Engine engine(w);
+    for (const Event& e : events) engine.OnEvent(e);
+    benchmark::DoNotOptimize(engine.results().size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(events.size()) * queries);
+}
+BENCHMARK(BM_EngineNonShared)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_EngineShared(benchmark::State& state) {
+  const auto queries = static_cast<uint32_t>(state.range(0));
+  Workload w = SharedWorkload(queries, 6, 12);
+  auto events = CannedStream(1 << 14, 12);
+  CostModel cm(TypeRates(std::vector<double>(12, 10.0)));
+  OptimizerResult opt = OptimizeSharon(w, cm);
+  for (auto _ : state) {
+    Engine engine(w, opt.plan);
+    for (const Event& e : events) engine.OnEvent(e);
+    benchmark::DoNotOptimize(engine.results().size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(events.size()) * queries);
+}
+BENCHMARK(BM_EngineShared)->Arg(4)->Arg(8)->Arg(16);
+
+}  // namespace
+}  // namespace sharon
+
+BENCHMARK_MAIN();

@@ -1,0 +1,100 @@
+// Google-benchmark micro benchmarks for the optimizer building blocks:
+// CCSpan candidate detection, Sharon graph construction, GWMIN, graph
+// reduction and the plan finder, as workload size grows.
+
+#include <benchmark/benchmark.h>
+
+#include "src/sharon.h"
+
+namespace sharon {
+namespace {
+
+struct Prepared {
+  Workload workload;
+  std::vector<Candidate> candidates;
+  SharonGraph::WeightFn weight;
+};
+
+Prepared Prepare(uint32_t num_queries) {
+  Prepared p;
+  WorkloadGenConfig cfg;
+  cfg.num_queries = num_queries;
+  cfg.pattern_length = 6;
+  cfg.cluster_size = 5;
+  cfg.backbone_extra = 2;
+  cfg.window = {512, 64};
+  p.workload = GenerateWorkload(cfg, 30);
+  p.candidates = FindSharableCandidates(p.workload);
+  p.weight = [](const Candidate& c) {
+    return 1.0 + static_cast<double>(c.queries.size() * c.pattern.length());
+  };
+  return p;
+}
+
+void BM_CcspanDetection(benchmark::State& state) {
+  Prepared p = Prepare(static_cast<uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FindSharableCandidates(p.workload));
+  }
+}
+BENCHMARK(BM_CcspanDetection)->Arg(10)->Arg(40)->Arg(160);
+
+void BM_GraphConstruction(benchmark::State& state) {
+  Prepared p = Prepare(static_cast<uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        SharonGraph::Build(p.workload, p.candidates, p.weight));
+  }
+}
+BENCHMARK(BM_GraphConstruction)->Arg(10)->Arg(40)->Arg(160);
+
+void BM_Gwmin(benchmark::State& state) {
+  Prepared p = Prepare(static_cast<uint32_t>(state.range(0)));
+  SharonGraph g = SharonGraph::Build(p.workload, p.candidates, p.weight);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunGwmin(g));
+  }
+}
+BENCHMARK(BM_Gwmin)->Arg(10)->Arg(40)->Arg(160);
+
+void BM_GraphReduction(benchmark::State& state) {
+  Prepared p = Prepare(static_cast<uint32_t>(state.range(0)));
+  SharonGraph g = SharonGraph::Build(p.workload, p.candidates, p.weight);
+  for (auto _ : state) {
+    SharonGraph copy = g;
+    benchmark::DoNotOptimize(ReduceGraph(copy));
+  }
+}
+BENCHMARK(BM_GraphReduction)->Arg(10)->Arg(40)->Arg(160);
+
+void BM_PlanFinder(benchmark::State& state) {
+  Prepared p = Prepare(static_cast<uint32_t>(state.range(0)));
+  SharonGraph g = SharonGraph::Build(p.workload, p.candidates, p.weight);
+  ReduceGraph(g);
+  PlanFinderOptions opts;
+  opts.time_limit_seconds = 5;
+  opts.max_level_plans = 100'000;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FindOptimalPlan(g, opts));
+  }
+}
+BENCHMARK(BM_PlanFinder)->Arg(10)->Arg(20)->Arg(40);
+
+void BM_FullSharonOptimizer(benchmark::State& state) {
+  Prepared p = Prepare(static_cast<uint32_t>(state.range(0)));
+  OptimizerConfig config;
+  config.finder.time_limit_seconds = 5;
+  config.finder.max_level_plans = 100'000;
+  config.expansion.max_options_per_candidate = 16;
+  config.expansion.max_total_candidates = 512;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        OptimizeSharon(p.workload, p.candidates, p.weight, config));
+  }
+}
+BENCHMARK(BM_FullSharonOptimizer)->Arg(10)->Arg(20)->Arg(40);
+
+}  // namespace
+}  // namespace sharon
+
+BENCHMARK_MAIN();

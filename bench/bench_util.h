@@ -1,0 +1,73 @@
+// Shared helpers for the figure/table reproduction benches: aligned table
+// printing, byte formatting, and the standard workload/stream pairings
+// used across experiments (§8.1 defaults: 20 queries, pattern length 10).
+
+#ifndef SHARON_BENCH_BENCH_UTIL_H_
+#define SHARON_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/sharon.h"
+
+namespace sharon::bench {
+
+/// Prints a row of right-aligned cells, 14 chars wide.
+inline void PrintRow(const std::vector<std::string>& cells) {
+  for (const auto& c : cells) std::printf("%14s", c.c_str());
+  std::printf("\n");
+}
+
+inline std::string Num(double v, int precision = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+inline std::string Bytes(size_t b) {
+  char buf[64];
+  if (b >= (1ull << 30)) {
+    std::snprintf(buf, sizeof(buf), "%.2fGB", static_cast<double>(b) / (1ull << 30));
+  } else if (b >= (1ull << 20)) {
+    std::snprintf(buf, sizeof(buf), "%.2fMB", static_cast<double>(b) / (1ull << 20));
+  } else if (b >= (1ull << 10)) {
+    std::snprintf(buf, sizeof(buf), "%.2fKB", static_cast<double>(b) / (1ull << 10));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%zuB", b);
+  }
+  return buf;
+}
+
+/// Latency in ms per window for a run over `duration` with window `w`.
+inline double LatencyMsPerWindow(const RunStats& stats, Duration duration,
+                                 const WindowSpec& w) {
+  const double windows =
+      static_cast<double>(duration) / static_cast<double>(w.slide);
+  return windows > 0 ? stats.wall_seconds * 1e3 / windows : 0;
+}
+
+/// Optimizer settings for executor-focused benches: sharp limits so
+/// planning is quick (the §6 GWMIN fallback kicks in on big workloads)
+/// and the measured time goes to execution.
+inline OptimizerConfig FastOptimizerConfig() {
+  OptimizerConfig config;
+  // Conflict resolution (§7.1) only pays off when the exact plan finder
+  // completes on the expanded graph; on bench-sized workloads the GWMIN
+  // fallback would pick fragmented option subsets instead, so executor
+  // benches run on the unexpanded graph.
+  config.expand = false;
+  config.finder.time_limit_seconds = 3.0;
+  config.finder.max_level_plans = 200'000;
+  return config;
+}
+
+/// "DNF" when a baseline exceeded its budget, else the number.
+inline std::string OrDnf(const RunStats& stats, double value,
+                         int precision = 2) {
+  return stats.finished ? Num(value, precision) : "DNF";
+}
+
+}  // namespace sharon::bench
+
+#endif  // SHARON_BENCH_BENCH_UTIL_H_

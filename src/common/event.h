@@ -1,0 +1,86 @@
+// Event and event-type model (Sharon §2.1).
+//
+// An event is a timestamped message of a particular event type carrying a
+// small fixed set of integer attributes (e.g. vehicle id, speed, price).
+// Event types are interned in a TypeRegistry that maps names <-> dense ids,
+// so patterns and executors work on dense uint32 ids.
+
+#ifndef SHARON_COMMON_EVENT_H_
+#define SHARON_COMMON_EVENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/time.h"
+
+namespace sharon {
+
+/// Dense identifier of an event type (position in the TypeRegistry).
+using EventTypeId = uint32_t;
+
+/// Sentinel for "no event type".
+inline constexpr EventTypeId kInvalidType = static_cast<EventTypeId>(-1);
+
+/// Integer attribute value carried by an event.
+using AttrValue = int64_t;
+
+/// Index of an attribute within an event's attribute vector.
+using AttrIndex = uint32_t;
+
+/// Sentinel for "no attribute" (e.g. no GROUP-BY clause).
+inline constexpr AttrIndex kNoAttr = static_cast<AttrIndex>(-1);
+
+/// A single stream event (Sharon §2.1). Events arrive in strictly
+/// increasing timestamp order on the input stream.
+struct Event {
+  Timestamp time = 0;
+  EventTypeId type = kInvalidType;
+  /// Attribute values; their meaning is defined by the stream schema
+  /// (see streamgen). attrs[0] is conventionally the grouping attribute
+  /// (vehicle / customer id) for the paper's workloads.
+  std::vector<AttrValue> attrs;
+
+  AttrValue attr(AttrIndex i) const {
+    return i < attrs.size() ? attrs[i] : 0;
+  }
+};
+
+/// Interns event type names and assigns dense ids.
+///
+/// Thread-compatible: registration is not synchronized; register all types
+/// up front, then share freely.
+class TypeRegistry {
+ public:
+  /// Returns the id of `name`, registering it if unseen.
+  EventTypeId Intern(std::string_view name) {
+    auto it = ids_.find(std::string(name));
+    if (it != ids_.end()) return it->second;
+    EventTypeId id = static_cast<EventTypeId>(names_.size());
+    names_.emplace_back(name);
+    ids_.emplace(names_.back(), id);
+    return id;
+  }
+
+  /// Returns the id of `name` or kInvalidType if not registered.
+  EventTypeId Find(std::string_view name) const {
+    auto it = ids_.find(std::string(name));
+    return it == ids_.end() ? kInvalidType : it->second;
+  }
+
+  /// Returns the name of `id`; `id` must be registered.
+  const std::string& Name(EventTypeId id) const { return names_.at(id); }
+
+  /// Number of registered types.
+  size_t size() const { return names_.size(); }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, EventTypeId> ids_;
+};
+
+}  // namespace sharon
+
+#endif  // SHARON_COMMON_EVENT_H_

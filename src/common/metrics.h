@@ -1,0 +1,86 @@
+// Measurement utilities used by executors, optimizers and benches:
+//  - StopWatch: wall-clock timing.
+//  - MemoryMeter: explicit state-byte accounting with peak tracking. The
+//    paper's "peak memory" metric is the maximal memory for storing
+//    aggregates, events and sequences (for executors) or the graph and plan
+//    levels (for optimizers); we account those bytes explicitly rather than
+//    scraping the allocator, which makes measurements deterministic.
+
+#ifndef SHARON_COMMON_METRICS_H_
+#define SHARON_COMMON_METRICS_H_
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+
+namespace sharon {
+
+/// Wall-clock stopwatch (steady clock).
+class StopWatch {
+ public:
+  StopWatch() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time in seconds since construction / last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in milliseconds.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Tracks current and peak logical state size in bytes.
+class MemoryMeter {
+ public:
+  void Add(size_t bytes) {
+    current_ += bytes;
+    if (current_ > peak_) peak_ = current_;
+  }
+
+  void Sub(size_t bytes) { current_ -= bytes < current_ ? bytes : current_; }
+
+  /// Replaces the current figure (used when a component recomputes its
+  /// footprint wholesale).
+  void Set(size_t bytes) {
+    current_ = bytes;
+    if (current_ > peak_) peak_ = current_;
+  }
+
+  size_t current() const { return current_; }
+  size_t peak() const { return peak_; }
+
+  void ResetPeak() { peak_ = current_; }
+
+ private:
+  size_t current_ = 0;
+  size_t peak_ = 0;
+};
+
+/// Summary statistics reported by executor runs.
+struct RunStats {
+  uint64_t events_processed = 0;
+  uint64_t results_emitted = 0;
+  double wall_seconds = 0;
+  size_t peak_state_bytes = 0;
+  bool finished = true;  ///< false when a work budget was exhausted (DNF).
+
+  /// Events per wall second; 0 when nothing ran.
+  double Throughput() const {
+    return wall_seconds > 0 ? static_cast<double>(events_processed) / wall_seconds : 0;
+  }
+
+  /// Average per-window processing latency in milliseconds.
+  double LatencyMillisPerWindow(uint64_t windows) const {
+    return windows > 0 ? wall_seconds * 1e3 / static_cast<double>(windows) : 0;
+  }
+};
+
+}  // namespace sharon
+
+#endif  // SHARON_COMMON_METRICS_H_

@@ -1,0 +1,48 @@
+// Stream schema: names for the integer attribute slots carried by events.
+// Shared between stream generators (which fill attributes) and the query
+// parser (which resolves attribute names in WHERE/GROUP BY/RETURN clauses).
+
+#ifndef SHARON_COMMON_SCHEMA_H_
+#define SHARON_COMMON_SCHEMA_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/event.h"
+
+namespace sharon {
+
+/// Maps attribute names to dense indices into Event::attrs.
+class StreamSchema {
+ public:
+  StreamSchema() = default;
+  explicit StreamSchema(std::vector<std::string> names)
+      : names_(std::move(names)) {}
+
+  /// Registers `name` (idempotent) and returns its index.
+  AttrIndex Register(std::string_view name) {
+    AttrIndex existing = Find(name);
+    if (existing != kNoAttr) return existing;
+    names_.emplace_back(name);
+    return static_cast<AttrIndex>(names_.size() - 1);
+  }
+
+  /// Returns the index of `name` or kNoAttr.
+  AttrIndex Find(std::string_view name) const {
+    for (size_t i = 0; i < names_.size(); ++i) {
+      if (names_[i] == name) return static_cast<AttrIndex>(i);
+    }
+    return kNoAttr;
+  }
+
+  const std::string& Name(AttrIndex i) const { return names_.at(i); }
+  size_t size() const { return names_.size(); }
+
+ private:
+  std::vector<std::string> names_;
+};
+
+}  // namespace sharon
+
+#endif  // SHARON_COMMON_SCHEMA_H_

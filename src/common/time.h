@@ -1,0 +1,36 @@
+// Time model: integer ticks, strictly ordered.
+//
+// The paper (Def. 1) requires a strict temporal order between the events of a
+// sequence. We therefore represent time as int64 "ticks" and require stream
+// generators to emit strictly increasing timestamps; kTicksPerSecond ticks
+// make up one wall-clock "second" of stream time so that per-second event
+// rates of a few thousand events still get unique timestamps.
+
+#ifndef SHARON_COMMON_TIME_H_
+#define SHARON_COMMON_TIME_H_
+
+#include <cstdint>
+
+namespace sharon {
+
+/// A point in stream time, measured in ticks. Non-negative.
+using Timestamp = int64_t;
+
+/// A length of stream time, measured in ticks.
+using Duration = int64_t;
+
+/// Number of ticks per second of stream time. Strict ordering allows at
+/// most one event per tick, so this bounds the representable stream rate;
+/// 10k ticks/second comfortably covers the paper's rates (up to 4k
+/// events/second).
+inline constexpr Duration kTicksPerSecond = 10000;
+
+/// Convenience conversion: seconds of stream time to ticks.
+constexpr Duration Seconds(int64_t s) { return s * kTicksPerSecond; }
+
+/// Convenience conversion: minutes of stream time to ticks.
+constexpr Duration Minutes(int64_t m) { return Seconds(m * 60); }
+
+}  // namespace sharon
+
+#endif  // SHARON_COMMON_TIME_H_

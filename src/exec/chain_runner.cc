@@ -1,0 +1,152 @@
+#include "src/exec/chain_runner.h"
+
+#include <algorithm>
+
+namespace sharon {
+
+ChainRunner::ChainRunner(std::vector<QueryId> queries,
+                         std::vector<SegmentCounter*> counters,
+                         WindowSpec window)
+    : queries_(std::move(queries)),
+      counters_(std::move(counters)),
+      window_(window),
+      stages_(counters_.size()) {}
+
+void ChainRunner::OnEvent(const Event& e, AttrValue group,
+                          ResultCollector& out) {
+  // Boundary handling: at most one stage has e.type as its START type
+  // (types are unique within a query pattern). Process it before the final
+  // emission so a single-event last segment sees its own snapshot.
+  for (size_t i = 0; i < counters_.size(); ++i) {
+    if (counters_[i]->start_type() == e.type) {
+      TakeSnapshot(i, e);
+      break;
+    }
+  }
+  if (counters_.back()->end_type() == e.type) {
+    EmitFinal(e, group, out);
+  }
+}
+
+void ChainRunner::TakeSnapshot(size_t stage, const Event& e) {
+  SegmentCounter& counter = *counters_[stage];
+  // The engine updated the counter on this event already, creating the
+  // start entry for e.
+  const StartId sid = counter.NewestStartId();
+
+  Snapshot snap;
+  snap.start = sid;
+  snap.start_time = e.time;
+
+  if (stage == 0) {
+    // F_0: one empty-chain unit in the pane of the chain's first event.
+    snap.per_pane.push_back({window_.PaneOf(e.time), AggState::Identity()});
+    stages_[0].push_back(std::move(snap));
+    return;
+  }
+
+  // F_stage[e] = sum over live stage-1 snapshots s' of
+  //             Concat(F_{stage-1}[s'], complete_{stage-1}[s'] as of now).
+  // All seg_{stage-1} completions seen so far finished strictly before e
+  // (timestamps are strict), so this freezes exactly the chains that may
+  // legally precede e.
+  auto& prev = stages_[stage - 1];
+  SegmentCounter& prev_counter = *counters_[stage - 1];
+  std::vector<PaneAgg> acc;  // ascending panes, merged across snapshots
+  for (auto it = prev.begin(); it != prev.end(); ++it) {
+    if (!PrunePanes(*it, e.time)) continue;
+    const AggState& complete = prev_counter.CompleteFor(it->start);
+    if (complete.IsZero()) continue;
+    for (const PaneAgg& pa : it->per_pane) {
+      AggState piece = AggState::Concat(pa.agg, complete);
+      if (piece.IsZero()) continue;
+      // Insert into acc keeping ascending pane order (few panes).
+      auto pos = std::lower_bound(
+          acc.begin(), acc.end(), pa.pane,
+          [](const PaneAgg& x, PaneId p) { return x.pane < p; });
+      if (pos != acc.end() && pos->pane == pa.pane) {
+        pos->agg.MergeFrom(piece);
+      } else {
+        acc.insert(pos, {pa.pane, piece});
+      }
+    }
+  }
+  if (acc.empty()) return;  // nothing can precede e; skip storing
+  snap.per_pane = std::move(acc);
+  stages_[stage].push_back(std::move(snap));
+}
+
+void ChainRunner::EmitFinal(const Event& e, AttrValue group,
+                            ResultCollector& out) {
+  SegmentCounter& last = *counters_.back();
+  const auto& deltas = last.last_deltas();
+  if (deltas.empty()) return;
+  auto& snaps = stages_.back();
+  const WindowId first_w = window_.FirstWindowCovering(e.time);
+
+  // Batch all of this event's deltas by the pane of the chain's first
+  // event, then fold each pane bucket into its window range with ONE
+  // result-map update per (pane, window) instead of one per delta. The
+  // number of live panes is at most length/slide, so the map traffic per
+  // END event drops from O(deltas * panes) to O(panes^2).
+  pane_batch_.clear();
+  for (const SegmentCounter::CompleteDelta& d : deltas) {
+    // Find the snapshot for this start (ascending StartId order).
+    auto it = std::lower_bound(
+        snaps.begin(), snaps.end(), d.start,
+        [](const Snapshot& s, StartId id) { return s.start < id; });
+    if (it == snaps.end() || it->start != d.start) continue;
+    if (!PrunePanes(*it, e.time)) continue;
+    for (const PaneAgg& pa : it->per_pane) {
+      AggState full = AggState::Concat(pa.agg, d.delta);
+      if (full.IsZero()) continue;
+      auto pos = std::lower_bound(
+          pane_batch_.begin(), pane_batch_.end(), pa.pane,
+          [](const PaneAgg& x, PaneId p) { return x.pane < p; });
+      if (pos != pane_batch_.end() && pos->pane == pa.pane) {
+        pos->agg.MergeFrom(full);
+      } else {
+        pane_batch_.insert(pos, {pa.pane, full});
+      }
+    }
+  }
+  for (const PaneAgg& pa : pane_batch_) {
+    // Chain first events in pane pa.pane: their sequences belong to
+    // windows j in [first_w, pa.pane].
+    for (WindowId j = std::max<WindowId>(first_w, 0); j <= pa.pane; ++j) {
+      for (QueryId q : queries_) out.Add(q, j, group, pa.agg);
+    }
+  }
+}
+
+bool ChainRunner::PrunePanes(Snapshot& s, Timestamp now) const {
+  // Pane p feeds windows j <= p; the newest of them ends at
+  // p*slide + length. Once now passes that, the pane is dead.
+  auto& v = s.per_pane;
+  size_t drop = 0;
+  while (drop < v.size() &&
+         v[drop].pane * window_.slide + window_.length <= now) {
+    ++drop;
+  }
+  if (drop > 0) v.erase(v.begin(), v.begin() + drop);
+  return !v.empty();
+}
+
+void ChainRunner::ExpireBefore(Timestamp now) {
+  for (auto& stage : stages_) {
+    while (!stage.empty() && window_.Expired(stage.front().start_time, now)) {
+      stage.pop_front();
+    }
+  }
+}
+
+size_t ChainRunner::EstimatedBytes() const {
+  size_t bytes = 0;
+  for (const auto& stage : stages_) {
+    bytes += stage.size() * sizeof(Snapshot);
+    for (const Snapshot& s : stage) bytes += s.per_pane.size() * sizeof(PaneAgg);
+  }
+  return bytes;
+}
+
+}  // namespace sharon

@@ -1,0 +1,90 @@
+// ChainRunner: evaluates one query as a chain of segments and combines the
+// segments' shared aggregates into final per-window results.
+//
+// This generalises the paper's prefix/p/suffix combination (§3.3, Fig. 7):
+// a valid sharing plan may assign several disjoint shared patterns to one
+// query (the paper's own optimal plan gives q4 both p2 and p4), so a query
+// pattern is compiled into segments seg_0..seg_{k-1}, each evaluated by a
+// SegmentCounter (shared or private). The A-Seq non-shared method is the
+// k = 1 special case.
+//
+// Combination works through *snapshots*. When a START event s of seg_i
+// arrives, the runner freezes
+//     F_i[s] = sum over seg_{i-1} starts s' of Concat(F_{i-1}[s'], c_{i-1}[s'])
+// — the aggregate of all chains through seg_0..seg_{i-1} completed strictly
+// before s ("the count of prefix_i is multiplied with the count for each
+// START event of p", §3.3 step 2). Snapshots are bucketed by the *pane*
+// (slide bucket) of the chain's first event: all first events in one pane
+// belong to exactly the same windows, so per-window results stay exact
+// under sliding-window expiration with at most length/slide buckets per
+// snapshot. When the END event e of the last segment arrives, the per-start
+// complete deltas are concatenated with the frozen snapshots and folded
+// into every window containing both the first-event pane and e.
+
+#ifndef SHARON_EXEC_CHAIN_RUNNER_H_
+#define SHARON_EXEC_CHAIN_RUNNER_H_
+
+#include <deque>
+#include <vector>
+
+#include "src/exec/result.h"
+#include "src/exec/segment_counter.h"
+
+namespace sharon {
+
+/// Executes one segment chain against shared/private counters, emitting
+/// results for every subscribed query (queries whose plans produced the
+/// same segment sequence share the whole chain).
+class ChainRunner {
+ public:
+  /// `counters` are the chain's segments in pattern order; they are owned
+  /// by the engine and updated (once per event) before chain OnEvent runs.
+  ChainRunner(std::vector<QueryId> queries,
+              std::vector<SegmentCounter*> counters, WindowSpec window);
+
+  /// Processes one event *after* all counters processed it. Only START
+  /// types of segments and the END type of the last segment do work.
+  /// `group` is the partition value the engine routed this event by.
+  void OnEvent(const Event& e, AttrValue group, ResultCollector& out);
+
+  /// Drops snapshots that can no longer contribute to any open window.
+  void ExpireBefore(Timestamp now);
+
+  const std::vector<QueryId>& queries() const { return queries_; }
+  size_t num_stages() const { return counters_.size(); }
+
+  /// Logical state footprint in bytes (snapshots).
+  size_t EstimatedBytes() const;
+
+ private:
+  struct PaneAgg {
+    PaneId pane;
+    AggState agg;
+  };
+
+  /// Frozen combination state for one START event of one stage.
+  struct Snapshot {
+    StartId start;
+    Timestamp start_time;
+    std::vector<PaneAgg> per_pane;  ///< ascending pane ids
+  };
+
+  /// Builds F_{stage}[new start of e] from stage-1 snapshots.
+  void TakeSnapshot(size_t stage, const Event& e);
+
+  /// Folds last-segment complete deltas into window results.
+  void EmitFinal(const Event& e, AttrValue group, ResultCollector& out);
+
+  /// Drops expired panes from a snapshot; true if anything remains.
+  bool PrunePanes(Snapshot& s, Timestamp now) const;
+
+  std::vector<QueryId> queries_;
+  std::vector<SegmentCounter*> counters_;
+  WindowSpec window_;
+  std::vector<std::deque<Snapshot>> stages_;  ///< per stage, ascending StartId
+  std::vector<PaneAgg> pane_batch_;  ///< EmitFinal scratch (reused)
+};
+
+}  // namespace sharon
+
+#endif  // SHARON_EXEC_CHAIN_RUNNER_H_

@@ -1,0 +1,232 @@
+#include "src/exec/engine.h"
+
+#include <algorithm>
+#include <map>
+
+namespace sharon {
+
+AggSpec ProjectSpec(const AggSpec& spec, const Pattern& segment) {
+  if (spec.fn == AggFunction::kCountStar) return AggSpec::CountStar();
+  if (segment.CountType(spec.target_type) == 0) return AggSpec::CountStar();
+  return spec;
+}
+
+namespace {
+
+// Segment of one query: [begin, begin+pattern.length) of the query pattern,
+// either covered by a shared candidate or a private gap.
+struct Segment {
+  size_t begin;
+  Pattern pattern;
+  bool shared;
+};
+
+}  // namespace
+
+std::string CompilePlan(const Workload& workload, const SharingPlan& plan,
+                        CompiledEngine* out) {
+  if (workload.empty()) return "empty workload";
+  if (!workload.Uniform()) {
+    return "workload is not uniform (assumption 2): partition the stream "
+           "first (section 7.2)";
+  }
+  out->counters.clear();
+  out->chains.clear();
+  out->window = workload.window();
+  out->partition = workload.partition_attr();
+
+  // Counter de-duplication key: shared counters by (pattern, spec);
+  // private counters are never de-duplicated.
+  std::map<std::pair<Pattern, std::pair<int, std::pair<EventTypeId, AttrIndex>>>,
+           uint32_t>
+      shared_index;
+  auto counter_for = [&](const Pattern& p, const AggSpec& s,
+                         bool shared) -> uint32_t {
+    if (shared) {
+      auto key = std::make_pair(
+          p, std::make_pair(static_cast<int>(s.fn),
+                            std::make_pair(s.target_type, s.target_attr)));
+      auto it = shared_index.find(key);
+      if (it != shared_index.end()) return it->second;
+      uint32_t idx = static_cast<uint32_t>(out->counters.size());
+      out->counters.push_back({p, s, true});
+      shared_index.emplace(std::move(key), idx);
+      return idx;
+    }
+    out->counters.push_back({p, s, false});
+    return static_cast<uint32_t>(out->counters.size() - 1);
+  };
+
+  for (const Query& q : workload.queries()) {
+    // Candidates of the plan that apply to this query.
+    struct Placed {
+      size_t begin, end;  // [begin, end) in q.pattern
+      const Candidate* cand;
+    };
+    std::vector<Placed> placed;
+    for (const Candidate& c : plan) {
+      if (!c.Contains(q.id)) continue;
+      auto pos = q.pattern.Find(c.pattern);
+      if (!pos.has_value()) {
+        return "plan candidate " + std::to_string(&c - plan.data()) +
+               " pattern not contained in query " + std::to_string(q.id);
+      }
+      placed.push_back({*pos, *pos + c.pattern.length(), &c});
+    }
+    std::sort(placed.begin(), placed.end(),
+              [](const Placed& a, const Placed& b) { return a.begin < b.begin; });
+    for (size_t i = 1; i < placed.size(); ++i) {
+      if (placed[i].begin < placed[i - 1].end) {
+        return "invalid plan: overlapping candidates in query " +
+               std::to_string(q.id);
+      }
+    }
+
+    // Build segment list: shared candidate ranges plus private gaps.
+    std::vector<Segment> segments;
+    size_t cursor = 0;
+    for (const Placed& pl : placed) {
+      if (pl.begin > cursor) {
+        segments.push_back(
+            {cursor, q.pattern.Sub(cursor, pl.begin - cursor), false});
+      }
+      segments.push_back(
+          {pl.begin, q.pattern.Sub(pl.begin, pl.end - pl.begin), true});
+      cursor = pl.end;
+    }
+    if (cursor < q.pattern.length()) {
+      segments.push_back(
+          {cursor, q.pattern.Sub(cursor, q.pattern.length() - cursor), false});
+    }
+
+    std::vector<uint32_t> counter_idx;
+    for (const Segment& seg : segments) {
+      AggSpec proj = ProjectSpec(q.agg, seg.pattern);
+      counter_idx.push_back(counter_for(seg.pattern, proj, seg.shared));
+    }
+    // Queries compiling to the same segment sequence share the chain
+    // (whole-pattern sharing has no combination cost, Eq. 5).
+    bool merged = false;
+    for (auto& existing : out->chains) {
+      if (existing.counter_idx == counter_idx) {
+        existing.queries.push_back(q.id);
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) {
+      out->chains.push_back({{q.id}, std::move(counter_idx)});
+    }
+  }
+
+  // Dispatch lists by event type.
+  EventTypeId max_type = 0;
+  for (const auto& c : out->counters) {
+    for (EventTypeId t : c.pattern.types()) max_type = std::max(max_type, t);
+  }
+  out->counters_by_type.assign(max_type + 1, {});
+  out->chains_by_type.assign(max_type + 1, {});
+  for (uint32_t i = 0; i < out->counters.size(); ++i) {
+    std::vector<bool> seen(max_type + 1, false);
+    for (EventTypeId t : out->counters[i].pattern.types()) {
+      if (!seen[t]) {
+        out->counters_by_type[t].push_back(i);
+        seen[t] = true;
+      }
+    }
+  }
+  for (uint32_t i = 0; i < out->chains.size(); ++i) {
+    std::vector<bool> seen(max_type + 1, false);
+    auto subscribe = [&](EventTypeId t) {
+      if (!seen[t]) {
+        out->chains_by_type[t].push_back(i);
+        seen[t] = true;
+      }
+    };
+    const auto& chain = out->chains[i];
+    for (uint32_t ci : chain.counter_idx) {
+      subscribe(out->counters[ci].pattern.front());
+    }
+    subscribe(out->counters[chain.counter_idx.back()].pattern.back());
+  }
+  return "";
+}
+
+Engine::Engine(const Workload& workload, const SharingPlan& plan)
+    : workload_(&workload) {
+  error_ = CompilePlan(workload, plan, &compiled_);
+}
+
+Engine::GroupState& Engine::GroupFor(AttrValue g) {
+  auto it = groups_.find(g);
+  if (it != groups_.end()) return it->second;
+  GroupState state;
+  state.counters.reserve(compiled_.counters.size());
+  for (const auto& cs : compiled_.counters) {
+    state.counters.push_back(
+        std::make_unique<SegmentCounter>(cs.pattern, cs.spec, compiled_.window));
+  }
+  state.chains.reserve(compiled_.chains.size());
+  for (const auto& ch : compiled_.chains) {
+    std::vector<SegmentCounter*> refs;
+    refs.reserve(ch.counter_idx.size());
+    for (uint32_t ci : ch.counter_idx) refs.push_back(state.counters[ci].get());
+    state.chains.emplace_back(ch.queries, std::move(refs), compiled_.window);
+  }
+  return groups_.emplace(g, std::move(state)).first->second;
+}
+
+void Engine::OnEvent(const Event& e) {
+  now_ = e.time;
+  if (e.type >= compiled_.counters_by_type.size()) return;
+  const AttrValue g =
+      compiled_.partition == kNoAttr ? 0 : e.attr(compiled_.partition);
+  GroupState& gs = GroupFor(g);
+  for (uint32_t ci : compiled_.counters_by_type[e.type]) {
+    gs.counters[ci]->OnEvent(e);
+  }
+  for (uint32_t chi : compiled_.chains_by_type[e.type]) {
+    gs.chains[chi].OnEvent(e, g, results_);
+  }
+  ++gs.events_seen;
+  if (++events_since_sweep_ >= kSweepInterval) {
+    events_since_sweep_ = 0;
+    for (auto& [gv, state] : groups_) {
+      for (auto& c : state.counters) c->ExpireBefore(now_);
+      for (auto& ch : state.chains) ch.ExpireBefore(now_);
+    }
+    memory_.Set(EstimatedBytes());
+  }
+}
+
+RunStats Engine::Run(const std::vector<Event>& events, Duration duration) {
+  RunStats stats;
+  StopWatch watch;
+  for (const Event& e : events) OnEvent(e);
+  stats.wall_seconds = watch.ElapsedSeconds();
+  // Throughput counts each event once per query, matching the paper's
+  // "events processed by all queries per second".
+  stats.events_processed = events.size() * workload_->size();
+  stats.results_emitted = results_.size();
+  memory_.Set(EstimatedBytes());
+  stats.peak_state_bytes = memory_.peak();
+  (void)duration;
+  return stats;
+}
+
+size_t Engine::EstimatedBytes() const {
+  size_t bytes = results_.EstimatedBytes();
+  for (const auto& [g, state] : groups_) {
+    for (const auto& c : state.counters) bytes += c->EstimatedBytes();
+    for (const auto& ch : state.chains) bytes += ch.EstimatedBytes();
+  }
+  return bytes;
+}
+
+size_t Engine::num_shared_counters() const {
+  size_t n = 0;
+  for (const auto& c : compiled_.counters) n += c.shared;
+  return n;
+}
+
+}  // namespace sharon

@@ -1,0 +1,120 @@
+// The Sharon runtime executor (§2.2, §3).
+//
+// An Engine evaluates a whole workload against a stream according to a
+// sharing plan:
+//   - the empty plan yields the Non-Shared method — every query runs its
+//     own A-Seq prefix-count machine (one single-segment chain per query);
+//   - a non-empty plan compiles each query into a chain of segments; a
+//     segment covered by a plan candidate points at a *shared*
+//     SegmentCounter evaluated once per (pattern, projected aggregation)
+//     for all subscribing queries, the gaps get private counters.
+//
+// The stream is partitioned by the workload's common equivalence/grouping
+// attribute (§2.1 assumption 2, §7.2): every group value lazily gets its
+// own counters + chains instantiated from the compiled template.
+
+#ifndef SHARON_EXEC_ENGINE_H_
+#define SHARON_EXEC_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/metrics.h"
+#include "src/exec/chain_runner.h"
+#include "src/exec/result.h"
+#include "src/exec/segment_counter.h"
+#include "src/sharing/candidate.h"
+
+namespace sharon {
+
+/// Restricts an aggregation spec to a segment pattern: segments that do not
+/// contain the aggregation target contribute pure counts, which lets them
+/// be shared across queries with different RETURN clauses (see DESIGN.md).
+AggSpec ProjectSpec(const AggSpec& spec, const Pattern& segment);
+
+/// The plan compiled into counter/chain templates.
+struct CompiledEngine {
+  struct CounterSpec {
+    Pattern pattern;
+    AggSpec spec;
+    bool shared = false;
+  };
+  struct ChainSpec {
+    /// All queries evaluated by this chain: queries whose plans compile to
+    /// the same segment sequence share the chain outright (the paper's
+    /// whole-pattern sharing has zero combination cost, Eq. 5).
+    std::vector<QueryId> queries;
+    std::vector<uint32_t> counter_idx;  ///< segments in pattern order
+  };
+
+  std::vector<CounterSpec> counters;
+  std::vector<ChainSpec> chains;
+  /// Dispatch lists indexed by event type id.
+  std::vector<std::vector<uint32_t>> counters_by_type;
+  std::vector<std::vector<uint32_t>> chains_by_type;
+  WindowSpec window;
+  AttrIndex partition = kNoAttr;
+};
+
+/// Compiles `plan` over `workload`. Returns an empty string on success or
+/// a diagnostic when the plan is unusable (overlapping candidates in one
+/// query, pattern not contained in a member query, non-uniform workload).
+std::string CompilePlan(const Workload& workload, const SharingPlan& plan,
+                        CompiledEngine* out);
+
+/// Workload executor. Single-threaded; feed events in timestamp order.
+class Engine {
+ public:
+  /// An empty `plan` gives the Non-Shared (A-Seq) method.
+  Engine(const Workload& workload, const SharingPlan& plan = {});
+
+  /// True if plan compilation succeeded; otherwise error() explains.
+  bool ok() const { return error_.empty(); }
+  const std::string& error() const { return error_; }
+
+  /// Processes one event through every counter and chain of its group.
+  void OnEvent(const Event& e);
+
+  /// Convenience: processes a whole recorded stream, collecting RunStats.
+  /// `duration` (ticks) is used to count windows for latency-per-window.
+  RunStats Run(const std::vector<Event>& events, Duration duration);
+
+  const ResultCollector& results() const { return results_; }
+  ResultCollector& mutable_results() { return results_; }
+
+  const CompiledEngine& compiled() const { return compiled_; }
+  const Workload& workload() const { return *workload_; }
+
+  /// Current logical state bytes across all groups.
+  size_t EstimatedBytes() const;
+  size_t peak_bytes() const { return memory_.peak(); }
+
+  /// Number of shared counter templates in the compiled plan.
+  size_t num_shared_counters() const;
+
+ private:
+  struct GroupState {
+    std::vector<std::unique_ptr<SegmentCounter>> counters;
+    std::vector<ChainRunner> chains;
+    uint64_t events_seen = 0;
+  };
+
+  GroupState& GroupFor(AttrValue g);
+
+  const Workload* workload_;
+  std::string error_;
+  CompiledEngine compiled_;
+  std::unordered_map<AttrValue, GroupState> groups_;
+  ResultCollector results_;
+  MemoryMeter memory_;
+  uint64_t events_since_sweep_ = 0;
+  Timestamp now_ = 0;
+
+  static constexpr uint64_t kSweepInterval = 4096;
+};
+
+}  // namespace sharon
+
+#endif  // SHARON_EXEC_ENGINE_H_

@@ -1,0 +1,85 @@
+#include "src/exec/multi_engine.h"
+
+#include <map>
+
+namespace sharon {
+
+MultiEngine::MultiEngine(const Workload& workload, const CostModel& cost_model,
+                         const OptimizerConfig& config) {
+  if (workload.empty()) {
+    error_ = "empty workload";
+    return;
+  }
+  total_queries_ = workload.size();
+  routes_.resize(workload.size());
+
+  // Group queries into uniform segments by (window, partition attribute).
+  std::map<std::tuple<Duration, Duration, AttrIndex>, size_t> index;
+  for (const Query& q : workload.queries()) {
+    auto key = std::make_tuple(q.window.length, q.window.slide,
+                               q.partition_attr);
+    auto it = index.find(key);
+    if (it == index.end()) {
+      it = index.emplace(key, segments_.size()).first;
+      segments_.emplace_back();
+    }
+    Segment& seg = segments_[it->second];
+    Query local = q;  // re-keyed by Workload::Add
+    QueryId local_id = seg.workload.Add(std::move(local));
+    seg.original_ids.push_back(q.id);
+    routes_[q.id] = {it->second, local_id};
+  }
+
+  // Optimize and instantiate each segment independently (§7.2: sharing
+  // within segments only).
+  for (Segment& seg : segments_) {
+    OptimizerResult opt = OptimizeSharon(seg.workload, cost_model, config);
+    seg.engine = std::make_unique<Engine>(seg.workload, opt.plan);
+    if (!seg.engine->ok()) {
+      error_ = seg.engine->error();
+      return;
+    }
+    plans_.push_back(std::move(opt));
+  }
+}
+
+void MultiEngine::OnEvent(const Event& e) {
+  for (Segment& seg : segments_) seg.engine->OnEvent(e);
+}
+
+RunStats MultiEngine::Run(const std::vector<Event>& events,
+                          Duration duration) {
+  RunStats stats;
+  StopWatch watch;
+  for (const Event& e : events) OnEvent(e);
+  stats.wall_seconds = watch.ElapsedSeconds();
+  stats.events_processed = events.size() * total_queries_;
+  stats.peak_state_bytes = EstimatedBytes();
+  (void)duration;
+  return stats;
+}
+
+double MultiEngine::Value(QueryId query, WindowId window, AttrValue group,
+                          AggFunction fn) const {
+  return Get(query, window, group).Final(fn);
+}
+
+AggState MultiEngine::Get(QueryId query, WindowId window,
+                          AttrValue group) const {
+  const Route& r = routes_.at(query);
+  return segments_[r.segment].engine->results().Get(r.local, window, group);
+}
+
+size_t MultiEngine::num_shared_counters() const {
+  size_t n = 0;
+  for (const Segment& seg : segments_) n += seg.engine->num_shared_counters();
+  return n;
+}
+
+size_t MultiEngine::EstimatedBytes() const {
+  size_t n = 0;
+  for (const Segment& seg : segments_) n += seg.engine->EstimatedBytes();
+  return n;
+}
+
+}  // namespace sharon

@@ -1,0 +1,75 @@
+// §7.2 extension: workloads with DIFFERENT windows or predicates/grouping.
+//
+// The paper's core assumption 2 requires one window and one partitioning
+// per workload; §7.2 sketches the relaxation: partition the workload into
+// uniform segments and share within each segment. MultiEngine implements
+// exactly that: queries are grouped by (window, partition attribute), each
+// segment gets its own Sharon optimizer pass and Engine, and events fan
+// out to every segment. Sharing still happens inside each segment, which
+// is where it is legal.
+
+#ifndef SHARON_EXEC_MULTI_ENGINE_H_
+#define SHARON_EXEC_MULTI_ENGINE_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/exec/engine.h"
+#include "src/planner/optimizer.h"
+
+namespace sharon {
+
+/// Executes a non-uniform workload as independent uniform segments.
+class MultiEngine {
+ public:
+  /// Partitions `workload` into uniform segments and optimizes each with
+  /// `cost_model` (Sharon optimizer, `config`).
+  MultiEngine(const Workload& workload, const CostModel& cost_model,
+              const OptimizerConfig& config = {});
+
+  bool ok() const { return error_.empty(); }
+  const std::string& error() const { return error_; }
+
+  /// Number of uniform segments the workload was split into.
+  size_t num_segments() const { return segments_.size(); }
+
+  /// Total number of shared counters across segments.
+  size_t num_shared_counters() const;
+
+  void OnEvent(const Event& e);
+  RunStats Run(const std::vector<Event>& events, Duration duration);
+
+  /// Result for a query of the ORIGINAL workload (query ids are the
+  /// original ids; windows are in the query's own window grid).
+  double Value(QueryId query, WindowId window, AttrValue group,
+               AggFunction fn) const;
+  AggState Get(QueryId query, WindowId window, AttrValue group) const;
+
+  /// Per-segment optimizer outcomes (for inspection).
+  const std::vector<OptimizerResult>& plans() const { return plans_; }
+
+  size_t EstimatedBytes() const;
+
+ private:
+  struct Segment {
+    Workload workload;                 ///< segment-local query ids
+    std::vector<QueryId> original_ids; ///< segment id -> original id
+    std::unique_ptr<Engine> engine;
+  };
+
+  /// segment index and segment-local id for each original query.
+  struct Route {
+    size_t segment = 0;
+    QueryId local = 0;
+  };
+
+  std::string error_;
+  std::vector<Segment> segments_;
+  std::vector<Route> routes_;
+  std::vector<OptimizerResult> plans_;
+  size_t total_queries_ = 0;
+};
+
+}  // namespace sharon
+
+#endif  // SHARON_EXEC_MULTI_ENGINE_H_

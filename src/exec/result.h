@@ -1,0 +1,72 @@
+// Per-(query, window, group) result accumulation shared by all executors,
+// so that online engines and two-step baselines can be compared result-for-
+// result in tests.
+
+#ifndef SHARON_EXEC_RESULT_H_
+#define SHARON_EXEC_RESULT_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "src/query/aggregate.h"
+#include "src/query/query.h"
+#include "src/query/window.h"
+
+namespace sharon {
+
+/// Identifies one aggregation result cell.
+struct ResultKey {
+  QueryId query = 0;
+  WindowId window = 0;
+  AttrValue group = 0;
+
+  bool operator==(const ResultKey&) const = default;
+};
+
+struct ResultKeyHash {
+  size_t operator()(const ResultKey& k) const {
+    uint64_t h = k.query;
+    h = h * 0x9e3779b97f4a7c15ULL + static_cast<uint64_t>(k.window);
+    h = h * 0x9e3779b97f4a7c15ULL + static_cast<uint64_t>(k.group);
+    h ^= h >> 29;
+    return static_cast<size_t>(h);
+  }
+};
+
+/// Accumulates AggStates per result cell.
+class ResultCollector {
+ public:
+  void Add(QueryId q, WindowId w, AttrValue g, const AggState& delta) {
+    if (delta.IsZero()) return;
+    cells_[ResultKey{q, w, g}].MergeFrom(delta);
+  }
+
+  /// Aggregate state of a cell; Zero if absent.
+  AggState Get(QueryId q, WindowId w, AttrValue g) const {
+    auto it = cells_.find(ResultKey{q, w, g});
+    return it == cells_.end() ? AggState::Zero() : it->second;
+  }
+
+  /// Final numeric value of a cell under `fn`.
+  double Value(QueryId q, WindowId w, AttrValue g, AggFunction fn) const {
+    return Get(q, w, g).Final(fn);
+  }
+
+  const std::unordered_map<ResultKey, AggState, ResultKeyHash>& cells() const {
+    return cells_;
+  }
+
+  size_t size() const { return cells_.size(); }
+  void Clear() { cells_.clear(); }
+
+  size_t EstimatedBytes() const {
+    return cells_.size() * (sizeof(ResultKey) + sizeof(AggState) + 16);
+  }
+
+ private:
+  std::unordered_map<ResultKey, AggState, ResultKeyHash> cells_;
+};
+
+}  // namespace sharon
+
+#endif  // SHARON_EXEC_RESULT_H_

@@ -1,0 +1,82 @@
+#include "src/exec/segment_counter.h"
+
+#include <algorithm>
+
+namespace sharon {
+
+SegmentCounter::SegmentCounter(Pattern pattern, AggSpec spec,
+                               WindowSpec window)
+    : pattern_(std::move(pattern)), spec_(spec), window_(window) {
+  EventTypeId max_type = 0;
+  for (EventTypeId t : pattern_.types()) max_type = std::max(max_type, t);
+  positions_by_type_.resize(max_type + 1);
+  for (size_t j = 0; j < pattern_.length(); ++j) {
+    positions_by_type_[pattern_.type(j)].push_back(static_cast<uint32_t>(j));
+  }
+  // Descending positions: an event must never extend through itself when a
+  // type repeats (§7.3).
+  for (auto& v : positions_by_type_) {
+    std::sort(v.begin(), v.end(), std::greater<uint32_t>());
+  }
+}
+
+void SegmentCounter::OnEvent(const Event& e) {
+  last_deltas_.clear();
+  if (e.type >= positions_by_type_.size()) return;
+  const auto& positions = positions_by_type_[e.type];
+  if (positions.empty()) return;
+
+  ExpireBefore(e.time);
+
+  const EventContribution contrib = ContributionOf(e, spec_);
+  const size_t last_pos = pattern_.length() - 1;
+
+  for (uint32_t j : positions) {
+    if (j == 0) continue;  // handled below so the new start is appended last
+    for (size_t i = 0; i < starts_.size(); ++i) {
+      Start& s = starts_[i];
+      AggState grown = AggState::Extend(s.pref[j - 1], contrib);
+      if (grown.IsZero()) continue;
+      s.pref[j].MergeFrom(grown);
+      if (j == last_pos) {
+        last_deltas_.push_back({base_ + i, s.time, grown});
+      }
+    }
+  }
+
+  if (!positions.empty() && positions.back() == 0) {
+    Start s;
+    s.time = e.time;
+    s.pref.assign(pattern_.length(), AggState::Zero());
+    s.pref[0] = AggState::Unit(contrib);
+    starts_.push_back(std::move(s));
+    if (last_pos == 0) {
+      last_deltas_.push_back(
+          {NewestStartId(), e.time, starts_.back().pref[0]});
+    }
+  }
+}
+
+const AggState& SegmentCounter::CompleteFor(StartId id) const {
+  if (id < base_ || id - base_ >= starts_.size()) return zero_;
+  return starts_[id - base_].pref.back();
+}
+
+Timestamp SegmentCounter::StartTimeFor(StartId id) const {
+  if (id < base_ || id - base_ >= starts_.size()) return -1;
+  return starts_[id - base_].time;
+}
+
+void SegmentCounter::ExpireBefore(Timestamp now) {
+  while (!starts_.empty() && window_.Expired(starts_.front().time, now)) {
+    starts_.pop_front();
+    ++base_;
+  }
+}
+
+size_t SegmentCounter::EstimatedBytes() const {
+  return starts_.size() *
+         (sizeof(Start) + pattern_.length() * sizeof(AggState));
+}
+
+}  // namespace sharon

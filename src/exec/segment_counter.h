@@ -1,0 +1,103 @@
+// SegmentCounter: the A-Seq per-START-event prefix-aggregation machine
+// (paper §3.2, Fig. 6).
+//
+// For a segment pattern (T0 ... Tm-1) the counter keeps, for every
+// not-yet-expired START event s (type T0), a vector pref[j] that aggregates
+// all sequences matching the prefix (T0..Tj) which start exactly at s and
+// use only events seen so far. An arriving event of type Tj folds
+// Extend(pref[j-1], e) into pref[j] for every live start (Fig. 6a); starts
+// whose window has passed are dropped (Fig. 6b). When the END type Tm-1
+// arrives, the per-start *deltas* of the complete aggregate are exposed so
+// that consumers (ChainRunner) can fold them into exactly the windows the
+// END event falls into.
+//
+// One SegmentCounter instance is the unit of sharing: the Sharon executor
+// evaluates a shared pattern's counter once per group and lets every
+// subscribed query chain read it (§3.3 step 1).
+//
+// §7.3 extension: an event type may occur k times in the segment; the
+// update then touches the k prefix positions in descending order so one
+// event never extends through itself.
+
+#ifndef SHARON_EXEC_SEGMENT_COUNTER_H_
+#define SHARON_EXEC_SEGMENT_COUNTER_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "src/query/aggregate.h"
+#include "src/query/pattern.h"
+#include "src/query/window.h"
+
+namespace sharon {
+
+/// Stable identifier of a START event within one SegmentCounter.
+using StartId = uint64_t;
+
+/// Per-START-event prefix aggregates for one segment pattern.
+class SegmentCounter {
+ public:
+  /// `spec` defines per-event contributions (use a projected spec:
+  /// CountStar when the aggregation target does not occur in `pattern`).
+  SegmentCounter(Pattern pattern, AggSpec spec, WindowSpec window);
+
+  /// Delta of the complete-segment aggregate produced by the last OnEvent.
+  struct CompleteDelta {
+    StartId start;
+    Timestamp start_time;
+    AggState delta;
+  };
+
+  /// Processes one event (any type; non-matching types are ignored).
+  void OnEvent(const Event& e);
+
+  /// Deltas produced by the most recent OnEvent whose type was the END
+  /// type of the segment; empty otherwise.
+  const std::vector<CompleteDelta>& last_deltas() const {
+    return last_deltas_;
+  }
+
+  /// Id of the most recently created START entry. Only meaningful right
+  /// after an OnEvent with the START type.
+  StartId NewestStartId() const { return base_ + starts_.size() - 1; }
+
+  /// Complete-segment aggregate for `id` accumulated so far; Zero if the
+  /// start has expired or never completed.
+  const AggState& CompleteFor(StartId id) const;
+
+  /// Start timestamp for `id`; -1 if expired.
+  Timestamp StartTimeFor(StartId id) const;
+
+  /// Drops starts that cannot share a window with `now` (§3.2).
+  void ExpireBefore(Timestamp now);
+
+  const Pattern& pattern() const { return pattern_; }
+  const AggSpec& spec() const { return spec_; }
+  EventTypeId start_type() const { return pattern_.front(); }
+  EventTypeId end_type() const { return pattern_.back(); }
+  size_t num_live_starts() const { return starts_.size(); }
+
+  /// Logical state footprint in bytes (per-start aggregate vectors).
+  size_t EstimatedBytes() const;
+
+ private:
+  struct Start {
+    Timestamp time;
+    std::vector<AggState> pref;  // pref[j]: prefix (T0..Tj) aggregates
+  };
+
+  Pattern pattern_;
+  AggSpec spec_;
+  WindowSpec window_;
+  /// positions_by_type_[t] = descending positions of type t in pattern_.
+  std::vector<std::vector<uint32_t>> positions_by_type_;
+  std::deque<Start> starts_;
+  StartId base_ = 0;  ///< id of starts_.front()
+  std::vector<CompleteDelta> last_deltas_;
+  AggState zero_;
+};
+
+}  // namespace sharon
+
+#endif  // SHARON_EXEC_SEGMENT_COUNTER_H_

@@ -1,0 +1,93 @@
+#include "src/graph/expansion.h"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+
+namespace sharon {
+namespace {
+
+/// Queries of `a` that cause its conflict with `b` (Def. 6 / Def. 16).
+QueryList ConflictCausingQueries(const Candidate& a, const Candidate& b,
+                                 const Workload& workload) {
+  QueryList out;
+  for (QueryId q : Intersect(a.queries, b.queries)) {
+    if (workload.query(q).pattern.Overlaps(a.pattern, b.pattern)) {
+      out.push_back(q);
+    }
+  }
+  return out;
+}
+
+QueryList Without(const QueryList& qs, const QueryList& drop) {
+  QueryList out;
+  std::set_difference(qs.begin(), qs.end(), drop.begin(), drop.end(),
+                      std::back_inserter(out));
+  return out;
+}
+
+}  // namespace
+
+std::vector<Candidate> ExpandCandidate(const SharonGraph& graph, VertexId v,
+                                       const Workload& workload,
+                                       const ExpansionOptions& opts) {
+  const Candidate& original = graph.candidate(v);
+  std::vector<Candidate> options = {original};
+  std::set<QueryList> seen = {original.queries};
+  std::deque<QueryList> frontier = {original.queries};
+
+  while (!frontier.empty() &&
+         options.size() < opts.max_options_per_candidate) {
+    QueryList current = std::move(frontier.front());
+    frontier.pop_front();
+    Candidate cur_cand{original.pattern, current};
+
+    // Conflicts of the current option with the *other* original
+    // candidates (Alg. 5 line 5: u in V \ Op).
+    for (VertexId u : graph.AliveVertices()) {
+      if (u == v) continue;
+      const Candidate& other = graph.candidate(u);
+      if (other.pattern == original.pattern) continue;
+      QueryList qc = ConflictCausingQueries(cur_cand, other, workload);
+      if (qc.empty()) continue;
+      if (qc.size() > opts.max_conflict_queries) {
+        qc.resize(opts.max_conflict_queries);
+      }
+      // Every non-empty subset C of Qc may resolve part of the conflict
+      // (Alg. 5 line 7); dropping all of Qc resolves it fully.
+      const uint32_t subsets = 1u << qc.size();
+      for (uint32_t mask = 1; mask < subsets; ++mask) {
+        QueryList drop;
+        for (size_t bit = 0; bit < qc.size(); ++bit) {
+          if (mask & (1u << bit)) drop.push_back(qc[bit]);
+        }
+        QueryList next = Without(current, drop);
+        if (next.size() < 2) continue;
+        if (!seen.insert(next).second) continue;
+        options.push_back({original.pattern, next});
+        frontier.push_back(std::move(next));
+        if (options.size() >= opts.max_options_per_candidate) break;
+      }
+      if (options.size() >= opts.max_options_per_candidate) break;
+    }
+  }
+  return options;
+}
+
+SharonGraph ExpandGraph(const SharonGraph& graph, const Workload& workload,
+                        const SharonGraph::WeightFn& weight,
+                        const ExpansionOptions& opts) {
+  std::vector<Candidate> all;
+  for (VertexId v : graph.AliveVertices()) {
+    for (Candidate& c : ExpandCandidate(graph, v, workload, opts)) {
+      all.push_back(std::move(c));
+      if (all.size() >= opts.max_total_candidates) break;
+    }
+    if (all.size() >= opts.max_total_candidates) break;
+  }
+  // Alg. 6: rebuild the conflict graph over all options. Build() also
+  // recomputes weights and drops non-beneficial options.
+  return SharonGraph::Build(workload, all, weight);
+}
+
+}  // namespace sharon

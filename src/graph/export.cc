@@ -1,0 +1,61 @@
+#include "src/graph/export.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sharon {
+
+std::string ToDot(const SharonGraph& graph, const TypeRegistry& types,
+                  const std::vector<VertexId>& highlight) {
+  auto highlighted = [&](VertexId v) {
+    return std::find(highlight.begin(), highlight.end(), v) !=
+           highlight.end();
+  };
+  std::string out = "graph sharon {\n  node [shape=box];\n";
+  for (VertexId v : graph.AliveVertices()) {
+    const Candidate& c = graph.candidate(v);
+    out += "  v" + std::to_string(v) + " [label=\"" +
+           c.pattern.ToString(types) + "\\nQ={";
+    for (size_t i = 0; i < c.queries.size(); ++i) {
+      if (i) out += ",";
+      out += "q" + std::to_string(c.queries[i]);
+    }
+    out += "}\\nbenefit=" + std::to_string(graph.weight(v)) + "\"";
+    if (highlighted(v)) out += " style=filled fillcolor=lightblue";
+    out += "];\n";
+  }
+  for (VertexId v : graph.AliveVertices()) {
+    for (VertexId u : graph.Neighbors(v)) {
+      if (v < u) {
+        out += "  v" + std::to_string(v) + " -- v" + std::to_string(u) +
+               ";\n";
+      }
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string ResultsToCsv(const ResultCollector& results,
+                         const Workload& workload) {
+  std::vector<std::pair<ResultKey, double>> rows;
+  rows.reserve(results.cells().size());
+  for (const auto& [key, state] : results.cells()) {
+    const Query& q = workload.query(key.query);
+    double v = state.Final(q.agg.fn);
+    if (std::isnan(v)) continue;
+    rows.emplace_back(key, v);
+  }
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return std::tie(a.first.query, a.first.window, a.first.group) <
+           std::tie(b.first.query, b.first.window, b.first.group);
+  });
+  std::string out = "query,window,group,value\n";
+  for (const auto& [key, v] : rows) {
+    out += std::to_string(key.query) + "," + std::to_string(key.window) +
+           "," + std::to_string(key.group) + "," + std::to_string(v) + "\n";
+  }
+  return out;
+}
+
+}  // namespace sharon

@@ -1,0 +1,29 @@
+// Export utilities: Graphviz DOT rendering of Sharon graphs (vertices
+// labelled with candidate, benefit and degree; edges are conflicts) and
+// CSV dumps of executor results — the inspection surface a user of the
+// library reaches for when debugging a sharing plan.
+
+#ifndef SHARON_GRAPH_EXPORT_H_
+#define SHARON_GRAPH_EXPORT_H_
+
+#include <string>
+
+#include "src/exec/result.h"
+#include "src/graph/sharon_graph.h"
+
+namespace sharon {
+
+/// Renders the alive part of `graph` as an undirected Graphviz graph.
+/// Members of `highlight` (e.g. a chosen plan) are drawn filled.
+std::string ToDot(const SharonGraph& graph, const TypeRegistry& types,
+                  const std::vector<VertexId>& highlight = {});
+
+/// Dumps results as "query,window,group,value" CSV rows (header included),
+/// ordered by (query, window, group). `workload` supplies each query's
+/// aggregation function.
+std::string ResultsToCsv(const ResultCollector& results,
+                         const Workload& workload);
+
+}  // namespace sharon
+
+#endif  // SHARON_GRAPH_EXPORT_H_

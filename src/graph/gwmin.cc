@@ -1,0 +1,27 @@
+#include "src/graph/gwmin.h"
+
+namespace sharon {
+
+GwminResult RunGwmin(const SharonGraph& graph) {
+  SharonGraph g = graph;  // vertex removal below must not affect the caller
+  GwminResult result;
+  while (g.num_vertices() > 0) {
+    // Select v maximising weight / (degree + 1) (Alg. 8 lines 3-7).
+    VertexId best = 0;
+    double best_ratio = -1;
+    for (VertexId v : g.AliveVertices()) {
+      double ratio = g.weight(v) / static_cast<double>(g.Degree(v) + 1);
+      if (ratio > best_ratio) {
+        best_ratio = ratio;
+        best = v;
+      }
+    }
+    result.independent_set.push_back(best);
+    result.weight += g.weight(best);
+    for (VertexId u : g.Neighbors(best)) g.Remove(u);
+    g.Remove(best);
+  }
+  return result;
+}
+
+}  // namespace sharon

@@ -1,0 +1,30 @@
+// GWMIN: the greedy minimum-degree algorithm for the Maximum Weight
+// Independent Set problem (Sakai et al., paper Appendix B, Algorithm 8).
+//
+// Repeatedly selects the alive vertex maximising weight(v)/(degree(v)+1),
+// adds it to the independent set, and removes it plus its neighbors. The
+// returned set's weight is guaranteed >= sum of weight(v)/(degree(v)+1)
+// over the input graph (Eq. 10) — the bound Sharon uses to prune
+// conflict-ridden candidates (§5).
+
+#ifndef SHARON_GRAPH_GWMIN_H_
+#define SHARON_GRAPH_GWMIN_H_
+
+#include <vector>
+
+#include "src/graph/sharon_graph.h"
+
+namespace sharon {
+
+/// Result of running GWMIN.
+struct GwminResult {
+  std::vector<VertexId> independent_set;
+  double weight = 0;
+};
+
+/// Runs Algorithm 8 on a copy of `graph` (the input is not modified).
+GwminResult RunGwmin(const SharonGraph& graph);
+
+}  // namespace sharon
+
+#endif  // SHARON_GRAPH_GWMIN_H_

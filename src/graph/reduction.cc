@@ -1,0 +1,74 @@
+#include "src/graph/reduction.h"
+
+#include <algorithm>
+
+namespace sharon {
+namespace {
+
+// GWMIN's guaranteed weight (Eq. 10) restricted to one component. Degrees
+// within a component equal global degrees (edges never cross components).
+double ComponentBound(const SharonGraph& g,
+                      const std::vector<VertexId>& component) {
+  double total = 0;
+  for (VertexId v : component) {
+    if (g.alive(v)) {
+      total += g.weight(v) / static_cast<double>(g.Degree(v) + 1);
+    }
+  }
+  return total;
+}
+
+// Scoremax (Def. 12) restricted to one component.
+double ComponentScoreMax(const SharonGraph& g, VertexId v,
+                         const std::vector<VertexId>& component) {
+  double total = 0;
+  for (VertexId u : component) {
+    if (g.alive(u) && !g.HasEdge(v, u)) total += g.weight(u);
+  }
+  return total;
+}
+
+}  // namespace
+
+ReductionResult ReduceGraph(SharonGraph& graph) {
+  ReductionResult result;
+  // Conflicts never cross connected components, so an optimal plan is the
+  // union of per-component optima. Evaluating the Def. 13 comparison per
+  // component makes it strictly stronger than the paper's global bound —
+  // weak candidates no longer hide behind unrelated components' weights —
+  // while remaining sound for exactly the same Lemma 2 reason.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& component : graph.ConnectedComponents()) {
+      const double bound = ComponentBound(graph, component);
+      // Conflict-ridden pruning (Def. 13): collect on one snapshot, then
+      // remove, so the comparison is uniform within the pass.
+      std::vector<VertexId> ridden;
+      for (VertexId v : component) {
+        if (ComponentScoreMax(graph, v, component) < bound) {
+          ridden.push_back(v);
+        }
+      }
+      for (VertexId v : ridden) {
+        graph.Remove(v);
+        result.pruned_ridden.push_back(v);
+        changed = true;
+      }
+      // Conflict-free extraction (Def. 14).
+      for (VertexId v : component) {
+        if (graph.alive(v) && graph.Degree(v) == 0) {
+          graph.Remove(v);
+          result.conflict_free.push_back(v);
+          changed = true;
+        }
+      }
+    }
+  }
+  std::sort(result.pruned_ridden.begin(), result.pruned_ridden.end());
+  std::sort(result.conflict_free.begin(), result.conflict_free.end());
+  result.remaining = graph.num_vertices();
+  return result;
+}
+
+}  // namespace sharon

@@ -1,0 +1,38 @@
+// SHARON graph reduction (paper §5, Algorithm 2).
+//
+// Two prunes, iterated to a fixpoint:
+//  - conflict-FREE candidates (degree 0, Def. 14) are guaranteed to be in
+//    an optimal plan: moved to the result set F and removed;
+//  - conflict-RIDDEN candidates (Def. 13): Scoremax(v) — the best any plan
+//    containing v could score — falls below GWMIN's guaranteed weight
+//    (Eq. 10), so no optimal plan contains v: removed.
+//
+// Soundness refinement (documented in DESIGN.md): within each iteration the
+// GWMIN bound and Scoremax are evaluated on the *same* graph snapshot, and
+// conflict-ridden pruning runs before conflict-free extraction. This keeps
+// both sides of the Def. 13 comparison consistent as the graph shrinks,
+// preserving optimality (Lemma 2) while pruning at least as much as a
+// single-bound pass.
+
+#ifndef SHARON_GRAPH_REDUCTION_H_
+#define SHARON_GRAPH_REDUCTION_H_
+
+#include <vector>
+
+#include "src/graph/sharon_graph.h"
+
+namespace sharon {
+
+/// Outcome of graph reduction.
+struct ReductionResult {
+  std::vector<VertexId> conflict_free;   ///< F: part of every optimal plan
+  std::vector<VertexId> pruned_ridden;   ///< removed, provably not optimal
+  size_t remaining = 0;                  ///< alive vertices after reduction
+};
+
+/// Algorithm 2. Mutates `graph` in place.
+ReductionResult ReduceGraph(SharonGraph& graph);
+
+}  // namespace sharon
+
+#endif  // SHARON_GRAPH_REDUCTION_H_

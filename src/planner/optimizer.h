@@ -1,0 +1,97 @@
+// The three optimizer pipelines compared in the paper's §8.3 (Fig. 15):
+//
+//  - Greedy optimizer (GO):     graph construction -> GWMIN.
+//  - Exhaustive optimizer (EO): graph construction -> expansion (§7.1) ->
+//                               exhaustive search over all 2^|V| plans.
+//  - Sharon optimizer (SO):     graph construction -> expansion ->
+//                               reduction (§5) -> sharing plan finder (§6);
+//                               falls back to GWMIN when the time limit
+//                               expires (§6 extreme case 1).
+//
+// Every pipeline reports per-phase latency and memory so the Fig. 15
+// bench can print phase-segmented bars.
+
+#ifndef SHARON_PLANNER_OPTIMIZER_H_
+#define SHARON_PLANNER_OPTIMIZER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/graph/expansion.h"
+#include "src/graph/sharon_graph.h"
+#include "src/planner/plan_finder.h"
+#include "src/sharing/cost_model.h"
+
+namespace sharon {
+
+/// Latency/memory of one optimizer phase (Fig. 15 bar segment).
+struct OptimizerPhase {
+  std::string name;
+  double millis = 0;
+  size_t bytes = 0;
+};
+
+/// Outcome of an optimizer pipeline.
+struct OptimizerResult {
+  SharingPlan plan;
+  double score = 0;            ///< sum of candidate benefits (Def. 8)
+  bool completed = true;       ///< false: EO/SO hit its limits
+  bool used_fallback = false;  ///< SO timed out and returned GWMIN's plan
+  std::vector<OptimizerPhase> phases;
+
+  // Pipeline statistics.
+  size_t candidates = 0;        ///< sharable candidates found (Alg. 7)
+  size_t graph_vertices = 0;    ///< beneficial candidates (Alg. 1)
+  size_t graph_edges = 0;
+  size_t expanded_vertices = 0; ///< after §7.1 expansion
+  size_t conflict_free = 0;     ///< |F| from reduction
+  size_t pruned_ridden = 0;     ///< conflict-ridden candidates pruned
+  size_t reduced_vertices = 0;  ///< remaining after reduction
+  uint64_t plans_considered = 0;
+
+  double TotalMillis() const {
+    double t = 0;
+    for (const auto& p : phases) t += p.millis;
+    return t;
+  }
+  size_t PeakBytes() const {
+    size_t b = 0;
+    for (const auto& p : phases) b = std::max(b, p.bytes);
+    return b;
+  }
+};
+
+/// Pipeline knobs.
+struct OptimizerConfig {
+  bool expand = true;  ///< §7.1 conflict resolution (EO and SO)
+  bool reduce = true;  ///< §5 candidate pruning (SO)
+  ExpansionOptions expansion;
+  PlanFinderOptions finder;
+};
+
+/// Low-level entry points taking precomputed candidates and a weight
+/// function (tests inject the paper's Fig. 4 weights through these).
+OptimizerResult OptimizeGreedy(const Workload& workload,
+                               const std::vector<Candidate>& candidates,
+                               const SharonGraph::WeightFn& weight);
+OptimizerResult OptimizeExhaustive(const Workload& workload,
+                                   const std::vector<Candidate>& candidates,
+                                   const SharonGraph::WeightFn& weight,
+                                   const OptimizerConfig& config = {});
+OptimizerResult OptimizeSharon(const Workload& workload,
+                               const std::vector<Candidate>& candidates,
+                               const SharonGraph::WeightFn& weight,
+                               const OptimizerConfig& config = {});
+
+/// Convenience entry points: candidates via modified CCSpan, weights via
+/// the §3 cost model.
+OptimizerResult OptimizeGreedy(const Workload& workload, const CostModel& cm);
+OptimizerResult OptimizeExhaustive(const Workload& workload,
+                                   const CostModel& cm,
+                                   const OptimizerConfig& config = {});
+OptimizerResult OptimizeSharon(const Workload& workload, const CostModel& cm,
+                               const OptimizerConfig& config = {});
+
+}  // namespace sharon
+
+#endif  // SHARON_PLANNER_OPTIMIZER_H_

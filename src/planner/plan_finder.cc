@@ -1,0 +1,182 @@
+#include "src/planner/plan_finder.h"
+
+#include <algorithm>
+
+#include "src/common/metrics.h"
+
+namespace sharon {
+namespace {
+
+size_t LevelBytes(const PlanLevel& level, size_t plan_size) {
+  return level.plans.size() *
+         (plan_size * sizeof(VertexId) + sizeof(double) + sizeof(void*));
+}
+
+}  // namespace
+
+PlanLevel GetNextLevel(const SharonGraph& graph, const PlanLevel& parents,
+                       uint64_t max_plans, bool* overflow) {
+  PlanLevel children;
+  if (overflow) *overflow = false;
+  const size_t n = parents.plans.size();
+  if (n < 2) return children;
+  const size_t s = parents.plans.front().size();
+
+  // Plans are lexicographically sorted, so plans sharing the same s-1
+  // prefix form contiguous blocks; join within each block (Alg. 3).
+  size_t block_start = 0;
+  while (block_start < n) {
+    size_t block_end = block_start + 1;
+    while (block_end < n &&
+           std::equal(parents.plans[block_start].begin(),
+                      parents.plans[block_start].end() - 1,
+                      parents.plans[block_end].begin(),
+                      parents.plans[block_end].end() - 1)) {
+      ++block_end;
+    }
+    for (size_t i = block_start; i < block_end; ++i) {
+      for (size_t j = i + 1; j < block_end; ++j) {
+        const VertexId vi = parents.plans[i].back();
+        const VertexId vj = parents.plans[j].back();
+        // Lemma 6: the child is valid iff the two differing candidates
+        // are not in conflict.
+        if (graph.HasEdge(vi, vj)) continue;
+        if (max_plans > 0 && children.plans.size() >= max_plans) {
+          if (overflow) *overflow = true;
+          return children;
+        }
+        std::vector<VertexId> child = parents.plans[i];
+        child.push_back(vj);  // vi < vj by sort order, so child is sorted
+        children.plans.push_back(std::move(child));
+        children.scores.push_back(parents.scores[i] + graph.weight(vj));
+      }
+    }
+    block_start = block_end;
+  }
+  (void)s;
+  return children;
+}
+
+namespace {
+
+// Algorithm 4 over one set of vertices (a connected component). Appends
+// the component's optimal sub-plan to `result->best`.
+bool FindOptimalForComponent(const SharonGraph& graph,
+                             const std::vector<VertexId>& vertices,
+                             const PlanFinderOptions& opts,
+                             const StopWatch& watch,
+                             PlanFinderResult* result) {
+  // Level 1: single candidates (Alg. 4 lines 1-4).
+  PlanLevel level;
+  for (VertexId v : vertices) {
+    level.plans.push_back({v});
+    level.scores.push_back(graph.weight(v));
+  }
+  std::sort(level.plans.begin(), level.plans.end());
+  for (size_t i = 0; i < level.plans.size(); ++i) {
+    level.scores[i] = graph.weight(level.plans[i][0]);
+  }
+
+  double best_score = 0;
+  std::vector<VertexId> best;
+  size_t plan_size = 1;
+  while (!level.plans.empty()) {
+    result->plans_considered += level.plans.size();
+    result->peak_level_plans =
+        std::max(result->peak_level_plans, level.plans.size());
+    result->peak_bytes =
+        std::max(result->peak_bytes, LevelBytes(level, plan_size));
+    for (size_t i = 0; i < level.plans.size(); ++i) {
+      if (level.scores[i] > best_score) {
+        best_score = level.scores[i];
+        best = level.plans[i];
+      }
+    }
+    if (watch.ElapsedSeconds() > opts.time_limit_seconds) return false;
+    bool overflow = false;
+    level = GetNextLevel(graph, level, opts.max_level_plans, &overflow);
+    if (overflow) return false;
+    ++plan_size;
+  }
+  result->best_score += best_score;
+  result->best.insert(result->best.end(), best.begin(), best.end());
+  return true;
+}
+
+}  // namespace
+
+PlanFinderResult FindOptimalPlan(const SharonGraph& graph,
+                                 const PlanFinderOptions& opts) {
+  PlanFinderResult result;
+  StopWatch watch;
+  // Conflicts never cross connected components, so the optimal plan is
+  // the union of per-component optima. Components are usually small after
+  // reduction, which keeps the exponential Alg. 4 traversal tractable far
+  // beyond what a whole-graph lattice would allow.
+  for (const auto& component : graph.ConnectedComponents()) {
+    if (!FindOptimalForComponent(graph, component, opts, watch, &result)) {
+      result.completed = false;
+      return result;
+    }
+  }
+  std::sort(result.best.begin(), result.best.end());
+  return result;
+}
+
+PlanFinderResult ExhaustiveSearch(const SharonGraph& graph,
+                                  const PlanFinderOptions& opts) {
+  PlanFinderResult result;
+  StopWatch watch;
+  const std::vector<VertexId> vs = graph.AliveVertices();
+  const size_t n = vs.size();
+  if (n == 0) return result;
+  if (n >= 63) {
+    result.completed = false;
+    return result;
+  }
+
+  std::vector<VertexId> current;
+  // Depth-first enumeration of all subsets, validity checked incrementally
+  // (no pruning of invalid branches: every subset is "considered").
+  uint64_t checked_since_clock = 0;
+  bool aborted = false;
+  auto recurse = [&](auto&& self, size_t idx, double score,
+                     bool valid) -> void {
+    if (aborted) return;
+    if (idx == n) {
+      ++result.plans_considered;
+      if (valid && score > result.best_score) {
+        result.best_score = score;
+        result.best = current;
+      }
+      if (++checked_since_clock >= 65536) {
+        checked_since_clock = 0;
+        if (watch.ElapsedSeconds() > opts.time_limit_seconds) {
+          aborted = true;
+        }
+      }
+      return;
+    }
+    self(self, idx + 1, score, valid);  // exclude vs[idx]
+    bool still_valid = valid;
+    if (valid) {
+      for (VertexId u : current) {
+        if (graph.HasEdge(u, vs[idx])) {
+          still_valid = false;
+          break;
+        }
+      }
+    }
+    current.push_back(vs[idx]);
+    self(self, idx + 1, score + graph.weight(vs[idx]), still_valid);
+    current.pop_back();
+  };
+  recurse(recurse, 0, 0.0, true);
+  result.completed = !aborted;
+  result.peak_level_plans = result.plans_considered;
+  result.peak_bytes =
+      (uint64_t{1} << std::min<size_t>(n, 40)) / 8;  // subset bitmap proxy
+  return result;
+}
+
+}  // namespace sharon

@@ -1,0 +1,60 @@
+// The optimal sharing plan finder (paper §6, Algorithms 3 and 4).
+//
+// Traverses ONLY the valid portion of the 2^|V| plan lattice (Fig. 8)
+// breadth-first. Level s+1 is generated apriori-style from level s
+// (Lemma 6): two valid plans sharing their first s-1 candidates join into
+// a child, which is valid iff their two differing candidates are not in
+// conflict — no other parent needs checking. Invalid branches are thereby
+// cut at their roots (Lemma 4), and only one level is held in memory at a
+// time.
+
+#ifndef SHARON_PLANNER_PLAN_FINDER_H_
+#define SHARON_PLANNER_PLAN_FINDER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/sharon_graph.h"
+
+namespace sharon {
+
+/// Limits for the exponential worst case (§6 "extreme cases").
+struct PlanFinderOptions {
+  double time_limit_seconds = 60.0;
+  uint64_t max_level_plans = 2'000'000;
+};
+
+/// Outcome of the search.
+struct PlanFinderResult {
+  std::vector<VertexId> best;   ///< optimal valid plan (vertex ids)
+  double best_score = 0;
+  uint64_t plans_considered = 0;
+  size_t peak_level_plans = 0;  ///< widest level held in memory
+  size_t peak_bytes = 0;        ///< memory proxy for Fig. 15(b)
+  bool completed = true;        ///< false: hit the time/size limit
+};
+
+/// One lattice level: plans as sorted vertex-id vectors plus their scores.
+struct PlanLevel {
+  std::vector<std::vector<VertexId>> plans;  ///< lexicographically sorted
+  std::vector<double> scores;
+};
+
+/// Algorithm 3: generates level s+1 from level s over `graph`. Stops and
+/// sets `*overflow` once the level exceeds `max_plans` (0 = unlimited), so
+/// an oversized level is never materialised.
+PlanLevel GetNextLevel(const SharonGraph& graph, const PlanLevel& parents,
+                       uint64_t max_plans = 0, bool* overflow = nullptr);
+
+/// Algorithm 4: BFS over valid plans, returning the best one.
+PlanFinderResult FindOptimalPlan(const SharonGraph& graph,
+                                 const PlanFinderOptions& opts = {});
+
+/// Reference exhaustive search over ALL 2^|V| subsets (the paper's
+/// "exhaustive optimizer"). Honors the same limits.
+PlanFinderResult ExhaustiveSearch(const SharonGraph& graph,
+                                  const PlanFinderOptions& opts = {});
+
+}  // namespace sharon
+
+#endif  // SHARON_PLANNER_PLAN_FINDER_H_

@@ -1,0 +1,74 @@
+#include "src/query/aggregate.h"
+
+#include <cmath>
+
+namespace sharon {
+
+double AggState::Final(AggFunction fn) const {
+  switch (fn) {
+    case AggFunction::kCountStar:
+      return count;
+    case AggFunction::kCountType:
+      return target_count;
+    case AggFunction::kSum:
+      return sum;
+    case AggFunction::kMin:
+      return count > 0 && min != std::numeric_limits<double>::infinity()
+                 ? min
+                 : std::numeric_limits<double>::quiet_NaN();
+    case AggFunction::kMax:
+      return count > 0 && max != -std::numeric_limits<double>::infinity()
+                 ? max
+                 : std::numeric_limits<double>::quiet_NaN();
+    case AggFunction::kAvg:
+      return target_count > 0 ? sum / target_count
+                              : std::numeric_limits<double>::quiet_NaN();
+  }
+  return std::numeric_limits<double>::quiet_NaN();
+}
+
+EventContribution ContributionOf(const Event& e, const AggSpec& spec) {
+  EventContribution c;
+  if (spec.fn == AggFunction::kCountStar) return c;
+  if (e.type != spec.target_type) return c;
+  c.is_target = true;
+  c.target = 1;
+  double v = spec.fn == AggFunction::kCountType
+                 ? 1.0
+                 : static_cast<double>(e.attr(spec.target_attr));
+  c.add = v;
+  c.value = v;
+  return c;
+}
+
+const char* AggFunctionName(AggFunction fn) {
+  switch (fn) {
+    case AggFunction::kCountStar:
+      return "COUNT(*)";
+    case AggFunction::kCountType:
+      return "COUNT";
+    case AggFunction::kSum:
+      return "SUM";
+    case AggFunction::kMin:
+      return "MIN";
+    case AggFunction::kMax:
+      return "MAX";
+    case AggFunction::kAvg:
+      return "AVG";
+  }
+  return "?";
+}
+
+std::string AggSpec::ToString(const TypeRegistry& reg) const {
+  if (fn == AggFunction::kCountStar) return "COUNT(*)";
+  std::string s = AggFunctionName(fn);
+  s += "(";
+  s += target_type != kInvalidType ? reg.Name(target_type) : "?";
+  if (fn != AggFunction::kCountType && target_attr != kNoAttr) {
+    s += ".attr" + std::to_string(target_attr);
+  }
+  s += ")";
+  return s;
+}
+
+}  // namespace sharon

@@ -1,0 +1,154 @@
+// The aggregate semiring underlying both the A-Seq executor (§3.2) and the
+// Sharon shared executor (§3.3).
+//
+// A single state, AggState, summarises a *set of event sequences*:
+//   count        — number of sequences (COUNT(*))
+//   sum          — sum over sequences of the per-sequence sum of the target
+//                  attribute (SUM(E.attr); with contribution 1 per target
+//                  event it also yields COUNT(E))
+//   target_count — number of target-type events across all sequences
+//                  (COUNT(E); AVG = sum / target_count)
+//   min / max    — min/max of the target attribute over all events of the
+//                  target type in all sequences (MIN/MAX(E.attr))
+//
+// Three operations cover everything the paper needs:
+//   Extend(A, c)  — append one event (with contribution c) to every sequence
+//                   of A: the A-Seq prefix-count update (Fig. 6a).
+//   Concat(A, B)  — concatenate two independently aggregated sequence sets:
+//                   the Sharon count-combination step (Fig. 7).
+//   Merge(A, B)   — disjoint union of two sequence sets (summing counts).
+//
+// All three are O(1); distributive and algebraic aggregates compose through
+// them exactly (Gray et al.'s cube classification, cited by the paper).
+
+#ifndef SHARON_QUERY_AGGREGATE_H_
+#define SHARON_QUERY_AGGREGATE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "src/common/event.h"
+
+namespace sharon {
+
+/// Which aggregation function a query's RETURN clause computes (Def. 2).
+enum class AggFunction : uint8_t {
+  kCountStar,  ///< COUNT(*)  — number of matched sequences
+  kCountType,  ///< COUNT(E)  — number of E events across matched sequences
+  kSum,        ///< SUM(E.attr)
+  kMin,        ///< MIN(E.attr)
+  kMax,        ///< MAX(E.attr)
+  kAvg,        ///< AVG(E.attr) = SUM(E.attr) / COUNT(E)
+};
+
+/// Aggregation specification: function + target type/attribute.
+/// COUNT(*) ignores the target.
+struct AggSpec {
+  AggFunction fn = AggFunction::kCountStar;
+  EventTypeId target_type = kInvalidType;
+  AttrIndex target_attr = kNoAttr;
+
+  static AggSpec CountStar() { return {}; }
+  static AggSpec Of(AggFunction f, EventTypeId type, AttrIndex attr) {
+    return {f, type, attr};
+  }
+
+  bool operator==(const AggSpec&) const = default;
+
+  std::string ToString(const TypeRegistry& reg) const;
+};
+
+/// Per-event contribution to an AggState, derived from AggSpec.
+struct EventContribution {
+  double add = 0;        ///< added to `sum` per sequence the event joins
+  double target = 0;     ///< 1 if the event is of the target type, else 0
+  double value = 0;      ///< attribute value (min/max candidate) if target
+  bool is_target = false;
+};
+
+/// Aggregated summary of a set of event sequences. See file comment.
+struct AggState {
+  double count = 0;
+  double sum = 0;
+  double target_count = 0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+
+  /// The empty set of sequences.
+  static AggState Zero() { return {}; }
+
+  /// The set containing exactly one empty sequence. Identity of Concat.
+  static AggState Identity() {
+    AggState s;
+    s.count = 1;
+    return s;
+  }
+
+  /// The set containing the single one-event sequence with contribution c.
+  static AggState Unit(const EventContribution& c) {
+    AggState s;
+    s.count = 1;
+    s.sum = c.add;
+    s.target_count = c.target;
+    if (c.is_target) {
+      s.min = c.value;
+      s.max = c.value;
+    }
+    return s;
+  }
+
+  bool IsZero() const { return count == 0; }
+
+  /// Disjoint union: sequences of `this` plus sequences of `o`.
+  void MergeFrom(const AggState& o) {
+    count += o.count;
+    sum += o.sum;
+    target_count += o.target_count;
+    min = std::min(min, o.min);
+    max = std::max(max, o.max);
+  }
+
+  /// Sequences of `a`, each extended by one event with contribution `c`.
+  static AggState Extend(const AggState& a, const EventContribution& c) {
+    if (a.IsZero()) return Zero();
+    AggState s;
+    s.count = a.count;
+    s.sum = a.sum + a.count * c.add;
+    s.target_count = a.target_count + a.count * c.target;
+    s.min = c.is_target ? std::min(a.min, c.value) : a.min;
+    s.max = c.is_target ? std::max(a.max, c.value) : a.max;
+    return s;
+  }
+
+  /// Cross-concatenation: every sequence of `a` followed by every sequence
+  /// of `b`. This is the shared-method combination step (§3.3): counts
+  /// multiply, sums cross-scale, min/max combine.
+  static AggState Concat(const AggState& a, const AggState& b) {
+    if (a.IsZero() || b.IsZero()) return Zero();
+    AggState s;
+    s.count = a.count * b.count;
+    s.sum = a.sum * b.count + b.sum * a.count;
+    s.target_count = a.target_count * b.count + b.target_count * a.count;
+    s.min = std::min(a.min, b.min);
+    s.max = std::max(a.max, b.max);
+    return s;
+  }
+
+  /// Extracts the final answer for `fn`. Returns NaN for MIN/MAX/AVG over
+  /// an empty set.
+  double Final(AggFunction fn) const;
+
+  bool operator==(const AggState&) const = default;
+};
+
+/// Computes the contribution of `e` under `spec`.
+EventContribution ContributionOf(const Event& e, const AggSpec& spec);
+
+/// Human-readable name of an aggregation function.
+const char* AggFunctionName(AggFunction fn);
+
+}  // namespace sharon
+
+#endif  // SHARON_QUERY_AGGREGATE_H_

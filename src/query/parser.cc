@@ -1,0 +1,232 @@
+#include "src/query/parser.h"
+
+#include <cctype>
+#include <vector>
+
+namespace sharon {
+namespace {
+
+// Whitespace/punctuation tokenizer. Parens, brackets, commas and dots are
+// their own tokens; everything else groups into words.
+std::vector<std::string> Tokenize(std::string_view text) {
+  std::vector<std::string> out;
+  std::string cur;
+  auto flush = [&] {
+    if (!cur.empty()) {
+      out.push_back(cur);
+      cur.clear();
+    }
+  };
+  for (char ch : text) {
+    if (std::isspace(static_cast<unsigned char>(ch))) {
+      flush();
+    } else if (ch == '(' || ch == ')' || ch == ',' || ch == '[' || ch == ']' ||
+               ch == '.' || ch == '*') {
+      flush();
+      out.push_back(std::string(1, ch));
+    } else {
+      cur.push_back(ch);
+    }
+  }
+  flush();
+  return out;
+}
+
+std::string Upper(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  return s;
+}
+
+// Cursor over the token list with convenience matchers.
+class Cursor {
+ public:
+  explicit Cursor(std::vector<std::string> toks) : toks_(std::move(toks)) {}
+
+  bool Done() const { return i_ >= toks_.size(); }
+  const std::string& Peek() const { return toks_[i_]; }
+  std::string Take() { return toks_[i_++]; }
+
+  /// Consumes the next token if it case-insensitively equals `kw`.
+  bool Accept(std::string_view kw) {
+    if (Done()) return false;
+    if (Upper(toks_[i_]) != Upper(std::string(kw))) return false;
+    ++i_;
+    return true;
+  }
+
+  bool AcceptSymbol(char c) {
+    if (Done() || toks_[i_].size() != 1 || toks_[i_][0] != c) return false;
+    ++i_;
+    return true;
+  }
+
+ private:
+  std::vector<std::string> toks_;
+  size_t i_ = 0;
+};
+
+bool ParseInt(const std::string& s, int64_t* out) {
+  if (s.empty()) return false;
+  int64_t v = 0;
+  for (char c : s) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+    v = v * 10 + (c - '0');
+  }
+  *out = v;
+  return true;
+}
+
+// "<n> min|sec|s|ticks" -> ticks. A missing unit means ticks.
+bool ParseDuration(Cursor& cur, Duration* out, std::string* err) {
+  if (cur.Done()) {
+    *err = "expected duration";
+    return false;
+  }
+  int64_t n;
+  if (!ParseInt(cur.Take(), &n)) {
+    *err = "expected integer duration";
+    return false;
+  }
+  if (cur.Accept("min") || cur.Accept("minutes")) {
+    *out = Minutes(n);
+  } else if (cur.Accept("sec") || cur.Accept("s") || cur.Accept("seconds")) {
+    *out = Seconds(n);
+  } else {
+    cur.Accept("ticks");
+    *out = n;
+  }
+  return true;
+}
+
+// COUNT ( * ) | COUNT ( E ) | SUM|MIN|MAX|AVG ( E . attr )
+bool ParseReturn(Cursor& cur, TypeRegistry& types, const StreamSchema& schema,
+                 AggSpec* out, std::string* err) {
+  AggFunction fn;
+  if (cur.Accept("COUNT")) {
+    fn = AggFunction::kCountType;  // refined below for '*'
+  } else if (cur.Accept("SUM")) {
+    fn = AggFunction::kSum;
+  } else if (cur.Accept("MIN")) {
+    fn = AggFunction::kMin;
+  } else if (cur.Accept("MAX")) {
+    fn = AggFunction::kMax;
+  } else if (cur.Accept("AVG")) {
+    fn = AggFunction::kAvg;
+  } else {
+    *err = "expected aggregation function after RETURN";
+    return false;
+  }
+  if (!cur.AcceptSymbol('(')) {
+    *err = "expected '(' after aggregation function";
+    return false;
+  }
+  if (fn == AggFunction::kCountType && cur.AcceptSymbol('*')) {
+    if (!cur.AcceptSymbol(')')) {
+      *err = "expected ')' after COUNT(*";
+      return false;
+    }
+    *out = AggSpec::CountStar();
+    return true;
+  }
+  if (cur.Done()) {
+    *err = "expected event type in aggregation";
+    return false;
+  }
+  EventTypeId type = types.Intern(cur.Take());
+  AttrIndex attr = kNoAttr;
+  if (cur.AcceptSymbol('.')) {
+    if (cur.Done()) {
+      *err = "expected attribute after '.'";
+      return false;
+    }
+    std::string attr_name = cur.Take();
+    attr = schema.Find(attr_name);
+    if (attr == kNoAttr) {
+      *err = "unknown attribute '" + attr_name + "'";
+      return false;
+    }
+  } else if (fn != AggFunction::kCountType) {
+    *err = "aggregation over an attribute requires 'Type.attr'";
+    return false;
+  }
+  if (!cur.AcceptSymbol(')')) {
+    *err = "expected ')' closing aggregation";
+    return false;
+  }
+  *out = AggSpec::Of(fn, type, attr);
+  return true;
+}
+
+}  // namespace
+
+ParseResult ParseQuery(std::string_view text, TypeRegistry& types,
+                       const StreamSchema& schema) {
+  Cursor cur(Tokenize(text));
+  Query q;
+  std::string err;
+
+  if (!cur.Accept("RETURN")) return ParseResult::Error("expected RETURN");
+  if (!ParseReturn(cur, types, schema, &q.agg, &err)) {
+    return ParseResult::Error(err);
+  }
+
+  if (!cur.Accept("PATTERN") || !cur.Accept("SEQ") || !cur.AcceptSymbol('(')) {
+    return ParseResult::Error("expected PATTERN SEQ(...)");
+  }
+  std::vector<EventTypeId> seq;
+  while (!cur.Done() && !cur.AcceptSymbol(')')) {
+    if (cur.AcceptSymbol(',')) continue;
+    seq.push_back(types.Intern(cur.Take()));
+  }
+  if (seq.empty()) return ParseResult::Error("empty PATTERN");
+  q.pattern = Pattern(std::move(seq));
+
+  if (cur.Accept("WHERE")) {
+    if (!cur.AcceptSymbol('[')) {
+      return ParseResult::Error("expected '[attr]' after WHERE");
+    }
+    if (cur.Done()) return ParseResult::Error("expected attribute in WHERE");
+    std::string attr_name = cur.Take();
+    q.partition_attr = schema.Find(attr_name);
+    if (q.partition_attr == kNoAttr) {
+      return ParseResult::Error("unknown attribute '" + attr_name + "'");
+    }
+    if (!cur.AcceptSymbol(']')) {
+      return ParseResult::Error("expected ']' closing WHERE predicate");
+    }
+  }
+
+  if (cur.Accept("GROUP")) {
+    if (!cur.Accept("BY")) return ParseResult::Error("expected BY after GROUP");
+    if (cur.Done()) return ParseResult::Error("expected attribute after GROUP BY");
+    std::string attr_name = cur.Take();
+    AttrIndex a = schema.Find(attr_name);
+    if (a == kNoAttr) {
+      return ParseResult::Error("unknown attribute '" + attr_name + "'");
+    }
+    if (q.partition_attr != kNoAttr && q.partition_attr != a) {
+      return ParseResult::Error(
+          "WHERE equivalence and GROUP BY must name the same attribute");
+    }
+    q.partition_attr = a;
+  }
+
+  if (!cur.Accept("WITHIN")) return ParseResult::Error("expected WITHIN");
+  if (!ParseDuration(cur, &q.window.length, &err)) return ParseResult::Error(err);
+  if (!cur.Accept("SLIDE")) return ParseResult::Error("expected SLIDE");
+  if (!ParseDuration(cur, &q.window.slide, &err)) return ParseResult::Error(err);
+  if (!q.window.Valid()) {
+    return ParseResult::Error("invalid window: need 0 < slide <= length");
+  }
+  if (!cur.Done()) {
+    return ParseResult::Error("trailing tokens after SLIDE clause: '" +
+                              cur.Peek() + "'");
+  }
+
+  ParseResult r;
+  r.ok = true;
+  r.query = std::move(q);
+  return r;
+}
+
+}  // namespace sharon

@@ -1,0 +1,46 @@
+// A small textual query language mirroring the paper's SASE-style examples
+// (Fig. 1 / Fig. 2), for the example programs and tests:
+//
+//   RETURN COUNT(*)
+//   PATTERN SEQ(OakSt, MainSt)
+//   WHERE [vehicle]
+//   WITHIN 10 min SLIDE 1 min
+//
+// Also supported in the RETURN clause: COUNT(E), SUM(E.attr), MIN(E.attr),
+// MAX(E.attr), AVG(E.attr); and GROUP BY attr as an alternative to the
+// equivalence predicate. WITHIN/SLIDE take "<n> min|sec|ticks".
+//
+// Parse errors are reported via ParseResult; there are no exceptions.
+
+#ifndef SHARON_QUERY_PARSER_H_
+#define SHARON_QUERY_PARSER_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/common/schema.h"
+#include "src/query/query.h"
+
+namespace sharon {
+
+/// Outcome of parsing one query string.
+struct ParseResult {
+  bool ok = false;
+  std::string error;
+  Query query;
+
+  static ParseResult Error(std::string msg) {
+    ParseResult r;
+    r.error = std::move(msg);
+    return r;
+  }
+};
+
+/// Parses one query. Event type names are interned into `types`; attribute
+/// names must already exist in `schema`.
+ParseResult ParseQuery(std::string_view text, TypeRegistry& types,
+                       const StreamSchema& schema);
+
+}  // namespace sharon
+
+#endif  // SHARON_QUERY_PARSER_H_

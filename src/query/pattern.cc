@@ -1,0 +1,54 @@
+#include "src/query/pattern.h"
+
+namespace sharon {
+
+std::vector<size_t> Pattern::FindOccurrences(const Pattern& sub) const {
+  std::vector<size_t> out;
+  if (sub.empty() || sub.length() > length()) return out;
+  for (size_t i = 0; i + sub.length() <= length(); ++i) {
+    bool match = true;
+    for (size_t j = 0; j < sub.length(); ++j) {
+      if (types_[i + j] != sub.type(j)) {
+        match = false;
+        break;
+      }
+    }
+    if (match) out.push_back(i);
+  }
+  return out;
+}
+
+std::optional<size_t> Pattern::Find(const Pattern& sub) const {
+  auto occ = FindOccurrences(sub);
+  if (occ.empty()) return std::nullopt;
+  return occ.front();
+}
+
+bool Pattern::Overlaps(const Pattern& a, const Pattern& b) const {
+  for (size_t ia : FindOccurrences(a)) {
+    size_t a_end = ia + a.length();  // exclusive
+    for (size_t ib : FindOccurrences(b)) {
+      size_t b_end = ib + b.length();
+      if (ia < b_end && ib < a_end) return true;
+    }
+  }
+  return false;
+}
+
+size_t Pattern::CountType(EventTypeId t) const {
+  size_t k = 0;
+  for (EventTypeId x : types_) k += (x == t);
+  return k;
+}
+
+std::string Pattern::ToString(const TypeRegistry& reg) const {
+  std::string s = "(";
+  for (size_t i = 0; i < types_.size(); ++i) {
+    if (i) s += ",";
+    s += reg.Name(types_[i]);
+  }
+  s += ")";
+  return s;
+}
+
+}  // namespace sharon

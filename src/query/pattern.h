@@ -1,0 +1,78 @@
+// Event sequence patterns (Sharon Def. 1) and positional sub-pattern
+// arithmetic used by the sharing model (Defs. 4 and 6).
+
+#ifndef SHARON_QUERY_PATTERN_H_
+#define SHARON_QUERY_PATTERN_H_
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/event.h"
+
+namespace sharon {
+
+/// An event sequence pattern P = (E1 ... El), l >= 1 (Def. 1).
+class Pattern {
+ public:
+  Pattern() = default;
+  explicit Pattern(std::vector<EventTypeId> types) : types_(std::move(types)) {}
+
+  size_t length() const { return types_.size(); }
+  bool empty() const { return types_.empty(); }
+  EventTypeId type(size_t i) const { return types_[i]; }
+  const std::vector<EventTypeId>& types() const { return types_; }
+
+  EventTypeId front() const { return types_.front(); }
+  EventTypeId back() const { return types_.back(); }
+
+  /// Contiguous sub-pattern [begin, begin+len).
+  Pattern Sub(size_t begin, size_t len) const {
+    return Pattern(std::vector<EventTypeId>(types_.begin() + begin,
+                                            types_.begin() + begin + len));
+  }
+
+  /// Positions at which `sub` occurs contiguously in this pattern.
+  /// Under the paper's assumption 3 (a type appears at most once per
+  /// pattern) there is at most one occurrence, but the general form is
+  /// needed for the §7.3 extension.
+  std::vector<size_t> FindOccurrences(const Pattern& sub) const;
+
+  /// First occurrence of `sub`, if any.
+  std::optional<size_t> Find(const Pattern& sub) const;
+
+  /// True if some occurrence of `a` overlaps positionally with some
+  /// occurrence of `b` inside this pattern (Def. 6 specialised to
+  /// contiguous occurrences: position ranges intersect).
+  bool Overlaps(const Pattern& a, const Pattern& b) const;
+
+  /// Number of occurrences of event type `t` (the k factor of §7.3).
+  size_t CountType(EventTypeId t) const;
+
+  /// Renders as "(A,B,C)" using the registry.
+  std::string ToString(const TypeRegistry& reg) const;
+
+  bool operator==(const Pattern& other) const = default;
+
+  /// Lexicographic order; used to keep candidates sorted in plans (§6).
+  bool operator<(const Pattern& other) const { return types_ < other.types_; }
+
+ private:
+  std::vector<EventTypeId> types_;
+};
+
+/// Hash functor so patterns can key hash tables (Alg. 1 / Alg. 7).
+struct PatternHash {
+  size_t operator()(const Pattern& p) const {
+    size_t h = 1469598103934665603ULL;
+    for (EventTypeId t : p.types()) {
+      h ^= t + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    }
+    return h;
+  }
+};
+
+}  // namespace sharon
+
+#endif  // SHARON_QUERY_PATTERN_H_

@@ -1,0 +1,83 @@
+// Event sequence aggregation queries and workloads (Sharon Def. 2, §2.1).
+
+#ifndef SHARON_QUERY_QUERY_H_
+#define SHARON_QUERY_QUERY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/query/aggregate.h"
+#include "src/query/pattern.h"
+#include "src/query/window.h"
+
+namespace sharon {
+
+/// Dense identifier of a query within a workload.
+using QueryId = uint32_t;
+
+/// An event sequence aggregation query (Def. 2):
+/// RETURN agg PATTERN SEQ(E1..El) [WHERE [attr]] [GROUP BY attr]
+/// WITHIN length SLIDE slide.
+///
+/// The paper's WHERE [vehicle] predicate requires all events of a sequence
+/// to agree on an attribute, which is evaluated by partitioning the stream
+/// on that attribute — the same mechanism as GROUP BY (§7.2). We therefore
+/// represent both with `partition_attr`; kNoAttr means neither clause.
+struct Query {
+  QueryId id = 0;
+  std::string name;
+  Pattern pattern;
+  AggSpec agg;
+  WindowSpec window;
+  AttrIndex partition_attr = kNoAttr;
+
+  size_t length() const { return pattern.length(); }
+};
+
+/// A workload Q of queries sharing one input stream.
+///
+/// Under the paper's initial assumptions (§2.1, assumption 2) all queries
+/// have the same predicates, grouping and windows; `Uniform()` checks this.
+/// The §7.2 extension (different groupings / windows) is handled upstream by
+/// stream partitioning, so the core engines require Uniform() workloads.
+class Workload {
+ public:
+  Workload() = default;
+
+  /// Adds a query, assigning its id. Returns the id.
+  QueryId Add(Query q) {
+    q.id = static_cast<QueryId>(queries_.size());
+    queries_.push_back(std::move(q));
+    return queries_.back().id;
+  }
+
+  const std::vector<Query>& queries() const { return queries_; }
+  const Query& query(QueryId id) const { return queries_.at(id); }
+  size_t size() const { return queries_.size(); }
+  bool empty() const { return queries_.empty(); }
+
+  /// True if all queries agree on window and partitioning (assumption 2).
+  bool Uniform() const {
+    for (const Query& q : queries_) {
+      if (!(q.window == queries_.front().window) ||
+          q.partition_attr != queries_.front().partition_attr) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// The common window of a Uniform() workload.
+  const WindowSpec& window() const { return queries_.front().window; }
+
+  /// The common partition attribute of a Uniform() workload.
+  AttrIndex partition_attr() const { return queries_.front().partition_attr; }
+
+ private:
+  std::vector<Query> queries_;
+};
+
+}  // namespace sharon
+
+#endif  // SHARON_QUERY_QUERY_H_

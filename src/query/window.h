@@ -1,0 +1,73 @@
+// Sliding-window arithmetic (Def. 2, WITHIN/SLIDE clause).
+//
+// Windows are identified by a dense WindowId j, window j covering the
+// half-open tick interval [j*slide, j*slide + length). A sequence whose
+// first event is at t1 and last at t2 belongs to every window containing
+// both, i.e. j in [FirstWindowCovering(t2), LastWindowCovering(t1)].
+//
+// A *pane* is one slide-width bucket (t / slide). The Sharon executor
+// buckets chain-start snapshots by pane: all sequence starts in the same
+// pane belong to exactly the same set of windows, which is what makes
+// shared combination window-exact without per-window state (DESIGN.md §3).
+
+#ifndef SHARON_QUERY_WINDOW_H_
+#define SHARON_QUERY_WINDOW_H_
+
+#include <algorithm>
+#include <cstdint>
+
+#include "src/common/time.h"
+
+namespace sharon {
+
+/// Dense identifier of a sliding window instance.
+using WindowId = int64_t;
+
+/// Dense identifier of a slide-width pane.
+using PaneId = int64_t;
+
+/// WITHIN length SLIDE slide (both in ticks). slide must divide into the
+/// stream sensibly but is not required to divide length.
+struct WindowSpec {
+  Duration length = 0;
+  Duration slide = 0;
+
+  bool Valid() const { return length > 0 && slide > 0 && slide <= length; }
+
+  PaneId PaneOf(Timestamp t) const { return t / slide; }
+
+  /// Start tick of window j.
+  Timestamp WindowStart(WindowId j) const { return j * slide; }
+
+  /// End tick (exclusive) of window j.
+  Timestamp WindowEnd(WindowId j) const { return j * slide + length; }
+
+  /// Largest j with j*slide <= t: the last window whose start covers t.
+  WindowId LastWindowCovering(Timestamp t) const { return t / slide; }
+
+  /// Smallest j >= 0 with t < j*slide + length.
+  WindowId FirstWindowCovering(Timestamp t) const {
+    // j > (t - length) / slide  <=>  j >= floor((t - length) / slide) + 1
+    if (t < length) return 0;
+    return (t - length) / slide + 1;
+  }
+
+  /// Number of panes per window, rounded up: the maximal number of windows
+  /// any single time point belongs to.
+  int64_t PanesPerWindow() const { return (length + slide - 1) / slide; }
+
+  /// A start event is expired relative to `now` iff no window contains
+  /// both (§3.2: the START event expires first). Exact: the last window
+  /// whose start covers `start` must still cover `now`. (The weaker test
+  /// now-start >= length misses starts stranded between window starts when
+  /// slide does not align.)
+  bool Expired(Timestamp start, Timestamp now) const {
+    return LastWindowCovering(start) < FirstWindowCovering(now);
+  }
+
+  bool operator==(const WindowSpec&) const = default;
+};
+
+}  // namespace sharon
+
+#endif  // SHARON_QUERY_WINDOW_H_

@@ -1,0 +1,16 @@
+#include "src/sharing/candidate.h"
+
+namespace sharon {
+
+std::string Candidate::ToString(const TypeRegistry& reg) const {
+  std::string s = pattern.ToString(reg);
+  s += " shared by {";
+  for (size_t i = 0; i < queries.size(); ++i) {
+    if (i) s += ",";
+    s += "q" + std::to_string(queries[i]);
+  }
+  s += "}";
+  return s;
+}
+
+}  // namespace sharon

@@ -1,0 +1,57 @@
+// Sharing candidates (Def. 3) and sharing plans (Def. 7).
+//
+// A sharing candidate (p, Qp) says: the aggregation of pattern p could be
+// computed once and shared by the queries Qp. A sharing plan is a set of
+// candidates; the planner guarantees validity (no two candidates in the
+// plan overlap inside a common query).
+
+#ifndef SHARON_SHARING_CANDIDATE_H_
+#define SHARON_SHARING_CANDIDATE_H_
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "src/query/pattern.h"
+#include "src/query/query.h"
+
+namespace sharon {
+
+/// Sorted list of query ids.
+using QueryList = std::vector<QueryId>;
+
+/// Sorted intersection of two query lists.
+inline QueryList Intersect(const QueryList& a, const QueryList& b) {
+  QueryList out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+/// A sharing candidate (p, Qp): pattern p shared by queries Qp (Def. 3).
+struct Candidate {
+  Pattern pattern;
+  QueryList queries;  ///< sorted
+
+  bool Contains(QueryId q) const {
+    return std::binary_search(queries.begin(), queries.end(), q);
+  }
+
+  bool operator==(const Candidate&) const = default;
+
+  /// Order by pattern then query set; plans keep candidates sorted (§6,
+  /// "sorted alphabetically by their patterns within a plan").
+  bool operator<(const Candidate& o) const {
+    if (pattern == o.pattern) return queries < o.queries;
+    return pattern < o.pattern;
+  }
+
+  std::string ToString(const TypeRegistry& reg) const;
+};
+
+/// A sharing plan: the set of candidates chosen for shared execution.
+using SharingPlan = std::vector<Candidate>;
+
+}  // namespace sharon
+
+#endif  // SHARON_SHARING_CANDIDATE_H_

@@ -1,0 +1,33 @@
+#include "src/sharing/ccspan.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace sharon {
+
+std::vector<Candidate> FindSharableCandidates(const Workload& workload) {
+  // H: pattern -> queries containing it (Alg. 7 lines 1-8).
+  std::unordered_map<Pattern, QueryList, PatternHash> h;
+  for (const Query& q : workload.queries()) {
+    const size_t l = q.pattern.length();
+    for (size_t end = 1; end < l; ++end) {        // end index inclusive
+      for (size_t start = 0; start < end; ++start) {
+        Pattern p = q.pattern.Sub(start, end - start + 1);
+        QueryList& qs = h[std::move(p)];
+        // A pattern repeating inside one query is recorded once.
+        if (qs.empty() || qs.back() != q.id) qs.push_back(q.id);
+      }
+    }
+  }
+
+  // S: sharable patterns only (Alg. 7 lines 9-11).
+  std::vector<Candidate> out;
+  out.reserve(h.size());
+  for (auto& [p, qs] : h) {
+    if (qs.size() > 1) out.push_back({p, qs});
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace sharon

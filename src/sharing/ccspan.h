@@ -1,0 +1,24 @@
+// Sharable-pattern detection: the modified CCSpan algorithm
+// (paper Appendix A, Algorithm 7).
+//
+// The original CCSpan mines closed contiguous sequential patterns; Sharon
+// modifies it to report *every* contiguous sub-pattern of length > 1 that
+// appears in more than one query, because shorter sub-patterns can be
+// shared by more queries than closed (maximal) ones.
+
+#ifndef SHARON_SHARING_CCSPAN_H_
+#define SHARON_SHARING_CCSPAN_H_
+
+#include <vector>
+
+#include "src/sharing/candidate.h"
+
+namespace sharon {
+
+/// Returns all sharing candidates (p, Qp) of the workload (Def. 3):
+/// p.length > 1 and |Qp| > 1, Qp sorted, candidates sorted by pattern.
+std::vector<Candidate> FindSharableCandidates(const Workload& workload);
+
+}  // namespace sharon
+
+#endif  // SHARON_SHARING_CCSPAN_H_

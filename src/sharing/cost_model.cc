@@ -1,0 +1,70 @@
+#include "src/sharing/cost_model.h"
+
+#include <algorithm>
+
+namespace sharon {
+
+double CostModel::MultiplicityFactor(const Pattern& p) {
+  size_t k = 1;
+  for (EventTypeId t : p.types()) k = std::max(k, p.CountType(t));
+  return static_cast<double>(k);
+}
+
+double CostModel::NonSharedQuery(const Query& q) const {
+  return rates_.Of(q.pattern.front()) * rates_.OfPattern(q.pattern) *
+         MultiplicityFactor(q.pattern);
+}
+
+double CostModel::NonShared(const Candidate& c, const Workload& w) const {
+  double total = 0;
+  for (QueryId qid : c.queries) total += NonSharedQuery(w.query(qid));
+  return total;
+}
+
+double CostModel::Comp(const Pattern& p, const Query& q) const {
+  auto pos = q.pattern.Find(p);
+  if (!pos) return 0;
+  const size_t m = *pos;
+  const size_t after = m + p.length();
+  double cost = 0;
+  if (m > 0) {
+    Pattern prefix = q.pattern.Sub(0, m);
+    cost += rates_.Of(prefix.front()) * rates_.OfPattern(prefix);
+  }
+  if (after < q.pattern.length()) {
+    Pattern suffix = q.pattern.Sub(after, q.pattern.length() - after);
+    cost += rates_.Of(suffix.front()) * rates_.OfPattern(suffix);
+  }
+  return cost * MultiplicityFactor(q.pattern);
+}
+
+double CostModel::Comb(const Pattern& p, const Query& q) const {
+  auto pos = q.pattern.Find(p);
+  if (!pos) return 0;
+  const size_t m = *pos;
+  const size_t after = m + p.length();
+  const bool has_prefix = m > 0;
+  const bool has_suffix = after < q.pattern.length();
+  if (!has_prefix && !has_suffix) return 0;  // p is the whole pattern
+  double cost = rates_.Of(p.front());
+  if (has_prefix) cost *= rates_.Of(q.pattern.front());
+  if (has_suffix) cost *= rates_.Of(q.pattern.type(after));
+  return cost;
+}
+
+double CostModel::SharedQuery(const Pattern& p, const Query& q) const {
+  return Comp(p, q) + Comb(p, q);
+}
+
+double CostModel::Shared(const Candidate& c, const Workload& w) const {
+  double total = rates_.Of(c.pattern.front()) * rates_.OfPattern(c.pattern) *
+                 MultiplicityFactor(c.pattern);
+  for (QueryId qid : c.queries) total += SharedQuery(c.pattern, w.query(qid));
+  return total;
+}
+
+double CostModel::BValue(const Candidate& c, const Workload& w) const {
+  return NonShared(c, w) - Shared(c, w);
+}
+
+}  // namespace sharon

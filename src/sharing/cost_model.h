@@ -1,0 +1,67 @@
+// The sharing benefit model (paper §3, Equations 1-8).
+//
+// All costs are per-second CPU work estimates built from per-type event
+// rates:
+//   Rate(P)            = sum of type rates in P                     (Eq. 1)
+//   NonShared(p, qi)   = Rate(E1) * Rate(Pi)                        (Eq. 2)
+//   NonShared(p, Qp)   = sum over qi                                (Eq. 3)
+//   Comp(p, qi)        = Rate(E1)*Rate(prefix) + Rate(Es)*Rate(suffix)
+//                                                                   (Eq. 4)
+//   Comb(p, qi)        = Rate(E1) * Rate(Em) * Rate(Es)             (Eq. 5)
+//   Shared(p, qi)      = Comp + Comb                                (Eq. 6)
+//   Shared(p, Qp)      = Rate(Em)*Rate(p) + sum over qi             (Eq. 7)
+//   BValue(p, Qp)      = NonShared - Shared                         (Eq. 8)
+// where E1 is the first type of qi's pattern, Em the first type of p and
+// Es the first type of the suffix. Empty prefixes/suffixes drop their
+// terms (their rates act as the multiplicative identity in Eq. 5).
+//
+// §7.3: a type occurring k times in a pattern multiplies the per-event
+// update work by k; the model accounts for that via the pattern's maximal
+// type multiplicity.
+
+#ifndef SHARON_SHARING_COST_MODEL_H_
+#define SHARON_SHARING_COST_MODEL_H_
+
+#include "src/sharing/candidate.h"
+#include "src/streamgen/rates.h"
+
+namespace sharon {
+
+/// Computes sharing benefits from per-type stream rates.
+class CostModel {
+ public:
+  explicit CostModel(TypeRates rates) : rates_(std::move(rates)) {}
+
+  const TypeRates& rates() const { return rates_; }
+
+  /// Eq. 2 (with the §7.3 multiplicity factor).
+  double NonSharedQuery(const Query& q) const;
+
+  /// Eq. 3.
+  double NonShared(const Candidate& c, const Workload& w) const;
+
+  /// Eq. 4. `p` must occur in q's pattern.
+  double Comp(const Pattern& p, const Query& q) const;
+
+  /// Eq. 5.
+  double Comb(const Pattern& p, const Query& q) const;
+
+  /// Eq. 6.
+  double SharedQuery(const Pattern& p, const Query& q) const;
+
+  /// Eq. 7.
+  double Shared(const Candidate& c, const Workload& w) const;
+
+  /// Eq. 8. Positive = beneficial (Def. 5).
+  double BValue(const Candidate& c, const Workload& w) const;
+
+ private:
+  /// Maximal multiplicity of any type in `p` (1 under assumption 3).
+  static double MultiplicityFactor(const Pattern& p);
+
+  TypeRates rates_;
+};
+
+}  // namespace sharon
+
+#endif  // SHARON_SHARING_COST_MODEL_H_

@@ -1,0 +1,53 @@
+// Umbrella header for the Sharon library: shared online event sequence
+// aggregation (Poppe et al., ICDE 2018).
+//
+// Typical use (see examples/quickstart.cpp):
+//
+//   Workload workload = ...;                       // parse or build queries
+//   Scenario stream = GenerateTaxi({});            // or your own events
+//   CostModel cm(EstimateRates(stream));           // per-type rates
+//   OptimizerResult opt = OptimizeSharon(workload, cm);
+//   Engine engine(workload, opt.plan);             // shared executor
+//   RunStats stats = engine.Run(stream.events, stream.duration);
+//   engine.results().Value(query_id, window_id, group, AggFunction::kCountStar);
+
+#ifndef SHARON_SHARON_H_
+#define SHARON_SHARON_H_
+
+#include "src/common/event.h"
+#include "src/common/metrics.h"
+#include "src/common/rng.h"
+#include "src/common/schema.h"
+#include "src/common/time.h"
+#include "src/exec/chain_runner.h"
+#include "src/exec/engine.h"
+#include "src/exec/multi_engine.h"
+#include "src/exec/result.h"
+#include "src/exec/segment_counter.h"
+#include "src/graph/expansion.h"
+#include "src/graph/export.h"
+#include "src/graph/gwmin.h"
+#include "src/graph/reduction.h"
+#include "src/graph/sharon_graph.h"
+#include "src/planner/optimizer.h"
+#include "src/planner/plan_finder.h"
+#include "src/query/aggregate.h"
+#include "src/query/parser.h"
+#include "src/query/pattern.h"
+#include "src/query/query.h"
+#include "src/query/window.h"
+#include "src/sharing/candidate.h"
+#include "src/sharing/ccspan.h"
+#include "src/sharing/cost_model.h"
+#include "src/streamgen/ecommerce.h"
+#include "src/streamgen/fixtures.h"
+#include "src/streamgen/linear_road.h"
+#include "src/streamgen/rate_monitor.h"
+#include "src/streamgen/rates.h"
+#include "src/streamgen/scenario.h"
+#include "src/streamgen/taxi.h"
+#include "src/streamgen/workload_gen.h"
+#include "src/twostep/reference.h"
+#include "src/twostep/two_step.h"
+
+#endif  // SHARON_SHARON_H_

@@ -1,0 +1,47 @@
+#include "src/streamgen/ecommerce.h"
+
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace sharon {
+
+Scenario GenerateEcommerce(const EcommerceConfig& config) {
+  Scenario s;
+  static const char* kNamed[] = {"Laptop", "Case",   "Adapter",
+                                 "Keyboard", "iPhone", "ScreenProtector"};
+  for (uint32_t i = 0; i < config.num_items; ++i) {
+    if (i < sizeof(kNamed) / sizeof(kNamed[0])) {
+      s.types.Intern(kNamed[i]);
+    } else {
+      s.types.Intern("Item" + std::to_string(i));
+    }
+  }
+  s.schema.Register("customer");
+  s.schema.Register("price");
+  s.duration = config.duration;
+
+  Rng rng(config.seed);
+  const uint64_t total_events = static_cast<uint64_t>(
+      config.events_per_second * static_cast<double>(config.duration) /
+      kTicksPerSecond);
+  s.events.reserve(total_events);
+  for (uint64_t i = 0; i < total_events; ++i) {
+    Event e;
+    e.time = static_cast<Timestamp>(
+        static_cast<double>(i) * static_cast<double>(config.duration) /
+        static_cast<double>(total_events));
+    e.type = static_cast<EventTypeId>(rng.Below(config.num_items));
+    e.attrs = {static_cast<AttrValue>(rng.Below(config.num_customers)),
+               static_cast<AttrValue>(5 + rng.Below(995))};
+    s.events.push_back(std::move(e));
+  }
+  EnforceStrictOrder(&s.events);
+  if (!s.events.empty() && s.events.back().time >= s.duration) {
+    s.duration = s.events.back().time + 1;
+  }
+  return s;
+}
+
+}  // namespace sharon

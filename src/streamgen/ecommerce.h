@@ -1,0 +1,34 @@
+// EC: e-commerce purchase stream (paper §1 and §8.1).
+//
+// Matches the paper's generator description exactly: "sequences of items
+// bought together for 3 hours. Each event carries a time stamp in seconds,
+// item and customer identifiers. We consider 50 items and 20 users. The
+// values of item and customer identifiers of an event are randomly
+// generated. The stream rate is 3k events per second."
+
+#ifndef SHARON_STREAMGEN_ECOMMERCE_H_
+#define SHARON_STREAMGEN_ECOMMERCE_H_
+
+#include <cstdint>
+
+#include "src/streamgen/scenario.h"
+
+namespace sharon {
+
+/// Configuration of the synthetic e-commerce stream.
+struct EcommerceConfig {
+  uint32_t num_items = 50;      ///< distinct item event types
+  uint32_t num_customers = 20;  ///< distinct customer ids (groups)
+  double events_per_second = 3000;
+  Duration duration = Minutes(180);
+  uint64_t seed = 11;
+};
+
+/// Generates the EC scenario. schema: attrs[0]=customer, attrs[1]=price.
+/// Item types are Item0..ItemN with the first few aliased to the paper's
+/// examples (Laptop, Case, Adapter, iPhone, ScreenProtector, ...).
+Scenario GenerateEcommerce(const EcommerceConfig& config);
+
+}  // namespace sharon
+
+#endif  // SHARON_STREAMGEN_ECOMMERCE_H_

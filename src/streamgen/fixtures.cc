@@ -1,0 +1,82 @@
+#include "src/streamgen/fixtures.h"
+
+#include <string>
+
+namespace sharon {
+namespace {
+
+Query MakeCountQuery(const std::string& name,
+                     std::vector<EventTypeId> pattern_types,
+                     const WindowSpec& window, AttrIndex partition) {
+  Query q;
+  q.name = name;
+  q.pattern = Pattern(std::move(pattern_types));
+  q.agg = AggSpec::CountStar();
+  q.window = window;
+  q.partition_attr = partition;
+  return q;
+}
+
+}  // namespace
+
+TrafficFixture MakeTrafficFixture() {
+  TrafficFixture f;
+  EventTypeId oak = f.types.Intern("OakSt");
+  EventTypeId main = f.types.Intern("MainSt");
+  EventTypeId park = f.types.Intern("ParkAve");
+  EventTypeId west = f.types.Intern("WestSt");
+  EventTypeId state = f.types.Intern("StateSt");
+  EventTypeId elm = f.types.Intern("ElmSt");
+  AttrIndex vehicle = f.schema.Register("vehicle");
+  f.schema.Register("speed");
+
+  // 10-minute window sliding every minute (Fig. 1).
+  WindowSpec w{Minutes(10), Minutes(1)};
+
+  f.workload.Add(MakeCountQuery("q1", {oak, main, state}, w, vehicle));
+  f.workload.Add(MakeCountQuery("q2", {oak, main, west}, w, vehicle));
+  f.workload.Add(MakeCountQuery("q3", {park, oak, main}, w, vehicle));
+  f.workload.Add(MakeCountQuery("q4", {park, oak, main, west}, w, vehicle));
+  f.workload.Add(MakeCountQuery("q5", {main, state}, w, vehicle));
+  f.workload.Add(MakeCountQuery("q6", {elm, park}, w, vehicle));
+  f.workload.Add(MakeCountQuery("q7", {elm, park, state}, w, vehicle));
+
+  f.paper_patterns = {
+      Pattern({oak, main}),              // p1
+      Pattern({park, oak}),              // p2
+      Pattern({park, oak, main}),        // p3
+      Pattern({main, west}),             // p4
+      Pattern({oak, main, west}),        // p5
+      Pattern({main, state}),            // p6
+      Pattern({elm, park}),              // p7
+  };
+  const double weights[] = {25, 9, 12, 15, 20, 8, 18};
+  for (size_t i = 0; i < f.paper_patterns.size(); ++i) {
+    f.paper_weights.emplace_back(f.paper_patterns[i], weights[i]);
+  }
+  return f;
+}
+
+PurchaseFixture MakePurchaseFixture() {
+  PurchaseFixture f;
+  EventTypeId laptop = f.types.Intern("Laptop");
+  EventTypeId cse = f.types.Intern("Case");
+  EventTypeId adapter = f.types.Intern("Adapter");
+  EventTypeId keyboard = f.types.Intern("Keyboard");
+  EventTypeId iphone = f.types.Intern("iPhone");
+  EventTypeId screen = f.types.Intern("ScreenProtector");
+  AttrIndex customer = f.schema.Register("customer");
+  f.schema.Register("price");
+
+  // 20-minute window sliding every minute (§1, e-commerce example).
+  WindowSpec w{Minutes(20), Minutes(1)};
+
+  f.workload.Add(MakeCountQuery("q8", {laptop, cse, adapter}, w, customer));
+  f.workload.Add(MakeCountQuery("q9", {laptop, cse, keyboard}, w, customer));
+  f.workload.Add(MakeCountQuery("q10", {laptop, cse}, w, customer));
+  f.workload.Add(
+      MakeCountQuery("q11", {laptop, cse, iphone, screen}, w, customer));
+  return f;
+}
+
+}  // namespace sharon

@@ -1,0 +1,58 @@
+// The paper's running-example workloads, used as ground truth throughout
+// the tests, examples and the Table 1 / Fig. 4 bench:
+//  - Traffic monitoring q1..q7 (Fig. 1, Table 1, Fig. 4, Examples 5-12).
+//  - Purchase monitoring q8..q11 (Fig. 2).
+//
+// Query patterns for the traffic workload are reverse-engineered from
+// Table 1 (the unique assignment of sub-patterns to queries):
+//   q1 = (OakSt, MainSt, StateSt)          contains p1, p6
+//   q2 = (OakSt, MainSt, WestSt)           contains p1, p4, p5
+//   q3 = (ParkAve, OakSt, MainSt)          contains p1, p2, p3
+//   q4 = (ParkAve, OakSt, MainSt, WestSt)  contains p1..p5
+//   q5 = (MainSt, StateSt)                 contains p6
+//   q6 = (ElmSt, ParkAve)                  contains p7
+//   q7 = (ElmSt, ParkAve, StateSt)         contains p7
+// CCSpan over these yields exactly the candidates p1..p7 of Table 1, and
+// with the paper's benefit weights (25, 9, 12, 15, 20, 8, 18) the Sharon
+// graph of Fig. 4 with its Example 7/10/12 arithmetic.
+
+#ifndef SHARON_STREAMGEN_FIXTURES_H_
+#define SHARON_STREAMGEN_FIXTURES_H_
+
+#include <vector>
+
+#include "src/common/schema.h"
+#include "src/query/query.h"
+
+namespace sharon {
+
+/// Traffic running example (Fig. 1): registry, schema and workload q1..q7.
+struct TrafficFixture {
+  TypeRegistry types;
+  StreamSchema schema;
+  Workload workload;
+
+  /// The paper's benefit weights of candidates p1..p7 (Fig. 4), keyed by
+  /// the pattern of each candidate.
+  std::vector<std::pair<Pattern, double>> paper_weights;
+
+  /// The seven sharable patterns of Table 1 in order p1..p7.
+  std::vector<Pattern> paper_patterns;
+};
+
+TrafficFixture MakeTrafficFixture();
+
+/// Purchase monitoring example (Fig. 2): workload q8..q11 over the
+/// e-commerce types (Laptop, Case, Adapter, Keyboard, iPhone,
+/// ScreenProtector).
+struct PurchaseFixture {
+  TypeRegistry types;
+  StreamSchema schema;
+  Workload workload;
+};
+
+PurchaseFixture MakePurchaseFixture();
+
+}  // namespace sharon
+
+#endif  // SHARON_STREAMGEN_FIXTURES_H_

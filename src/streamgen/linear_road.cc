@@ -1,0 +1,75 @@
+#include "src/streamgen/linear_road.h"
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace sharon {
+
+Scenario GenerateLinearRoad(const LinearRoadConfig& config) {
+  Scenario s;
+  for (uint32_t i = 0; i < config.num_segments; ++i) {
+    s.types.Intern("Seg" + std::to_string(i));
+  }
+  s.schema.Register("car");
+  s.schema.Register("speed");
+  s.duration = config.duration;
+
+  Rng rng(config.seed);
+
+  // Car state: current segment, direction of travel.
+  struct Car {
+    uint32_t segment;
+    int dir;
+  };
+  std::vector<Car> cars(config.num_cars);
+  for (auto& c : cars) {
+    c.segment = static_cast<uint32_t>(rng.Below(config.num_segments));
+    c.dir = rng.Chance(0.5) ? 1 : -1;
+  }
+
+  // With a linearly ramping rate r(t) = r0 + (r1 - r0) * t / D, the event
+  // count up to t is N(t) = r0*t + (r1-r0)*t^2/(2D) (rates per tick).
+  const double r0 = config.start_rate / kTicksPerSecond;
+  const double r1 = config.end_rate / kTicksPerSecond;
+  const double d = static_cast<double>(config.duration);
+  const double total = r0 * d + (r1 - r0) * d / 2.0;
+
+  s.events.reserve(static_cast<size_t>(total) + 1);
+  // Invert N(t) = i to place the i-th event: solve the quadratic
+  // (r1-r0)/(2D) t^2 + r0 t - i = 0 for t >= 0.
+  const double a = (r1 - r0) / (2.0 * d);
+  for (uint64_t i = 0; i < static_cast<uint64_t>(total); ++i) {
+    double t;
+    if (std::abs(a) < 1e-15) {
+      t = static_cast<double>(i) / r0;
+    } else {
+      t = (-r0 + std::sqrt(r0 * r0 + 4.0 * a * static_cast<double>(i))) /
+          (2.0 * a);
+    }
+    uint32_t cid = static_cast<uint32_t>(rng.Below(config.num_cars));
+    Car& car = cars[cid];
+    Event e;
+    e.time = static_cast<Timestamp>(t);
+    e.type = car.segment;
+    e.attrs = {static_cast<AttrValue>(cid),
+               static_cast<AttrValue>(30 + rng.Below(60))};
+    s.events.push_back(std::move(e));
+    // Advance the car; bounce at the ends of the road.
+    int next = static_cast<int>(car.segment) + car.dir;
+    if (next < 0 || next >= static_cast<int>(config.num_segments)) {
+      car.dir = -car.dir;
+      next = static_cast<int>(car.segment) + car.dir;
+    }
+    car.segment = static_cast<uint32_t>(next);
+  }
+  EnforceStrictOrder(&s.events);
+  if (!s.events.empty() && s.events.back().time >= s.duration) {
+    s.duration = s.events.back().time + 1;
+  }
+  return s;
+}
+
+}  // namespace sharon

@@ -1,0 +1,34 @@
+// LR: Linear Road-style position-report stream (paper §8.1).
+//
+// The Linear Road benchmark's traffic simulator emits car position reports
+// whose rate ramps up over the run ("from a few dozen to 4k events per
+// second"). We reproduce exactly that property: reports typed by road
+// segment, attrs = (car, speed), with a linearly increasing event rate.
+
+#ifndef SHARON_STREAMGEN_LINEAR_ROAD_H_
+#define SHARON_STREAMGEN_LINEAR_ROAD_H_
+
+#include <cstdint>
+
+#include "src/streamgen/scenario.h"
+
+namespace sharon {
+
+/// Configuration of the synthetic Linear Road stream.
+struct LinearRoadConfig {
+  uint32_t num_segments = 20;   ///< distinct segment event types Seg0..SegN
+  uint32_t num_cars = 60;       ///< distinct car ids (groups)
+  double start_rate = 50;       ///< events/second at stream start
+  double end_rate = 4000;       ///< events/second at stream end
+  Duration duration = Minutes(30);
+  uint64_t seed = 7;
+};
+
+/// Generates the LR scenario. schema: attrs[0]=car, attrs[1]=speed.
+/// Cars drive down consecutive segments (Seg(k), Seg(k+1), ...), so
+/// consecutive-segment patterns have matches.
+Scenario GenerateLinearRoad(const LinearRoadConfig& config);
+
+}  // namespace sharon
+
+#endif  // SHARON_STREAMGEN_LINEAR_ROAD_H_

@@ -1,0 +1,65 @@
+#include "src/streamgen/rate_monitor.h"
+
+#include <algorithm>
+
+namespace sharon {
+
+void RateMonitor::OnEvent(const Event& e) {
+  const int64_t epoch_id = e.time / epoch_;
+  if (epoch_id != current_epoch_) {
+    if (current_epoch_ >= 0) {
+      closed_.push_back(std::move(current_));
+      while (closed_.size() > window_epochs_) {
+        closed_.pop_front();
+        ++epochs_dropped_;
+      }
+    }
+    current_ = EpochCounts{};
+    current_epoch_ = epoch_id;
+  }
+  if (e.type >= current_.counts.size()) {
+    current_.counts.resize(e.type + 1, 0.0);
+  }
+  current_.counts[e.type] += 1.0;
+}
+
+TypeRates RateMonitor::CurrentRates() const {
+  size_t max_types = current_.counts.size();
+  for (const EpochCounts& ec : closed_) {
+    max_types = std::max(max_types, ec.counts.size());
+  }
+  std::vector<double> totals(max_types, 0.0);
+  for (const EpochCounts& ec : closed_) {
+    for (size_t t = 0; t < ec.counts.size(); ++t) totals[t] += ec.counts[t];
+  }
+  const double seconds = closed_.empty()
+                             ? 1.0
+                             : static_cast<double>(closed_.size()) *
+                                   static_cast<double>(epoch_) /
+                                   kTicksPerSecond;
+  TypeRates rates;
+  for (size_t t = 0; t < max_types; ++t) {
+    rates.Set(static_cast<EventTypeId>(t), totals[t] / seconds);
+  }
+  return rates;
+}
+
+void RateMonitor::RebaseOnCurrent() {
+  baseline_ = CurrentRates();
+  has_baseline_ = true;
+}
+
+bool RateMonitor::DriftDetected() const {
+  if (!has_baseline_) return false;
+  TypeRates now = CurrentRates();
+  const size_t n = std::max(now.size(), baseline_.size());
+  for (size_t t = 0; t < n; ++t) {
+    const double cur = now.Of(static_cast<EventTypeId>(t));
+    const double base = baseline_.Of(static_cast<EventTypeId>(t));
+    if (cur <= 1.0 && base <= 1.0) continue;  // ignore negligible types
+    if (Relative(cur, base) > drift_threshold_) return true;
+  }
+  return false;
+}
+
+}  // namespace sharon

@@ -1,0 +1,69 @@
+// §7.4 extension: runtime statistics for dynamic workloads.
+//
+// RateMonitor maintains sliding per-type rate estimates over recent
+// epochs and flags drift: when current rates diverge from the rates the
+// active sharing plan was optimized for, the caller should re-run the
+// Sharon optimizer and migrate plans (see examples/dynamic_workload.cpp).
+
+#ifndef SHARON_STREAMGEN_RATE_MONITOR_H_
+#define SHARON_STREAMGEN_RATE_MONITOR_H_
+
+#include <deque>
+
+#include "src/streamgen/rates.h"
+
+namespace sharon {
+
+/// Sliding-epoch per-type rate estimator with drift detection.
+class RateMonitor {
+ public:
+  /// `epoch` is the aggregation granularity; the estimate averages over
+  /// the most recent `window_epochs` epochs.
+  RateMonitor(Duration epoch, size_t window_epochs = 4,
+              double drift_threshold = 0.5)
+      : epoch_(epoch),
+        window_epochs_(window_epochs),
+        drift_threshold_(drift_threshold) {}
+
+  /// Observes one event (events must arrive in time order).
+  void OnEvent(const Event& e);
+
+  /// Current estimate over the sliding window of closed epochs.
+  TypeRates CurrentRates() const;
+
+  /// Marks the current estimate as the baseline the active plan was
+  /// optimized for (call after re-optimizing).
+  void RebaseOnCurrent();
+
+  /// True if the current estimate's relative deviation from the baseline
+  /// exceeds the drift threshold for any type with meaningful rate.
+  bool DriftDetected() const;
+
+  /// Number of fully closed epochs observed so far.
+  size_t epochs_closed() const { return closed_.size() + epochs_dropped_; }
+
+ private:
+  struct EpochCounts {
+    std::vector<double> counts;
+  };
+
+  static double Relative(double now, double base) {
+    double denom = base > 1e-9 ? base : 1e-9;
+    return now > base ? (now - base) / denom : (base - now) / denom;
+  }
+
+  Duration epoch_;
+  size_t window_epochs_;
+  double drift_threshold_;
+
+  int64_t current_epoch_ = -1;
+  EpochCounts current_;
+  std::deque<EpochCounts> closed_;
+  size_t epochs_dropped_ = 0;
+  TypeRates baseline_;
+  bool has_baseline_ = false;
+};
+
+}  // namespace sharon
+
+#endif  // SHARON_STREAMGEN_RATE_MONITOR_H_

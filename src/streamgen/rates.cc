@@ -1,0 +1,19 @@
+#include "src/streamgen/rates.h"
+
+namespace sharon {
+
+TypeRates EstimateRates(const Scenario& s) {
+  std::vector<double> counts(s.types.size(), 0.0);
+  for (const Event& e : s.events) {
+    if (e.type < counts.size()) counts[e.type] += 1.0;
+  }
+  double seconds = static_cast<double>(s.duration) / kTicksPerSecond;
+  if (seconds <= 0) seconds = 1;
+  TypeRates rates;
+  for (size_t t = 0; t < counts.size(); ++t) {
+    rates.Set(static_cast<EventTypeId>(t), counts[t] / seconds);
+  }
+  return rates;
+}
+
+}  // namespace sharon

@@ -1,0 +1,49 @@
+// Per-type event rates (events per second of stream time): the statistics
+// that feed the Sharon cost model (§3, Eq. 1). Estimated from a recorded
+// stream or constructed directly in tests.
+
+#ifndef SHARON_STREAMGEN_RATES_H_
+#define SHARON_STREAMGEN_RATES_H_
+
+#include <vector>
+
+#include "src/query/pattern.h"
+#include "src/streamgen/scenario.h"
+
+namespace sharon {
+
+/// Events per second, per event type.
+class TypeRates {
+ public:
+  TypeRates() = default;
+  explicit TypeRates(std::vector<double> rates) : rates_(std::move(rates)) {}
+
+  /// Rate of a single event type; unknown types have rate 0.
+  double Of(EventTypeId t) const {
+    return t < rates_.size() ? rates_[t] : 0.0;
+  }
+
+  /// Rate(P) = sum of the rates of all event types in P (Eq. 1).
+  double OfPattern(const Pattern& p) const {
+    double r = 0;
+    for (EventTypeId t : p.types()) r += Of(t);
+    return r;
+  }
+
+  void Set(EventTypeId t, double rate) {
+    if (t >= rates_.size()) rates_.resize(t + 1, 0.0);
+    rates_[t] = rate;
+  }
+
+  size_t size() const { return rates_.size(); }
+
+ private:
+  std::vector<double> rates_;
+};
+
+/// Counts events per type over the scenario's duration.
+TypeRates EstimateRates(const Scenario& s);
+
+}  // namespace sharon
+
+#endif  // SHARON_STREAMGEN_RATES_H_

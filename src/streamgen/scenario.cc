@@ -1,0 +1,13 @@
+#include "src/streamgen/scenario.h"
+
+namespace sharon {
+
+void EnforceStrictOrder(std::vector<Event>* events) {
+  Timestamp last = -1;
+  for (Event& e : *events) {
+    if (e.time <= last) e.time = last + 1;
+    last = e.time;
+  }
+}
+
+}  // namespace sharon

@@ -1,0 +1,42 @@
+// A Scenario bundles everything one experiment consumes: the interned event
+// types, the attribute schema, the recorded event stream, and the stream's
+// duration. The three generators (taxi, linear road, e-commerce) mirror the
+// paper's TX / LR / EC data sets (§8.1); see DESIGN.md for the substitution
+// rationale.
+
+#ifndef SHARON_STREAMGEN_SCENARIO_H_
+#define SHARON_STREAMGEN_SCENARIO_H_
+
+#include <vector>
+
+#include "src/common/event.h"
+#include "src/common/schema.h"
+#include "src/common/time.h"
+
+namespace sharon {
+
+/// A generated stream plus its metadata.
+struct Scenario {
+  TypeRegistry types;
+  StreamSchema schema;
+  std::vector<Event> events;
+  Duration duration = 0;  ///< stream time covered, in ticks
+
+  size_t size() const { return events.size(); }
+
+  /// Average event rate in events per second of stream time.
+  double EventsPerSecond() const {
+    return duration > 0
+               ? static_cast<double>(events.size()) * kTicksPerSecond /
+                     static_cast<double>(duration)
+               : 0;
+  }
+};
+
+/// Asserts (in debug builds) and repairs strictly-increasing timestamps by
+/// nudging ties forward one tick. Generators call this before returning.
+void EnforceStrictOrder(std::vector<Event>* events);
+
+}  // namespace sharon
+
+#endif  // SHARON_STREAMGEN_SCENARIO_H_

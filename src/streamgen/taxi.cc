@@ -1,0 +1,115 @@
+#include "src/streamgen/taxi.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/rng.h"
+
+namespace sharon {
+
+const std::vector<std::string>& TaxiStreetNames() {
+  static const std::vector<std::string> kNames = {
+      "OakSt",   "MainSt",  "ParkAve", "WestSt",  "StateSt", "ElmSt",
+      "LakeDr",  "HillRd",  "RiverRd", "BayAve",  "PineSt",  "HighSt",
+      "KingSt",  "QueenSt", "DukeSt",  "MillSt",  "FordAve", "GateWay",
+      "NorthSt", "SouthSt", "EastAve", "CampRd",  "DocksRd", "FairWay",
+      "GlenRd",  "IvyLn",   "JayCt",   "KnollDr", "LocustSt", "MapleAve",
+      "NutmegLn", "OrchardRd"};
+  return kNames;
+}
+
+namespace {
+
+// Precomputed Zipf sampler over [0, n).
+class ZipfSampler {
+ public:
+  ZipfSampler(uint32_t n, double s) {
+    cdf_.reserve(n);
+    double acc = 0;
+    for (uint32_t i = 0; i < n; ++i) {
+      acc += 1.0 / std::pow(static_cast<double>(i + 1), s);
+      cdf_.push_back(acc);
+    }
+    for (double& v : cdf_) v /= acc;
+  }
+
+  uint32_t Sample(Rng& rng) const {
+    double u = rng.NextDouble();
+    auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    return static_cast<uint32_t>(it - cdf_.begin());
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+// A vehicle progresses along a route of streets; each emitted report is the
+// next street of its route, restarting with a fresh route when done.
+struct Vehicle {
+  std::vector<uint32_t> route;
+  size_t pos = 0;
+};
+
+std::vector<uint32_t> MakeRoute(Rng& rng, const ZipfSampler& zipf,
+                                uint32_t num_streets, uint32_t len) {
+  std::vector<uint32_t> route;
+  route.reserve(len);
+  while (route.size() < len) {
+    uint32_t street = zipf.Sample(rng) % num_streets;
+    // Avoid immediate repeats so per-trip sequences look like movement.
+    if (!route.empty() && route.back() == street) continue;
+    route.push_back(street);
+  }
+  return route;
+}
+
+}  // namespace
+
+Scenario GenerateTaxi(const TaxiConfig& config) {
+  Scenario s;
+  const auto& names = TaxiStreetNames();
+  for (uint32_t i = 0; i < config.num_streets; ++i) {
+    s.types.Intern(names[i % names.size()] +
+                   (i < names.size() ? "" : std::to_string(i)));
+  }
+  s.schema.Register("vehicle");
+  s.schema.Register("speed");
+  s.duration = config.duration;
+
+  Rng rng(config.seed);
+  ZipfSampler zipf(config.num_streets, config.zipf_s);
+
+  std::vector<Vehicle> vehicles(config.num_vehicles);
+  for (auto& v : vehicles) {
+    v.route = MakeRoute(rng, zipf, config.num_streets, config.route_length);
+  }
+
+  const uint64_t total_events = static_cast<uint64_t>(
+      config.events_per_second * static_cast<double>(config.duration) /
+      kTicksPerSecond);
+  s.events.reserve(total_events);
+  for (uint64_t i = 0; i < total_events; ++i) {
+    Timestamp t = static_cast<Timestamp>(
+        static_cast<double>(i) * static_cast<double>(config.duration) /
+        static_cast<double>(total_events));
+    uint32_t vid = static_cast<uint32_t>(rng.Below(config.num_vehicles));
+    Vehicle& v = vehicles[vid];
+    if (v.pos >= v.route.size()) {
+      v.route = MakeRoute(rng, zipf, config.num_streets, config.route_length);
+      v.pos = 0;
+    }
+    Event e;
+    e.time = t;
+    e.type = v.route[v.pos++];
+    e.attrs = {static_cast<AttrValue>(vid),
+               static_cast<AttrValue>(20 + rng.Below(40))};
+    s.events.push_back(std::move(e));
+  }
+  EnforceStrictOrder(&s.events);
+  if (!s.events.empty() && s.events.back().time >= s.duration) {
+    s.duration = s.events.back().time + 1;
+  }
+  return s;
+}
+
+}  // namespace sharon

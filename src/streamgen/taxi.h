@@ -1,0 +1,41 @@
+// TX: taxi / ridesharing position-report stream (paper §1 and §8.1).
+//
+// The paper uses the 330 GB NYC taxi & Uber data set; we synthesise the
+// properties the experiments actually exercise: position reports typed by
+// street, a per-vehicle identity attribute driving the [vehicle] equivalence
+// predicate, skewed street popularity (some routes are much hotter than
+// others), and vehicles that move along multi-street routes so that real
+// sequence matches occur.
+
+#ifndef SHARON_STREAMGEN_TAXI_H_
+#define SHARON_STREAMGEN_TAXI_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/streamgen/scenario.h"
+
+namespace sharon {
+
+/// Configuration of the synthetic taxi stream.
+struct TaxiConfig {
+  uint32_t num_streets = 12;    ///< distinct position-report event types
+  uint32_t num_vehicles = 40;   ///< distinct vehicle ids (groups)
+  double events_per_second = 1000;
+  Duration duration = Minutes(30);
+  double zipf_s = 0.8;          ///< street popularity skew (0 = uniform)
+  uint32_t route_length = 6;    ///< streets visited per trip
+  uint64_t seed = 42;
+};
+
+/// Street names used by the generator; index i < num_streets is used.
+/// The first streets match the paper's running example (Fig. 1).
+const std::vector<std::string>& TaxiStreetNames();
+
+/// Generates the TX scenario. schema: attrs[0]=vehicle, attrs[1]=speed.
+Scenario GenerateTaxi(const TaxiConfig& config);
+
+}  // namespace sharon
+
+#endif  // SHARON_STREAMGEN_TAXI_H_

@@ -1,0 +1,53 @@
+#include "src/streamgen/workload_gen.h"
+
+#include <algorithm>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace sharon {
+
+Workload GenerateWorkload(const WorkloadGenConfig& config, uint32_t num_types) {
+  Workload w;
+  Rng rng(config.seed);
+
+  const uint32_t pat_len = std::min(config.pattern_length, num_types);
+  const uint32_t backbone_len =
+      std::min(pat_len + config.backbone_extra, num_types);
+  const uint32_t cluster = std::max<uint32_t>(1, config.cluster_size);
+
+  std::vector<EventTypeId> alphabet(num_types);
+  std::iota(alphabet.begin(), alphabet.end(), 0);
+
+  std::vector<EventTypeId> backbone;
+  uint32_t in_cluster = cluster;  // force a fresh backbone on first query
+  for (uint32_t qi = 0; qi < config.num_queries; ++qi) {
+    if (in_cluster >= cluster) {
+      // Fisher-Yates shuffle, then take a prefix as the new backbone.
+      for (uint32_t i = num_types - 1; i > 0; --i) {
+        uint32_t j = static_cast<uint32_t>(rng.Below(i + 1));
+        std::swap(alphabet[i], alphabet[j]);
+      }
+      backbone.assign(alphabet.begin(), alphabet.begin() + backbone_len);
+      in_cluster = 0;
+    }
+    ++in_cluster;
+
+    const uint32_t max_off = backbone_len - pat_len;
+    const uint32_t off =
+        max_off > 0 ? static_cast<uint32_t>(rng.Below(max_off + 1)) : 0;
+    Query q;
+    q.name = "q" + std::to_string(qi);
+    q.pattern = Pattern(std::vector<EventTypeId>(
+        backbone.begin() + off, backbone.begin() + off + pat_len));
+    q.agg = config.agg;
+    q.window = config.window;
+    q.partition_attr = config.partition_attr;
+    w.Add(std::move(q));
+  }
+  return w;
+}
+
+}  // namespace sharon

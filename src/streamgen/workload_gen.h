@@ -1,0 +1,38 @@
+// Scalable query-workload generator for the parameter sweeps of §8
+// ("we evaluate 20 queries; the default length of their patterns is 10").
+//
+// Queries are generated in clusters: each cluster draws a "backbone"
+// sequence of distinct event types and every query in the cluster takes a
+// contiguous slice of it. Overlapping slices give exactly the kind of
+// common contiguous sub-patterns (and sharing conflicts) the paper's
+// workloads exhibit, while distinct types per backbone keep assumption 3
+// (a type appears at most once per pattern) intact.
+
+#ifndef SHARON_STREAMGEN_WORKLOAD_GEN_H_
+#define SHARON_STREAMGEN_WORKLOAD_GEN_H_
+
+#include <cstdint>
+
+#include "src/query/query.h"
+
+namespace sharon {
+
+/// Configuration of the workload generator.
+struct WorkloadGenConfig {
+  uint32_t num_queries = 20;     ///< paper default (§8.1)
+  uint32_t pattern_length = 10;  ///< paper default (§8.1)
+  uint32_t cluster_size = 4;     ///< queries per backbone
+  uint32_t backbone_extra = 4;   ///< backbone length = pattern_length + extra
+  WindowSpec window{Minutes(10), Minutes(1)};
+  AttrIndex partition_attr = 0;
+  AggSpec agg = AggSpec::CountStar();
+  uint64_t seed = 1;
+};
+
+/// Generates `config.num_queries` queries over the first `num_types` event
+/// types of a registry. Pattern lengths are capped by the alphabet size.
+Workload GenerateWorkload(const WorkloadGenConfig& config, uint32_t num_types);
+
+}  // namespace sharon
+
+#endif  // SHARON_STREAMGEN_WORKLOAD_GEN_H_

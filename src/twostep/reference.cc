@@ -1,0 +1,60 @@
+#include "src/twostep/reference.h"
+
+#include <algorithm>
+#include <map>
+
+namespace sharon {
+
+AggState ReferenceAggregate(const Pattern& pattern, const AggSpec& spec,
+                            const Event* begin, const Event* end) {
+  std::vector<AggState> agg(pattern.length(), AggState::Zero());
+  for (const Event* e = begin; e != end; ++e) {
+    const EventContribution c = ContributionOf(*e, spec);
+    // Descending positions so an event never extends through itself.
+    for (size_t j = pattern.length(); j-- > 0;) {
+      if (pattern.type(j) != e->type) continue;
+      if (j == 0) {
+        agg[0].MergeFrom(AggState::Unit(c));
+      } else {
+        agg[j].MergeFrom(AggState::Extend(agg[j - 1], c));
+      }
+    }
+  }
+  return agg.back();
+}
+
+ResultCollector ReferenceResults(const Workload& workload,
+                                 const std::vector<Event>& events) {
+  ResultCollector out;
+  if (events.empty() || workload.empty()) return out;
+  const WindowSpec w = workload.window();
+  const AttrIndex part = workload.partition_attr();
+
+  // Partition events by group (stable: preserves time order).
+  std::map<AttrValue, std::vector<Event>> by_group;
+  for (const Event& e : events) {
+    by_group[part == kNoAttr ? 0 : e.attr(part)].push_back(e);
+  }
+
+  const WindowId last_window = w.LastWindowCovering(events.back().time);
+  for (const auto& [g, evs] : by_group) {
+    for (WindowId j = 0; j <= last_window; ++j) {
+      const Timestamp ws = w.WindowStart(j);
+      const Timestamp we = w.WindowEnd(j);
+      auto lo = std::lower_bound(
+          evs.begin(), evs.end(), ws,
+          [](const Event& e, Timestamp t) { return e.time < t; });
+      auto hi = std::lower_bound(
+          evs.begin(), evs.end(), we,
+          [](const Event& e, Timestamp t) { return e.time < t; });
+      if (lo == hi) continue;
+      for (const Query& q : workload.queries()) {
+        AggState a = ReferenceAggregate(q.pattern, q.agg, &*lo, &*lo + (hi - lo));
+        out.Add(q.id, j, g, a);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace sharon

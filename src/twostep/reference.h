@@ -1,0 +1,31 @@
+// Exact per-window reference evaluator, used as the correctness oracle for
+// every executor in this repository.
+//
+// For each window instance and group it recomputes the aggregate from
+// scratch with a prefix DP over the window's events — an implementation
+// deliberately independent of the online engines' start-event/snapshot
+// machinery (no expiration logic, no panes, no sharing), so agreement is
+// meaningful evidence.
+
+#ifndef SHARON_TWOSTEP_REFERENCE_H_
+#define SHARON_TWOSTEP_REFERENCE_H_
+
+#include <vector>
+
+#include "src/exec/result.h"
+#include "src/query/query.h"
+
+namespace sharon {
+
+/// Evaluates the whole workload exactly; events must be in time order.
+ResultCollector ReferenceResults(const Workload& workload,
+                                 const std::vector<Event>& events);
+
+/// Exact aggregate of `pattern` over `events` (already filtered to one
+/// window and one group), via prefix DP.
+AggState ReferenceAggregate(const Pattern& pattern, const AggSpec& spec,
+                            const Event* begin, const Event* end);
+
+}  // namespace sharon
+
+#endif  // SHARON_TWOSTEP_REFERENCE_H_

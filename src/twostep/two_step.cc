@@ -1,0 +1,379 @@
+#include "src/twostep/two_step.h"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+#include "src/exec/engine.h"  // ProjectSpec
+
+namespace sharon {
+namespace {
+
+/// One explicitly constructed (partial) event sequence.
+struct Match {
+  Timestamp first;
+  Timestamp last;
+  AggState agg;  ///< aggregate of this single sequence (count == 1)
+};
+
+/// Shared guts of both baselines: per-pattern sequence construction with
+/// explicit partial-match lists.
+class SequenceConstructor {
+ public:
+  SequenceConstructor(const Pattern& pattern, AggSpec spec, WindowSpec window)
+      : pattern_(pattern), spec_(spec), window_(window),
+        levels_(pattern.length()) {}
+
+  /// Extends partial matches by `e`; completed sequences go to `on_full`.
+  /// Returns false when the budget is exhausted.
+  template <typename OnFull>
+  bool OnEvent(const Event& e, const TwoStepBudget& budget, uint64_t* ops,
+               uint64_t* live, OnFull&& on_full) {
+    const size_t L = pattern_.length();
+    const EventContribution c = ContributionOf(e, spec_);
+    for (size_t j = L; j-- > 0;) {
+      if (pattern_.type(j) != e.type) continue;
+      if (j == 0) {
+        Match m{e.time, e.time, AggState::Unit(c)};
+        if (L == 1) {
+          ++*ops;
+          on_full(m);
+        } else {
+          levels_[0].push_back(m);
+          ++*live;
+        }
+        continue;
+      }
+      for (const Match& p : levels_[j - 1]) {
+        if (window_.Expired(p.first, e.time)) continue;
+        ++*ops;
+        Match m{p.first, e.time, AggState::Extend(p.agg, c)};
+        if (j == L - 1) {
+          on_full(m);
+        } else {
+          levels_[j].push_back(m);
+          ++*live;
+        }
+        if (*ops > budget.max_operations || *live > budget.max_live_matches) {
+          return false;
+        }
+      }
+    }
+    return true;
+  }
+
+  /// Drops partials that can no longer be extended within any window.
+  void Compact(Timestamp now, uint64_t* live) {
+    for (auto& level : levels_) {
+      size_t kept = 0;
+      for (Match& m : level) {
+        if (!window_.Expired(m.first, now)) level[kept++] = m;
+      }
+      *live -= level.size() - kept;
+      level.resize(kept);
+    }
+  }
+
+  size_t LiveBytes() const {
+    size_t n = 0;
+    for (const auto& level : levels_) n += level.size();
+    return n * sizeof(Match);
+  }
+
+ private:
+  Pattern pattern_;
+  AggSpec spec_;
+  WindowSpec window_;
+  std::vector<std::vector<Match>> levels_;
+};
+
+void FoldMatchIntoWindows(QueryId q, AttrValue g, const Match& m,
+                          const WindowSpec& w, ResultCollector* out) {
+  const WindowId lo = std::max<WindowId>(w.FirstWindowCovering(m.last), 0);
+  const WindowId hi = w.LastWindowCovering(m.first);
+  for (WindowId j = lo; j <= hi; ++j) out->Add(q, j, g, m.agg);
+}
+
+/// Ordering key for (pattern, spec) maps.
+using PatSpecKey =
+    std::tuple<std::vector<EventTypeId>, int, EventTypeId, AttrIndex>;
+
+PatSpecKey KeyOf(const Pattern& p, const AggSpec& s) {
+  return {p.types(), static_cast<int>(s.fn), s.target_type, s.target_attr};
+}
+
+}  // namespace
+
+RunStats RunFlinkLike(const Workload& workload,
+                      const std::vector<Event>& events,
+                      const TwoStepBudget& budget, ResultCollector* out) {
+  RunStats stats;
+  StopWatch watch;
+  const WindowSpec w = workload.window();
+  const AttrIndex part = workload.partition_attr();
+
+  // One constructor per (group, query): fully independent evaluation.
+  std::map<AttrValue, std::vector<SequenceConstructor>> groups;
+  uint64_t ops = 0, live = 0;
+  size_t peak_bytes = 0;
+  uint64_t since_compact = 0;
+  bool finished = true;
+
+  for (const Event& e : events) {
+    const AttrValue g = part == kNoAttr ? 0 : e.attr(part);
+    auto it = groups.find(g);
+    if (it == groups.end()) {
+      std::vector<SequenceConstructor> cons;
+      cons.reserve(workload.size());
+      for (const Query& q : workload.queries()) {
+        cons.emplace_back(q.pattern, q.agg, q.window);
+      }
+      it = groups.emplace(g, std::move(cons)).first;
+    }
+    for (size_t qi = 0; qi < workload.size(); ++qi) {
+      const QueryId qid = workload.queries()[qi].id;
+      bool in_budget = it->second[qi].OnEvent(
+          e, budget, &ops, &live,
+          [&](const Match& m) { FoldMatchIntoWindows(qid, g, m, w, out); });
+      if (!in_budget) {
+        finished = false;
+        break;
+      }
+    }
+    if (!finished) break;
+    if (++since_compact >= 2048) {
+      since_compact = 0;
+      size_t bytes = 0;
+      for (auto& [gv, cons] : groups) {
+        for (auto& c : cons) {
+          c.Compact(e.time, &live);
+          bytes += c.LiveBytes();
+        }
+      }
+      peak_bytes = std::max(peak_bytes, bytes);
+    }
+  }
+
+  size_t bytes = 0;
+  for (auto& [gv, cons] : groups) {
+    for (auto& c : cons) bytes += c.LiveBytes();
+  }
+  stats.peak_state_bytes = std::max(peak_bytes, bytes) + out->EstimatedBytes();
+  stats.wall_seconds = watch.ElapsedSeconds();
+  stats.events_processed = events.size() * workload.size();
+  stats.results_emitted = out->size();
+  stats.finished = finished;
+  return stats;
+}
+
+namespace {
+
+/// Per-query segment decomposition for the shared two-step baseline:
+/// shared candidate ranges + private gaps, in pattern order.
+struct SegmentPlanEntry {
+  Pattern pattern;
+  AggSpec spec;
+};
+
+std::vector<std::vector<SegmentPlanEntry>> SegmentizeForPlan(
+    const Workload& workload, const SharingPlan& plan) {
+  std::vector<std::vector<SegmentPlanEntry>> out(workload.size());
+  for (const Query& q : workload.queries()) {
+    struct Placed {
+      size_t begin, end;
+      const Pattern* p;
+    };
+    std::vector<Placed> placed;
+    for (const Candidate& c : plan) {
+      if (!c.Contains(q.id)) continue;
+      auto pos = q.pattern.Find(c.pattern);
+      if (!pos) continue;
+      placed.push_back({*pos, *pos + c.pattern.length(), &c.pattern});
+    }
+    std::sort(placed.begin(), placed.end(),
+              [](const Placed& a, const Placed& b) { return a.begin < b.begin; });
+    size_t cursor = 0;
+    auto& segs = out[q.id];
+    auto push = [&](const Pattern& p) {
+      segs.push_back({p, ProjectSpec(q.agg, p)});
+    };
+    for (const Placed& pl : placed) {
+      if (pl.begin < cursor) continue;  // overlapping candidate: skip
+      if (pl.begin > cursor) push(q.pattern.Sub(cursor, pl.begin - cursor));
+      push(*pl.p);
+      cursor = pl.end;
+    }
+    if (cursor < q.pattern.length()) {
+      push(q.pattern.Sub(cursor, q.pattern.length() - cursor));
+    }
+  }
+  return out;
+}
+
+/// Recursively enumerates ordered combinations of segment matches and folds
+/// each full sequence into the window's result cell — once for every query
+/// in `queries` (queries with identical segmentations share the join; this
+/// is the "shared event sequence construction" of SPASS).
+bool JoinSegments(const std::vector<const std::vector<Match>*>& lists,
+                  size_t stage, Timestamp prev_last, const AggState& acc,
+                  Timestamp window_end, const QueryList& queries, AttrValue g,
+                  WindowId j, const TwoStepBudget& budget, uint64_t* ops,
+                  ResultCollector* out) {
+  if (stage == lists.size()) {
+    for (QueryId q : queries) out->Add(q, j, g, acc);
+    return true;
+  }
+  const std::vector<Match>& list = *lists[stage];
+  // Matches are sorted by first; seek the first joinable one.
+  auto it = std::lower_bound(
+      list.begin(), list.end(), prev_last,
+      [](const Match& m, Timestamp t) { return m.first <= t; });
+  for (; it != list.end(); ++it) {
+    if (it->first >= window_end) break;  // sorted by first: no more fits
+    if (++*ops > budget.max_operations) return false;
+    if (it->last >= window_end) continue;
+    if (!JoinSegments(lists, stage + 1, it->last,
+                      AggState::Concat(acc, it->agg), window_end, queries, g,
+                      j, budget, ops, out)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+RunStats RunSpassLike(const Workload& workload, const SharingPlan& plan,
+                      const std::vector<Event>& events,
+                      const TwoStepBudget& budget, ResultCollector* out) {
+  RunStats stats;
+  StopWatch watch;
+  const WindowSpec w = workload.window();
+  const AttrIndex part = workload.partition_attr();
+  const auto segmented = SegmentizeForPlan(workload, plan);
+
+  uint64_t ops = 0, live = 0;
+  bool finished = true;
+
+  std::map<AttrValue, std::vector<Event>> by_group;
+  for (const Event& e : events) {
+    by_group[part == kNoAttr ? 0 : e.attr(part)].push_back(e);
+  }
+
+  // Join groups: queries with identical segmentations share construction
+  // AND the downstream join (shared event sequence construction).
+  std::map<std::vector<PatSpecKey>, QueryList> join_groups;
+  for (const Query& q : workload.queries()) {
+    std::vector<PatSpecKey> sig;
+    for (const auto& seg : segmented[q.id]) {
+      sig.push_back(KeyOf(seg.pattern, seg.spec));
+    }
+    join_groups[std::move(sig)].push_back(q.id);
+  }
+  // Segment patterns needed by multi-segment joins get their matches
+  // stored; single-segment groups fold each constructed sequence directly
+  // into result windows (no join needed).
+  std::map<PatSpecKey, QueryList> fold_direct;
+  std::map<PatSpecKey, bool> store_needed;
+  for (const auto& [sig, queries] : join_groups) {
+    if (sig.size() == 1) {
+      QueryList& qs = fold_direct[sig[0]];
+      qs.insert(qs.end(), queries.begin(), queries.end());
+    } else {
+      for (const PatSpecKey& key : sig) store_needed[key] = true;
+    }
+  }
+
+  // Step 1 — construction, shared per (pattern, spec) per group.
+  size_t construct_bytes = 0;
+  std::map<AttrValue, std::map<PatSpecKey, std::vector<Match>>> matches;
+  for (auto& [g, evs] : by_group) {
+    auto& pattern_matches = matches[g];
+    // One constructor per distinct (pattern, spec), with its output sinks
+    // (match list and/or direct result folding) resolved up front.
+    struct Slot {
+      SequenceConstructor cons;
+      std::vector<Match>* store = nullptr;
+      const QueryList* direct = nullptr;
+    };
+    std::map<PatSpecKey, size_t> index;
+    std::vector<Slot> slots;
+    for (const Query& q : workload.queries()) {
+      for (const auto& seg : segmented[q.id]) {
+        PatSpecKey key = KeyOf(seg.pattern, seg.spec);
+        if (index.count(key)) continue;
+        index.emplace(key, slots.size());
+        Slot slot{SequenceConstructor(seg.pattern, seg.spec, w), nullptr,
+                  nullptr};
+        if (store_needed.count(key)) slot.store = &pattern_matches[key];
+        auto fold_it = fold_direct.find(key);
+        if (fold_it != fold_direct.end()) slot.direct = &fold_it->second;
+        slots.push_back(std::move(slot));
+      }
+    }
+    uint64_t since_compact = 0;
+    for (const Event& e : evs) {
+      for (Slot& slot : slots) {
+        bool in_budget = slot.cons.OnEvent(
+            e, budget, &ops, &live, [&](const Match& m) {
+              if (slot.store) slot.store->push_back(m);
+              if (slot.direct) {
+                for (QueryId q : *slot.direct) {
+                  FoldMatchIntoWindows(q, g, m, w, out);
+                }
+              }
+            });
+        if (!in_budget) {
+          finished = false;
+          break;
+        }
+      }
+      if (!finished) break;
+      // Group sub-streams are short; compact often enough that expired
+      // partials never dominate the scan.
+      if (++since_compact >= 256) {
+        since_compact = 0;
+        for (Slot& slot : slots) slot.cons.Compact(e.time, &live);
+      }
+    }
+    for (auto& [key, list] : pattern_matches) {
+      std::sort(list.begin(), list.end(),
+                [](const Match& a, const Match& b) { return a.first < b.first; });
+      construct_bytes += list.size() * sizeof(Match);
+    }
+    for (const Slot& slot : slots) construct_bytes += slot.cons.LiveBytes();
+    if (!finished) break;
+  }
+
+  // Step 2 — join + aggregation per window for multi-segment groups.
+  if (finished && !events.empty()) {
+    const WindowId last_window = w.LastWindowCovering(events.back().time);
+    for (auto& [g, pattern_matches] : matches) {
+      for (const auto& [sig, queries] : join_groups) {
+        if (sig.size() == 1) continue;  // folded during construction
+        std::vector<const std::vector<Match>*> lists;
+        static const std::vector<Match> kEmpty;
+        for (const PatSpecKey& key : sig) {
+          auto it = pattern_matches.find(key);
+          lists.push_back(it == pattern_matches.end() ? &kEmpty : &it->second);
+        }
+        for (WindowId j = 0; j <= last_window && finished; ++j) {
+          finished = JoinSegments(lists, 0, w.WindowStart(j) - 1,
+                                  AggState::Identity(), w.WindowEnd(j),
+                                  queries, g, j, budget, &ops, out);
+        }
+        if (!finished) break;
+      }
+      if (!finished) break;
+    }
+  }
+
+  stats.peak_state_bytes = construct_bytes + out->EstimatedBytes();
+  stats.wall_seconds = watch.ElapsedSeconds();
+  stats.events_processed = events.size() * workload.size();
+  stats.results_emitted = out->size();
+  stats.finished = finished;
+  return stats;
+}
+
+}  // namespace sharon

@@ -1,0 +1,54 @@
+// Two-step baselines (paper §1 "State-of-the-Art Approaches", §8.2):
+//
+//  - FlinkLikeExecutor: the *non-shared two-step* approach (Flink, SASE,
+//    Cayuga, ZStream). Every query independently CONSTRUCTS all matching
+//    event sequences as explicit partial-match lists and aggregates them
+//    afterwards. The number of sequences is polynomial in the number of
+//    events per window, which is why the paper observes this approach
+//    failing beyond a few thousand events per window.
+//
+//  - SpassLikeExecutor: the *shared two-step* approach (SPASS, E-Cube).
+//    Construction of shared sub-pattern sequences happens once per shared
+//    pattern; each query then joins the shared match lists (and its private
+//    gap matches) into full sequences and aggregates them. Construction is
+//    shared, but the join still enumerates every full sequence.
+//
+// Both executors honour a work budget: when the number of stored partial
+// matches or join operations exceeds the budget the run stops and reports
+// finished = false ("does not terminate" in the paper's terms) instead of
+// hanging the benchmark harness.
+
+#ifndef SHARON_TWOSTEP_TWO_STEP_H_
+#define SHARON_TWOSTEP_TWO_STEP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/metrics.h"
+#include "src/exec/result.h"
+#include "src/query/query.h"
+#include "src/sharing/candidate.h"
+
+namespace sharon {
+
+/// Work limits for the two-step baselines.
+struct TwoStepBudget {
+  uint64_t max_operations = 2'000'000'000ULL;  ///< extensions + join steps
+  uint64_t max_live_matches = 50'000'000ULL;   ///< stored (partial) matches
+};
+
+/// Non-shared two-step execution of `workload` over `events`.
+/// Results (when finished) are exact and land in `out`.
+RunStats RunFlinkLike(const Workload& workload,
+                      const std::vector<Event>& events,
+                      const TwoStepBudget& budget, ResultCollector* out);
+
+/// Shared two-step execution: sequence construction shared per `plan`
+/// candidate, then per-query joins + aggregation.
+RunStats RunSpassLike(const Workload& workload, const SharingPlan& plan,
+                      const std::vector<Event>& events,
+                      const TwoStepBudget& budget, ResultCollector* out);
+
+}  // namespace sharon
+
+#endif  // SHARON_TWOSTEP_TWO_STEP_H_

@@ -1,0 +1,187 @@
+// Unit tests for the AggState semiring (src/query/aggregate.h): the algebra
+// underlying both the A-Seq updates and the Sharon combination step.
+
+#include "src/query/aggregate.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace sharon {
+namespace {
+
+Event MakeEvent(EventTypeId type, Timestamp t, AttrValue v) {
+  Event e;
+  e.type = type;
+  e.time = t;
+  e.attrs = {v};
+  return e;
+}
+
+TEST(AggStateTest, ZeroIsEmpty) {
+  AggState z = AggState::Zero();
+  EXPECT_TRUE(z.IsZero());
+  EXPECT_EQ(z.count, 0);
+  EXPECT_EQ(z.Final(AggFunction::kCountStar), 0);
+}
+
+TEST(AggStateTest, IdentityIsConcatNeutral) {
+  AggSpec spec = AggSpec::Of(AggFunction::kSum, 3, 0);
+  Event e = MakeEvent(3, 1, 7);
+  AggState u = AggState::Unit(ContributionOf(e, spec));
+  AggState left = AggState::Concat(AggState::Identity(), u);
+  AggState right = AggState::Concat(u, AggState::Identity());
+  EXPECT_EQ(left, u);
+  EXPECT_EQ(right, u);
+}
+
+TEST(AggStateTest, UnitCountsOneSequence) {
+  AggSpec spec = AggSpec::Of(AggFunction::kSum, 3, 0);
+  AggState u = AggState::Unit(ContributionOf(MakeEvent(3, 1, 7), spec));
+  EXPECT_EQ(u.count, 1);
+  EXPECT_EQ(u.sum, 7);
+  EXPECT_EQ(u.target_count, 1);
+  EXPECT_EQ(u.min, 7);
+  EXPECT_EQ(u.max, 7);
+}
+
+TEST(AggStateTest, UnitOfNonTargetEvent) {
+  AggSpec spec = AggSpec::Of(AggFunction::kSum, 3, 0);
+  AggState u = AggState::Unit(ContributionOf(MakeEvent(5, 1, 7), spec));
+  EXPECT_EQ(u.count, 1);
+  EXPECT_EQ(u.sum, 0);
+  EXPECT_EQ(u.target_count, 0);
+  EXPECT_TRUE(std::isinf(u.min));
+}
+
+TEST(AggStateTest, ExtendMultipliesByCount) {
+  // Three sequences with total sum 10, extended by a target event of
+  // value 4: each sequence grows by 4, so sum = 10 + 3*4 = 22.
+  AggState a;
+  a.count = 3;
+  a.sum = 10;
+  a.target_count = 2;
+  a.min = 2;
+  a.max = 8;
+  AggSpec spec = AggSpec::Of(AggFunction::kSum, 1, 0);
+  AggState b = AggState::Extend(a, ContributionOf(MakeEvent(1, 5, 4), spec));
+  EXPECT_EQ(b.count, 3);
+  EXPECT_EQ(b.sum, 22);
+  EXPECT_EQ(b.target_count, 5);
+  EXPECT_EQ(b.min, 2);  // 4 > existing min 2
+  EXPECT_EQ(b.max, 8);  // 4 < existing max 8
+}
+
+TEST(AggStateTest, ExtendOfZeroIsZero) {
+  AggSpec spec = AggSpec::CountStar();
+  AggState b = AggState::Extend(AggState::Zero(),
+                                ContributionOf(MakeEvent(1, 5, 4), spec));
+  EXPECT_TRUE(b.IsZero());
+}
+
+TEST(AggStateTest, ConcatCrossMultiplies) {
+  // A: 2 sequences, sum 5. B: 3 sequences, sum 7.
+  // Concatenated: 6 sequences; each A-sequence appears 3 times and each
+  // B-sequence twice, so sum = 5*3 + 7*2 = 29.
+  AggState a;
+  a.count = 2;
+  a.sum = 5;
+  a.target_count = 1;
+  a.min = 1;
+  a.max = 4;
+  AggState b;
+  b.count = 3;
+  b.sum = 7;
+  b.target_count = 4;
+  b.min = 0;
+  b.max = 9;
+  AggState c = AggState::Concat(a, b);
+  EXPECT_EQ(c.count, 6);
+  EXPECT_EQ(c.sum, 29);
+  EXPECT_EQ(c.target_count, 1 * 3 + 4 * 2);
+  EXPECT_EQ(c.min, 0);
+  EXPECT_EQ(c.max, 9);
+}
+
+TEST(AggStateTest, ConcatWithZeroIsZero) {
+  AggState a;
+  a.count = 2;
+  EXPECT_TRUE(AggState::Concat(a, AggState::Zero()).IsZero());
+  EXPECT_TRUE(AggState::Concat(AggState::Zero(), a).IsZero());
+}
+
+TEST(AggStateTest, ConcatIsAssociative) {
+  AggState a, b, c;
+  a.count = 2; a.sum = 5; a.target_count = 1; a.min = 1; a.max = 4;
+  b.count = 3; b.sum = 7; b.target_count = 4; b.min = 0; b.max = 9;
+  c.count = 4; c.sum = 1; c.target_count = 2; c.min = 3; c.max = 3;
+  AggState left = AggState::Concat(AggState::Concat(a, b), c);
+  AggState right = AggState::Concat(a, AggState::Concat(b, c));
+  EXPECT_EQ(left, right);
+}
+
+TEST(AggStateTest, MergeAdds) {
+  AggState a, b;
+  a.count = 2; a.sum = 5; a.min = 1; a.max = 4;
+  b.count = 3; b.sum = 7; b.min = 0; b.max = 9;
+  a.MergeFrom(b);
+  EXPECT_EQ(a.count, 5);
+  EXPECT_EQ(a.sum, 12);
+  EXPECT_EQ(a.min, 0);
+  EXPECT_EQ(a.max, 9);
+}
+
+TEST(AggStateTest, ConcatDistributesOverMerge) {
+  // Concat(a, b1 + b2) == Concat(a, b1) + Concat(a, b2): required for the
+  // correctness of merging pane buckets before combination.
+  AggState a, b1, b2;
+  a.count = 2; a.sum = 5; a.target_count = 3; a.min = 1; a.max = 4;
+  b1.count = 3; b1.sum = 7; b1.target_count = 1; b1.min = 0; b1.max = 9;
+  b2.count = 1; b2.sum = 2; b2.target_count = 5; b2.min = 6; b2.max = 6;
+  AggState merged = b1;
+  merged.MergeFrom(b2);
+  AggState lhs = AggState::Concat(a, merged);
+  AggState rhs = AggState::Concat(a, b1);
+  rhs.MergeFrom(AggState::Concat(a, b2));
+  EXPECT_EQ(lhs, rhs);
+}
+
+TEST(AggStateTest, FinalExtraction) {
+  AggState s;
+  s.count = 4;
+  s.sum = 20;
+  s.target_count = 8;
+  s.min = 2;
+  s.max = 9;
+  EXPECT_EQ(s.Final(AggFunction::kCountStar), 4);
+  EXPECT_EQ(s.Final(AggFunction::kCountType), 8);
+  EXPECT_EQ(s.Final(AggFunction::kSum), 20);
+  EXPECT_EQ(s.Final(AggFunction::kMin), 2);
+  EXPECT_EQ(s.Final(AggFunction::kMax), 9);
+  EXPECT_EQ(s.Final(AggFunction::kAvg), 2.5);
+}
+
+TEST(AggStateTest, FinalOfEmptyMinIsNaN) {
+  EXPECT_TRUE(std::isnan(AggState::Zero().Final(AggFunction::kMin)));
+  EXPECT_TRUE(std::isnan(AggState::Zero().Final(AggFunction::kAvg)));
+}
+
+TEST(ContributionTest, CountTypeContributesOnePerTargetEvent) {
+  AggSpec spec = AggSpec::Of(AggFunction::kCountType, 2, kNoAttr);
+  EventContribution c = ContributionOf(MakeEvent(2, 1, 99), spec);
+  EXPECT_EQ(c.add, 1);
+  EXPECT_TRUE(c.is_target);
+  EventContribution other = ContributionOf(MakeEvent(3, 1, 99), spec);
+  EXPECT_EQ(other.add, 0);
+  EXPECT_FALSE(other.is_target);
+}
+
+TEST(ContributionTest, CountStarIgnoresEverything) {
+  AggSpec spec = AggSpec::CountStar();
+  EventContribution c = ContributionOf(MakeEvent(2, 1, 99), spec);
+  EXPECT_EQ(c.add, 0);
+  EXPECT_FALSE(c.is_target);
+}
+
+}  // namespace
+}  // namespace sharon

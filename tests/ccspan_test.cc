@@ -1,0 +1,104 @@
+// Tests for the modified CCSpan (Alg. 7) beyond the Table 1 case covered
+// in graph_paper_test: the purchase fixture (Fig. 2), repeated types,
+// duplicate patterns inside one query, and scaling structure.
+
+#include "src/sharing/ccspan.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/streamgen/fixtures.h"
+
+namespace sharon {
+namespace {
+
+Query MakeQuery(std::vector<EventTypeId> pattern) {
+  Query q;
+  q.pattern = Pattern(std::move(pattern));
+  q.agg = AggSpec::CountStar();
+  q.window = {100, 10};
+  return q;
+}
+
+TEST(CcspanTest, PurchaseFixtureFindsLaptopCase) {
+  PurchaseFixture f = MakePurchaseFixture();
+  auto candidates = FindSharableCandidates(f.workload);
+  // (Laptop, Case) appears in all four queries (paper §1).
+  EventTypeId laptop = f.types.Find("Laptop");
+  EventTypeId cse = f.types.Find("Case");
+  bool found = false;
+  for (const Candidate& c : candidates) {
+    if (c.pattern == Pattern({laptop, cse})) {
+      found = true;
+      EXPECT_EQ(c.queries, (QueryList{0, 1, 2, 3}));
+    }
+    EXPECT_GT(c.pattern.length(), 1u);
+    EXPECT_GT(c.queries.size(), 1u);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(CcspanTest, NoSharablePatternsInDisjointWorkload) {
+  Workload w;
+  w.Add(MakeQuery({0, 1}));
+  w.Add(MakeQuery({2, 3}));
+  EXPECT_TRUE(FindSharableCandidates(w).empty());
+}
+
+TEST(CcspanTest, SingleQueryWorkloadHasNoCandidates) {
+  Workload w;
+  w.Add(MakeQuery({0, 1, 2, 3}));
+  EXPECT_TRUE(FindSharableCandidates(w).empty());
+}
+
+TEST(CcspanTest, LengthOnePatternsExcluded) {
+  Workload w;
+  w.Add(MakeQuery({0, 1}));
+  w.Add(MakeQuery({1, 2}));
+  auto candidates = FindSharableCandidates(w);
+  // Type 1 alone appears in both, but length-1 patterns are not sharable.
+  EXPECT_TRUE(candidates.empty());
+}
+
+TEST(CcspanTest, PatternRepeatedInsideOneQueryCountedOnce) {
+  // (0,1) occurs twice in q0 and once in q1: Qp = {q0, q1}, not {q0, q0,
+  // q1}.
+  Workload w;
+  w.Add(MakeQuery({0, 1, 0, 1}));
+  w.Add(MakeQuery({0, 1}));
+  auto candidates = FindSharableCandidates(w);
+  std::map<std::vector<EventTypeId>, QueryList> by_pattern;
+  for (const Candidate& c : candidates) by_pattern[c.pattern.types()] = c.queries;
+  std::vector<EventTypeId> key = {0, 1};
+  ASSERT_TRUE(by_pattern.count(key));
+  EXPECT_EQ(by_pattern[key], (QueryList{0, 1}));
+}
+
+TEST(CcspanTest, AllSubpatternsReported) {
+  // Two identical length-4 queries: candidates are every contiguous
+  // sub-pattern of length >= 2, i.e. 3 + 2 + 1 = 6.
+  Workload w;
+  w.Add(MakeQuery({0, 1, 2, 3}));
+  w.Add(MakeQuery({0, 1, 2, 3}));
+  EXPECT_EQ(FindSharableCandidates(w).size(), 6u);
+}
+
+TEST(CcspanTest, CandidatesAreSortedAndQueriesSorted) {
+  Workload w;
+  w.Add(MakeQuery({3, 2, 1}));
+  w.Add(MakeQuery({3, 2, 1}));
+  w.Add(MakeQuery({1, 2, 3}));
+  w.Add(MakeQuery({1, 2, 3}));
+  auto candidates = FindSharableCandidates(w);
+  for (size_t i = 1; i < candidates.size(); ++i) {
+    EXPECT_TRUE(candidates[i - 1] < candidates[i] ||
+                candidates[i - 1] == candidates[i]);
+  }
+  for (const Candidate& c : candidates) {
+    EXPECT_TRUE(std::is_sorted(c.queries.begin(), c.queries.end()));
+  }
+}
+
+}  // namespace
+}  // namespace sharon

@@ -1,0 +1,115 @@
+// Unit tests for ChainRunner internals not already covered by the engine
+// and property suites: snapshot freezing semantics, pane bucketing across
+// sliding windows, chain sharing across queries, and expiration.
+
+#include "src/exec/chain_runner.h"
+
+#include <gtest/gtest.h>
+
+#include "src/exec/result.h"
+
+namespace sharon {
+namespace {
+
+constexpr EventTypeId kA = 0, kB = 1, kC = 2, kD = 3;
+
+Event Ev(EventTypeId type, Timestamp t) {
+  Event e;
+  e.type = type;
+  e.time = t;
+  e.attrs = {0};
+  return e;
+}
+
+struct Rig {
+  explicit Rig(WindowSpec w, std::vector<Pattern> segments,
+               std::vector<QueryId> queries = {0})
+      : window(w) {
+    for (Pattern& p : segments) {
+      counters.push_back(std::make_unique<SegmentCounter>(
+          std::move(p), AggSpec::CountStar(), w));
+    }
+    std::vector<SegmentCounter*> refs;
+    for (auto& c : counters) refs.push_back(c.get());
+    chain = std::make_unique<ChainRunner>(queries, refs, w);
+  }
+
+  void Feed(const Event& e) {
+    for (auto& c : counters) c->OnEvent(e);
+    chain->OnEvent(e, 0, out);
+  }
+
+  WindowSpec window;
+  std::vector<std::unique_ptr<SegmentCounter>> counters;
+  std::unique_ptr<ChainRunner> chain;
+  ResultCollector out;
+};
+
+TEST(ChainRunnerTest, SnapshotFreezesAtBoundaryEvent) {
+  // Chain (A,B)+(C): prefix sequences completed AFTER the C event must
+  // not count toward that C.
+  Rig rig({100, 100}, {Pattern({kA, kB}), Pattern({kC})});
+  rig.Feed(Ev(kA, 1));
+  rig.Feed(Ev(kB, 2));  // one (A,B) complete
+  rig.Feed(Ev(kC, 3));  // chain: (a1,b2,c3)
+  rig.Feed(Ev(kB, 4));  // completes (a1,b4) — AFTER c3, must not join it
+  EXPECT_EQ(rig.out.Value(0, 0, 0, AggFunction::kCountStar), 1);
+  rig.Feed(Ev(kC, 5));  // (a1,b2,c5) and (a1,b4,c5)
+  EXPECT_EQ(rig.out.Value(0, 0, 0, AggFunction::kCountStar), 3);
+}
+
+TEST(ChainRunnerTest, MultipleQueriesShareOneChain) {
+  Rig rig({100, 100}, {Pattern({kA, kB})}, {3, 7});
+  rig.Feed(Ev(kA, 1));
+  rig.Feed(Ev(kB, 2));
+  EXPECT_EQ(rig.out.Value(3, 0, 0, AggFunction::kCountStar), 1);
+  EXPECT_EQ(rig.out.Value(7, 0, 0, AggFunction::kCountStar), 1);
+}
+
+TEST(ChainRunnerTest, PaneBucketingSplitsWindowsExactly) {
+  // Window 4 slide 2: chain (A)+(B). a1 lies in window {0} only (pane 0),
+  // a2 in windows {0, 1} (pane 1).
+  Rig rig({4, 2}, {Pattern({kA}), Pattern({kB})});
+  rig.Feed(Ev(kA, 1));
+  rig.Feed(Ev(kA, 2));
+  rig.Feed(Ev(kB, 3));  // (a1,b3) -> w0; (a2,b3) -> w0 and w1
+  EXPECT_EQ(rig.out.Value(0, 0, 0, AggFunction::kCountStar), 2);
+  EXPECT_EQ(rig.out.Value(0, 1, 0, AggFunction::kCountStar), 1);
+  rig.Feed(Ev(kB, 5));  // only (a2,b5), in w1 alone: a1 cannot reach b5
+  EXPECT_EQ(rig.out.Value(0, 1, 0, AggFunction::kCountStar), 2);
+  EXPECT_EQ(rig.out.Value(0, 0, 0, AggFunction::kCountStar), 2);
+  EXPECT_EQ(rig.out.Value(0, 2, 0, AggFunction::kCountStar), 0);
+}
+
+TEST(ChainRunnerTest, ThreeStageChain) {
+  // (A)+(B)+(C) with one of each: exactly one chain sequence.
+  Rig rig({100, 100}, {Pattern({kA}), Pattern({kB}), Pattern({kC})});
+  rig.Feed(Ev(kA, 1));
+  rig.Feed(Ev(kB, 2));
+  rig.Feed(Ev(kC, 3));
+  EXPECT_EQ(rig.out.Value(0, 0, 0, AggFunction::kCountStar), 1);
+  // Each additional C multiplies: (a,b,c4) too.
+  rig.Feed(Ev(kC, 4));
+  EXPECT_EQ(rig.out.Value(0, 0, 0, AggFunction::kCountStar), 2);
+}
+
+TEST(ChainRunnerTest, ExpirationDropsSnapshots) {
+  Rig rig({4, 1}, {Pattern({kA}), Pattern({kB})});
+  rig.Feed(Ev(kA, 1));
+  rig.Feed(Ev(kB, 2));
+  size_t bytes_before = rig.chain->EstimatedBytes();
+  EXPECT_GT(bytes_before, 0u);
+  rig.chain->ExpireBefore(100);
+  EXPECT_LT(rig.chain->EstimatedBytes(), bytes_before);
+}
+
+TEST(ChainRunnerTest, NoEmissionWithoutPrefix) {
+  // Suffix events with no completed prefix never emit.
+  Rig rig({100, 100}, {Pattern({kA, kB}), Pattern({kC})});
+  rig.Feed(Ev(kC, 1));
+  rig.Feed(Ev(kC, 2));
+  EXPECT_EQ(rig.out.size(), 0u);
+}
+
+}  // namespace
+}  // namespace sharon

@@ -1,0 +1,140 @@
+// Unit tests for the sharing benefit model (Equations 1-8).
+
+#include "src/sharing/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include "src/streamgen/fixtures.h"
+
+namespace sharon {
+namespace {
+
+// Types A=0 B=1 C=2 D=3 E=4 with easy rates.
+constexpr EventTypeId kA = 0, kB = 1, kC = 2, kD = 3, kE = 4;
+
+Query MakeQuery(std::vector<EventTypeId> pattern) {
+  Query q;
+  q.pattern = Pattern(std::move(pattern));
+  q.agg = AggSpec::CountStar();
+  q.window = {100, 10};
+  return q;
+}
+
+CostModel SimpleModel() {
+  // Rate(A)=2, Rate(B)=3, Rate(C)=5, Rate(D)=7, Rate(E)=11.
+  return CostModel(TypeRates({2, 3, 5, 7, 11}));
+}
+
+TEST(CostModelTest, RateOfPatternIsSum) {
+  CostModel cm = SimpleModel();
+  EXPECT_EQ(cm.rates().OfPattern(Pattern({kA, kB, kC})), 10);
+  EXPECT_EQ(cm.rates().Of(kD), 7);
+  EXPECT_EQ(cm.rates().Of(99), 0);  // unknown types are silent
+}
+
+TEST(CostModelTest, NonSharedQueryEq2) {
+  CostModel cm = SimpleModel();
+  // NonShared = Rate(E1) * Rate(P) = 2 * (2+3+5) = 20.
+  EXPECT_EQ(cm.NonSharedQuery(MakeQuery({kA, kB, kC})), 20);
+}
+
+TEST(CostModelTest, CompAndCombEq4And5) {
+  CostModel cm = SimpleModel();
+  Query q = MakeQuery({kA, kB, kC, kD, kE});
+  Pattern p({kB, kC});  // prefix (A), suffix (D,E)
+  // Comp = Rate(A)*Rate(A) + Rate(D)*Rate(D,E) = 4 + 7*18 = 130.
+  EXPECT_EQ(cm.Comp(p, q), 2 * 2 + 7 * (7 + 11));
+  // Comb = Rate(A) * Rate(B) * Rate(D) = 2*3*7 = 42.
+  EXPECT_EQ(cm.Comb(p, q), 2 * 3 * 7);
+  EXPECT_EQ(cm.SharedQuery(p, q), 130 + 42);
+}
+
+TEST(CostModelTest, EmptyPrefixDropsTerms) {
+  CostModel cm = SimpleModel();
+  Query q = MakeQuery({kA, kB, kC});
+  Pattern p({kA, kB});  // no prefix, suffix (C)
+  // Comp = suffix only: Rate(C)*Rate(C) = 25.
+  EXPECT_EQ(cm.Comp(p, q), 25);
+  // Comb = Rate(A) * Rate(C): prefix factor degenerates to 1.
+  EXPECT_EQ(cm.Comb(p, q), 2 * 5);
+}
+
+TEST(CostModelTest, WholePatternSharingHasNoCombination) {
+  CostModel cm = SimpleModel();
+  Query q = MakeQuery({kA, kB});
+  Pattern p({kA, kB});
+  EXPECT_EQ(cm.Comp(p, q), 0);
+  EXPECT_EQ(cm.Comb(p, q), 0);
+  // Sharing identical full patterns across n queries: NonShared = n*cost,
+  // Shared = 1*cost -> benefit = (n-1)*cost > 0.
+  Workload w;
+  w.Add(MakeQuery({kA, kB}));
+  w.Add(MakeQuery({kA, kB}));
+  w.Add(MakeQuery({kA, kB}));
+  Candidate c{p, {0, 1, 2}};
+  const double per_query = 2 * (2 + 3);
+  EXPECT_EQ(cm.NonShared(c, w), 3 * per_query);
+  EXPECT_EQ(cm.Shared(c, w), per_query);
+  EXPECT_EQ(cm.BValue(c, w), 2 * per_query);
+}
+
+TEST(CostModelTest, SharingCanBeNonBeneficial) {
+  // A shared pattern whose combination overhead exceeds the gain: rare
+  // shared pattern inside queries with hot boundary types.
+  CostModel cm(CostModel(TypeRates({100, 1, 1, 100, 100})));
+  Workload w;
+  w.Add(MakeQuery({kA, kB, kC, kD}));
+  w.Add(MakeQuery({kE, kB, kC, kD}));
+  Candidate c{Pattern({kB, kC}), {0, 1}};
+  // Comb per query = 100 * 1 * 100 = 10000, dwarfing the shared gain.
+  EXPECT_LT(cm.BValue(c, w), 0);
+}
+
+TEST(CostModelTest, MultiplicityFactorSection73) {
+  CostModel cm = SimpleModel();
+  // (A,B,A): type A occurs twice -> k = 2 doubles the per-event work.
+  EXPECT_EQ(cm.NonSharedQuery(MakeQuery({kA, kB, kA})),
+            2 * (2 + 3 + 2) * 2);
+}
+
+TEST(CostModelTest, BenefitGrowsWithQueriesAndLength) {
+  // The paper's §3.4 conclusion: more queries and longer patterns raise
+  // the benefit of sharing.
+  CostModel cm = SimpleModel();
+  Workload w2;
+  w2.Add(MakeQuery({kA, kB, kC}));
+  w2.Add(MakeQuery({kA, kB, kC}));
+  Workload w3 = w2;
+  w3.Add(MakeQuery({kA, kB, kC}));
+  Candidate c2{Pattern({kA, kB, kC}), {0, 1}};
+  Candidate c3{Pattern({kA, kB, kC}), {0, 1, 2}};
+  EXPECT_GT(cm.BValue(c3, w3), cm.BValue(c2, w2));
+
+  Workload wl;
+  wl.Add(MakeQuery({kA, kB}));
+  wl.Add(MakeQuery({kA, kB}));
+  Candidate cshort{Pattern({kA, kB}), {0, 1}};
+  EXPECT_GT(cm.BValue(c2, w2), cm.BValue(cshort, wl));
+}
+
+TEST(CostModelTest, EstimatedRatesFeedModel) {
+  TrafficFixture f = MakeTrafficFixture();
+  // Hand-build a tiny scenario to check EstimateRates wiring.
+  Scenario s;
+  s.types = f.types;
+  s.duration = Seconds(10);
+  for (int i = 0; i < 20; ++i) {
+    Event e;
+    e.time = i * Seconds(10) / 20;
+    e.type = static_cast<EventTypeId>(i % 2);
+    e.attrs = {0};
+    s.events.push_back(e);
+  }
+  TypeRates rates = EstimateRates(s);
+  EXPECT_DOUBLE_EQ(rates.Of(0), 1.0);  // 10 events / 10 seconds
+  EXPECT_DOUBLE_EQ(rates.Of(1), 1.0);
+  EXPECT_DOUBLE_EQ(rates.Of(2), 0.0);
+}
+
+}  // namespace
+}  // namespace sharon

@@ -1,0 +1,155 @@
+// Failure-injection and edge-case tests for the engine: malformed plans,
+// degenerate workloads, unknown event types, empty streams, tumbling
+// windows, and long-gap expiration.
+
+#include <gtest/gtest.h>
+
+#include "src/exec/engine.h"
+#include "src/twostep/reference.h"
+
+namespace sharon {
+namespace {
+
+constexpr EventTypeId kA = 0, kB = 1, kC = 2;
+
+Event Ev(EventTypeId type, Timestamp t) {
+  Event e;
+  e.type = type;
+  e.time = t;
+  e.attrs = {0};
+  return e;
+}
+
+Query MakeQuery(std::vector<EventTypeId> pattern, Duration len = 100,
+                Duration slide = 10) {
+  Query q;
+  q.pattern = Pattern(std::move(pattern));
+  q.agg = AggSpec::CountStar();
+  q.window = {len, slide};
+  return q;
+}
+
+TEST(EngineEdgeTest, EmptyWorkloadRejected) {
+  Workload w;
+  Engine e(w);
+  EXPECT_FALSE(e.ok());
+}
+
+TEST(EngineEdgeTest, NonUniformWorkloadRejected) {
+  Workload w;
+  w.Add(MakeQuery({kA, kB}, 100, 10));
+  w.Add(MakeQuery({kA, kB}, 200, 10));  // different window
+  Engine e(w);
+  EXPECT_FALSE(e.ok());
+  EXPECT_NE(e.error().find("uniform"), std::string::npos);
+}
+
+TEST(EngineEdgeTest, PlanPatternNotInQueryRejected) {
+  Workload w;
+  w.Add(MakeQuery({kA, kB}));
+  w.Add(MakeQuery({kA, kB}));
+  SharingPlan plan = {{Pattern({kB, kC}), {0, 1}}};
+  Engine e(w, plan);
+  EXPECT_FALSE(e.ok());
+}
+
+TEST(EngineEdgeTest, UnknownEventTypesIgnored) {
+  Workload w;
+  w.Add(MakeQuery({kA, kB}));
+  Engine e(w);
+  ASSERT_TRUE(e.ok());
+  e.OnEvent(Ev(kA, 1));
+  e.OnEvent(Ev(99, 2));  // type no query mentions
+  e.OnEvent(Ev(kB, 3));
+  EXPECT_EQ(e.results().Value(0, 0, 0, AggFunction::kCountStar), 1);
+}
+
+TEST(EngineEdgeTest, EmptyStream) {
+  Workload w;
+  w.Add(MakeQuery({kA, kB}));
+  Engine e(w);
+  RunStats stats = e.Run({}, 0);
+  EXPECT_EQ(stats.events_processed, 0u);
+  EXPECT_EQ(e.results().size(), 0u);
+}
+
+TEST(EngineEdgeTest, TumblingWindowsDoNotDoubleCount) {
+  Workload w;
+  w.Add(MakeQuery({kA, kB}, 10, 10));
+  Engine e(w);
+  // (a,b) entirely in window 0; (a12,b15) entirely in window 1.
+  for (const Event& ev :
+       {Ev(kA, 1), Ev(kB, 2), Ev(kA, 12), Ev(kB, 15)}) {
+    e.OnEvent(ev);
+  }
+  EXPECT_EQ(e.results().Value(0, 0, 0, AggFunction::kCountStar), 1);
+  EXPECT_EQ(e.results().Value(0, 1, 0, AggFunction::kCountStar), 1);
+  // Cross-boundary pair (a1 .. b15) matches no window.
+  EXPECT_EQ(e.results().size(), 2u);
+}
+
+TEST(EngineEdgeTest, LongGapExpiresEverything) {
+  Workload w;
+  w.Add(MakeQuery({kA, kB}, 10, 5));
+  Engine e(w);
+  e.OnEvent(Ev(kA, 1));
+  e.OnEvent(Ev(kB, 1000000));  // far beyond any shared window
+  EXPECT_EQ(e.results().size(), 0u);
+  EXPECT_LT(e.EstimatedBytes(), 4096u);  // stale state was dropped
+}
+
+TEST(EngineEdgeTest, SweepKeepsStateBounded) {
+  // Feed many events over a long horizon; state must stay proportional
+  // to the window, not the stream.
+  Workload w;
+  w.Add(MakeQuery({kA, kB}, 64, 16));
+  Engine e(w);
+  size_t peak = 0;
+  for (Timestamp t = 1; t <= 100000; ++t) {
+    e.OnEvent(Ev(t % 2 == 0 ? kA : kB, t));
+    if (t % 10000 == 0) peak = std::max(peak, e.EstimatedBytes());
+  }
+  // ~32 live starts x ~100B plus snapshots and results; the point is it
+  // is nowhere near 100k events' worth of state.
+  EXPECT_LT(e.EstimatedBytes(), 1u << 20);
+}
+
+TEST(EngineEdgeTest, CandidateWithSubsetOfQueriesSharesOnlyThose) {
+  // Plan shares (A,B) between q0 and q1 only; q2 runs privately. All
+  // three must produce identical (correct) results.
+  Workload w;
+  w.Add(MakeQuery({kA, kB}));
+  w.Add(MakeQuery({kA, kB}));
+  w.Add(MakeQuery({kA, kB}));
+  SharingPlan plan = {{Pattern({kA, kB}), {0, 1}}};
+  Engine e(w, plan);
+  ASSERT_TRUE(e.ok());
+  std::vector<Event> stream = {Ev(kA, 1), Ev(kB, 2), Ev(kB, 3)};
+  for (const Event& ev : stream) e.OnEvent(ev);
+  for (QueryId q : {0u, 1u, 2u}) {
+    EXPECT_EQ(e.results().Value(q, 0, 0, AggFunction::kCountStar), 2)
+        << "q" << q;
+  }
+}
+
+TEST(EngineEdgeTest, DuplicateCandidatePatternsDisjointQueries) {
+  // Two candidates with the SAME pattern over disjoint query sets (the
+  // §7.1 option shape): both compile and share one physical counter.
+  Workload w;
+  for (int i = 0; i < 4; ++i) w.Add(MakeQuery({kA, kB}));
+  SharingPlan plan = {
+      {Pattern({kA, kB}), {0, 1}},
+      {Pattern({kA, kB}), {2, 3}},
+  };
+  Engine e(w, plan);
+  ASSERT_TRUE(e.ok()) << e.error();
+  EXPECT_EQ(e.num_shared_counters(), 1u);
+  e.OnEvent(Ev(kA, 1));
+  e.OnEvent(Ev(kB, 2));
+  for (QueryId q = 0; q < 4; ++q) {
+    EXPECT_EQ(e.results().Value(q, 0, 0, AggFunction::kCountStar), 1);
+  }
+}
+
+}  // namespace
+}  // namespace sharon

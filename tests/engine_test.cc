@@ -1,0 +1,260 @@
+// Executor tests: the paper's hand-worked traces (Examples 1-3, Figs. 6-7)
+// plus window/expiration semantics, grouping, and shared-vs-non-shared
+// agreement on the running example.
+
+#include "src/exec/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "src/streamgen/fixtures.h"
+#include "src/twostep/reference.h"
+
+namespace sharon {
+namespace {
+
+// Types used by the hand traces.
+constexpr EventTypeId kA = 0, kB = 1, kC = 2, kD = 3;
+
+Event Ev(EventTypeId type, Timestamp t, AttrValue group = 0,
+         AttrValue val = 0) {
+  Event e;
+  e.type = type;
+  e.time = t;
+  e.attrs = {group, val};
+  return e;
+}
+
+Query CountQuery(std::vector<EventTypeId> pattern, Duration length,
+                 Duration slide, AttrIndex partition = kNoAttr) {
+  Query q;
+  q.pattern = Pattern(std::move(pattern));
+  q.agg = AggSpec::CountStar();
+  q.window = {length, slide};
+  q.partition_attr = partition;
+  return q;
+}
+
+TEST(EngineTest, Example1OnlineSequenceCount) {
+  // Fig. 6(a): stream a1, b2, a3, b4 -> count(A,B) = 3 in one window.
+  Workload w;
+  w.Add(CountQuery({kA, kB}, 100, 100));
+  Engine engine(w);
+  ASSERT_TRUE(engine.ok()) << engine.error();
+  for (const Event& e : {Ev(kA, 1), Ev(kB, 2), Ev(kA, 3), Ev(kB, 4)}) {
+    engine.OnEvent(e);
+  }
+  EXPECT_EQ(engine.results().Value(0, 0, 0, AggFunction::kCountStar), 3);
+}
+
+TEST(EngineTest, Example2EventExpiration) {
+  // Fig. 6(b): window length 4 sliding by 1; stream a1 b2 a3 b4 b5.
+  Workload w;
+  w.Add(CountQuery({kA, kB}, 4, 1));
+  Engine engine(w);
+  ASSERT_TRUE(engine.ok());
+  for (const Event& e :
+       {Ev(kA, 1), Ev(kB, 2), Ev(kA, 3), Ev(kB, 4), Ev(kB, 5)}) {
+    engine.OnEvent(e);
+  }
+  auto count = [&](WindowId j) {
+    return engine.results().Value(0, j, 0, AggFunction::kCountStar);
+  };
+  EXPECT_EQ(count(0), 1);  // (a1,b2)
+  EXPECT_EQ(count(1), 3);  // (a1,b2) (a1,b4) (a3,b4)
+  EXPECT_EQ(count(2), 2);  // (a3,b4) (a3,b5): a1 expired
+  EXPECT_EQ(count(3), 2);  // (a3,b4) (a3,b5)
+  EXPECT_EQ(count(4), 0);
+}
+
+TEST(EngineTest, Example3SharedCombination) {
+  // Fig. 7: count(A,B,C,D) from shared count(A,B) and count(C,D).
+  // Stream chosen so the trace matches the paper exactly:
+  //   count(A,B) = 1 when the first c arrives, 5 at the second c;
+  //   count(c3,D) = 2, count(c7,D) = 1; total = 1*2 + 5*1 = 7.
+  std::vector<Event> stream = {Ev(kA, 1), Ev(kB, 2), Ev(kC, 3),
+                               Ev(kD, 4), Ev(kA, 5), Ev(kB, 6),
+                               Ev(kB, 7), Ev(kC, 8), Ev(kD, 9)};
+  Workload w;
+  w.Add(CountQuery({kA, kB, kC, kD}, 100, 100));
+  w.Add(CountQuery({kA, kB, kC, kD}, 100, 100));
+
+  SharingPlan plan = {
+      {Pattern({kA, kB}), {0, 1}},
+      {Pattern({kC, kD}), {0, 1}},
+  };
+  Engine shared(w, plan);
+  ASSERT_TRUE(shared.ok()) << shared.error();
+  for (const Event& e : stream) shared.OnEvent(e);
+  EXPECT_EQ(shared.results().Value(0, 0, 0, AggFunction::kCountStar), 7);
+  EXPECT_EQ(shared.results().Value(1, 0, 0, AggFunction::kCountStar), 7);
+  // Both queries use the same two shared counters.
+  EXPECT_EQ(shared.num_shared_counters(), 2u);
+
+  Engine nonshared(w);
+  for (const Event& e : stream) nonshared.OnEvent(e);
+  EXPECT_EQ(nonshared.results().Value(0, 0, 0, AggFunction::kCountStar), 7);
+}
+
+TEST(EngineTest, SharedPrefixAndSuffixDecomposition) {
+  // Query (A,B,C,D) sharing only (B,C): private prefix (A), shared (B,C),
+  // private suffix (D). Must agree with the non-shared engine.
+  std::vector<Event> stream = {Ev(kA, 1), Ev(kB, 2), Ev(kC, 3), Ev(kD, 4),
+                               Ev(kB, 5), Ev(kA, 6), Ev(kC, 7), Ev(kD, 8),
+                               Ev(kB, 9), Ev(kC, 10), Ev(kD, 11)};
+  Workload w;
+  w.Add(CountQuery({kA, kB, kC, kD}, 6, 2));
+  w.Add(CountQuery({kB, kC, kD}, 6, 2));
+  SharingPlan plan = {{Pattern({kB, kC}), {0, 1}}};
+
+  Engine shared(w, plan);
+  ASSERT_TRUE(shared.ok()) << shared.error();
+  Engine nonshared(w);
+  for (const Event& e : stream) {
+    shared.OnEvent(e);
+    nonshared.OnEvent(e);
+  }
+  ResultCollector ref = ReferenceResults(w, stream);
+  for (WindowId j = 0; j <= 5; ++j) {
+    for (QueryId q : {0u, 1u}) {
+      EXPECT_EQ(shared.results().Value(q, j, 0, AggFunction::kCountStar),
+                ref.Value(q, j, 0, AggFunction::kCountStar))
+          << "shared q" << q << " window " << j;
+      EXPECT_EQ(nonshared.results().Value(q, j, 0, AggFunction::kCountStar),
+                ref.Value(q, j, 0, AggFunction::kCountStar))
+          << "nonshared q" << q << " window " << j;
+    }
+  }
+}
+
+TEST(EngineTest, GroupingPartitionsTheStream) {
+  // Two vehicles interleaved; sequences must not mix groups.
+  Workload w;
+  w.Add(CountQuery({kA, kB}, 100, 100, /*partition=*/0));
+  Engine engine(w);
+  ASSERT_TRUE(engine.ok());
+  engine.OnEvent(Ev(kA, 1, /*group=*/7));
+  engine.OnEvent(Ev(kA, 2, /*group=*/9));
+  engine.OnEvent(Ev(kB, 3, /*group=*/7));
+  engine.OnEvent(Ev(kB, 4, /*group=*/9));
+  EXPECT_EQ(engine.results().Value(0, 0, 7, AggFunction::kCountStar), 1);
+  EXPECT_EQ(engine.results().Value(0, 0, 9, AggFunction::kCountStar), 1);
+  EXPECT_EQ(engine.results().Value(0, 0, 0, AggFunction::kCountStar), 0);
+}
+
+TEST(EngineTest, SingleEventPattern) {
+  Workload w;
+  w.Add(CountQuery({kA}, 4, 2));
+  Engine engine(w);
+  ASSERT_TRUE(engine.ok());
+  for (const Event& e : {Ev(kA, 1), Ev(kB, 2), Ev(kA, 5)}) engine.OnEvent(e);
+  EXPECT_EQ(engine.results().Value(0, 0, 0, AggFunction::kCountStar), 1);
+  EXPECT_EQ(engine.results().Value(0, 1, 0, AggFunction::kCountStar), 1);
+  EXPECT_EQ(engine.results().Value(0, 2, 0, AggFunction::kCountStar), 1);
+}
+
+TEST(EngineTest, SumAggregateSharedAndNot) {
+  // SUM(D.val) over (A,B,C,D) with shared (A,B): the shared segment
+  // carries pure counts; the suffix carries the sum.
+  std::vector<Event> stream = {Ev(kA, 1), Ev(kB, 2), Ev(kC, 3),
+                               Ev(kD, 4, 0, 10), Ev(kD, 5, 0, 3)};
+  Workload w;
+  Query q1 = CountQuery({kA, kB, kC, kD}, 100, 100);
+  q1.agg = AggSpec::Of(AggFunction::kSum, kD, 1);
+  Query q2 = q1;
+  w.Add(q1);
+  w.Add(q2);
+  SharingPlan plan = {{Pattern({kA, kB}), {0, 1}}};
+
+  Engine shared(w, plan);
+  ASSERT_TRUE(shared.ok()) << shared.error();
+  for (const Event& e : stream) shared.OnEvent(e);
+  // Sequences: (a1,b2,c3,d4) sum 10 and (a1,b2,c3,d5) sum 3.
+  EXPECT_EQ(shared.results().Value(0, 0, 0, AggFunction::kSum), 13);
+  EXPECT_EQ(shared.results().Value(1, 0, 0, AggFunction::kSum), 13);
+  EXPECT_EQ(shared.results().Value(0, 0, 0, AggFunction::kCountStar), 2);
+}
+
+TEST(EngineTest, MinMaxAvgAggregates) {
+  std::vector<Event> stream = {Ev(kA, 1, 0, 5), Ev(kB, 2, 0, 4),
+                               Ev(kA, 3, 0, 2), Ev(kB, 4, 0, 9)};
+  for (AggFunction fn :
+       {AggFunction::kMin, AggFunction::kMax, AggFunction::kAvg,
+        AggFunction::kCountType}) {
+    Workload w;
+    Query q = CountQuery({kA, kB}, 100, 100);
+    q.agg = AggSpec::Of(fn, kA, 1);
+    w.Add(q);
+    Engine engine(w);
+    for (const Event& e : stream) engine.OnEvent(e);
+    // Sequences: (a1,b2) (a1,b4) (a3,b4); A-values 5, 5, 2.
+    double got = engine.results().Value(0, 0, 0, fn);
+    switch (fn) {
+      case AggFunction::kMin: EXPECT_EQ(got, 2); break;
+      case AggFunction::kMax: EXPECT_EQ(got, 5); break;
+      case AggFunction::kAvg: EXPECT_EQ(got, 4); break;  // (5+5+2)/3
+      case AggFunction::kCountType: EXPECT_EQ(got, 3); break;
+      default: break;
+    }
+  }
+}
+
+TEST(EngineTest, InvalidPlanOverlapRejected) {
+  Workload w;
+  w.Add(CountQuery({kA, kB, kC}, 100, 100));
+  w.Add(CountQuery({kA, kB, kC}, 100, 100));
+  SharingPlan plan = {
+      {Pattern({kA, kB}), {0, 1}},
+      {Pattern({kB, kC}), {0, 1}},  // overlaps the first inside q0/q1
+  };
+  Engine engine(w, plan);
+  EXPECT_FALSE(engine.ok());
+  EXPECT_NE(engine.error().find("overlap"), std::string::npos);
+}
+
+TEST(EngineTest, TrafficFixtureSharedMatchesNonShared) {
+  // The paper's optimal plan {p2, p4, p6, p7} over q1..q7 on a small
+  // hand-rolled position stream: every query must agree with A-Seq.
+  TrafficFixture f = MakeTrafficFixture();
+  EventTypeId oak = f.types.Find("OakSt"), main = f.types.Find("MainSt"),
+              park = f.types.Find("ParkAve"), west = f.types.Find("WestSt"),
+              state = f.types.Find("StateSt"), elm = f.types.Find("ElmSt");
+  SharingPlan plan = {
+      {Pattern({park, oak}), {2, 3}},
+      {Pattern({main, west}), {1, 3}},
+      {Pattern({main, state}), {0, 4}},
+      {Pattern({elm, park}), {5, 6}},
+  };
+  // One vehicle driving Park -> Oak -> Main -> West -> State, then Elm ->
+  // Park, twice, spread over several minutes.
+  std::vector<Event> stream;
+  Timestamp t = 0;
+  for (int rep = 0; rep < 2; ++rep) {
+    for (EventTypeId ty : {park, oak, main, west, state, elm, park}) {
+      stream.push_back(Ev(ty, t += Seconds(20), /*group=*/1));
+    }
+  }
+  Engine shared(f.workload, plan);
+  ASSERT_TRUE(shared.ok()) << shared.error();
+  Engine nonshared(f.workload);
+  for (const Event& e : stream) {
+    shared.OnEvent(e);
+    nonshared.OnEvent(e);
+  }
+  ResultCollector ref = ReferenceResults(f.workload, stream);
+  const WindowSpec& ws = f.workload.window();
+  for (const Query& q : f.workload.queries()) {
+    for (WindowId j = 0; j <= ws.LastWindowCovering(t); ++j) {
+      double want = ref.Value(q.id, j, 1, AggFunction::kCountStar);
+      EXPECT_EQ(shared.results().Value(q.id, j, 1, AggFunction::kCountStar),
+                want)
+          << "shared " << q.name << " window " << j;
+      EXPECT_EQ(
+          nonshared.results().Value(q.id, j, 1, AggFunction::kCountStar),
+          want)
+          << "nonshared " << q.name << " window " << j;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sharon

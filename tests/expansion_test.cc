@@ -1,0 +1,124 @@
+// Tests for sharing conflict resolution (§7.1, Algorithms 5-6,
+// Examples 13-15): candidate expansion opens sharing opportunities that
+// the original graph's conflicts excluded.
+
+#include "src/graph/expansion.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/planner/optimizer.h"
+#include "src/sharing/ccspan.h"
+#include "src/streamgen/fixtures.h"
+
+namespace sharon {
+namespace {
+
+class ExpansionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fixture_ = MakeTrafficFixture();
+    candidates_ = FindSharableCandidates(fixture_.workload);
+    weight_ = [this](const Candidate& c) {
+      for (const auto& [p, w] : fixture_.paper_weights) {
+        if (p == c.pattern) return w;
+      }
+      // Options (subsets of the original query set) get a weight
+      // proportional to their query count, which keeps them beneficial.
+      return 1.0 + static_cast<double>(c.queries.size());
+    };
+    graph_ = SharonGraph::Build(fixture_.workload, candidates_, weight_);
+  }
+
+  VertexId VertexOf(const Pattern& p) const {
+    for (VertexId v = 0; v < graph_.capacity(); ++v) {
+      if (graph_.candidate(v).pattern == p) return v;
+    }
+    ADD_FAILURE() << "pattern not found";
+    return 0;
+  }
+
+  TrafficFixture fixture_;
+  std::vector<Candidate> candidates_;
+  SharonGraph::WeightFn weight_;
+  SharonGraph graph_;
+};
+
+TEST_F(ExpansionTest, Example14OptionsForP1) {
+  // Expanding p1 = (Oak, Main) shared by {q1..q4}: dropping {q3,q4}
+  // resolves the conflicts with p2/p3; dropping {q2,q4} resolves p4/p5;
+  // dropping {q1} resolves p6 (Fig. 11).
+  const Pattern& p1 = fixture_.paper_patterns[0];
+  auto options = ExpandCandidate(graph_, VertexOf(p1), fixture_.workload, {});
+  ASSERT_GE(options.size(), 4u);
+  EXPECT_EQ(options.front().queries, (QueryList{0, 1, 2, 3}));  // original
+
+  std::set<QueryList> sets;
+  for (const Candidate& o : options) {
+    EXPECT_EQ(o.pattern, p1);
+    EXPECT_GE(o.queries.size(), 2u);  // |Q'p| > 1 (Alg. 5 line 9)
+    sets.insert(o.queries);
+  }
+  EXPECT_TRUE(sets.count({0, 1}));  // (p1, {q1,q2}) from Fig. 11
+  EXPECT_TRUE(sets.count({1, 2, 3}));  // drop q1: resolves p6 conflict
+}
+
+TEST_F(ExpansionTest, Example13OptionCoexistsWithP4) {
+  // The option (p1, {q1, q3}) is not in conflict with (p4, {q2, q4}).
+  const Pattern& p1 = fixture_.paper_patterns[0];
+  const Pattern& p4 = fixture_.paper_patterns[3];
+  Candidate opt{p1, {0, 2}};
+  Candidate c4{p4, {1, 3}};
+  EXPECT_FALSE(SharonGraph::InConflict(opt, c4, fixture_.workload));
+  // Whereas the original candidate is.
+  Candidate orig{p1, {0, 1, 2, 3}};
+  EXPECT_TRUE(SharonGraph::InConflict(orig, c4, fixture_.workload));
+}
+
+TEST_F(ExpansionTest, SamePatternOptionsConflictIffQueriesIntersect) {
+  const Pattern& p1 = fixture_.paper_patterns[0];
+  Candidate a{p1, {0, 1}};
+  Candidate b{p1, {1, 2}};
+  Candidate c{p1, {2, 3}};
+  EXPECT_TRUE(SharonGraph::InConflict(a, b, fixture_.workload));
+  EXPECT_FALSE(SharonGraph::InConflict(a, c, fixture_.workload));
+}
+
+TEST_F(ExpansionTest, ExpandedGraphContainsAllOriginals) {
+  SharonGraph expanded =
+      ExpandGraph(graph_, fixture_.workload, weight_, {});
+  EXPECT_GT(expanded.num_vertices(), graph_.num_vertices());
+  // Every original candidate survives as its own option.
+  for (const Candidate& c : candidates_) {
+    bool found = false;
+    for (VertexId v : expanded.AliveVertices()) {
+      if (expanded.candidate(v) == c) found = true;
+    }
+    EXPECT_TRUE(found) << "missing original candidate";
+  }
+}
+
+TEST_F(ExpansionTest, ExpansionNeverLowersTheOptimalScore) {
+  OptimizerConfig no_expand;
+  no_expand.expand = false;
+  OptimizerResult base =
+      OptimizeSharon(fixture_.workload, candidates_, weight_, no_expand);
+  OptimizerConfig with_expand;
+  OptimizerResult expanded =
+      OptimizeSharon(fixture_.workload, candidates_, weight_, with_expand);
+  ASSERT_TRUE(base.completed);
+  ASSERT_TRUE(expanded.completed);
+  EXPECT_GE(expanded.score, base.score);
+}
+
+TEST_F(ExpansionTest, OptionCapsRespected) {
+  ExpansionOptions opts;
+  opts.max_options_per_candidate = 3;
+  const Pattern& p1 = fixture_.paper_patterns[0];
+  auto options = ExpandCandidate(graph_, VertexOf(p1), fixture_.workload, opts);
+  EXPECT_LE(options.size(), 3u);
+}
+
+}  // namespace
+}  // namespace sharon

@@ -1,0 +1,164 @@
+// Ground-truth tests reproducing the paper's running example end to end:
+// Table 1 (sharing candidates), Fig. 4 (the Sharon graph), Example 7
+// (GWMIN bound and conflict-ridden pruning), Example 8/9 (conflict-free
+// extraction and search-space reduction), Example 10 (the 10-plan valid
+// space), and Example 12 (greedy score 43 vs optimal score 50).
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/graph/gwmin.h"
+#include "src/graph/reduction.h"
+#include "src/graph/sharon_graph.h"
+#include "src/planner/optimizer.h"
+#include "src/planner/plan_finder.h"
+#include "src/sharing/ccspan.h"
+#include "src/streamgen/fixtures.h"
+
+namespace sharon {
+namespace {
+
+class PaperExampleTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fixture_ = MakeTrafficFixture();
+    candidates_ = FindSharableCandidates(fixture_.workload);
+    weight_ = [this](const Candidate& c) {
+      for (const auto& [p, w] : fixture_.paper_weights) {
+        if (p == c.pattern) return w;
+      }
+      return 0.0;
+    };
+    graph_ = SharonGraph::Build(fixture_.workload, candidates_, weight_);
+  }
+
+  // Vertex id of paper candidate p<i> (1-based) in graph_.
+  VertexId VertexOf(size_t i) const {
+    const Pattern& p = fixture_.paper_patterns[i - 1];
+    for (VertexId v = 0; v < graph_.capacity(); ++v) {
+      if (graph_.candidate(v).pattern == p) return v;
+    }
+    ADD_FAILURE() << "pattern p" << i << " not in graph";
+    return 0;
+  }
+
+  TrafficFixture fixture_;
+  std::vector<Candidate> candidates_;
+  SharonGraph::WeightFn weight_;
+  SharonGraph graph_;
+};
+
+TEST_F(PaperExampleTest, Table1CandidatesExactly) {
+  // CCSpan must find exactly p1..p7 with the paper's query sets.
+  ASSERT_EQ(candidates_.size(), 7u);
+  std::map<std::vector<EventTypeId>, QueryList> found;
+  for (const Candidate& c : candidates_) {
+    found[c.pattern.types()] = c.queries;
+  }
+  // Table 1 query sets (ids are 0-based: q1 -> 0).
+  EXPECT_EQ(found.at(fixture_.paper_patterns[0].types()),
+            (QueryList{0, 1, 2, 3}));  // p1: q1-q4
+  EXPECT_EQ(found.at(fixture_.paper_patterns[1].types()),
+            (QueryList{2, 3}));  // p2: q3, q4
+  EXPECT_EQ(found.at(fixture_.paper_patterns[2].types()),
+            (QueryList{2, 3}));  // p3: q3, q4
+  EXPECT_EQ(found.at(fixture_.paper_patterns[3].types()),
+            (QueryList{1, 3}));  // p4: q2, q4
+  EXPECT_EQ(found.at(fixture_.paper_patterns[4].types()),
+            (QueryList{1, 3}));  // p5: q2, q4
+  EXPECT_EQ(found.at(fixture_.paper_patterns[5].types()),
+            (QueryList{0, 4}));  // p6: q1, q5
+  EXPECT_EQ(found.at(fixture_.paper_patterns[6].types()),
+            (QueryList{5, 6}));  // p7: q6, q7
+}
+
+TEST_F(PaperExampleTest, Fig4GraphShape) {
+  ASSERT_EQ(graph_.num_vertices(), 7u);
+  // Degrees from Example 7's denominators: 25/6, 9/4, 12/5, 15/4, 20/5,
+  // 8/2, 18/1 -> degrees 5, 3, 4, 3, 4, 1, 0.
+  const size_t expected_degree[] = {5, 3, 4, 3, 4, 1, 0};
+  for (size_t i = 1; i <= 7; ++i) {
+    EXPECT_EQ(graph_.Degree(VertexOf(i)), expected_degree[i - 1])
+        << "degree of p" << i;
+    EXPECT_EQ(graph_.weight(VertexOf(i)), fixture_.paper_weights[i - 1].second);
+  }
+  // Spot-check edges: p2-p4 do NOT conflict (Example 5), p1-p2 do.
+  EXPECT_FALSE(graph_.HasEdge(VertexOf(2), VertexOf(4)));
+  EXPECT_TRUE(graph_.HasEdge(VertexOf(1), VertexOf(2)));
+  EXPECT_TRUE(graph_.HasEdge(VertexOf(1), VertexOf(6)));
+  EXPECT_TRUE(graph_.HasEdge(VertexOf(3), VertexOf(5)));
+}
+
+TEST_F(PaperExampleTest, Example7GuaranteedWeight) {
+  // 25/6 + 9/4 + 12/5 + 15/4 + 20/5 + 8/2 + 18/1 ~= 38.57.
+  EXPECT_NEAR(graph_.GuaranteedWeight(), 38.566, 0.01);
+  // Scoremax(p3) = BValue(p3) + BValue(p6) + BValue(p7) = 38.
+  EXPECT_DOUBLE_EQ(graph_.ScoreMax(VertexOf(3)), 38.0);
+  EXPECT_LT(graph_.ScoreMax(VertexOf(3)), graph_.GuaranteedWeight());
+}
+
+TEST_F(PaperExampleTest, Example8And9Reduction) {
+  VertexId p3 = VertexOf(3);
+  VertexId p7 = VertexOf(7);
+  ReductionResult red = ReduceGraph(graph_);
+  // p3 is conflict-ridden (Example 7), p7 conflict-free (Example 8).
+  EXPECT_EQ(red.pruned_ridden, std::vector<VertexId>{p3});
+  EXPECT_EQ(red.conflict_free, std::vector<VertexId>{p7});
+  // Five candidates remain: p1, p2, p4, p5, p6 (Example 9).
+  EXPECT_EQ(red.remaining, 5u);
+  EXPECT_FALSE(graph_.alive(p3));
+  EXPECT_FALSE(graph_.alive(p7));
+}
+
+TEST_F(PaperExampleTest, Example10TenValidPlans) {
+  ReduceGraph(graph_);
+  PlanFinderResult found = FindOptimalPlan(graph_);
+  EXPECT_TRUE(found.completed);
+  // Example 10: the valid space after reduction has exactly 10 plans.
+  EXPECT_EQ(found.plans_considered, 10u);
+  // The optimal sub-plan over the reduced graph is {p2, p4, p6}: 9+15+8.
+  EXPECT_DOUBLE_EQ(found.best_score, 32.0);
+}
+
+TEST_F(PaperExampleTest, Example12GreedyVsOptimal) {
+  OptimizerResult greedy =
+      OptimizeGreedy(fixture_.workload, candidates_, weight_);
+  EXPECT_DOUBLE_EQ(greedy.score, 43.0);  // {p1, p7}
+  ASSERT_EQ(greedy.plan.size(), 2u);
+
+  OptimizerConfig config;
+  config.expand = false;  // Example 12 compares on the original graph
+  OptimizerResult sharon =
+      OptimizeSharon(fixture_.workload, candidates_, weight_, config);
+  EXPECT_TRUE(sharon.completed);
+  EXPECT_DOUBLE_EQ(sharon.score, 50.0);  // {p2, p4, p6, p7}
+  ASSERT_EQ(sharon.plan.size(), 4u);
+
+  // Optimal plan contents: p2, p4, p6, p7 with Table 1 query sets.
+  std::map<std::vector<EventTypeId>, QueryList> got;
+  for (const Candidate& c : sharon.plan) got[c.pattern.types()] = c.queries;
+  EXPECT_TRUE(got.count(fixture_.paper_patterns[1].types()));  // p2
+  EXPECT_TRUE(got.count(fixture_.paper_patterns[3].types()));  // p4
+  EXPECT_TRUE(got.count(fixture_.paper_patterns[5].types()));  // p6
+  EXPECT_TRUE(got.count(fixture_.paper_patterns[6].types()));  // p7
+
+  // Exhaustive search agrees with the plan finder.
+  OptimizerConfig exh_config;
+  exh_config.expand = false;
+  OptimizerResult exhaustive = OptimizeExhaustive(
+      fixture_.workload, candidates_, weight_, exh_config);
+  EXPECT_TRUE(exhaustive.completed);
+  EXPECT_DOUBLE_EQ(exhaustive.score, 50.0);
+}
+
+TEST_F(PaperExampleTest, Example5PlanScores) {
+  // Plan {p2, p4} is valid with score 24; {p1} alone scores 25.
+  VertexId p2 = VertexOf(2), p4 = VertexOf(4);
+  EXPECT_FALSE(graph_.HasEdge(p2, p4));
+  EXPECT_DOUBLE_EQ(graph_.WeightOf({p2, p4}), 24.0);
+  EXPECT_DOUBLE_EQ(graph_.WeightOf({VertexOf(1)}), 25.0);
+}
+
+}  // namespace
+}  // namespace sharon

@@ -1,0 +1,149 @@
+// End-to-end optimizer pipeline tests over generated workloads and real
+// cost-model weights: pipeline invariants, fallback behaviour, and the
+// executor actually getting faster state under a shared plan.
+
+#include "src/planner/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include "src/exec/engine.h"
+#include "src/sharing/ccspan.h"
+#include "src/streamgen/ecommerce.h"
+#include "src/streamgen/fixtures.h"
+#include "src/streamgen/workload_gen.h"
+
+namespace sharon {
+namespace {
+
+CostModel UniformModel(size_t num_types, double rate = 10.0) {
+  return CostModel(TypeRates(std::vector<double>(num_types, rate)));
+}
+
+TEST(OptimizerTest, SharonBeatsOrMatchesGreedy) {
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    WorkloadGenConfig cfg;
+    cfg.num_queries = 12;
+    cfg.pattern_length = 5;
+    cfg.seed = seed;
+    Workload w = GenerateWorkload(cfg, 16);
+    CostModel cm = UniformModel(16);
+    OptimizerResult so = OptimizeSharon(w, cm);
+    OptimizerResult go = OptimizeGreedy(w, cm);
+    ASSERT_TRUE(so.completed);
+    EXPECT_GE(so.score, go.score - 1e-9) << "seed " << seed;
+  }
+}
+
+TEST(OptimizerTest, SharonMatchesExhaustiveOnSmallWorkloads) {
+  for (uint64_t seed = 10; seed < 14; ++seed) {
+    WorkloadGenConfig cfg;
+    cfg.num_queries = 6;
+    cfg.pattern_length = 4;
+    cfg.seed = seed;
+    Workload w = GenerateWorkload(cfg, 10);
+    CostModel cm = UniformModel(10);
+    OptimizerConfig config;
+    config.expansion.max_options_per_candidate = 16;
+    OptimizerResult so = OptimizeSharon(w, cm, config);
+    OptimizerResult eo = OptimizeExhaustive(w, cm, config);
+    if (!so.completed || !eo.completed) continue;
+    EXPECT_DOUBLE_EQ(so.score, eo.score) << "seed " << seed;
+  }
+}
+
+TEST(OptimizerTest, PlanIsExecutable) {
+  // Every plan an optimizer emits must compile in the engine.
+  WorkloadGenConfig cfg;
+  cfg.num_queries = 20;
+  cfg.pattern_length = 6;
+  Workload w = GenerateWorkload(cfg, 16);
+  CostModel cm = UniformModel(16);
+  for (const OptimizerResult& r :
+       {OptimizeSharon(w, cm), OptimizeGreedy(w, cm)}) {
+    Engine engine(w, r.plan);
+    EXPECT_TRUE(engine.ok()) << engine.error();
+  }
+}
+
+TEST(OptimizerTest, TimeLimitTriggersGwminFallback) {
+  WorkloadGenConfig cfg;
+  cfg.num_queries = 40;
+  cfg.pattern_length = 8;
+  cfg.cluster_size = 8;
+  Workload w = GenerateWorkload(cfg, 24);
+  CostModel cm = UniformModel(24);
+  OptimizerConfig config;
+  config.finder.time_limit_seconds = 0.0;  // force immediate fallback
+  OptimizerResult r = OptimizeSharon(w, cm, config);
+  EXPECT_TRUE(r.used_fallback);
+  EXPECT_FALSE(r.completed);
+  EXPECT_FALSE(r.plan.empty());  // GWMIN still returns a usable plan
+  Engine engine(w, r.plan);
+  EXPECT_TRUE(engine.ok()) << engine.error();
+}
+
+TEST(OptimizerTest, PhasesAreReported) {
+  TrafficFixture f = MakeTrafficFixture();
+  CostModel cm = UniformModel(f.types.size());
+  OptimizerResult so = OptimizeSharon(f.workload, cm);
+  ASSERT_EQ(so.phases.size(), 4u);  // construct, expand, reduce, find
+  EXPECT_EQ(so.phases[0].name, "graph construction");
+  EXPECT_EQ(so.phases[1].name, "graph expansion");
+  EXPECT_EQ(so.phases[2].name, "graph reduction");
+  EXPECT_EQ(so.phases[3].name, "plan finder");
+  OptimizerResult go = OptimizeGreedy(f.workload, cm);
+  ASSERT_EQ(go.phases.size(), 2u);  // construct, GWMIN
+  EXPECT_GT(so.TotalMillis(), 0);
+  EXPECT_GT(so.PeakBytes(), 0u);
+}
+
+TEST(OptimizerTest, NoSharingOpportunitiesYieldsEmptyPlan) {
+  // Disjoint patterns: CCSpan finds nothing; Sharon defaults to the
+  // Non-Shared method (§6 extreme case 2).
+  Workload w;
+  Query q1, q2;
+  q1.pattern = Pattern({0, 1});
+  q2.pattern = Pattern({2, 3});
+  q1.agg = q2.agg = AggSpec::CountStar();
+  q1.window = q2.window = {100, 10};
+  w.Add(q1);
+  w.Add(q2);
+  CostModel cm = UniformModel(4);
+  OptimizerResult r = OptimizeSharon(w, cm);
+  EXPECT_TRUE(r.completed);
+  EXPECT_TRUE(r.plan.empty());
+  EXPECT_EQ(r.score, 0);
+}
+
+TEST(OptimizerTest, SharedPlanShrinksExecutorState) {
+  // Identical queries sharing everything: the shared engine must keep
+  // far less state than per-query A-Seq.
+  Workload w;
+  for (int i = 0; i < 8; ++i) {
+    Query q;
+    q.pattern = Pattern({0, 1, 2, 3});
+    q.agg = AggSpec::CountStar();
+    q.window = {Seconds(60), Seconds(10)};
+    q.partition_attr = 0;
+    w.Add(q);
+  }
+  EcommerceConfig ecfg;
+  ecfg.num_items = 6;
+  ecfg.events_per_second = 500;
+  ecfg.duration = Minutes(3);
+  Scenario s = GenerateEcommerce(ecfg);
+
+  CostModel cm(EstimateRates(s));
+  OptimizerResult opt = OptimizeSharon(w, cm);
+  ASSERT_FALSE(opt.plan.empty());
+
+  Engine shared(w, opt.plan);
+  Engine nonshared(w);
+  RunStats ss = shared.Run(s.events, s.duration);
+  RunStats ns = nonshared.Run(s.events, s.duration);
+  EXPECT_TRUE(ss.finished);
+  EXPECT_LT(ss.peak_state_bytes, ns.peak_state_bytes);
+}
+
+}  // namespace
+}  // namespace sharon

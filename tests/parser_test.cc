@@ -1,0 +1,94 @@
+// Unit tests for the textual query parser.
+
+#include "src/query/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace sharon {
+namespace {
+
+class ParserTest : public ::testing::Test {
+ protected:
+  ParserTest() {
+    schema_.Register("vehicle");
+    schema_.Register("speed");
+  }
+  TypeRegistry types_;
+  StreamSchema schema_;
+};
+
+TEST_F(ParserTest, PaperQueryQ1) {
+  auto r = ParseQuery(
+      "RETURN COUNT(*) PATTERN SEQ(OakSt, MainSt) WHERE [vehicle] "
+      "WITHIN 10 min SLIDE 1 min",
+      types_, schema_);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.query.agg.fn, AggFunction::kCountStar);
+  EXPECT_EQ(r.query.pattern.length(), 2u);
+  EXPECT_EQ(r.query.pattern.type(0), types_.Find("OakSt"));
+  EXPECT_EQ(r.query.pattern.type(1), types_.Find("MainSt"));
+  EXPECT_EQ(r.query.partition_attr, schema_.Find("vehicle"));
+  EXPECT_EQ(r.query.window.length, Minutes(10));
+  EXPECT_EQ(r.query.window.slide, Minutes(1));
+}
+
+TEST_F(ParserTest, AllAggregateFunctions) {
+  struct Case {
+    const char* text;
+    AggFunction fn;
+  };
+  for (const Case& c : std::initializer_list<Case>{
+           {"RETURN COUNT(A) ", AggFunction::kCountType},
+           {"RETURN SUM(A.speed) ", AggFunction::kSum},
+           {"RETURN MIN(A.speed) ", AggFunction::kMin},
+           {"RETURN MAX(A.speed) ", AggFunction::kMax},
+           {"RETURN AVG(A.speed) ", AggFunction::kAvg}}) {
+    std::string text = std::string(c.text) +
+                       "PATTERN SEQ(A, B) WITHIN 60 sec SLIDE 10 sec";
+    auto r = ParseQuery(text, types_, schema_);
+    ASSERT_TRUE(r.ok) << text << ": " << r.error;
+    EXPECT_EQ(r.query.agg.fn, c.fn);
+    EXPECT_EQ(r.query.agg.target_type, types_.Find("A"));
+  }
+}
+
+TEST_F(ParserTest, GroupByClause) {
+  auto r = ParseQuery(
+      "RETURN COUNT(*) PATTERN SEQ(A, B) GROUP BY vehicle "
+      "WITHIN 600 SLIDE 60",
+      types_, schema_);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.query.partition_attr, schema_.Find("vehicle"));
+  EXPECT_EQ(r.query.window.length, 600);  // raw ticks
+}
+
+TEST_F(ParserTest, Errors) {
+  const char* bad[] = {
+      "",
+      "PATTERN SEQ(A,B) WITHIN 10 min SLIDE 1 min",       // missing RETURN
+      "RETURN COUNT(*) WITHIN 10 min SLIDE 1 min",        // missing PATTERN
+      "RETURN COUNT(*) PATTERN SEQ() WITHIN 1 min SLIDE 1 min",  // empty
+      "RETURN COUNT(*) PATTERN SEQ(A,B) WITHIN 1 min",    // missing SLIDE
+      "RETURN COUNT(*) PATTERN SEQ(A,B) WITHIN 1 min SLIDE 2 min",  // slide>len
+      "RETURN SUM(A) PATTERN SEQ(A,B) WITHIN 2 min SLIDE 1 min",  // no attr
+      "RETURN COUNT(*) PATTERN SEQ(A,B) WHERE [bogus] WITHIN 2 min SLIDE 1 "
+      "min",                                               // unknown attr
+      "RETURN COUNT(*) PATTERN SEQ(A,B) WITHIN 2 min SLIDE 1 min trailing",
+  };
+  for (const char* text : bad) {
+    auto r = ParseQuery(text, types_, schema_);
+    EXPECT_FALSE(r.ok) << "should fail: " << text;
+    EXPECT_FALSE(r.error.empty());
+  }
+}
+
+TEST_F(ParserTest, WhereAndGroupByMustAgree) {
+  auto r = ParseQuery(
+      "RETURN COUNT(*) PATTERN SEQ(A,B) WHERE [vehicle] GROUP BY speed "
+      "WITHIN 2 min SLIDE 1 min",
+      types_, schema_);
+  EXPECT_FALSE(r.ok);
+}
+
+}  // namespace
+}  // namespace sharon

@@ -1,0 +1,128 @@
+// Randomized properties of the optimizer machinery on random conflict
+// graphs:
+//  - GWMIN returns an independent set meeting its Eq. 10 bound;
+//  - graph reduction never changes the optimum (Lemmas 1-2);
+//  - the plan finder's optimum equals exhaustive search's;
+//  - plan finder plans are always valid (independent sets).
+//
+// Random graphs are built from random workloads so conflicts come from
+// real pattern overlaps, not synthetic adjacency.
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/graph/gwmin.h"
+#include "src/graph/reduction.h"
+#include "src/planner/plan_finder.h"
+#include "src/sharing/ccspan.h"
+
+namespace sharon {
+namespace {
+
+struct RandomGraphCase {
+  Workload workload;
+  std::vector<Candidate> candidates;
+  SharonGraph graph;
+};
+
+RandomGraphCase MakeRandomGraph(uint64_t seed) {
+  Rng rng(seed);
+  RandomGraphCase c;
+  const uint32_t num_types = 6 + static_cast<uint32_t>(rng.Below(4));
+  const uint32_t num_queries = 4 + static_cast<uint32_t>(rng.Below(5));
+
+  std::vector<EventTypeId> backbone(num_types);
+  for (uint32_t i = 0; i < num_types; ++i) backbone[i] = i;
+  for (uint32_t i = num_types - 1; i > 0; --i) {
+    uint32_t j = static_cast<uint32_t>(rng.Below(i + 1));
+    std::swap(backbone[i], backbone[j]);
+  }
+  for (uint32_t qi = 0; qi < num_queries; ++qi) {
+    const uint32_t len =
+        2 + static_cast<uint32_t>(rng.Below(num_types - 2));
+    const uint32_t off = static_cast<uint32_t>(rng.Below(num_types - len + 1));
+    Query q;
+    q.pattern = Pattern(std::vector<EventTypeId>(
+        backbone.begin() + off, backbone.begin() + off + len));
+    q.agg = AggSpec::CountStar();
+    q.window = {100, 10};
+    c.workload.Add(std::move(q));
+  }
+  c.candidates = FindSharableCandidates(c.workload);
+  // Deterministic pseudo-random positive weights.
+  c.graph = SharonGraph::Build(
+      c.workload, c.candidates, [seed](const Candidate& cand) {
+        Rng wrng(seed ^ PatternHash()(cand.pattern));
+        return 1.0 + static_cast<double>(wrng.Below(100));
+      });
+  return c;
+}
+
+bool IsIndependent(const SharonGraph& g, const std::vector<VertexId>& vs) {
+  for (size_t i = 0; i < vs.size(); ++i) {
+    for (size_t j = i + 1; j < vs.size(); ++j) {
+      if (g.HasEdge(vs[i], vs[j])) return false;
+    }
+  }
+  return true;
+}
+
+class PlannerProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PlannerProperty, GwminMeetsGuaranteedWeight) {
+  RandomGraphCase c = MakeRandomGraph(GetParam());
+  if (c.graph.num_vertices() == 0) GTEST_SKIP();
+  GwminResult r = RunGwmin(c.graph);
+  EXPECT_TRUE(IsIndependent(c.graph, r.independent_set));
+  EXPECT_GE(r.weight, c.graph.GuaranteedWeight() - 1e-9);
+}
+
+TEST_P(PlannerProperty, FinderMatchesExhaustiveAndIsValid) {
+  RandomGraphCase c = MakeRandomGraph(GetParam());
+  if (c.graph.num_vertices() == 0 || c.graph.num_vertices() > 18) {
+    GTEST_SKIP();
+  }
+  PlanFinderResult finder = FindOptimalPlan(c.graph);
+  PlanFinderResult exhaustive = ExhaustiveSearch(c.graph);
+  ASSERT_TRUE(finder.completed);
+  ASSERT_TRUE(exhaustive.completed);
+  EXPECT_TRUE(IsIndependent(c.graph, finder.best));
+  EXPECT_DOUBLE_EQ(finder.best_score, exhaustive.best_score);
+  // The finder visits only valid plans; exhaustive visits all subsets.
+  EXPECT_LE(finder.plans_considered, exhaustive.plans_considered);
+}
+
+TEST_P(PlannerProperty, ReductionPreservesTheOptimum) {
+  RandomGraphCase c = MakeRandomGraph(GetParam());
+  if (c.graph.num_vertices() == 0 || c.graph.num_vertices() > 18) {
+    GTEST_SKIP();
+  }
+  PlanFinderResult before = FindOptimalPlan(c.graph);
+  SharonGraph reduced = c.graph;
+  ReductionResult red = ReduceGraph(reduced);
+  PlanFinderResult after = FindOptimalPlan(reduced);
+  double reduced_score =
+      after.best_score + reduced.WeightOf(red.conflict_free);
+  ASSERT_TRUE(before.completed);
+  ASSERT_TRUE(after.completed);
+  EXPECT_DOUBLE_EQ(before.best_score, reduced_score)
+      << "reduction changed the optimum (pruned "
+      << red.pruned_ridden.size() << ", free " << red.conflict_free.size()
+      << ")";
+}
+
+TEST_P(PlannerProperty, GwminNeverBeatsTheOptimum) {
+  RandomGraphCase c = MakeRandomGraph(GetParam());
+  if (c.graph.num_vertices() == 0 || c.graph.num_vertices() > 18) {
+    GTEST_SKIP();
+  }
+  GwminResult greedy = RunGwmin(c.graph);
+  PlanFinderResult optimal = FindOptimalPlan(c.graph);
+  EXPECT_LE(greedy.weight, optimal.best_score + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlannerProperty,
+                         ::testing::Range<uint64_t>(0, 24));
+
+}  // namespace
+}  // namespace sharon

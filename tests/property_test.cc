@@ -1,0 +1,168 @@
+// Randomized equivalence properties, the strongest correctness evidence in
+// this repository. For dozens of random (workload, stream) pairs:
+//
+//   * the non-shared engine (A-Seq),
+//   * the shared engine under the Sharon-optimal plan,
+//   * the shared engine under the greedy plan,
+//   * the non-shared two-step baseline (sequence construction), and
+//   * the shared two-step baseline
+//
+// must all produce exactly the per-(query, window, group) results of the
+// independent per-window DP oracle. Counts are integers below 2^53, so
+// double comparisons are exact.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/rng.h"
+#include "src/exec/engine.h"
+#include "src/planner/optimizer.h"
+#include "src/sharing/ccspan.h"
+#include "src/twostep/reference.h"
+#include "src/twostep/two_step.h"
+
+namespace sharon {
+namespace {
+
+struct RandomCase {
+  Workload workload;
+  std::vector<Event> events;
+  Timestamp last_time = 0;
+};
+
+// Random workload with deliberate overlap (queries slice a common
+// backbone) and a random stream over the same types.
+RandomCase MakeCase(uint64_t seed, AggFunction fn) {
+  Rng rng(seed);
+  RandomCase c;
+  const uint32_t num_types = 5 + static_cast<uint32_t>(rng.Below(4));
+  const Duration length = 8 + static_cast<Duration>(rng.Below(20));
+  const Duration slide = 1 + static_cast<Duration>(rng.Below(length));
+  const uint32_t num_queries = 3 + static_cast<uint32_t>(rng.Below(4));
+  const AttrIndex partition =
+      rng.Chance(0.5) ? 0 : kNoAttr;  // half the cases use grouping
+
+  // Backbone = random permutation of the alphabet.
+  std::vector<EventTypeId> backbone(num_types);
+  for (uint32_t i = 0; i < num_types; ++i) backbone[i] = i;
+  for (uint32_t i = num_types - 1; i > 0; --i) {
+    uint32_t j = static_cast<uint32_t>(rng.Below(i + 1));
+    std::swap(backbone[i], backbone[j]);
+  }
+
+  for (uint32_t qi = 0; qi < num_queries; ++qi) {
+    const uint32_t len =
+        2 + static_cast<uint32_t>(rng.Below(std::min(num_types - 1, 3u)));
+    const uint32_t off = static_cast<uint32_t>(rng.Below(num_types - len + 1));
+    Query q;
+    q.pattern = Pattern(std::vector<EventTypeId>(
+        backbone.begin() + off, backbone.begin() + off + len));
+    q.agg = fn == AggFunction::kCountStar
+                ? AggSpec::CountStar()
+                : AggSpec::Of(fn, q.pattern.type(rng.Below(len)), 1);
+    q.window = {length, slide};
+    q.partition_attr = partition;
+    c.workload.Add(std::move(q));
+  }
+
+  const uint32_t num_events = 40 + static_cast<uint32_t>(rng.Below(80));
+  Timestamp t = 0;
+  for (uint32_t i = 0; i < num_events; ++i) {
+    Event e;
+    e.time = (t += 1 + static_cast<Timestamp>(rng.Below(3)));
+    e.type = static_cast<EventTypeId>(rng.Below(num_types));
+    e.attrs = {static_cast<AttrValue>(rng.Below(3)),
+               static_cast<AttrValue>(rng.Range(-5, 20))};
+    c.events.push_back(std::move(e));
+  }
+  c.last_time = t;
+  return c;
+}
+
+// Exact comparison of all cells of `got` against oracle `want` for every
+// query/window/group combination present in either.
+void ExpectSameResults(const Workload& w, const ResultCollector& want,
+                       const ResultCollector& got, AggFunction fn,
+                       const char* label) {
+  auto check_cells = [&](const auto& cells, const ResultCollector& other,
+                         bool got_is_left) {
+    for (const auto& [key, state] : cells) {
+      const Query& q = w.query(key.query);
+      double a = state.Final(q.agg.fn);
+      double b = other.Get(key.query, key.window, key.group).Final(q.agg.fn);
+      if (got_is_left) std::swap(a, b);
+      if (std::isnan(a) && std::isnan(b)) continue;
+      ASSERT_DOUBLE_EQ(a, b)
+          << label << ": query " << key.query << " window " << key.window
+          << " group " << key.group << " fn " << static_cast<int>(fn);
+    }
+  };
+  check_cells(want.cells(), got, /*got_is_left=*/false);
+  check_cells(got.cells(), want, /*got_is_left=*/true);
+}
+
+class EngineEquivalence
+    : public ::testing::TestWithParam<std::tuple<uint64_t, AggFunction>> {};
+
+TEST_P(EngineEquivalence, AllExecutorsMatchOracle) {
+  const auto [seed, fn] = GetParam();
+  RandomCase c = MakeCase(seed, fn);
+  ResultCollector oracle = ReferenceResults(c.workload, c.events);
+
+  // Non-shared online (A-Seq).
+  {
+    Engine engine(c.workload);
+    ASSERT_TRUE(engine.ok()) << engine.error();
+    for (const Event& e : c.events) engine.OnEvent(e);
+    ExpectSameResults(c.workload, oracle, engine.results(), fn, "A-Seq");
+  }
+
+  // Shared online under the Sharon-optimal and the greedy plans.
+  CostModel cm(TypeRates(std::vector<double>(10, 1.0)));
+  for (bool greedy : {false, true}) {
+    OptimizerResult opt = greedy ? OptimizeGreedy(c.workload, cm)
+                                 : OptimizeSharon(c.workload, cm);
+    Engine engine(c.workload, opt.plan);
+    ASSERT_TRUE(engine.ok()) << engine.error();
+    for (const Event& e : c.events) engine.OnEvent(e);
+    ExpectSameResults(c.workload, oracle, engine.results(), fn,
+                      greedy ? "shared/greedy" : "shared/optimal");
+  }
+
+  // Two-step baselines.
+  {
+    ResultCollector flink;
+    RunStats stats = RunFlinkLike(c.workload, c.events, {}, &flink);
+    ASSERT_TRUE(stats.finished);
+    ExpectSameResults(c.workload, oracle, flink, fn, "flink-like");
+  }
+  {
+    OptimizerResult opt = OptimizeSharon(c.workload, cm);
+    ResultCollector spass;
+    RunStats stats =
+        RunSpassLike(c.workload, opt.plan, c.events, {}, &spass);
+    ASSERT_TRUE(stats.finished);
+    ExpectSameResults(c.workload, oracle, spass, fn, "spass-like");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CountStar, EngineEquivalence,
+    ::testing::Combine(::testing::Range<uint64_t>(0, 12),
+                       ::testing::Values(AggFunction::kCountStar)));
+
+INSTANTIATE_TEST_SUITE_P(
+    Sum, EngineEquivalence,
+    ::testing::Combine(::testing::Range<uint64_t>(100, 108),
+                       ::testing::Values(AggFunction::kSum)));
+
+INSTANTIATE_TEST_SUITE_P(
+    MinMaxAvgCount, EngineEquivalence,
+    ::testing::Combine(
+        ::testing::Range<uint64_t>(200, 204),
+        ::testing::Values(AggFunction::kMin, AggFunction::kMax,
+                          AggFunction::kAvg, AggFunction::kCountType)));
+
+}  // namespace
+}  // namespace sharon

@@ -1,0 +1,109 @@
+// Unit tests for ResultCollector and the engine's chain-merging compile
+// step (queries with identical segmentations share one chain).
+
+#include <gtest/gtest.h>
+
+#include "src/exec/engine.h"
+
+namespace sharon {
+namespace {
+
+TEST(ResultCollectorTest, AccumulatesPerCell) {
+  ResultCollector rc;
+  AggState one = AggState::Identity();
+  rc.Add(1, 2, 3, one);
+  rc.Add(1, 2, 3, one);
+  rc.Add(1, 2, 4, one);
+  EXPECT_EQ(rc.Value(1, 2, 3, AggFunction::kCountStar), 2);
+  EXPECT_EQ(rc.Value(1, 2, 4, AggFunction::kCountStar), 1);
+  EXPECT_EQ(rc.Value(9, 9, 9, AggFunction::kCountStar), 0);
+  EXPECT_EQ(rc.size(), 2u);
+}
+
+TEST(ResultCollectorTest, ZeroDeltasAreDropped) {
+  ResultCollector rc;
+  rc.Add(1, 2, 3, AggState::Zero());
+  EXPECT_EQ(rc.size(), 0u);
+}
+
+TEST(ResultCollectorTest, NegativeGroupValues) {
+  ResultCollector rc;
+  rc.Add(0, 0, -42, AggState::Identity());
+  EXPECT_EQ(rc.Value(0, 0, -42, AggFunction::kCountStar), 1);
+}
+
+Query MakeQuery(std::vector<EventTypeId> pattern,
+                AggSpec agg = AggSpec::CountStar()) {
+  Query q;
+  q.pattern = Pattern(std::move(pattern));
+  q.agg = agg;
+  q.window = {100, 10};
+  return q;
+}
+
+TEST(CompileTest, IdenticalFullySharedQueriesMergeChains) {
+  Workload w;
+  w.Add(MakeQuery({0, 1, 2}));
+  w.Add(MakeQuery({0, 1, 2}));
+  w.Add(MakeQuery({0, 1, 2}));
+  SharingPlan plan = {{Pattern({0, 1, 2}), {0, 1, 2}}};
+  CompiledEngine compiled;
+  ASSERT_EQ(CompilePlan(w, plan, &compiled), "");
+  // One shared counter, one chain serving all three queries.
+  ASSERT_EQ(compiled.counters.size(), 1u);
+  ASSERT_EQ(compiled.chains.size(), 1u);
+  EXPECT_EQ(compiled.chains[0].queries.size(), 3u);
+}
+
+TEST(CompileTest, PrivateGapsPreventChainMerge) {
+  Workload w;
+  w.Add(MakeQuery({0, 1, 2, 3}));
+  w.Add(MakeQuery({0, 1, 2, 3}));
+  SharingPlan plan = {{Pattern({1, 2}), {0, 1}}};
+  CompiledEngine compiled;
+  ASSERT_EQ(CompilePlan(w, plan, &compiled), "");
+  // Shared middle counter + per-query private prefix/suffix counters.
+  ASSERT_EQ(compiled.chains.size(), 2u);
+  size_t shared = 0;
+  for (const auto& c : compiled.counters) shared += c.shared;
+  EXPECT_EQ(shared, 1u);
+  EXPECT_EQ(compiled.counters.size(), 5u);  // 1 shared + 2x(prefix+suffix)
+}
+
+TEST(CompileTest, DifferentAggTargetsInSharedPatternSplitCounters) {
+  // Two queries share (0,1) but aggregate different attributes of type 1:
+  // their projections differ, so they need separate counters.
+  Workload w;
+  w.Add(MakeQuery({0, 1}, AggSpec::Of(AggFunction::kSum, 1, 0)));
+  w.Add(MakeQuery({0, 1}, AggSpec::Of(AggFunction::kSum, 1, 1)));
+  SharingPlan plan = {{Pattern({0, 1}), {0, 1}}};
+  CompiledEngine compiled;
+  ASSERT_EQ(CompilePlan(w, plan, &compiled), "");
+  EXPECT_EQ(compiled.counters.size(), 2u);
+}
+
+TEST(CompileTest, CountStarProjectionEnablesCrossAggSharing) {
+  // The shared segment does not contain either aggregation target: both
+  // queries project it to COUNT(*) and share one counter.
+  Workload w;
+  w.Add(MakeQuery({0, 1, 2}, AggSpec::Of(AggFunction::kSum, 2, 0)));
+  w.Add(MakeQuery({0, 1, 3}, AggSpec::Of(AggFunction::kMax, 3, 1)));
+  SharingPlan plan = {{Pattern({0, 1}), {0, 1}}};
+  CompiledEngine compiled;
+  ASSERT_EQ(CompilePlan(w, plan, &compiled), "");
+  size_t shared = 0;
+  for (const auto& c : compiled.counters) shared += c.shared;
+  EXPECT_EQ(shared, 1u);
+  EXPECT_EQ(compiled.counters.size(), 3u);  // shared (0,1) + suffixes
+}
+
+TEST(ProjectSpecTest, Projection) {
+  AggSpec sum = AggSpec::Of(AggFunction::kSum, 5, 0);
+  EXPECT_EQ(ProjectSpec(sum, Pattern({5, 6})), sum);
+  EXPECT_EQ(ProjectSpec(sum, Pattern({6, 7})), AggSpec::CountStar());
+  EXPECT_EQ(ProjectSpec(AggSpec::CountStar(), Pattern({5, 6})),
+            AggSpec::CountStar());
+}
+
+}  // namespace
+}  // namespace sharon

@@ -1,0 +1,118 @@
+// Unit tests for SegmentCounter: per-START prefix aggregation, complete
+// deltas, expiration, repeated types (§7.3) and state accounting.
+
+#include "src/exec/segment_counter.h"
+
+#include <gtest/gtest.h>
+
+namespace sharon {
+namespace {
+
+constexpr EventTypeId kA = 0, kB = 1, kC = 2;
+
+Event Ev(EventTypeId type, Timestamp t, AttrValue v = 0) {
+  Event e;
+  e.type = type;
+  e.time = t;
+  e.attrs = {v};
+  return e;
+}
+
+TEST(SegmentCounterTest, PrefixCountsFollowFig6a) {
+  SegmentCounter sc(Pattern({kA, kB}), AggSpec::CountStar(), {100, 100});
+  sc.OnEvent(Ev(kA, 1));
+  EXPECT_EQ(sc.num_live_starts(), 1u);
+  EXPECT_TRUE(sc.last_deltas().empty());
+
+  sc.OnEvent(Ev(kB, 2));
+  ASSERT_EQ(sc.last_deltas().size(), 1u);
+  EXPECT_EQ(sc.last_deltas()[0].delta.count, 1);
+
+  sc.OnEvent(Ev(kA, 3));
+  sc.OnEvent(Ev(kB, 4));
+  // b4 completes one sequence per live start: (a1,b4) and (a3,b4).
+  ASSERT_EQ(sc.last_deltas().size(), 2u);
+  double total = 0;
+  for (const auto& d : sc.last_deltas()) total += d.delta.count;
+  EXPECT_EQ(total, 2);
+  // Accumulated complete count for start a1 is now 2: (a1,b2), (a1,b4).
+  EXPECT_EQ(sc.CompleteFor(0).count, 2);
+  EXPECT_EQ(sc.CompleteFor(1).count, 1);
+}
+
+TEST(SegmentCounterTest, ExpirationDropsOldStarts) {
+  SegmentCounter sc(Pattern({kA, kB}), AggSpec::CountStar(), {4, 1});
+  sc.OnEvent(Ev(kA, 1));
+  sc.OnEvent(Ev(kA, 3));
+  sc.OnEvent(Ev(kB, 5));  // a1 expired (Fig. 6b), only a3 extends
+  ASSERT_EQ(sc.last_deltas().size(), 1u);
+  EXPECT_EQ(sc.last_deltas()[0].start_time, 3);
+  EXPECT_EQ(sc.num_live_starts(), 1u);
+  // Expired starts read as Zero.
+  EXPECT_TRUE(sc.CompleteFor(0).IsZero());
+  EXPECT_EQ(sc.StartTimeFor(0), -1);
+}
+
+TEST(SegmentCounterTest, NonPatternTypesAreIgnored) {
+  SegmentCounter sc(Pattern({kA, kB}), AggSpec::CountStar(), {100, 100});
+  sc.OnEvent(Ev(kC, 1));
+  sc.OnEvent(Ev(kA, 2));
+  sc.OnEvent(Ev(kC, 3));
+  sc.OnEvent(Ev(kB, 4));
+  ASSERT_EQ(sc.last_deltas().size(), 1u);
+  EXPECT_EQ(sc.last_deltas()[0].delta.count, 1);
+}
+
+TEST(SegmentCounterTest, SingleTypeSegmentCompletesImmediately) {
+  SegmentCounter sc(Pattern({kA}), AggSpec::CountStar(), {100, 100});
+  sc.OnEvent(Ev(kA, 1));
+  ASSERT_EQ(sc.last_deltas().size(), 1u);
+  EXPECT_EQ(sc.last_deltas()[0].delta.count, 1);
+  EXPECT_EQ(sc.NewestStartId(), 0u);
+}
+
+TEST(SegmentCounterTest, RepeatedTypeSection73) {
+  // Pattern (A, B, A): an event of type A both starts sequences and ends
+  // them, but must never extend through itself.
+  SegmentCounter sc(Pattern({kA, kB, kA}), AggSpec::CountStar(), {100, 100});
+  sc.OnEvent(Ev(kA, 1));
+  sc.OnEvent(Ev(kB, 2));
+  sc.OnEvent(Ev(kA, 3));  // completes (a1,b2,a3), starts a new a3
+  ASSERT_EQ(sc.last_deltas().size(), 1u);
+  EXPECT_EQ(sc.last_deltas()[0].delta.count, 1);
+  EXPECT_EQ(sc.num_live_starts(), 2u);
+  sc.OnEvent(Ev(kB, 4));
+  sc.OnEvent(Ev(kA, 5));
+  // New completions: (a1,b2,a5), (a1,b4,a5), (a3,b4,a5).
+  double total = 0;
+  for (const auto& d : sc.last_deltas()) total += d.delta.count;
+  EXPECT_EQ(total, 3);
+}
+
+TEST(SegmentCounterTest, SumAggregation) {
+  AggSpec spec = AggSpec::Of(AggFunction::kSum, kB, 0);
+  SegmentCounter sc(Pattern({kA, kB}), spec, {100, 100});
+  sc.OnEvent(Ev(kA, 1));
+  sc.OnEvent(Ev(kB, 2, 10));
+  sc.OnEvent(Ev(kB, 3, 5));
+  // Sequences (a1,b2) sum 10 and (a1,b3) sum 5.
+  EXPECT_EQ(sc.CompleteFor(0).sum, 15);
+  EXPECT_EQ(sc.CompleteFor(0).count, 2);
+  EXPECT_EQ(sc.CompleteFor(0).min, 5);
+  EXPECT_EQ(sc.CompleteFor(0).max, 10);
+}
+
+TEST(SegmentCounterTest, EstimatedBytesTracksStarts) {
+  SegmentCounter sc(Pattern({kA, kB}), AggSpec::CountStar(), {10, 1});
+  EXPECT_EQ(sc.EstimatedBytes(), 0u);
+  sc.OnEvent(Ev(kA, 1));
+  size_t one = sc.EstimatedBytes();
+  EXPECT_GT(one, 0u);
+  sc.OnEvent(Ev(kA, 2));
+  EXPECT_EQ(sc.EstimatedBytes(), 2 * one);
+  sc.ExpireBefore(100);
+  EXPECT_EQ(sc.EstimatedBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace sharon

@@ -1,0 +1,143 @@
+// Tests for the TX / LR / EC stream generators and the workload generator:
+// strict timestamp order, configured rates and cardinalities, the LR rate
+// ramp, and assumption-3 compliance of generated workloads.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/streamgen/ecommerce.h"
+#include "src/streamgen/linear_road.h"
+#include "src/streamgen/rates.h"
+#include "src/streamgen/taxi.h"
+#include "src/streamgen/workload_gen.h"
+
+namespace sharon {
+namespace {
+
+void ExpectStrictOrder(const Scenario& s) {
+  for (size_t i = 1; i < s.events.size(); ++i) {
+    ASSERT_LT(s.events[i - 1].time, s.events[i].time) << "at index " << i;
+  }
+}
+
+TEST(TaxiGenTest, RespectsConfig) {
+  TaxiConfig cfg;
+  cfg.num_streets = 8;
+  cfg.num_vehicles = 5;
+  cfg.events_per_second = 200;
+  cfg.duration = Minutes(2);
+  Scenario s = GenerateTaxi(cfg);
+  ExpectStrictOrder(s);
+  EXPECT_EQ(s.types.size(), 8u);
+  EXPECT_NEAR(s.EventsPerSecond(), 200, 20);
+  std::set<AttrValue> vehicles;
+  for (const Event& e : s.events) {
+    ASSERT_LT(e.type, 8u);
+    vehicles.insert(e.attrs[0]);
+  }
+  EXPECT_LE(vehicles.size(), 5u);
+  EXPECT_GE(vehicles.size(), 2u);
+}
+
+TEST(TaxiGenTest, DeterministicUnderSeed) {
+  TaxiConfig cfg;
+  cfg.duration = Minutes(1);
+  Scenario a = GenerateTaxi(cfg);
+  Scenario b = GenerateTaxi(cfg);
+  ASSERT_EQ(a.events.size(), b.events.size());
+  for (size_t i = 0; i < a.events.size(); ++i) {
+    ASSERT_EQ(a.events[i].time, b.events[i].time);
+    ASSERT_EQ(a.events[i].type, b.events[i].type);
+  }
+}
+
+TEST(TaxiGenTest, ZipfSkewsStreetPopularity) {
+  TaxiConfig cfg;
+  cfg.duration = Minutes(5);
+  cfg.zipf_s = 1.2;
+  Scenario s = GenerateTaxi(cfg);
+  TypeRates rates = EstimateRates(s);
+  // The hottest street should be clearly hotter than the coldest.
+  double hottest = 0, coldest = 1e18;
+  for (EventTypeId t = 0; t < cfg.num_streets; ++t) {
+    hottest = std::max(hottest, rates.Of(t));
+    coldest = std::min(coldest, rates.Of(t));
+  }
+  EXPECT_GT(hottest, 2 * coldest);
+}
+
+TEST(LinearRoadGenTest, RateRampsUp) {
+  LinearRoadConfig cfg;
+  cfg.start_rate = 50;
+  cfg.end_rate = 2000;
+  cfg.duration = Minutes(10);
+  Scenario s = GenerateLinearRoad(cfg);
+  ExpectStrictOrder(s);
+  // Count events in the first and last fifth of the stream time.
+  const Duration fifth = cfg.duration / 5;
+  size_t first = 0, last = 0;
+  for (const Event& e : s.events) {
+    if (e.time < fifth) ++first;
+    if (e.time >= cfg.duration - fifth) ++last;
+  }
+  EXPECT_GT(last, 5 * first) << "Linear Road rate must ramp up";
+}
+
+TEST(EcommerceGenTest, MatchesPaperParameters) {
+  EcommerceConfig cfg;
+  cfg.duration = Minutes(2);
+  Scenario s = GenerateEcommerce(cfg);
+  ExpectStrictOrder(s);
+  EXPECT_EQ(s.types.size(), 50u);  // 50 items (§8.1)
+  EXPECT_NEAR(s.EventsPerSecond(), 3000, 300);  // 3k events/s (§8.1)
+  std::set<AttrValue> customers;
+  for (const Event& e : s.events) customers.insert(e.attrs[0]);
+  EXPECT_LE(customers.size(), 20u);  // 20 users (§8.1)
+  EXPECT_GE(customers.size(), 10u);
+}
+
+TEST(WorkloadGenTest, PatternsAreDistinctTyped) {
+  WorkloadGenConfig cfg;
+  cfg.num_queries = 40;
+  cfg.pattern_length = 6;
+  Workload w = GenerateWorkload(cfg, /*num_types=*/20);
+  ASSERT_EQ(w.size(), 40u);
+  EXPECT_TRUE(w.Uniform());
+  for (const Query& q : w.queries()) {
+    EXPECT_EQ(q.pattern.length(), 6u);
+    std::set<EventTypeId> uniq(q.pattern.types().begin(),
+                               q.pattern.types().end());
+    EXPECT_EQ(uniq.size(), q.pattern.length()) << "assumption 3 violated";
+  }
+}
+
+TEST(WorkloadGenTest, ClustersShareSubPatterns) {
+  WorkloadGenConfig cfg;
+  cfg.num_queries = 8;
+  cfg.pattern_length = 5;
+  cfg.cluster_size = 4;
+  Workload w = GenerateWorkload(cfg, 20);
+  // Queries within a cluster slice the same backbone, so some contiguous
+  // bigram must repeat across queries.
+  std::set<std::pair<EventTypeId, EventTypeId>> bigrams;
+  bool shared = false;
+  for (const Query& q : w.queries()) {
+    for (size_t i = 0; i + 1 < q.pattern.length(); ++i) {
+      auto bg = std::make_pair(q.pattern.type(i), q.pattern.type(i + 1));
+      if (!bigrams.insert(bg).second) shared = true;
+    }
+  }
+  EXPECT_TRUE(shared);
+}
+
+TEST(WorkloadGenTest, PatternLengthCappedByAlphabet) {
+  WorkloadGenConfig cfg;
+  cfg.num_queries = 3;
+  cfg.pattern_length = 50;
+  Workload w = GenerateWorkload(cfg, 10);
+  for (const Query& q : w.queries()) EXPECT_LE(q.pattern.length(), 10u);
+}
+
+}  // namespace
+}  // namespace sharon

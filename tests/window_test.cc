@@ -1,0 +1,76 @@
+// Unit tests for sliding-window arithmetic: coverage ranges, panes and the
+// §3.2 expiration rule. Includes an exhaustive consistency sweep over many
+// (length, slide, time) combinations.
+
+#include "src/query/window.h"
+
+#include <gtest/gtest.h>
+
+namespace sharon {
+namespace {
+
+TEST(WindowTest, CoverageBasics) {
+  WindowSpec w{10, 2};  // [0,10) [2,12) [4,14) ...
+  EXPECT_EQ(w.FirstWindowCovering(0), 0);
+  EXPECT_EQ(w.LastWindowCovering(0), 0);
+  EXPECT_EQ(w.FirstWindowCovering(9), 0);
+  EXPECT_EQ(w.LastWindowCovering(9), 4);
+  EXPECT_EQ(w.FirstWindowCovering(10), 1);  // window 0 ends at 10
+  EXPECT_EQ(w.FirstWindowCovering(11), 1);
+  EXPECT_EQ(w.FirstWindowCovering(12), 2);
+}
+
+TEST(WindowTest, PanesPerWindow) {
+  EXPECT_EQ((WindowSpec{10, 2}).PanesPerWindow(), 5);
+  EXPECT_EQ((WindowSpec{10, 3}).PanesPerWindow(), 4);  // rounded up
+  EXPECT_EQ((WindowSpec{10, 10}).PanesPerWindow(), 1);  // tumbling
+}
+
+TEST(WindowTest, Expiration) {
+  WindowSpec w{4, 1};
+  // Fig. 6(b): with length 4, a1 is expired once b5 arrives.
+  EXPECT_TRUE(w.Expired(1, 5));
+  EXPECT_FALSE(w.Expired(2, 5));
+  EXPECT_FALSE(w.Expired(1, 4));
+}
+
+class WindowSweep
+    : public ::testing::TestWithParam<std::pair<Duration, Duration>> {};
+
+TEST_P(WindowSweep, CoverageIsConsistent) {
+  const auto [length, slide] = GetParam();
+  WindowSpec w{length, slide};
+  ASSERT_TRUE(w.Valid());
+  for (Timestamp t = 0; t < 4 * length; ++t) {
+    const WindowId lo = w.FirstWindowCovering(t);
+    const WindowId hi = w.LastWindowCovering(t);
+    ASSERT_LE(lo, hi);
+    // Every window in [lo, hi] contains t; the neighbors do not.
+    for (WindowId j = lo; j <= hi; ++j) {
+      ASSERT_GE(t, w.WindowStart(j));
+      ASSERT_LT(t, w.WindowEnd(j));
+    }
+    // Neighbors do not contain t (windows below 0 do not exist: lo is
+    // clamped, so the left neighbor check only applies when lo > 0).
+    if (lo > 0) ASSERT_GE(t, w.WindowEnd(lo - 1));
+    ASSERT_LT(t, w.WindowStart(hi + 1));
+    // Expiration agrees with window coverage: start s expired relative to
+    // t iff no window contains both.
+    for (Timestamp s = 0; s <= t; ++s) {
+      const bool shares_window = w.LastWindowCovering(s) >= lo;
+      ASSERT_EQ(!w.Expired(s, t), shares_window)
+          << "s=" << s << " t=" << t << " len=" << length << " sl=" << slide;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, WindowSweep,
+    ::testing::Values(std::pair<Duration, Duration>{4, 1},
+                      std::pair<Duration, Duration>{10, 2},
+                      std::pair<Duration, Duration>{10, 3},
+                      std::pair<Duration, Duration>{7, 7},
+                      std::pair<Duration, Duration>{12, 5}));
+
+}  // namespace
+}  // namespace sharon
