@@ -1,0 +1,117 @@
+// Sharded-runtime scaling on the Fig. 14 workload: events/s at shard
+// counts {1, 2, 4, 8} for the Sharon shared plan and the A-Seq baseline.
+//
+// Expected shape: wall-clock events/s grows with the shard count up to
+// the host's core count (groups are independent, so sharding is
+// embarrassingly parallel; the ingest thread and queue traffic are the
+// only serial parts). On hosts with fewer cores than shards the wall
+// numbers flatten — the per-shard busy-time column then still shows that
+// shard work shrank proportionally. Pass --quick for a CI-sized run.
+//
+// Each row also goes out as a one-line JSON record (PrintJsonRecord,
+// bench/bench_util.h) for scraping.
+
+#include <cstdio>
+#include <cstring>
+#include <thread>
+
+#include "bench/bench_util.h"
+
+namespace sharon {
+namespace {
+
+using bench::Num;
+using bench::PrintJsonRecord;
+using bench::PrintRow;
+
+void Run(bool quick) {
+  std::printf(
+      "=== Runtime scaling: Fig. 14 workload (taxi, 20 queries, length 10), "
+      "shard counts {1,2,4,8} ===\n");
+  std::printf("host hardware threads: %u%s\n\n",
+              std::thread::hardware_concurrency(),
+              quick ? " (quick mode)" : "");
+
+  const Duration window = Minutes(2);
+  const Duration slide = Seconds(30);
+
+  TaxiConfig cfg;
+  cfg.num_streets = 24;
+  cfg.num_vehicles = quick ? 64 : 256;
+  cfg.events_per_second = quick ? 2000 : 20000;
+  cfg.duration = quick ? Minutes(1) : Minutes(5);
+  Scenario s = GenerateTaxi(cfg);
+
+  WorkloadGenConfig wcfg;
+  wcfg.num_queries = 20;     // paper default
+  wcfg.pattern_length = 10;  // paper default
+  wcfg.cluster_size = 10;
+  wcfg.backbone_extra = 2;
+  wcfg.window = {window, slide};
+  wcfg.partition_attr = 0;
+  Workload w = GenerateWorkload(wcfg, cfg.num_streets);
+
+  CostModel cm(EstimateRates(s));
+  OptimizerResult opt = OptimizeSharon(w, cm, bench::FastOptimizerConfig());
+  std::printf("stream: %zu events, %zu groups; plan: %zu candidates\n\n",
+              s.events.size(), static_cast<size_t>(cfg.num_vehicles),
+              opt.plan.size());
+
+  PrintRow({"shards", "plan", "wall s", "events/s", "vs 1 shard",
+            "busy s/shard", "occupancy", "stalls"});
+
+  for (const bool shared : {true, false}) {
+    const SharingPlan& plan = shared ? opt.plan : SharingPlan{};
+    const char* plan_name = shared ? "sharon" : "aseq";
+    double base_rate = 0;
+    for (size_t shards : {1u, 2u, 4u, 8u}) {
+      runtime::RuntimeOptions ropts;
+      ropts.num_shards = shards;
+      runtime::ShardedRuntime rt(w, plan, ropts);
+      if (!rt.ok()) {
+        std::fprintf(stderr, "runtime error: %s\n", rt.error().c_str());
+        return;
+      }
+      rt.Run(s.events, s.duration);
+      runtime::RuntimeStats stats = rt.stats();
+
+      const double rate = stats.EventsPerSecond();
+      if (shards == 1) base_rate = rate;
+      const double busy_per_shard =
+          stats.TotalBusySeconds() / static_cast<double>(shards);
+
+      PrintRow({std::to_string(shards), plan_name, Num(stats.wall_seconds),
+                Num(rate, 0),
+                Num(base_rate > 0 ? rate / base_rate : 0, 2) + "x",
+                Num(busy_per_shard, 3), Num(stats.AvgBatchOccupancy(), 1),
+                std::to_string(stats.TotalStalls())});
+      PrintJsonRecord(
+          "runtime_scaling",
+          {{"plan", plan_name},
+           {"shards", std::to_string(shards)},
+           {"events", std::to_string(s.events.size())}},
+          {{"wall_seconds", stats.wall_seconds},
+           {"events_per_second", rate},
+           {"speedup_vs_1", base_rate > 0 ? rate / base_rate : 0},
+           {"busy_seconds_per_shard", busy_per_shard},
+           {"batch_occupancy", stats.AvgBatchOccupancy()},
+           {"queue_full_stalls", static_cast<double>(stats.TotalStalls())}});
+    }
+  }
+  std::printf(
+      "\nGroups are hash-partitioned across shards, so per-shard busy time "
+      "drops ~1/shards;\nwall-clock events/s scales with shards up to the "
+      "host's core count.\n");
+}
+
+}  // namespace
+}  // namespace sharon
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+  sharon::Run(quick);
+  return 0;
+}

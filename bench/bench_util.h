@@ -68,6 +68,28 @@ inline std::string OrDnf(const RunStats& stats, double value,
   return stats.finished ? Num(value, precision) : "DNF";
 }
 
+/// One machine-readable result record. Benches print one JSON object per
+/// line next to their human tables so sweeps can be scraped:
+///   {"bench":"<name>","params":{...},"metrics":{...}}
+/// Params are strings, metrics are numbers; keys must be plain
+/// identifiers (no escaping is performed).
+inline void PrintJsonRecord(
+    const std::string& bench,
+    const std::vector<std::pair<std::string, std::string>>& params,
+    const std::vector<std::pair<std::string, double>>& metrics) {
+  std::printf("{\"bench\":\"%s\",\"params\":{", bench.c_str());
+  for (size_t i = 0; i < params.size(); ++i) {
+    std::printf("%s\"%s\":\"%s\"", i ? "," : "", params[i].first.c_str(),
+                params[i].second.c_str());
+  }
+  std::printf("},\"metrics\":{");
+  for (size_t i = 0; i < metrics.size(); ++i) {
+    std::printf("%s\"%s\":%.6g", i ? "," : "", metrics[i].first.c_str(),
+                metrics[i].second);
+  }
+  std::printf("}}\n");
+}
+
 }  // namespace sharon::bench
 
 #endif  // SHARON_BENCH_BENCH_UTIL_H_

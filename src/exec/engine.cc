@@ -152,40 +152,64 @@ std::string CompilePlan(const Workload& workload, const SharingPlan& plan,
   return "";
 }
 
+CompiledPlanHandle CompilePlanShared(const Workload& workload,
+                                     const SharingPlan& plan,
+                                     std::string* error) {
+  auto compiled = std::make_shared<CompiledEngine>();
+  std::string diag = CompilePlan(workload, plan, compiled.get());
+  if (!diag.empty()) {
+    if (error) *error = std::move(diag);
+    return nullptr;
+  }
+  if (error) error->clear();
+  return compiled;
+}
+
 Engine::Engine(const Workload& workload, const SharingPlan& plan)
     : workload_(&workload) {
-  error_ = CompilePlan(workload, plan, &compiled_);
+  compiled_ = CompilePlanShared(workload, plan, &error_);
+  if (!compiled_) compiled_ = std::make_shared<CompiledEngine>();
+}
+
+Engine::Engine(const Workload& workload, CompiledPlanHandle compiled)
+    : workload_(&workload), compiled_(std::move(compiled)) {
+  if (!compiled_) {
+    error_ = "null compiled plan";
+    compiled_ = std::make_shared<CompiledEngine>();
+  }
 }
 
 Engine::GroupState& Engine::GroupFor(AttrValue g) {
   auto it = groups_.find(g);
   if (it != groups_.end()) return it->second;
+  const CompiledEngine& compiled = *compiled_;
   GroupState state;
-  state.counters.reserve(compiled_.counters.size());
-  for (const auto& cs : compiled_.counters) {
+  state.counters.reserve(compiled.counters.size());
+  for (const auto& cs : compiled.counters) {
     state.counters.push_back(
-        std::make_unique<SegmentCounter>(cs.pattern, cs.spec, compiled_.window));
+        std::make_unique<SegmentCounter>(cs.pattern, cs.spec, compiled.window));
   }
-  state.chains.reserve(compiled_.chains.size());
-  for (const auto& ch : compiled_.chains) {
+  state.chains.reserve(compiled.chains.size());
+  for (const auto& ch : compiled.chains) {
     std::vector<SegmentCounter*> refs;
     refs.reserve(ch.counter_idx.size());
     for (uint32_t ci : ch.counter_idx) refs.push_back(state.counters[ci].get());
-    state.chains.emplace_back(ch.queries, std::move(refs), compiled_.window);
+    state.chains.emplace_back(ch.queries, std::move(refs), compiled.window);
   }
   return groups_.emplace(g, std::move(state)).first->second;
 }
 
 void Engine::OnEvent(const Event& e) {
   now_ = e.time;
-  if (e.type >= compiled_.counters_by_type.size()) return;
+  const CompiledEngine& compiled = *compiled_;
+  if (e.type >= compiled.counters_by_type.size()) return;
   const AttrValue g =
-      compiled_.partition == kNoAttr ? 0 : e.attr(compiled_.partition);
+      compiled.partition == kNoAttr ? 0 : e.attr(compiled.partition);
   GroupState& gs = GroupFor(g);
-  for (uint32_t ci : compiled_.counters_by_type[e.type]) {
+  for (uint32_t ci : compiled.counters_by_type[e.type]) {
     gs.counters[ci]->OnEvent(e);
   }
-  for (uint32_t chi : compiled_.chains_by_type[e.type]) {
+  for (uint32_t chi : compiled.chains_by_type[e.type]) {
     gs.chains[chi].OnEvent(e, g, results_);
   }
   ++gs.events_seen;
@@ -225,7 +249,7 @@ size_t Engine::EstimatedBytes() const {
 
 size_t Engine::num_shared_counters() const {
   size_t n = 0;
-  for (const auto& c : compiled_.counters) n += c.shared;
+  for (const auto& c : compiled_->counters) n += c.shared;
   return n;
 }
 

@@ -64,11 +64,28 @@ struct CompiledEngine {
 std::string CompilePlan(const Workload& workload, const SharingPlan& plan,
                         CompiledEngine* out);
 
+/// Immutable compiled plan shared between executors. The compiled templates
+/// are read-only at run time, so any number of engines — in particular the
+/// per-shard engines of runtime::ShardedRuntime — can instantiate their
+/// group state from one compilation pass.
+using CompiledPlanHandle = std::shared_ptr<const CompiledEngine>;
+
+/// Compiles once for reuse across engines/shards. Returns nullptr and sets
+/// `*error` (when given) if the plan is unusable.
+CompiledPlanHandle CompilePlanShared(const Workload& workload,
+                                     const SharingPlan& plan,
+                                     std::string* error = nullptr);
+
 /// Workload executor. Single-threaded; feed events in timestamp order.
 class Engine {
  public:
   /// An empty `plan` gives the Non-Shared (A-Seq) method.
   Engine(const Workload& workload, const SharingPlan& plan = {});
+
+  /// Instantiates from a pre-compiled plan (one optimizer + compile pass
+  /// shared by many engines). `compiled` must not be null and must have
+  /// been produced from `workload`.
+  Engine(const Workload& workload, CompiledPlanHandle compiled);
 
   /// True if plan compilation succeeded; otherwise error() explains.
   bool ok() const { return error_.empty(); }
@@ -84,7 +101,8 @@ class Engine {
   const ResultCollector& results() const { return results_; }
   ResultCollector& mutable_results() { return results_; }
 
-  const CompiledEngine& compiled() const { return compiled_; }
+  const CompiledEngine& compiled() const { return *compiled_; }
+  const CompiledPlanHandle& compiled_handle() const { return compiled_; }
   const Workload& workload() const { return *workload_; }
 
   /// Current logical state bytes across all groups.
@@ -105,7 +123,7 @@ class Engine {
 
   const Workload* workload_;
   std::string error_;
-  CompiledEngine compiled_;
+  CompiledPlanHandle compiled_;
   std::unordered_map<AttrValue, GroupState> groups_;
   ResultCollector results_;
   MemoryMeter memory_;

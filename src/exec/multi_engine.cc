@@ -1,17 +1,20 @@
 #include "src/exec/multi_engine.h"
 
 #include <map>
+#include <tuple>
 
 namespace sharon {
 
-MultiEngine::MultiEngine(const Workload& workload, const CostModel& cost_model,
-                         const OptimizerConfig& config) {
+std::shared_ptr<const MultiEnginePlan> PlanMultiEngine(
+    const Workload& workload, const CostModel& cost_model,
+    const OptimizerConfig& config) {
+  auto plan = std::make_shared<MultiEnginePlan>();
   if (workload.empty()) {
-    error_ = "empty workload";
-    return;
+    plan->error = "empty workload";
+    return plan;
   }
-  total_queries_ = workload.size();
-  routes_.resize(workload.size());
+  plan->total_queries = workload.size();
+  plan->routes.resize(workload.size());
 
   // Group queries into uniform segments by (window, partition attribute).
   std::map<std::tuple<Duration, Duration, AttrIndex>, size_t> index;
@@ -20,31 +23,54 @@ MultiEngine::MultiEngine(const Workload& workload, const CostModel& cost_model,
                                q.partition_attr);
     auto it = index.find(key);
     if (it == index.end()) {
-      it = index.emplace(key, segments_.size()).first;
-      segments_.emplace_back();
+      it = index.emplace(key, plan->segments.size()).first;
+      plan->segments.emplace_back();
     }
-    Segment& seg = segments_[it->second];
+    MultiEnginePlan::Segment& seg = plan->segments[it->second];
     Query local = q;  // re-keyed by Workload::Add
     QueryId local_id = seg.workload.Add(std::move(local));
     seg.original_ids.push_back(q.id);
-    routes_[q.id] = {it->second, local_id};
+    plan->routes[q.id] = {it->second, local_id};
   }
 
-  // Optimize and instantiate each segment independently (§7.2: sharing
-  // within segments only).
-  for (Segment& seg : segments_) {
+  // Optimize and compile each segment independently (§7.2: sharing within
+  // segments only).
+  for (MultiEnginePlan::Segment& seg : plan->segments) {
     OptimizerResult opt = OptimizeSharon(seg.workload, cost_model, config);
-    seg.engine = std::make_unique<Engine>(seg.workload, opt.plan);
-    if (!seg.engine->ok()) {
-      error_ = seg.engine->error();
+    seg.compiled = CompilePlanShared(seg.workload, opt.plan, &plan->error);
+    if (!seg.compiled) return plan;
+    plan->plans.push_back(std::move(opt));
+  }
+  return plan;
+}
+
+MultiEngine::MultiEngine(const Workload& workload, const CostModel& cost_model,
+                         const OptimizerConfig& config)
+    : MultiEngine(PlanMultiEngine(workload, cost_model, config)) {}
+
+MultiEngine::MultiEngine(std::shared_ptr<const MultiEnginePlan> plan)
+    : plan_(std::move(plan)) {
+  if (!plan_) {
+    error_ = "null multi-engine plan";
+    plan_ = std::make_shared<MultiEnginePlan>();
+    return;
+  }
+  if (!plan_->ok()) {
+    error_ = plan_->error;
+    return;
+  }
+  engines_.reserve(plan_->segments.size());
+  for (const MultiEnginePlan::Segment& seg : plan_->segments) {
+    engines_.push_back(std::make_unique<Engine>(seg.workload, seg.compiled));
+    if (!engines_.back()->ok()) {
+      error_ = engines_.back()->error();
       return;
     }
-    plans_.push_back(std::move(opt));
   }
 }
 
 void MultiEngine::OnEvent(const Event& e) {
-  for (Segment& seg : segments_) seg.engine->OnEvent(e);
+  for (auto& engine : engines_) engine->OnEvent(e);
 }
 
 RunStats MultiEngine::Run(const std::vector<Event>& events,
@@ -53,7 +79,7 @@ RunStats MultiEngine::Run(const std::vector<Event>& events,
   StopWatch watch;
   for (const Event& e : events) OnEvent(e);
   stats.wall_seconds = watch.ElapsedSeconds();
-  stats.events_processed = events.size() * total_queries_;
+  stats.events_processed = events.size() * plan_->total_queries;
   stats.peak_state_bytes = EstimatedBytes();
   (void)duration;
   return stats;
@@ -66,19 +92,19 @@ double MultiEngine::Value(QueryId query, WindowId window, AttrValue group,
 
 AggState MultiEngine::Get(QueryId query, WindowId window,
                           AttrValue group) const {
-  const Route& r = routes_.at(query);
-  return segments_[r.segment].engine->results().Get(r.local, window, group);
+  const MultiEnginePlan::Route& r = plan_->routes.at(query);
+  return engines_[r.segment]->results().Get(r.local, window, group);
 }
 
 size_t MultiEngine::num_shared_counters() const {
   size_t n = 0;
-  for (const Segment& seg : segments_) n += seg.engine->num_shared_counters();
+  for (const auto& engine : engines_) n += engine->num_shared_counters();
   return n;
 }
 
 size_t MultiEngine::EstimatedBytes() const {
   size_t n = 0;
-  for (const Segment& seg : segments_) n += seg.engine->EstimatedBytes();
+  for (const auto& engine : engines_) n += engine->EstimatedBytes();
   return n;
 }
 

@@ -7,6 +7,11 @@
 // segment gets its own Sharon optimizer pass and Engine, and events fan
 // out to every segment. Sharing still happens inside each segment, which
 // is where it is legal.
+//
+// Planning (optimizer + plan compilation) is split from instantiation:
+// PlanMultiEngine produces an immutable MultiEnginePlan that any number of
+// MultiEngine instances share — the per-shard engines of
+// runtime::ShardedRuntime all reuse one planning pass.
 
 #ifndef SHARON_EXEC_MULTI_ENGINE_H_
 #define SHARON_EXEC_MULTI_ENGINE_H_
@@ -19,19 +24,56 @@
 
 namespace sharon {
 
+/// Immutable outcome of planning a non-uniform workload: the uniform
+/// segment workloads, their compiled sharing plans, and the routing table
+/// from original query ids to (segment, segment-local id). Owns the
+/// segment workloads, so engines built from it must not outlive it — hold
+/// it in a shared_ptr when instances share it.
+struct MultiEnginePlan {
+  struct Segment {
+    Workload workload;                  ///< segment-local query ids
+    std::vector<QueryId> original_ids;  ///< segment-local id -> original id
+    CompiledPlanHandle compiled;
+  };
+
+  /// Segment index and segment-local id for one original query.
+  struct Route {
+    size_t segment = 0;
+    QueryId local = 0;
+  };
+
+  std::string error;  ///< empty on success
+  std::vector<Segment> segments;
+  std::vector<Route> routes;            ///< indexed by original query id
+  std::vector<OptimizerResult> plans;   ///< per-segment optimizer outcomes
+  size_t total_queries = 0;
+
+  bool ok() const { return error.empty(); }
+};
+
+/// Partitions `workload` into uniform segments by (window, partition
+/// attribute) and optimizes each with `cost_model` (Sharon optimizer,
+/// `config`). Never returns null; check `->ok()`.
+std::shared_ptr<const MultiEnginePlan> PlanMultiEngine(
+    const Workload& workload, const CostModel& cost_model,
+    const OptimizerConfig& config = {});
+
 /// Executes a non-uniform workload as independent uniform segments.
 class MultiEngine {
  public:
-  /// Partitions `workload` into uniform segments and optimizes each with
-  /// `cost_model` (Sharon optimizer, `config`).
+  /// Plans and instantiates in one step (single-instance convenience).
   MultiEngine(const Workload& workload, const CostModel& cost_model,
               const OptimizerConfig& config = {});
+
+  /// Instantiates executor state from a shared plan (one planning pass for
+  /// many instances). `plan` must not be null.
+  explicit MultiEngine(std::shared_ptr<const MultiEnginePlan> plan);
 
   bool ok() const { return error_.empty(); }
   const std::string& error() const { return error_; }
 
   /// Number of uniform segments the workload was split into.
-  size_t num_segments() const { return segments_.size(); }
+  size_t num_segments() const { return plan_ ? plan_->segments.size() : 0; }
 
   /// Total number of shared counters across segments.
   size_t num_shared_counters() const;
@@ -46,28 +88,22 @@ class MultiEngine {
   AggState Get(QueryId query, WindowId window, AttrValue group) const;
 
   /// Per-segment optimizer outcomes (for inspection).
-  const std::vector<OptimizerResult>& plans() const { return plans_; }
+  const std::vector<OptimizerResult>& plans() const { return plan_->plans; }
+
+  /// The shared plan this instance executes.
+  const std::shared_ptr<const MultiEnginePlan>& plan() const { return plan_; }
+
+  /// Per-segment engines, in plan segment order (read-only inspection).
+  const std::vector<std::unique_ptr<Engine>>& engines() const {
+    return engines_;
+  }
 
   size_t EstimatedBytes() const;
 
  private:
-  struct Segment {
-    Workload workload;                 ///< segment-local query ids
-    std::vector<QueryId> original_ids; ///< segment id -> original id
-    std::unique_ptr<Engine> engine;
-  };
-
-  /// segment index and segment-local id for each original query.
-  struct Route {
-    size_t segment = 0;
-    QueryId local = 0;
-  };
-
   std::string error_;
-  std::vector<Segment> segments_;
-  std::vector<Route> routes_;
-  std::vector<OptimizerResult> plans_;
-  size_t total_queries_ = 0;
+  std::shared_ptr<const MultiEnginePlan> plan_;
+  std::vector<std::unique_ptr<Engine>> engines_;  ///< one per plan segment
 };
 
 }  // namespace sharon

@@ -1,0 +1,45 @@
+// Group-to-shard partitioning.
+//
+// Sharon's correctness argument for the sharded runtime rests on one
+// invariant: ALL events of a group value are processed by ONE shard, in
+// stream order (see DESIGN.md). Both the ingest path and the result
+// merger must therefore agree on the mapping, which is pinned down here:
+// a 64-bit finalizer over the group value, reduced modulo the shard
+// count. Raw group values are often small dense integers (vehicle ids,
+// customer ids); the finalizer spreads them so neighbouring ids do not
+// land on the same shard.
+
+#ifndef SHARON_RUNTIME_PARTITION_H_
+#define SHARON_RUNTIME_PARTITION_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/common/event.h"
+
+namespace sharon::runtime {
+
+/// splitmix64 finalizer: bijective 64-bit mix with good avalanche.
+inline uint64_t MixGroup(AttrValue group) {
+  uint64_t x = static_cast<uint64_t>(group);
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// The shard owning `group` among `num_shards` shards.
+inline size_t ShardIndexFor(AttrValue group, size_t num_shards) {
+  return num_shards > 1 ? static_cast<size_t>(MixGroup(group) % num_shards)
+                        : 0;
+}
+
+/// The group value the engines partition `e` by: the event's partition
+/// attribute, or 0 when the workload has no grouping clause.
+inline AttrValue GroupOf(const Event& e, AttrIndex partition) {
+  return partition == kNoAttr ? 0 : e.attr(partition);
+}
+
+}  // namespace sharon::runtime
+
+#endif  // SHARON_RUNTIME_PARTITION_H_

@@ -1,0 +1,79 @@
+// Merged, engine-compatible view over the per-shard result stores.
+//
+// Because every group value is owned by exactly one shard, "merging" is
+// routing: a (query, window, group) lookup goes straight to the owning
+// shard's collector and returns its AggState untouched — no cross-shard
+// combination ever happens, which is why sharded results are bit-identical
+// to the single-threaded engines'. The iteration helpers visit each
+// shard's private cells in turn.
+
+#ifndef SHARON_RUNTIME_RESULT_MERGER_H_
+#define SHARON_RUNTIME_RESULT_MERGER_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/exec/result.h"
+#include "src/runtime/partition.h"
+#include "src/runtime/shard.h"
+
+namespace sharon::runtime {
+
+/// Read-only facade exposing the same Value/Get surface as
+/// Engine::results() / MultiEngine over a set of shards. Valid only after
+/// the owning runtime finished (shards joined); the shards must outlive
+/// the merger.
+class ResultMerger {
+ public:
+  ResultMerger() = default;
+  ResultMerger(const std::vector<std::unique_ptr<Shard>>* shards,
+               AttrIndex partition)
+      : shards_(shards), partition_(partition) {}
+
+  /// Aggregate state of a cell; Zero if absent (also when the merger has
+  /// no shards, e.g. its runtime failed to construct). `query` is an id
+  /// of the ORIGINAL workload.
+  AggState Get(QueryId query, WindowId window, AttrValue group) const {
+    if (!shards_ || shards_->empty()) return AggState::Zero();
+    return OwnerOf(group).Get(query, window, group);
+  }
+
+  /// Final numeric value of a cell under `fn`.
+  double Value(QueryId query, WindowId window, AttrValue group,
+               AggFunction fn) const {
+    return Get(query, window, group).Final(fn);
+  }
+
+  /// The shard whose collector owns `group`. Requires a non-empty shard
+  /// set (a successfully constructed runtime).
+  const Shard& OwnerOf(AttrValue group) const {
+    return *(*shards_)[ShardIndexFor(group, shards_->size())];
+  }
+
+  /// Visits every result cell across all shards, keys in ORIGINAL query
+  /// ids. Iteration order is unspecified.
+  void ForEachCell(
+      const std::function<void(const ResultKey&, const AggState&)>& fn) const {
+    if (!shards_) return;
+    for (const auto& shard : *shards_) shard->ForEachCell(fn);
+  }
+
+  /// Total number of result cells across shards.
+  size_t NumCells() const {
+    if (!shards_) return 0;
+    size_t n = 0;
+    for (const auto& shard : *shards_) n += shard->NumCells();
+    return n;
+  }
+
+  AttrIndex partition() const { return partition_; }
+
+ private:
+  const std::vector<std::unique_ptr<Shard>>* shards_ = nullptr;
+  AttrIndex partition_ = kNoAttr;
+};
+
+}  // namespace sharon::runtime
+
+#endif  // SHARON_RUNTIME_RESULT_MERGER_H_

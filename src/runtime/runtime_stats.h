@@ -1,0 +1,107 @@
+// Runtime configuration and per-shard / aggregate counters.
+//
+// Built on the explicit-measurement style of src/common/metrics.h: shards
+// count what they do (events, batches, busy seconds) and the producer
+// counts what it had to wait for (full queues), so throughput numbers are
+// deterministic functions of the run rather than sampled estimates.
+
+#ifndef SHARON_RUNTIME_RUNTIME_STATS_H_
+#define SHARON_RUNTIME_RUNTIME_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "src/common/metrics.h"
+
+namespace sharon::runtime {
+
+/// Tuning knobs of the sharded runtime.
+struct RuntimeOptions {
+  /// Worker shards. 0 means one per available hardware thread.
+  size_t num_shards = 0;
+
+  /// Events per ingest batch. Larger batches amortize queue traffic;
+  /// smaller batches reduce ingest-to-result latency.
+  size_t batch_size = 256;
+
+  /// Ring-buffer slots (batches) per shard queue. Bounds in-flight
+  /// memory to roughly num_shards * queue_capacity * batch_size events
+  /// and is the mechanism of backpressure.
+  size_t queue_capacity = 64;
+
+  size_t ResolvedShards() const {
+    if (num_shards > 0) return num_shards;
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+  }
+};
+
+/// Counters of one shard. The worker thread owns events/batches/
+/// busy_seconds/idle_spins; the ingest thread owns queue_full_stalls.
+/// Read them together only after the runtime finished.
+struct ShardStats {
+  uint64_t events = 0;        ///< events processed by the worker
+  uint64_t batches = 0;       ///< batches popped by the worker
+  uint64_t queue_full_stalls = 0;  ///< producer yields on a full queue
+  uint64_t idle_spins = 0;    ///< worker yields on an empty queue
+  double busy_seconds = 0;    ///< wall time spent inside engine code
+
+  /// Mean events per popped batch (batch occupancy).
+  double AvgBatchOccupancy() const {
+    return batches > 0 ? static_cast<double>(events) /
+                             static_cast<double>(batches)
+                       : 0;
+  }
+
+  /// Events per second of shard busy time.
+  double BusyThroughput() const {
+    return busy_seconds > 0
+               ? static_cast<double>(events) / busy_seconds
+               : 0;
+  }
+};
+
+/// Aggregate counters of one sharded run.
+struct RuntimeStats {
+  std::vector<ShardStats> shards;
+  uint64_t events_ingested = 0;
+  double wall_seconds = 0;  ///< Start() to Finish(), ingest included
+
+  /// Stream events per wall second (NOT multiplied by workload size; see
+  /// RunStats::Throughput for the paper's per-query convention).
+  double EventsPerSecond() const {
+    return wall_seconds > 0
+               ? static_cast<double>(events_ingested) / wall_seconds
+               : 0;
+  }
+
+  uint64_t TotalStalls() const {
+    uint64_t n = 0;
+    for (const ShardStats& s : shards) n += s.queue_full_stalls;
+    return n;
+  }
+
+  double TotalBusySeconds() const {
+    double t = 0;
+    for (const ShardStats& s : shards) t += s.busy_seconds;
+    return t;
+  }
+
+  /// Mean batch occupancy across shards, weighted by batches.
+  double AvgBatchOccupancy() const {
+    uint64_t events = 0, batches = 0;
+    for (const ShardStats& s : shards) {
+      events += s.events;
+      batches += s.batches;
+    }
+    return batches > 0
+               ? static_cast<double>(events) / static_cast<double>(batches)
+               : 0;
+  }
+};
+
+}  // namespace sharon::runtime
+
+#endif  // SHARON_RUNTIME_RUNTIME_STATS_H_

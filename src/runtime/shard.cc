@@ -1,0 +1,123 @@
+#include "src/runtime/shard.h"
+
+#include <algorithm>
+
+namespace sharon::runtime {
+
+Shard::Shard(size_t index, const Workload& workload,
+             CompiledPlanHandle compiled, const RuntimeOptions& options)
+    : index_(index),
+      queue_(options.queue_capacity),
+      engine_(std::make_unique<Engine>(workload, std::move(compiled))) {
+  if (!engine_->ok()) error_ = engine_->error();
+}
+
+Shard::Shard(size_t index, std::shared_ptr<const MultiEnginePlan> plan,
+             const RuntimeOptions& options)
+    : index_(index),
+      queue_(options.queue_capacity),
+      multi_(std::make_unique<MultiEngine>(std::move(plan))) {
+  if (!multi_->ok()) error_ = multi_->error();
+}
+
+Shard::~Shard() {
+  SignalDone();
+  Join();
+}
+
+void Shard::Start() {
+  if (started_ || !ok()) return;
+  started_ = true;
+  thread_ = std::thread(&Shard::WorkerLoop, this);
+}
+
+void Shard::Join() {
+  if (thread_.joinable()) thread_.join();
+}
+
+void Shard::Process(const EventBatch& batch) {
+  StopWatch watch;
+  if (engine_) {
+    for (const Event& e : batch) engine_->OnEvent(e);
+  } else {
+    for (const Event& e : batch) multi_->OnEvent(e);
+  }
+  stats_.busy_seconds += watch.ElapsedSeconds();
+  stats_.events += batch.size();
+  ++stats_.batches;
+}
+
+void Shard::WorkerLoop() {
+  EventBatch batch;
+  for (;;) {
+    if (queue_.TryPop(batch)) {
+      Process(batch);
+      batch.clear();
+      continue;
+    }
+    if (done_.load(std::memory_order_acquire)) {
+      // done_ was set after the final push; drain whatever is left.
+      while (queue_.TryPop(batch)) {
+        Process(batch);
+        batch.clear();
+      }
+      return;
+    }
+    ++stats_.idle_spins;
+    std::this_thread::yield();
+  }
+}
+
+AggState Shard::Get(QueryId query, WindowId window, AttrValue group) const {
+  if (engine_) return engine_->results().Get(query, window, group);
+  return multi_->Get(query, window, group);
+}
+
+void Shard::ForEachCell(
+    const std::function<void(const ResultKey&, const AggState&)>& fn) const {
+  if (engine_) {
+    for (const auto& [key, state] : engine_->results().cells()) {
+      fn(key, state);
+    }
+    return;
+  }
+  const MultiEnginePlan& plan = *multi_->plan();
+  for (size_t s = 0; s < multi_->engines().size(); ++s) {
+    const std::vector<QueryId>& originals = plan.segments[s].original_ids;
+    for (const auto& [key, state] : multi_->engines()[s]->results().cells()) {
+      ResultKey remapped = key;
+      remapped.query = originals.at(key.query);
+      fn(remapped, state);
+    }
+  }
+}
+
+size_t Shard::NumCells() const {
+  if (engine_) return engine_->results().size();
+  size_t n = 0;
+  for (const auto& e : multi_->engines()) n += e->results().size();
+  return n;
+}
+
+size_t Shard::EstimatedBytes() const {
+  return engine_ ? engine_->EstimatedBytes() : multi_->EstimatedBytes();
+}
+
+size_t Shard::PeakBytes() const {
+  // Engine's meter is updated at sweep time; fold in the current figure
+  // the way Engine::Run's final Set() would.
+  auto peak_of = [](const Engine& e) {
+    return std::max(e.peak_bytes(), e.EstimatedBytes());
+  };
+  if (engine_) return peak_of(*engine_);
+  size_t n = 0;
+  for (const auto& e : multi_->engines()) n += peak_of(*e);
+  return n;
+}
+
+size_t Shard::num_shared_counters() const {
+  return engine_ ? engine_->num_shared_counters()
+                 : multi_->num_shared_counters();
+}
+
+}  // namespace sharon::runtime

@@ -1,0 +1,109 @@
+// One shard of the sharded runtime: a worker thread that owns a private
+// executor (Engine for uniform workloads, MultiEngine for non-uniform
+// ones) and drains event batches from a bounded SPSC queue.
+//
+// The shard never shares mutable state with other shards — the executor,
+// its group state and its ResultCollector are all private — so no locks
+// are taken on the event path. Results are read only after Join().
+
+#ifndef SHARON_RUNTIME_SHARD_H_
+#define SHARON_RUNTIME_SHARD_H_
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/exec/engine.h"
+#include "src/exec/multi_engine.h"
+#include "src/runtime/runtime_stats.h"
+#include "src/runtime/spsc_queue.h"
+
+namespace sharon::runtime {
+
+/// A batch of events owned by the queue while in flight.
+using EventBatch = std::vector<Event>;
+
+/// Worker shard. Construct, Start(), feed via TryEnqueue from ONE
+/// producer thread, then SignalDone() + Join() before reading results.
+class Shard {
+ public:
+  /// Uniform-workload shard: instantiates an Engine from a shared
+  /// compiled plan (one compile pass for all shards).
+  Shard(size_t index, const Workload& workload, CompiledPlanHandle compiled,
+        const RuntimeOptions& options);
+
+  /// Non-uniform-workload shard: instantiates a MultiEngine from a shared
+  /// multi-engine plan (one optimizer pass for all shards).
+  Shard(size_t index, std::shared_ptr<const MultiEnginePlan> plan,
+        const RuntimeOptions& options);
+
+  ~Shard();
+
+  Shard(const Shard&) = delete;
+  Shard& operator=(const Shard&) = delete;
+
+  bool ok() const { return error_.empty(); }
+  const std::string& error() const { return error_; }
+  size_t index() const { return index_; }
+
+  /// Spawns the worker thread. Idempotent.
+  void Start();
+
+  /// Producer side: moves `batch` into the queue; false when full (the
+  /// batch is untouched and the caller should yield and retry).
+  bool TryEnqueue(EventBatch&& batch) {
+    return queue_.TryPush(std::move(batch));
+  }
+
+  /// Producer side: no more batches will be enqueued.
+  void SignalDone() { done_.store(true, std::memory_order_release); }
+
+  /// Blocks until the worker drained the queue and exited. Idempotent.
+  void Join();
+
+  /// Producer-side stall accounting (kept here so ShardStats is complete).
+  void CountStall() { ++stats_.queue_full_stalls; }
+
+  // --- post-Join reads -------------------------------------------------
+
+  const ShardStats& stats() const { return stats_; }
+
+  /// Result cell for an ORIGINAL-workload query id.
+  AggState Get(QueryId query, WindowId window, AttrValue group) const;
+
+  /// Visits every result cell, with cell keys in ORIGINAL query ids.
+  /// Iteration order is unspecified.
+  void ForEachCell(
+      const std::function<void(const ResultKey&, const AggState&)>& fn) const;
+
+  size_t NumCells() const;
+  size_t EstimatedBytes() const;
+  /// Peak logical state bytes (Engine::peak_bytes convention).
+  size_t PeakBytes() const;
+  size_t num_shared_counters() const;
+
+  /// The underlying executors (exactly one is non-null).
+  const Engine* engine() const { return engine_.get(); }
+  const MultiEngine* multi() const { return multi_.get(); }
+
+ private:
+  void WorkerLoop();
+  void Process(const EventBatch& batch);
+
+  size_t index_;
+  std::string error_;
+  SpscQueue<EventBatch> queue_;
+  std::unique_ptr<Engine> engine_;
+  std::unique_ptr<MultiEngine> multi_;
+  std::thread thread_;
+  std::atomic<bool> done_{false};
+  bool started_ = false;
+  ShardStats stats_;
+};
+
+}  // namespace sharon::runtime
+
+#endif  // SHARON_RUNTIME_SHARD_H_

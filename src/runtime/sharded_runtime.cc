@@ -1,0 +1,185 @@
+#include "src/runtime/sharded_runtime.h"
+
+#include <thread>
+
+namespace sharon::runtime {
+
+ShardedRuntime::ShardedRuntime(const Workload& workload,
+                               const SharingPlan& plan,
+                               const RuntimeOptions& options)
+    : options_(options) {
+  if (workload.empty()) {
+    error_ = "empty workload";
+    return;
+  }
+  workload_size_ = workload.size();
+  InitShardsUniform(workload, plan);
+}
+
+ShardedRuntime::ShardedRuntime(const Workload& workload,
+                               const CostModel& cost_model,
+                               const OptimizerConfig& config,
+                               const RuntimeOptions& options)
+    : options_(options) {
+  // Validate before PlanMultiEngine: planning runs the optimizer per
+  // segment, far too expensive to spend on a workload we then reject.
+  if (!ValidateForSharding(workload)) return;
+  InitShardsMulti(workload, PlanMultiEngine(workload, cost_model, config));
+}
+
+ShardedRuntime::ShardedRuntime(const Workload& workload,
+                               std::shared_ptr<const MultiEnginePlan> plan,
+                               const RuntimeOptions& options)
+    : options_(options) {
+  if (!ValidateForSharding(workload)) return;
+  InitShardsMulti(workload, std::move(plan));
+}
+
+bool ShardedRuntime::ValidateForSharding(const Workload& workload) {
+  if (workload.empty()) {
+    error_ = "empty workload";
+    return false;
+  }
+  workload_size_ = workload.size();
+  // All state of a group must live on the group's shard (DESIGN.md), so
+  // every segment has to partition by the same attribute.
+  partition_ = workload.queries().front().partition_attr;
+  for (const Query& q : workload.queries()) {
+    if (q.partition_attr != partition_) {
+      error_ =
+          "sharding requires a common grouping attribute across queries; "
+          "this workload mixes partition attributes (run segments in "
+          "separate runtimes instead)";
+      return false;
+    }
+  }
+  return true;
+}
+
+void ShardedRuntime::InitShardsUniform(const Workload& workload,
+                                       const SharingPlan& plan) {
+  CompiledPlanHandle compiled = CompilePlanShared(workload, plan, &error_);
+  if (!compiled) return;
+  partition_ = compiled->partition;
+  const size_t n = options_.ResolvedShards();
+  shards_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    shards_.push_back(std::make_unique<Shard>(i, workload, compiled, options_));
+    if (!shards_.back()->ok()) {
+      error_ = shards_.back()->error();
+      return;
+    }
+  }
+  pending_.resize(n);
+  merger_ = ResultMerger(&shards_, partition_);
+}
+
+void ShardedRuntime::InitShardsMulti(
+    const Workload& workload, std::shared_ptr<const MultiEnginePlan> plan) {
+  (void)workload;
+  if (!plan || !plan->ok()) {
+    error_ = plan ? plan->error : "null multi-engine plan";
+    return;
+  }
+  const size_t n = options_.ResolvedShards();
+  shards_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    shards_.push_back(std::make_unique<Shard>(i, plan, options_));
+    if (!shards_.back()->ok()) {
+      error_ = shards_.back()->error();
+      return;
+    }
+  }
+  pending_.resize(n);
+  merger_ = ResultMerger(&shards_, partition_);
+}
+
+ShardedRuntime::~ShardedRuntime() {
+  if (started_ && !finished_) Finish();
+}
+
+void ShardedRuntime::Start() {
+  if (started_ || !ok()) return;
+  started_ = true;
+  for (auto& shard : shards_) shard->Start();
+  wall_.Reset();
+}
+
+void ShardedRuntime::PushBatch(size_t shard_idx) {
+  EventBatch& batch = pending_[shard_idx];
+  if (batch.empty()) return;
+  Shard& shard = *shards_[shard_idx];
+  while (!shard.TryEnqueue(std::move(batch))) {
+    shard.CountStall();
+    std::this_thread::yield();
+  }
+  batch = EventBatch();
+  batch.reserve(options_.batch_size);
+}
+
+void ShardedRuntime::Ingest(const Event& e) {
+  // A failed runtime has no shards to index; a finished one has no
+  // workers left to drain the queues, so pushing would livelock.
+  if (!ok() || finished_) return;
+  if (!started_) Start();  // otherwise a full queue would stall forever
+  const size_t idx =
+      ShardIndexFor(GroupOf(e, partition_), shards_.size());
+  EventBatch& batch = pending_[idx];
+  if (batch.capacity() == 0) batch.reserve(options_.batch_size);
+  batch.push_back(e);
+  ++events_ingested_;
+  if (batch.size() >= options_.batch_size) PushBatch(idx);
+}
+
+void ShardedRuntime::Flush() {
+  for (size_t i = 0; i < pending_.size(); ++i) PushBatch(i);
+}
+
+void ShardedRuntime::Finish() {
+  if (!started_ || finished_) return;
+  Flush();
+  for (auto& shard : shards_) shard->SignalDone();
+  for (auto& shard : shards_) shard->Join();
+  wall_seconds_ = wall_.ElapsedSeconds();
+  finished_ = true;
+}
+
+RunStats ShardedRuntime::Run(const std::vector<Event>& events,
+                             Duration duration) {
+  RunStats stats;
+  if (!ok() || finished_) return stats;
+  Start();
+  for (const Event& e : events) Ingest(e);
+  Finish();
+  stats.wall_seconds = wall_seconds_;
+  // Per-query convention of Engine::Run: each event counts once per query.
+  stats.events_processed = events.size() * workload_size_;
+  stats.results_emitted = merger_.NumCells();
+  // Engine::Run convention: report the PEAK, not the post-sweep figure.
+  size_t peak = 0;
+  for (const auto& shard : shards_) peak += shard->PeakBytes();
+  stats.peak_state_bytes = peak;
+  (void)duration;
+  return stats;
+}
+
+RuntimeStats ShardedRuntime::stats() const {
+  RuntimeStats out;
+  out.shards.reserve(shards_.size());
+  for (const auto& shard : shards_) out.shards.push_back(shard->stats());
+  out.events_ingested = events_ingested_;
+  out.wall_seconds = wall_seconds_;
+  return out;
+}
+
+size_t ShardedRuntime::EstimatedBytes() const {
+  size_t n = 0;
+  for (const auto& shard : shards_) n += shard->EstimatedBytes();
+  return n;
+}
+
+size_t ShardedRuntime::num_shared_counters() const {
+  return shards_.empty() ? 0 : shards_.front()->num_shared_counters();
+}
+
+}  // namespace sharon::runtime

@@ -1,0 +1,140 @@
+// ShardedRuntime: parallel streaming execution of a Sharon workload.
+//
+// Sharon partitions all executor state by the workload's grouping
+// attribute (§2.1 assumption 2), so groups are independent by
+// construction. The runtime exploits exactly that: incoming events are
+// hash-partitioned by group value across N worker shards, each owning a
+// private Engine (or MultiEngine for non-uniform workloads) instantiated
+// from ONE shared compiled plan. Batches travel through bounded SPSC ring
+// buffers; a full ring stalls the ingest thread (backpressure) rather
+// than growing memory without bound.
+//
+// Determinism: a shard sees the events of its groups in stream order, and
+// result cells are keyed by group, so every cell is computed by the same
+// operations in the same order as in the single-threaded engine — results
+// are bit-identical for any shard count (tests/runtime_test.cc asserts
+// this). See DESIGN.md for the full invariant.
+
+#ifndef SHARON_RUNTIME_SHARDED_RUNTIME_H_
+#define SHARON_RUNTIME_SHARDED_RUNTIME_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/exec/engine.h"
+#include "src/exec/multi_engine.h"
+#include "src/runtime/result_merger.h"
+#include "src/runtime/runtime_stats.h"
+#include "src/runtime/shard.h"
+#include "src/sharing/cost_model.h"
+
+namespace sharon::runtime {
+
+/// Parallel workload executor with the same result surface as Engine.
+///
+/// Lifecycle: construct -> [Start -> Ingest... -> Finish] -> read results;
+/// or simply Run(events, duration) which does all of it. A runtime is
+/// single-use: after Finish() the workers are gone and further Ingest/Run
+/// calls are ignored (construct a new runtime to process another stream).
+/// `workload` (and the sharing plan sources) must outlive the runtime.
+class ShardedRuntime {
+ public:
+  /// Uniform workload, explicit sharing plan (empty = A-Seq). The plan is
+  /// compiled once and shared by all shards.
+  explicit ShardedRuntime(const Workload& workload,
+                          const SharingPlan& plan = {},
+                          const RuntimeOptions& options = {});
+
+  /// Non-uniform workload: one PlanMultiEngine pass (optimizer included),
+  /// shared by all shards. Requires every query to agree on the grouping
+  /// attribute — windows may differ, the partitioning may not, since a
+  /// shard must own all state of the groups routed to it.
+  ShardedRuntime(const Workload& workload, const CostModel& cost_model,
+                 const OptimizerConfig& config = {},
+                 const RuntimeOptions& options = {});
+
+  /// Non-uniform workload from a pre-computed shared plan.
+  ShardedRuntime(const Workload& workload,
+                 std::shared_ptr<const MultiEnginePlan> plan,
+                 const RuntimeOptions& options = {});
+
+  ~ShardedRuntime();
+
+  ShardedRuntime(const ShardedRuntime&) = delete;
+  ShardedRuntime& operator=(const ShardedRuntime&) = delete;
+
+  bool ok() const { return error_.empty(); }
+  const std::string& error() const { return error_; }
+
+  size_t num_shards() const { return shards_.size(); }
+  const RuntimeOptions& options() const { return options_; }
+
+  /// Spawns the shard workers and starts the wall clock. Idempotent.
+  void Start();
+
+  /// Routes one event to its owning shard's pending batch; pushes the
+  /// batch when full, stalling (with yield) while that shard's queue is
+  /// full. Call from ONE thread, events in timestamp order.
+  void Ingest(const Event& e);
+
+  /// Pushes all non-empty pending batches regardless of occupancy.
+  void Flush();
+
+  /// Flushes, signals end-of-stream, joins all workers and stops the wall
+  /// clock. Results and stats are valid afterwards. Idempotent.
+  void Finish();
+
+  /// Convenience: Start + Ingest(all) + Finish, reporting RunStats that
+  /// are comparable with Engine::Run (events_processed counts each event
+  /// once per query, the paper's convention).
+  RunStats Run(const std::vector<Event>& events, Duration duration);
+
+  /// Merged result view (valid after Finish()).
+  const ResultMerger& results() const { return merger_; }
+  AggState Get(QueryId query, WindowId window, AttrValue group) const {
+    return merger_.Get(query, window, group);
+  }
+  double Value(QueryId query, WindowId window, AttrValue group,
+               AggFunction fn) const {
+    return merger_.Value(query, window, group, fn);
+  }
+
+  /// Per-shard and aggregate counters (valid after Finish()).
+  RuntimeStats stats() const;
+
+  /// Logical state bytes across all shards (valid after Finish()).
+  size_t EstimatedBytes() const;
+
+  /// Shared counters per shard template (same for every shard).
+  size_t num_shared_counters() const;
+
+  /// The grouping attribute events are partitioned by.
+  AttrIndex partition() const { return partition_; }
+
+ private:
+  /// Checks the common-grouping invariant and records workload size /
+  /// partition attribute; sets error_ and returns false on violation.
+  bool ValidateForSharding(const Workload& workload);
+  void InitShardsUniform(const Workload& workload, const SharingPlan& plan);
+  void InitShardsMulti(const Workload& workload,
+                       std::shared_ptr<const MultiEnginePlan> plan);
+  void PushBatch(size_t shard_idx);
+
+  std::string error_;
+  RuntimeOptions options_;
+  AttrIndex partition_ = kNoAttr;
+  size_t workload_size_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<EventBatch> pending_;  ///< ingest-side per-shard batches
+  ResultMerger merger_;
+  StopWatch wall_;
+  double wall_seconds_ = 0;
+  uint64_t events_ingested_ = 0;
+  bool started_ = false;
+  bool finished_ = false;
+};
+
+}  // namespace sharon::runtime
+
+#endif  // SHARON_RUNTIME_SHARDED_RUNTIME_H_

@@ -1,0 +1,81 @@
+// Bounded single-producer / single-consumer ring buffer.
+//
+// The sharded runtime moves event batches from the one ingest thread to
+// each shard's worker through one of these queues, so the only
+// synchronization on the hot path is a pair of acquire/release atomics
+// (the classic Lamport queue). Capacity is fixed at construction and
+// rounded up to a power of two; a full queue rejects the push, which is
+// how backpressure propagates to the producer.
+
+#ifndef SHARON_RUNTIME_SPSC_QUEUE_H_
+#define SHARON_RUNTIME_SPSC_QUEUE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace sharon::runtime {
+
+/// Bounded SPSC queue of movable values. Exactly one thread may call
+/// TryPush and exactly one thread may call TryPop.
+template <typename T>
+class SpscQueue {
+ public:
+  /// `capacity` is rounded up to the next power of two (minimum 2).
+  explicit SpscQueue(size_t capacity) {
+    size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  /// Moves `v` into the queue; false (and `v` untouched) when full.
+  bool TryPush(T&& v) {
+    const uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_.load(std::memory_order_acquire) > mask_) return false;
+    slots_[tail & mask_] = std::move(v);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Moves the oldest value into `out`; false when empty.
+  bool TryPop(T& out) {
+    const uint64_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_.load(std::memory_order_acquire)) return false;
+    out = std::move(slots_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Snapshot; exact only from the consumer thread.
+  bool Empty() const {
+    return head_.load(std::memory_order_acquire) ==
+           tail_.load(std::memory_order_acquire);
+  }
+
+  /// Snapshot of the number of queued values.
+  size_t Size() const {
+    const uint64_t tail = tail_.load(std::memory_order_acquire);
+    const uint64_t head = head_.load(std::memory_order_acquire);
+    return static_cast<size_t>(tail - head);
+  }
+
+  size_t capacity() const { return mask_ + 1; }
+
+ private:
+  std::vector<T> slots_;
+  size_t mask_ = 0;
+  // Producer and consumer cursors on separate cache lines to avoid
+  // false sharing between the two threads.
+  alignas(64) std::atomic<uint64_t> head_{0};  ///< consumer cursor
+  alignas(64) std::atomic<uint64_t> tail_{0};  ///< producer cursor
+};
+
+}  // namespace sharon::runtime
+
+#endif  // SHARON_RUNTIME_SPSC_QUEUE_H_

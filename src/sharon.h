@@ -36,6 +36,12 @@
 #include "src/query/pattern.h"
 #include "src/query/query.h"
 #include "src/query/window.h"
+#include "src/runtime/partition.h"
+#include "src/runtime/result_merger.h"
+#include "src/runtime/runtime_stats.h"
+#include "src/runtime/shard.h"
+#include "src/runtime/sharded_runtime.h"
+#include "src/runtime/spsc_queue.h"
 #include "src/sharing/candidate.h"
 #include "src/sharing/ccspan.h"
 #include "src/sharing/cost_model.h"
@@ -44,6 +50,7 @@
 #include "src/streamgen/linear_road.h"
 #include "src/streamgen/rate_monitor.h"
 #include "src/streamgen/rates.h"
+#include "src/streamgen/replay.h"
 #include "src/streamgen/scenario.h"
 #include "src/streamgen/taxi.h"
 #include "src/streamgen/workload_gen.h"

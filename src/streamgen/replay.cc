@@ -1,0 +1,48 @@
+#include "src/streamgen/replay.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "src/common/metrics.h"
+
+namespace sharon {
+
+ReplayReport ReplayStream(const std::vector<Event>& events,
+                          const ReplayConfig& config,
+                          const std::function<void(const Event&)>& sink) {
+  ReplayReport report;
+  StopWatch watch;
+  if (config.target_events_per_second <= 0) {
+    for (const Event& e : events) sink(e);
+    report.events_delivered = events.size();
+    report.wall_seconds = watch.ElapsedSeconds();
+    return report;
+  }
+
+  const size_t chunk = config.chunk > 0 ? config.chunk : 1;
+  const double rate = config.target_events_per_second;
+  size_t delivered = 0;
+  while (delivered < events.size()) {
+    const size_t end = std::min(delivered + chunk, events.size());
+    for (size_t i = delivered; i < end; ++i) sink(events[i]);
+    delivered = end;
+    // Sleep off any lead over the target schedule.
+    const double due = static_cast<double>(delivered) / rate;
+    const double lead = due - watch.ElapsedSeconds();
+    if (lead > 0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(lead));
+    }
+  }
+  report.events_delivered = delivered;
+  report.wall_seconds = watch.ElapsedSeconds();
+  return report;
+}
+
+ReplayReport ReplayScenario(const Scenario& scenario,
+                            const ReplayConfig& config,
+                            const std::function<void(const Event&)>& sink) {
+  return ReplayStream(scenario.events, config, sink);
+}
+
+}  // namespace sharon
