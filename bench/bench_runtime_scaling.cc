@@ -8,6 +8,13 @@
 // numbers flatten — the per-shard busy-time column then still shows that
 // shard work shrank proportionally. Pass --quick for a CI-sized run.
 //
+// --long-stream runs the bounded-state experiment instead: a stream
+// covering many window lengths through (a) the seed grow-forever engine
+// and (b) the watermarked engine with eviction + finalized-result
+// draining. Live pane count and logical bytes are sampled along the run;
+// with eviction both stay flat (O(active panes)) where the seed's
+// pending-window count and result bytes grow linearly with the stream.
+//
 // Each row also goes out as a one-line JSON record (PrintJsonRecord,
 // bench/bench_util.h) for scraping.
 
@@ -104,14 +111,130 @@ void Run(bool quick) {
       "host's core count.\n");
 }
 
+// --- long-stream bounded-state experiment ---------------------------------
+
+void RunLongStream(bool quick) {
+  const Duration window = Seconds(20);
+  const Duration slide = Seconds(6);  // slide does not divide length
+  const int window_multiples = quick ? 12 : 40;
+
+  TaxiConfig cfg;
+  cfg.num_streets = 16;
+  cfg.num_vehicles = 48;
+  cfg.events_per_second = quick ? 400 : 1000;
+  cfg.duration = window_multiples * window;
+  Scenario s = GenerateTaxi(cfg);
+
+  WorkloadGenConfig wcfg;
+  wcfg.num_queries = 8;
+  wcfg.pattern_length = 4;
+  wcfg.cluster_size = 4;
+  wcfg.window = {window, slide};
+  wcfg.partition_attr = 0;
+  Workload w = GenerateWorkload(wcfg, cfg.num_streets);
+
+  DisorderConfig inj;
+  inj.max_lateness = slide / 4;
+  inj.punctuation_period = slide / 2;
+  const std::vector<Event> disordered = InjectDisorder(s.events, inj);
+
+  std::printf(
+      "=== Long stream: %zu events over %d window lengths "
+      "(window %lds, slide %lds, lateness %ld ticks) ===\n\n",
+      s.events.size(), window_multiples,
+      static_cast<long>(window / kTicksPerSecond),
+      static_cast<long>(slide / kTicksPerSecond),
+      static_cast<long>(inj.max_lateness));
+  PrintRow({"mode", "events", "live panes", "pending wins", "bytes",
+            "drained"});
+
+  const size_t samples = 24;
+  for (const bool evict : {false, true}) {
+    const char* mode = evict ? "evict" : "seed";
+    Engine engine(w);
+    if (!engine.ok()) {
+      std::fprintf(stderr, "engine error: %s\n", engine.error().c_str());
+      return;
+    }
+    if (evict) {
+      DisorderPolicy policy;
+      policy.enabled = true;
+      policy.max_lateness = inj.max_lateness;
+      engine.SetDisorderPolicy(policy);
+    }
+    const std::vector<Event>& input = evict ? disordered : s.events;
+    const size_t stride = std::max<size_t>(input.size() / samples, 1);
+    size_t max_live_panes = 0, max_bytes = 0, drained = 0, processed = 0;
+    for (size_t i = 0; i < input.size(); ++i) {
+      engine.OnEvent(input[i]);
+      if (!IsWatermark(input[i])) ++processed;
+      if ((i + 1) % stride == 0 || i + 1 == input.size()) {
+        if (evict) {
+          // A real sink consumes finalized windows; draining is what
+          // keeps the result store (and RSS) flat.
+          drained += engine.DrainFinalized(
+              [](const ResultKey&, const AggState&) {});
+        }
+        const LiveState live = engine.LiveStateSnapshot();
+        const size_t bytes = engine.EstimatedBytes();
+        max_live_panes = std::max(max_live_panes, live.LivePanes());
+        max_bytes = std::max(max_bytes, bytes);
+        PrintRow({mode, std::to_string(processed),
+                  std::to_string(live.LivePanes()),
+                  std::to_string(live.pending_windows), bench::Bytes(bytes),
+                  std::to_string(drained)});
+        PrintJsonRecord(
+            "long_stream_sample",
+            {{"mode", mode}},
+            {{"events", static_cast<double>(processed)},
+             {"live_panes", static_cast<double>(live.LivePanes())},
+             {"pending_windows", static_cast<double>(live.pending_windows)},
+             {"bytes", static_cast<double>(bytes)},
+             {"drained_cells", static_cast<double>(drained)}});
+      }
+    }
+    if (evict) {
+      engine.CloseStream();
+      drained += engine.DrainFinalized([](const ResultKey&, const AggState&) {});
+      const WatermarkStats& ws = engine.watermark_stats();
+      PrintJsonRecord(
+          "long_stream_summary", {{"mode", mode}},
+          {{"max_live_panes", static_cast<double>(max_live_panes)},
+           {"max_bytes", static_cast<double>(max_bytes)},
+           {"drained_cells", static_cast<double>(drained)},
+           {"finalized_windows", static_cast<double>(ws.finalized_windows)},
+           {"evicted_panes", static_cast<double>(ws.evicted_panes)},
+           {"evicted_groups", static_cast<double>(ws.evicted_groups)},
+           {"late_dropped", static_cast<double>(ws.late_dropped)}});
+    } else {
+      PrintJsonRecord(
+          "long_stream_summary", {{"mode", mode}},
+          {{"max_live_panes", static_cast<double>(max_live_panes)},
+           {"max_bytes", static_cast<double>(max_bytes)},
+           {"drained_cells", 0.0}});
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "With eviction + draining, live panes and bytes plateau at the\n"
+      "active-pane working set; the seed engine's pending windows and\n"
+      "result bytes grow linearly with the stream.\n");
+}
+
 }  // namespace
 }  // namespace sharon
 
 int main(int argc, char** argv) {
   bool quick = false;
+  bool long_stream = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    if (std::strcmp(argv[i], "--long-stream") == 0) long_stream = true;
   }
-  sharon::Run(quick);
+  if (long_stream) {
+    sharon::RunLongStream(quick);
+  } else {
+    sharon::Run(quick);
+  }
   return 0;
 }

@@ -1,6 +1,7 @@
 #include "src/exec/chain_runner.h"
 
 #include <algorithm>
+#include <cassert>
 
 namespace sharon {
 
@@ -14,6 +15,12 @@ ChainRunner::ChainRunner(std::vector<QueryId> queries,
 
 void ChainRunner::OnEvent(const Event& e, AttrValue group,
                           ResultCollector& out) {
+#ifndef NDEBUG
+  // Ordering contract (see header): a regression here means an
+  // out-of-order event bypassed the watermark reorder buffer.
+  assert(e.time > last_time_ && "ChainRunner requires in-order events");
+  last_time_ = e.time;
+#endif
   // Boundary handling: at most one stage has e.type as its START type
   // (types are unique within a query pattern). Process it before the final
   // emission so a single-event last segment sees its own snapshot.
@@ -132,12 +139,38 @@ bool ChainRunner::PrunePanes(Snapshot& s, Timestamp now) const {
   return !v.empty();
 }
 
-void ChainRunner::ExpireBefore(Timestamp now) {
+size_t ChainRunner::ExpireBefore(Timestamp now) {
+  size_t panes_freed = 0;
   for (auto& stage : stages_) {
     while (!stage.empty() && window_.Expired(stage.front().start_time, now)) {
+      panes_freed += std::max<size_t>(stage.front().per_pane.size(), 1);
       stage.pop_front();
     }
+    // Snapshots whose own start is live may still hold dead panes (the
+    // chain's first event is older than the snapshot); prune those too so
+    // watermark-driven eviction leaves only reachable state behind.
+    for (Snapshot& s : stage) {
+      const size_t before = s.per_pane.size();
+      PrunePanes(s, now);
+      panes_freed += before - s.per_pane.size();
+    }
   }
+  return panes_freed;
+}
+
+size_t ChainRunner::NumLivePanes() const {
+  size_t n = 0;
+  for (const auto& stage : stages_) {
+    for (const Snapshot& s : stage) n += s.per_pane.size();
+  }
+  return n;
+}
+
+bool ChainRunner::Empty() const {
+  for (const auto& stage : stages_) {
+    if (!stage.empty()) return false;
+  }
+  return true;
 }
 
 size_t ChainRunner::EstimatedBytes() const {

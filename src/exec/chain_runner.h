@@ -45,13 +45,38 @@ class ChainRunner {
   /// Processes one event *after* all counters processed it. Only START
   /// types of segments and the END type of the last segment do work.
   /// `group` is the partition value the engine routed this event by.
+  ///
+  /// ORDERING CONTRACT (audited for the watermark subsystem): events MUST
+  /// arrive in strictly increasing time order. Pane bucketing depends on
+  /// it in three load-bearing places —
+  ///   * TakeSnapshot appends stage-0 snapshots to the deque back, so the
+  ///     deques are ascending in both StartId and start_time;
+  ///   * ExpireBefore pops expired snapshots from the front only;
+  ///   * PrunePanes drops dead panes from the front of the (ascending)
+  ///     per-pane vector only.
+  /// A late first event landing in an already-emitted pane would corrupt
+  /// all three silently, and the upstream SegmentCounter prefix machine
+  /// is equally order-dependent (a late event could never extend through
+  /// sequences that should follow it). Out-of-order ingestion is
+  /// therefore handled strictly upstream: Engine's watermark reorder
+  /// buffer releases events in time order (src/exec/engine.h), and this
+  /// class rejects regressions loudly in debug builds instead of
+  /// corrupting state (tests/chain_runner_test.cc regression-tests the
+  /// slide-not-dividing-length case through the watermark path).
   void OnEvent(const Event& e, AttrValue group, ResultCollector& out);
 
   /// Drops snapshots that can no longer contribute to any open window.
-  void ExpireBefore(Timestamp now);
+  /// Returns the number of pane buckets freed (eviction accounting).
+  size_t ExpireBefore(Timestamp now);
 
   const std::vector<QueryId>& queries() const { return queries_; }
   size_t num_stages() const { return counters_.size(); }
+
+  /// Live pane buckets across all stage snapshots (bounded-state census).
+  size_t NumLivePanes() const;
+
+  /// True when no snapshot state is held (group state is evictable).
+  bool Empty() const;
 
   /// Logical state footprint in bytes (snapshots).
   size_t EstimatedBytes() const;
@@ -83,6 +108,9 @@ class ChainRunner {
   WindowSpec window_;
   std::vector<std::deque<Snapshot>> stages_;  ///< per stage, ascending StartId
   std::vector<PaneAgg> pane_batch_;  ///< EmitFinal scratch (reused)
+#ifndef NDEBUG
+  Timestamp last_time_ = -1;  ///< ordering-contract check (debug only)
+#endif
 };
 
 }  // namespace sharon

@@ -200,6 +200,29 @@ Engine::GroupState& Engine::GroupFor(AttrValue g) {
 }
 
 void Engine::OnEvent(const Event& e) {
+  if (IsWatermark(e)) {
+    AdvanceWatermark(e.time);
+    return;
+  }
+  if (!policy_.enabled) {
+    ProcessOrdered(e);
+    return;
+  }
+  if (e.time > high_mark_) high_mark_ = e.time;
+  if (e.time < frontier_) {
+    // Below the safe point: the event's prefix of the stream was declared
+    // complete (and its windows possibly finalized), so absorbing it
+    // would break exactly-once. Drop it, visibly.
+    ++wm_stats_.late_dropped;
+    return;
+  }
+  reorder_.push(e);
+  if (reorder_.size() > wm_stats_.buffered_peak) {
+    wm_stats_.buffered_peak = reorder_.size();
+  }
+}
+
+void Engine::ProcessOrdered(const Event& e) {
   now_ = e.time;
   const CompiledEngine& compiled = *compiled_;
   if (e.type >= compiled.counters_by_type.size()) return;
@@ -210,17 +233,125 @@ void Engine::OnEvent(const Event& e) {
     gs.counters[ci]->OnEvent(e);
   }
   for (uint32_t chi : compiled.chains_by_type[e.type]) {
-    gs.chains[chi].OnEvent(e, g, results_);
+    gs.chains[chi].OnEvent(e, g, sink());
   }
   ++gs.events_seen;
   if (++events_since_sweep_ >= kSweepInterval) {
     events_since_sweep_ = 0;
     for (auto& [gv, state] : groups_) {
-      for (auto& c : state.counters) c->ExpireBefore(now_);
-      for (auto& ch : state.chains) ch.ExpireBefore(now_);
+      for (auto& c : state.counters) {
+        wm_stats_.evicted_panes += c->ExpireBefore(now_);
+      }
+      for (auto& ch : state.chains) {
+        wm_stats_.evicted_panes += ch.ExpireBefore(now_);
+      }
     }
     memory_.Set(EstimatedBytes());
   }
+}
+
+void Engine::SetDisorderPolicy(const DisorderPolicy& policy) {
+  policy_ = policy;
+}
+
+void Engine::AdvanceWatermark(Timestamp t) {
+  if (!policy_.enabled) return;
+  if (t <= wm_stats_.watermark) {
+    // Watermarks must advance; a regression (merged streams, replayed
+    // punctuation) is counted and ignored rather than applied.
+    ++wm_stats_.regressions;
+    return;
+  }
+  wm_stats_.watermark = t;
+  const Timestamp safe = policy_.SafePoint(t);
+  wm_stats_.safe_point = safe;
+
+  // 1. Release buffered events strictly below the safe point, in time
+  //    order — the A-Seq machinery sees a sorted stream.
+  while (!reorder_.empty() && reorder_.top().time < safe) {
+    ProcessOrdered(reorder_.top());
+    reorder_.pop();
+  }
+  if (safe > frontier_) frontier_ = safe;
+
+  // 2. Finalize windows that close at or before the safe point: all of
+  //    their events (times < close <= safe) were released in step 1, so
+  //    the staged cells are complete. Extraction empties them, making
+  //    finalization exactly-once.
+  const WindowSpec& window = compiled_->window;
+  if (window.Valid() && safe >= 0) {
+    const WindowId limit = window.FirstWindowCovering(safe);
+    if (limit > next_finalize_) {
+      auto [cells, windows] = staged_.ExtractWindowsBefore(limit, results_);
+      wm_stats_.finalized_cells += cells;
+      wm_stats_.finalized_windows += windows;
+      next_finalize_ = limit;
+    }
+  }
+
+  // 3. Evict state that can no longer reach an open window.
+  if (policy_.evict && safe >= 0) EvictBefore(safe);
+}
+
+void Engine::EvictBefore(Timestamp safe) {
+  for (auto it = groups_.begin(); it != groups_.end();) {
+    GroupState& state = it->second;
+    bool empty = true;
+    for (auto& c : state.counters) {
+      wm_stats_.evicted_panes += c->ExpireBefore(safe);
+      empty = empty && c->num_live_starts() == 0;
+    }
+    for (auto& ch : state.chains) {
+      wm_stats_.evicted_panes += ch.ExpireBefore(safe);
+      empty = empty && ch.Empty();
+    }
+    if (empty) {
+      ++wm_stats_.evicted_groups;
+      it = groups_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  memory_.Set(EstimatedBytes());
+}
+
+void Engine::CloseStream() {
+  if (!policy_.enabled) return;
+  // Far enough that the safe point passes every buffered event and the
+  // close of every window any event can reach.
+  const Duration length =
+      compiled_->window.Valid() ? compiled_->window.length : 0;
+  const Timestamp base = high_mark_ == kNoWatermark ? 0 : high_mark_;
+  AdvanceWatermark(base + length + policy_.max_lateness + 1);
+}
+
+bool Engine::Finalized(WindowId window) const {
+  if (!policy_.enabled || !compiled_->window.Valid()) return false;
+  const Timestamp safe = SafePoint();
+  return safe >= 0 && compiled_->window.WindowEnd(window) <= safe;
+}
+
+size_t Engine::DrainFinalized(
+    const std::function<void(const ResultKey&, const AggState&)>& fn) {
+  // Without a disorder policy nothing ever finalizes: results_ holds
+  // live, still-growing cells that must not be handed out as sealed.
+  if (!policy_.enabled) return 0;
+  const size_t n = results_.size();
+  for (const auto& [key, state] : results_.cells()) fn(key, state);
+  results_.Clear();
+  return n;
+}
+
+LiveState Engine::LiveStateSnapshot() const {
+  LiveState live;
+  live.groups = groups_.size();
+  for (const auto& [g, state] : groups_) {
+    for (const auto& c : state.counters) live.counter_starts += c->num_live_starts();
+    for (const auto& ch : state.chains) live.snapshot_panes += ch.NumLivePanes();
+  }
+  live.pending_windows = policy_.enabled ? staged_.NumWindows() : results_.NumWindows();
+  live.buffered_events = reorder_.size();
+  return live;
 }
 
 RunStats Engine::Run(const std::vector<Event>& events, Duration duration) {
@@ -239,7 +370,8 @@ RunStats Engine::Run(const std::vector<Event>& events, Duration duration) {
 }
 
 size_t Engine::EstimatedBytes() const {
-  size_t bytes = results_.EstimatedBytes();
+  size_t bytes = results_.EstimatedBytes() + staged_.EstimatedBytes() +
+                 reorder_.size() * (sizeof(Event) + 2 * sizeof(AttrValue));
   for (const auto& [g, state] : groups_) {
     for (const auto& c : state.counters) bytes += c->EstimatedBytes();
     for (const auto& ch : state.chains) bytes += ch.EstimatedBytes();

@@ -16,12 +16,15 @@
 #ifndef SHARON_EXEC_ENGINE_H_
 #define SHARON_EXEC_ENGINE_H_
 
+#include <functional>
 #include <memory>
+#include <queue>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "src/common/metrics.h"
+#include "src/common/watermark.h"
 #include "src/exec/chain_runner.h"
 #include "src/exec/result.h"
 #include "src/exec/segment_counter.h"
@@ -76,7 +79,14 @@ CompiledPlanHandle CompilePlanShared(const Workload& workload,
                                      const SharingPlan& plan,
                                      std::string* error = nullptr);
 
-/// Workload executor. Single-threaded; feed events in timestamp order.
+/// Workload executor. Single-threaded. By default events must arrive in
+/// timestamp order (the seed contract); with a DisorderPolicy enabled the
+/// engine accepts bounded out-of-order arrival: events wait in a reorder
+/// buffer until a watermark proves their prefix of the stream complete,
+/// are released in time order into the order-dependent A-Seq machinery,
+/// and every window whose close precedes watermark - max_lateness is
+/// finalized into results() exactly once while the state that fed it is
+/// evicted. See src/common/watermark.h for the contract.
 class Engine {
  public:
   /// An empty `plan` gives the Non-Shared (A-Seq) method.
@@ -92,12 +102,61 @@ class Engine {
   const std::string& error() const { return error_; }
 
   /// Processes one event through every counter and chain of its group.
+  /// Watermark punctuations (IsWatermark) are routed to AdvanceWatermark;
+  /// with a disorder policy enabled, data events are buffered until a
+  /// watermark releases them and events below the safe point are dropped
+  /// and counted (watermark_stats().late_dropped).
   void OnEvent(const Event& e);
 
   /// Convenience: processes a whole recorded stream, collecting RunStats.
   /// `duration` (ticks) is used to count windows for latency-per-window.
   RunStats Run(const std::vector<Event>& events, Duration duration);
 
+  // --- bounded-disorder ingestion (src/common/watermark.h) --------------
+
+  /// Enables watermark-driven ingestion. Call before the first event.
+  void SetDisorderPolicy(const DisorderPolicy& policy);
+  const DisorderPolicy& disorder_policy() const { return policy_; }
+
+  /// Applies watermark `t` (the stream's observed high-mark): releases
+  /// buffered events below the safe point t - max_lateness in time order,
+  /// finalizes every window whose close does not exceed the safe point
+  /// (its staged cells move to results() exactly once), and evicts
+  /// counter/snapshot/group state that can no longer reach an open
+  /// window. Non-advancing watermarks are counted and ignored. No-op
+  /// unless a disorder policy is enabled.
+  void AdvanceWatermark(Timestamp t);
+
+  /// End of stream: advances the watermark far enough to release every
+  /// buffered event and finalize every window.
+  void CloseStream();
+
+  /// True once `window` has been finalized (its results are complete and
+  /// immutable). Always false while no disorder policy is enabled —
+  /// without watermarks nothing ever finalizes.
+  bool Finalized(WindowId window) const;
+
+  /// Safe point implied by the highest watermark seen (kNoWatermark
+  /// before the first watermark).
+  Timestamp SafePoint() const { return policy_.SafePoint(wm_stats_.watermark); }
+
+  const WatermarkStats& watermark_stats() const { return wm_stats_; }
+
+  /// Results of windows that are not yet finalized (watermark mode only;
+  /// these cells may still grow).
+  const ResultCollector& staged_results() const { return staged_; }
+
+  /// Visits and removes every finalized result cell. Long-running sinks
+  /// drain finalized windows so the result store stays bounded; returns
+  /// the number of cells drained.
+  size_t DrainFinalized(
+      const std::function<void(const ResultKey&, const AggState&)>& fn);
+
+  /// Census of live executor state (the bounded-state invariant).
+  LiveState LiveStateSnapshot() const;
+
+  /// In watermark mode results() holds FINALIZED cells only; windows
+  /// still open are in staged_results() until their watermark passes.
   const ResultCollector& results() const { return results_; }
   ResultCollector& mutable_results() { return results_; }
 
@@ -121,6 +180,17 @@ class Engine {
 
   GroupState& GroupFor(AttrValue g);
 
+  /// The seed event path: in-order processing through counters + chains.
+  void ProcessOrdered(const Event& e);
+
+  /// Watermark eviction: expires counter starts and snapshot panes
+  /// against `safe` and erases groups left with no state at all.
+  void EvictBefore(Timestamp safe);
+
+  /// The collector chain emissions go to: staged under watermarking
+  /// (finalization moves cells to results_), results_ otherwise.
+  ResultCollector& sink() { return policy_.enabled ? staged_ : results_; }
+
   const Workload* workload_;
   std::string error_;
   CompiledPlanHandle compiled_;
@@ -129,6 +199,20 @@ class Engine {
   MemoryMeter memory_;
   uint64_t events_since_sweep_ = 0;
   Timestamp now_ = 0;
+
+  // --- watermark mode state ---------------------------------------------
+  struct LaterTime {
+    bool operator()(const Event& a, const Event& b) const {
+      return a.time > b.time;
+    }
+  };
+  DisorderPolicy policy_;
+  std::priority_queue<Event, std::vector<Event>, LaterTime> reorder_;
+  ResultCollector staged_;          ///< cells of not-yet-finalized windows
+  WatermarkStats wm_stats_;
+  Timestamp frontier_ = 0;          ///< ticks below this were released
+  Timestamp high_mark_ = kNoWatermark;  ///< highest event time observed
+  WindowId next_finalize_ = 0;      ///< windows below this are finalized
 
   static constexpr uint64_t kSweepInterval = 4096;
 };

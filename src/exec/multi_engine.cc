@@ -1,5 +1,6 @@
 #include "src/exec/multi_engine.h"
 
+#include <algorithm>
 #include <map>
 #include <tuple>
 
@@ -71,6 +72,59 @@ MultiEngine::MultiEngine(std::shared_ptr<const MultiEnginePlan> plan)
 
 void MultiEngine::OnEvent(const Event& e) {
   for (auto& engine : engines_) engine->OnEvent(e);
+}
+
+void MultiEngine::SetDisorderPolicy(const DisorderPolicy& policy) {
+  for (auto& engine : engines_) engine->SetDisorderPolicy(policy);
+}
+
+void MultiEngine::AdvanceWatermark(Timestamp t) {
+  for (auto& engine : engines_) engine->AdvanceWatermark(t);
+}
+
+void MultiEngine::CloseStream() {
+  for (auto& engine : engines_) engine->CloseStream();
+}
+
+bool MultiEngine::Finalized(QueryId query, WindowId window) const {
+  const MultiEnginePlan::Route& r = plan_->routes.at(query);
+  return engines_[r.segment]->Finalized(window);
+}
+
+WatermarkStats MultiEngine::watermark_stats() const {
+  // Every segment engine sees the SAME arrival stream, so stream-level
+  // counters (late drops, regressions, buffer peak) must not be summed
+  // across segments — that would overcount by the segment count. They
+  // combine by max (identical in practice); per-engine state counters
+  // (eviction, finalization) are disjoint and sum; the frontier is the
+  // minimum. Contrast WatermarkStats::MergeFrom, whose additive semantics
+  // fit shards that each see a disjoint slice of the stream.
+  WatermarkStats out;
+  for (const auto& engine : engines_) {
+    const WatermarkStats& ws = engine->watermark_stats();
+    if (out.watermark == kNoWatermark || ws.watermark < out.watermark) {
+      out.watermark = ws.watermark;
+    }
+    if (out.safe_point == kNoWatermark || ws.safe_point < out.safe_point) {
+      out.safe_point = ws.safe_point;
+    }
+    out.late_dropped = std::max(out.late_dropped, ws.late_dropped);
+    out.regressions = std::max(out.regressions, ws.regressions);
+    out.buffered_peak = std::max(out.buffered_peak, ws.buffered_peak);
+    out.evicted_panes += ws.evicted_panes;
+    out.evicted_groups += ws.evicted_groups;
+    out.finalized_windows += ws.finalized_windows;
+    out.finalized_cells += ws.finalized_cells;
+  }
+  return out;
+}
+
+LiveState MultiEngine::LiveStateSnapshot() const {
+  LiveState live;
+  for (const auto& engine : engines_) {
+    live.MergeFrom(engine->LiveStateSnapshot());
+  }
+  return live;
 }
 
 RunStats MultiEngine::Run(const std::vector<Event>& events,

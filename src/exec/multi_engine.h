@@ -81,6 +81,30 @@ class MultiEngine {
   void OnEvent(const Event& e);
   RunStats Run(const std::vector<Event>& events, Duration duration);
 
+  // --- bounded-disorder ingestion (src/common/watermark.h) --------------
+  // Each segment engine reorders and finalizes independently against its
+  // own window grid; watermarks fan out like events, so one punctuation
+  // advances every segment.
+
+  /// Enables watermark-driven ingestion on every segment engine.
+  void SetDisorderPolicy(const DisorderPolicy& policy);
+
+  /// Applies a watermark to every segment engine.
+  void AdvanceWatermark(Timestamp t);
+
+  /// Releases and finalizes everything on every segment engine.
+  void CloseStream();
+
+  /// True once `window` (in the query's own window grid) is finalized.
+  bool Finalized(QueryId query, WindowId window) const;
+
+  /// Rolled-up watermark counters across segment engines (watermark is
+  /// the MIN across segments).
+  WatermarkStats watermark_stats() const;
+
+  /// Aggregated live-state census across segment engines.
+  LiveState LiveStateSnapshot() const;
+
   /// Result for a query of the ORIGINAL workload (query ids are the
   /// original ids; windows are in the query's own window grid).
   double Value(QueryId query, WindowId window, AttrValue group,

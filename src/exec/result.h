@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "src/query/aggregate.h"
 #include "src/query/query.h"
@@ -58,6 +59,35 @@ class ResultCollector {
 
   size_t size() const { return cells_.size(); }
   void Clear() { cells_.clear(); }
+
+  /// Moves every cell with window id < `limit` into `into`, merging into
+  /// any existing cells there. Returns {cells moved, distinct windows
+  /// moved}. This is the watermark finalization primitive: a window's
+  /// staged cells transfer to the finalized store exactly once, because
+  /// extraction empties them here and finalization limits are monotone.
+  std::pair<size_t, size_t> ExtractWindowsBefore(WindowId limit,
+                                                 ResultCollector& into) {
+    size_t cells = 0;
+    std::unordered_set<WindowId> windows;
+    for (auto it = cells_.begin(); it != cells_.end();) {
+      if (it->first.window < limit) {
+        into.cells_[it->first].MergeFrom(it->second);
+        windows.insert(it->first.window);
+        ++cells;
+        it = cells_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    return {cells, windows.size()};
+  }
+
+  /// Number of distinct window ids present across cells.
+  size_t NumWindows() const {
+    std::unordered_set<WindowId> windows;
+    for (const auto& [key, state] : cells_) windows.insert(key.window);
+    return windows.size();
+  }
 
   size_t EstimatedBytes() const {
     return cells_.size() * (sizeof(ResultKey) + sizeof(AggState) + 16);

@@ -67,11 +67,14 @@ Timestamp SegmentCounter::StartTimeFor(StartId id) const {
   return starts_[id - base_].time;
 }
 
-void SegmentCounter::ExpireBefore(Timestamp now) {
+size_t SegmentCounter::ExpireBefore(Timestamp now) {
+  size_t dropped = 0;
   while (!starts_.empty() && window_.Expired(starts_.front().time, now)) {
     starts_.pop_front();
     ++base_;
+    ++dropped;
   }
+  return dropped;
 }
 
 size_t SegmentCounter::EstimatedBytes() const {

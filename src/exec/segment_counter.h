@@ -69,8 +69,9 @@ class SegmentCounter {
   /// Start timestamp for `id`; -1 if expired.
   Timestamp StartTimeFor(StartId id) const;
 
-  /// Drops starts that cannot share a window with `now` (§3.2).
-  void ExpireBefore(Timestamp now);
+  /// Drops starts that cannot share a window with `now` (§3.2). Returns
+  /// the number of starts dropped (for eviction accounting).
+  size_t ExpireBefore(Timestamp now);
 
   const Pattern& pattern() const { return pattern_; }
   const AggSpec& spec() const { return spec_; }

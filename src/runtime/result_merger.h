@@ -10,10 +10,12 @@
 #ifndef SHARON_RUNTIME_RESULT_MERGER_H_
 #define SHARON_RUNTIME_RESULT_MERGER_H_
 
+#include <algorithm>
 #include <functional>
 #include <memory>
 #include <vector>
 
+#include "src/common/watermark.h"
 #include "src/exec/result.h"
 #include "src/runtime/partition.h"
 #include "src/runtime/shard.h"
@@ -65,6 +67,37 @@ class ResultMerger {
     size_t n = 0;
     for (const auto& shard : *shards_) n += shard->NumCells();
     return n;
+  }
+
+  // --- watermark finalization surface (disorder-enabled runtimes) -------
+  // A window is finalized only when EVERY shard finalized it: one shard's
+  // stalled watermark holds the merged frontier back, because the
+  // window's cells on that shard could still change. Runs without a
+  // disorder policy never finalize anything (nothing ever seals).
+
+  /// True once `window` of `query` is finalized on every shard — its
+  /// merged results are complete and immutable. Valid after Finish().
+  bool Finalized(QueryId query, WindowId window) const {
+    if (!shards_ || shards_->empty()) return false;
+    for (const auto& shard : *shards_) {
+      if (!shard->Finalized(query, window)) return false;
+    }
+    return true;
+  }
+
+  /// The merged watermark: the MINIMUM across shard watermarks, i.e. the
+  /// highest punctuation every shard has applied. Safe to read while the
+  /// workers run (per-shard watermarks are atomic); kNoWatermark until
+  /// all shards saw one.
+  Timestamp MinWatermark() const {
+    if (!shards_ || shards_->empty()) return kNoWatermark;
+    Timestamp min = kWatermarkMax;
+    for (const auto& shard : *shards_) {
+      const Timestamp w = shard->watermark();
+      if (w == kNoWatermark) return kNoWatermark;
+      min = std::min(min, w);
+    }
+    return min;
   }
 
   AttrIndex partition() const { return partition_; }

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "src/common/metrics.h"
+#include "src/common/watermark.h"
 
 namespace sharon::runtime {
 
@@ -30,6 +31,12 @@ struct RuntimeOptions {
   /// memory to roughly num_shards * queue_capacity * batch_size events
   /// and is the mechanism of backpressure.
   size_t queue_capacity = 64;
+
+  /// Bounded-disorder contract for out-of-order streams (disabled by
+  /// default: the seed's in-order behaviour). When enabled, every shard's
+  /// executor reorders/finalizes/evicts, watermark punctuations are
+  /// broadcast to all shards, and ResultMerger exposes Finalized().
+  DisorderPolicy disorder;
 
   size_t ResolvedShards() const {
     if (num_shards > 0) return num_shards;
@@ -66,8 +73,32 @@ struct ShardStats {
 /// Aggregate counters of one sharded run.
 struct RuntimeStats {
   std::vector<ShardStats> shards;
+  /// Per-shard watermark/eviction counters (index-aligned with shards;
+  /// empty when the runtime ran without a disorder policy).
+  std::vector<WatermarkStats> shard_watermarks;
   uint64_t events_ingested = 0;
+  uint64_t watermarks_ingested = 0;  ///< punctuations broadcast to shards
   double wall_seconds = 0;  ///< Start() to Finish(), ingest included
+
+  /// Cross-shard watermark rollup: watermark/safe point are the MIN over
+  /// shards (the merged finalization frontier), counters are sums.
+  WatermarkStats Watermarks() const {
+    WatermarkStats out;
+    for (const WatermarkStats& w : shard_watermarks) out.MergeFrom(w);
+    return out;
+  }
+
+  uint64_t TotalLateDropped() const {
+    uint64_t n = 0;
+    for (const WatermarkStats& w : shard_watermarks) n += w.late_dropped;
+    return n;
+  }
+
+  uint64_t TotalEvictedPanes() const {
+    uint64_t n = 0;
+    for (const WatermarkStats& w : shard_watermarks) n += w.evicted_panes;
+    return n;
+  }
 
   /// Stream events per wall second (NOT multiplied by workload size; see
   /// RunStats::Throughput for the paper's per-query convention).

@@ -10,6 +10,7 @@ Shard::Shard(size_t index, const Workload& workload,
       queue_(options.queue_capacity),
       engine_(std::make_unique<Engine>(workload, std::move(compiled))) {
   if (!engine_->ok()) error_ = engine_->error();
+  if (options.disorder.enabled) engine_->SetDisorderPolicy(options.disorder);
 }
 
 Shard::Shard(size_t index, std::shared_ptr<const MultiEnginePlan> plan,
@@ -18,6 +19,9 @@ Shard::Shard(size_t index, std::shared_ptr<const MultiEnginePlan> plan,
       queue_(options.queue_capacity),
       multi_(std::make_unique<MultiEngine>(std::move(plan))) {
   if (!multi_->ok()) error_ = multi_->error();
+  if (multi_->ok() && options.disorder.enabled) {
+    multi_->SetDisorderPolicy(options.disorder);
+  }
 }
 
 Shard::~Shard() {
@@ -37,13 +41,26 @@ void Shard::Join() {
 
 void Shard::Process(const EventBatch& batch) {
   StopWatch watch;
-  if (engine_) {
-    for (const Event& e : batch) engine_->OnEvent(e);
-  } else {
-    for (const Event& e : batch) multi_->OnEvent(e);
+  uint64_t data_events = 0;
+  for (const Event& e : batch) {
+    if (IsWatermark(e)) {
+      // Publish before applying so a reader never observes a finalized
+      // window whose shard watermark it cannot see. Punctuations arrive
+      // monotone per shard (one broadcaster); the executor double-checks.
+      if (e.time > watermark_.load(std::memory_order_relaxed)) {
+        watermark_.store(e.time, std::memory_order_release);
+      }
+    } else {
+      ++data_events;
+    }
+    if (engine_) {
+      engine_->OnEvent(e);
+    } else {
+      multi_->OnEvent(e);
+    }
   }
   stats_.busy_seconds += watch.ElapsedSeconds();
-  stats_.events += batch.size();
+  stats_.events += data_events;
   ++stats_.batches;
 }
 
@@ -118,6 +135,19 @@ size_t Shard::PeakBytes() const {
 size_t Shard::num_shared_counters() const {
   return engine_ ? engine_->num_shared_counters()
                  : multi_->num_shared_counters();
+}
+
+WatermarkStats Shard::watermark_stats() const {
+  return engine_ ? engine_->watermark_stats() : multi_->watermark_stats();
+}
+
+bool Shard::Finalized(QueryId query, WindowId window) const {
+  return engine_ ? engine_->Finalized(window)
+                 : multi_->Finalized(query, window);
+}
+
+LiveState Shard::LiveStateSnapshot() const {
+  return engine_ ? engine_->LiveStateSnapshot() : multi_->LiveStateSnapshot();
 }
 
 }  // namespace sharon::runtime

@@ -67,9 +67,25 @@ class Shard {
   /// Producer-side stall accounting (kept here so ShardStats is complete).
   void CountStall() { ++stats_.queue_full_stalls; }
 
+  /// Highest watermark this shard's worker has applied. Safe to read
+  /// while the worker runs (atomic); kNoWatermark before the first
+  /// punctuation or when the runtime has no disorder policy.
+  Timestamp watermark() const {
+    return watermark_.load(std::memory_order_acquire);
+  }
+
   // --- post-Join reads -------------------------------------------------
 
   const ShardStats& stats() const { return stats_; }
+
+  /// Watermark/eviction counters of this shard's executor (post-join).
+  WatermarkStats watermark_stats() const;
+
+  /// True once the executor finalized `window` of `query` (post-join).
+  bool Finalized(QueryId query, WindowId window) const;
+
+  /// Live-state census of this shard's executor (post-join).
+  LiveState LiveStateSnapshot() const;
 
   /// Result cell for an ORIGINAL-workload query id.
   AggState Get(QueryId query, WindowId window, AttrValue group) const;
@@ -100,6 +116,7 @@ class Shard {
   std::unique_ptr<MultiEngine> multi_;
   std::thread thread_;
   std::atomic<bool> done_{false};
+  std::atomic<Timestamp> watermark_{kNoWatermark};
   bool started_ = false;
   ShardStats stats_;
 };

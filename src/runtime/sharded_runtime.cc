@@ -121,6 +121,10 @@ void ShardedRuntime::Ingest(const Event& e) {
   // A failed runtime has no shards to index; a finished one has no
   // workers left to drain the queues, so pushing would livelock.
   if (!ok() || finished_) return;
+  if (IsWatermark(e)) {
+    IngestWatermark(e.time);
+    return;
+  }
   if (!started_) Start();  // otherwise a full queue would stall forever
   const size_t idx =
       ShardIndexFor(GroupOf(e, partition_), shards_.size());
@@ -131,12 +135,37 @@ void ShardedRuntime::Ingest(const Event& e) {
   if (batch.size() >= options_.batch_size) PushBatch(idx);
 }
 
+void ShardedRuntime::IngestWatermark(Timestamp t) {
+  if (!ok() || finished_) return;
+  // Without a disorder policy the executors ignore watermarks and the
+  // shard.h contract keeps shard watermark() at kNoWatermark — drop the
+  // punctuation here so a pre-stamped feed cannot fake a frontier.
+  if (!options_.disorder.enabled) return;
+  if (!started_) Start();
+  // Appending to every pending batch keeps the punctuation ordered after
+  // all events ingested before it — on every shard, through the same
+  // queues the events travel.
+  const Event punctuation = WatermarkEvent(t);
+  for (size_t i = 0; i < pending_.size(); ++i) {
+    EventBatch& batch = pending_[i];
+    if (batch.capacity() == 0) batch.reserve(options_.batch_size + 1);
+    batch.push_back(punctuation);
+    if (batch.size() >= options_.batch_size) PushBatch(i);
+  }
+  ++watermarks_ingested_;
+}
+
 void ShardedRuntime::Flush() {
   for (size_t i = 0; i < pending_.size(); ++i) PushBatch(i);
 }
 
 void ShardedRuntime::Finish() {
   if (!started_ || finished_) return;
+  if (options_.disorder.enabled && options_.disorder.close_on_finish) {
+    // Closing watermark: releases every reorder buffer and finalizes
+    // every window on every shard, so results() is complete.
+    IngestWatermark(kWatermarkMax);
+  }
   Flush();
   for (auto& shard : shards_) shard->SignalDone();
   for (auto& shard : shards_) shard->Join();
@@ -167,7 +196,14 @@ RuntimeStats ShardedRuntime::stats() const {
   RuntimeStats out;
   out.shards.reserve(shards_.size());
   for (const auto& shard : shards_) out.shards.push_back(shard->stats());
+  if (options_.disorder.enabled) {
+    out.shard_watermarks.reserve(shards_.size());
+    for (const auto& shard : shards_) {
+      out.shard_watermarks.push_back(shard->watermark_stats());
+    }
+  }
   out.events_ingested = events_ingested_;
+  out.watermarks_ingested = watermarks_ingested_;
   out.wall_seconds = wall_seconds_;
   return out;
 }
@@ -176,6 +212,12 @@ size_t ShardedRuntime::EstimatedBytes() const {
   size_t n = 0;
   for (const auto& shard : shards_) n += shard->EstimatedBytes();
   return n;
+}
+
+LiveState ShardedRuntime::LiveStateSnapshot() const {
+  LiveState live;
+  for (const auto& shard : shards_) live.MergeFrom(shard->LiveStateSnapshot());
+  return live;
 }
 
 size_t ShardedRuntime::num_shared_counters() const {

@@ -75,8 +75,16 @@ class ShardedRuntime {
 
   /// Routes one event to its owning shard's pending batch; pushes the
   /// batch when full, stalling (with yield) while that shard's queue is
-  /// full. Call from ONE thread, events in timestamp order.
+  /// full. Call from ONE thread, events in timestamp order — unless
+  /// `options.disorder` is enabled, in which case arrival may trail the
+  /// observed high-mark by up to max_lateness ticks (the shards reorder).
+  /// Watermark punctuations (IsWatermark) route to IngestWatermark.
   void Ingest(const Event& e);
+
+  /// Broadcasts watermark `t` to every shard, ordered after everything
+  /// ingested so far. Each shard advances independently; the merged
+  /// finalization frontier is the minimum across shards (ResultMerger).
+  void IngestWatermark(Timestamp t);
 
   /// Pushes all non-empty pending batches regardless of occupancy.
   void Flush();
@@ -106,6 +114,9 @@ class ShardedRuntime {
   /// Logical state bytes across all shards (valid after Finish()).
   size_t EstimatedBytes() const;
 
+  /// Aggregated live-state census across shards (valid after Finish()).
+  LiveState LiveStateSnapshot() const;
+
   /// Shared counters per shard template (same for every shard).
   size_t num_shared_counters() const;
 
@@ -131,6 +142,7 @@ class ShardedRuntime {
   StopWatch wall_;
   double wall_seconds_ = 0;
   uint64_t events_ingested_ = 0;
+  uint64_t watermarks_ingested_ = 0;
   bool started_ = false;
   bool finished_ = false;
 };

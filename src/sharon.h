@@ -19,6 +19,7 @@
 #include "src/common/rng.h"
 #include "src/common/schema.h"
 #include "src/common/time.h"
+#include "src/common/watermark.h"
 #include "src/exec/chain_runner.h"
 #include "src/exec/engine.h"
 #include "src/exec/multi_engine.h"
@@ -45,6 +46,7 @@
 #include "src/sharing/candidate.h"
 #include "src/sharing/ccspan.h"
 #include "src/sharing/cost_model.h"
+#include "src/streamgen/disorder.h"
 #include "src/streamgen/ecommerce.h"
 #include "src/streamgen/fixtures.h"
 #include "src/streamgen/linear_road.h"

@@ -1,0 +1,81 @@
+#include "src/streamgen/disorder.h"
+
+#include <algorithm>
+
+#include "src/common/rng.h"
+
+namespace sharon {
+
+std::vector<Event> InjectDisorder(const std::vector<Event>& sorted,
+                                  const DisorderConfig& config) {
+  Rng rng(config.seed);
+
+  // Arrival position = occurrence time + jitter in [0, max_lateness].
+  // Sorting by arrival key is stable in the original index, so equal
+  // arrival keys break ties deterministically and a zero-lateness
+  // injection reproduces the input order exactly.
+  struct Arrival {
+    Timestamp key;
+    size_t index;
+  };
+  std::vector<Arrival> order;
+  order.reserve(sorted.size());
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    const Duration jitter =
+        config.max_lateness > 0
+            ? static_cast<Duration>(
+                  rng.Below(static_cast<uint64_t>(config.max_lateness) + 1))
+            : 0;
+    order.push_back({sorted[i].time + jitter, i});
+  }
+  std::sort(order.begin(), order.end(), [](const Arrival& a, const Arrival& b) {
+    return a.key != b.key ? a.key < b.key : a.index < b.index;
+  });
+
+  std::vector<Event> out;
+  out.reserve(sorted.size() + sorted.size() / 8);
+  Timestamp high_mark = kNoWatermark;
+  Timestamp next_punctuation =
+      config.punctuation_period > 0 ? config.punctuation_period : 0;
+  for (const Arrival& a : order) {
+    const Event& e = sorted[a.index];
+    out.push_back(e);
+    if (e.time > high_mark) high_mark = e.time;
+    // The high-mark crossed one or more period boundaries: one watermark
+    // carrying the current high-mark covers them all.
+    if (config.punctuation_period > 0 && high_mark >= next_punctuation) {
+      out.push_back(WatermarkEvent(high_mark));
+      while (next_punctuation <= high_mark) {
+        next_punctuation += config.punctuation_period;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Event> SortedDataEvents(const std::vector<Event>& arrivals) {
+  std::vector<Event> out;
+  out.reserve(arrivals.size());
+  for (const Event& e : arrivals) {
+    if (!IsWatermark(e)) out.push_back(e);
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Event& a, const Event& b) { return a.time < b.time; });
+  return out;
+}
+
+Duration ObservedLateness(const std::vector<Event>& arrivals) {
+  Duration worst = 0;
+  Timestamp high_mark = kNoWatermark;
+  for (const Event& e : arrivals) {
+    if (IsWatermark(e)) continue;
+    if (e.time > high_mark) {
+      high_mark = e.time;
+    } else {
+      worst = std::max(worst, high_mark - e.time);
+    }
+  }
+  return worst;
+}
+
+}  // namespace sharon

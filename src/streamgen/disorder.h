@@ -1,0 +1,59 @@
+// Bounded-disorder injector: turns a sorted recorded stream into the
+// disordered arrival sequence a real feed would deliver, while honouring
+// the DisorderPolicy contract (src/common/watermark.h).
+//
+// Each event is delayed by a deterministic pseudo-random jitter in
+// [0, max_lateness] ticks and the stream is re-sorted by arrival; an
+// event's occurrence time therefore never trails the observed high-mark
+// by more than max_lateness — exactly the bound a watermarked engine is
+// promised. Punctuation watermarks carrying the running high-mark are
+// stamped in every punctuation_period ticks so downstream consumers can
+// advance without a side channel.
+
+#ifndef SHARON_STREAMGEN_DISORDER_H_
+#define SHARON_STREAMGEN_DISORDER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/event.h"
+#include "src/common/watermark.h"
+
+namespace sharon {
+
+/// Configuration of one disorder injection.
+struct DisorderConfig {
+  /// Maximum arrival delay in ticks; 0 keeps the stream sorted.
+  Duration max_lateness = 0;
+
+  /// Stamp a watermark punctuation whenever the observed high-mark
+  /// crosses another multiple of this period; 0 stamps no watermarks.
+  Duration punctuation_period = 0;
+
+  /// Jitter seed (deterministic; same seed + stream = same arrival order).
+  uint64_t seed = 1;
+
+  bool Disorders() const {
+    return max_lateness > 0 || punctuation_period > 0;
+  }
+};
+
+/// Returns `sorted` in disordered arrival order with watermarks stamped
+/// in. `sorted` must be in non-decreasing time order. Data events keep
+/// their original timestamps and payloads; only the arrival order
+/// changes. The result length is events + stamped punctuations.
+std::vector<Event> InjectDisorder(const std::vector<Event>& sorted,
+                                  const DisorderConfig& config);
+
+/// The data events of an arrival sequence, punctuations removed, restored
+/// to time order — the stream a sorted-input oracle should see.
+std::vector<Event> SortedDataEvents(const std::vector<Event>& arrivals);
+
+/// Largest number of ticks any event in `arrivals` trails the running
+/// high-mark (0 for a sorted stream); punctuations are ignored. This is
+/// the observed disorder, by construction <= config.max_lateness.
+Duration ObservedLateness(const std::vector<Event>& arrivals);
+
+}  // namespace sharon
+
+#endif  // SHARON_STREAMGEN_DISORDER_H_

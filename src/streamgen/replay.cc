@@ -11,6 +11,15 @@ namespace sharon {
 ReplayReport ReplayStream(const std::vector<Event>& events,
                           const ReplayConfig& config,
                           const std::function<void(const Event&)>& sink) {
+  if (config.disorder.Disorders()) {
+    // Materialize the disordered arrival sequence once, then deliver it
+    // through the ordered path (injection is deterministic, so a given
+    // config always replays the same arrival order).
+    ReplayConfig ordered = config;
+    ordered.disorder = DisorderConfig{};
+    return ReplayStream(InjectDisorder(events, config.disorder), ordered,
+                        sink);
+  }
   ReplayReport report;
   StopWatch watch;
   if (config.target_events_per_second <= 0) {

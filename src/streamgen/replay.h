@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "src/common/event.h"
+#include "src/streamgen/disorder.h"
 #include "src/streamgen/scenario.h"
 
 namespace sharon {
@@ -28,6 +29,14 @@ struct ReplayConfig {
   /// events. Smaller chunks track the target more tightly but cost more
   /// clock reads.
   size_t chunk = 64;
+
+  /// Disorder knobs: when max_lateness or punctuation_period is set, the
+  /// recorded stream is delivered in bounded-disorder arrival order with
+  /// watermark punctuations stamped in (see src/streamgen/disorder.h) —
+  /// the sink sees what a real disordered feed would deliver and should
+  /// run under a matching DisorderPolicy. Punctuations count toward
+  /// events_delivered and the pacing rate.
+  DisorderConfig disorder;
 };
 
 /// What a replay actually did.

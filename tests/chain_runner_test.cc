@@ -6,7 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include "src/exec/engine.h"
 #include "src/exec/result.h"
+#include "src/twostep/reference.h"
 
 namespace sharon {
 namespace {
@@ -109,6 +111,77 @@ TEST(ChainRunnerTest, NoEmissionWithoutPrefix) {
   rig.Feed(Ev(kC, 1));
   rig.Feed(Ev(kC, 2));
   EXPECT_EQ(rig.out.size(), 0u);
+}
+
+TEST(ChainRunnerTest, ExpireBeforeReportsFreedPanesAndEmptiness) {
+  Rig rig({4, 1}, {Pattern({kA}), Pattern({kB})});
+  EXPECT_TRUE(rig.chain->Empty());
+  rig.Feed(Ev(kA, 1));
+  rig.Feed(Ev(kB, 2));
+  EXPECT_FALSE(rig.chain->Empty());
+  EXPECT_GT(rig.chain->NumLivePanes(), 0u);
+  EXPECT_GT(rig.chain->ExpireBefore(100), 0u);
+  EXPECT_TRUE(rig.chain->Empty());
+  EXPECT_EQ(rig.chain->NumLivePanes(), 0u);
+  EXPECT_EQ(rig.chain->ExpireBefore(200), 0u);  // idempotent
+}
+
+// --- latent-bug regression: late first event, slide ∤ length --------------
+//
+// Audit outcome (see the ORDERING CONTRACT note in chain_runner.h): pane
+// bucketing assumes strictly increasing event times — stage-0 snapshots
+// append to the deque back, expiration pops fronts only. A chain FIRST
+// event arriving late, landing in a pane for which a later END event
+// already emitted results, breaks that assumption if it reaches the
+// runner directly: fed in arrival order, the sequence (A@3, B@5) below is
+// silently lost because B@5 was consumed before A@3 showed up. The fix is
+// the watermark reorder boundary (plus a debug assert making direct
+// misuse loud): buffered release re-sorts arrivals, so the late first
+// event is processed before the END events that must extend it. This
+// regression pins the slide ∤ length case, where a pane spans windows
+// that close at staggered times.
+TEST(ChainRunnerTest, LateFirstEventIntoEmittedPaneSlideNotDividingLength) {
+  const WindowSpec w{10, 4};  // slide does not divide length
+  Workload workload;
+  Query q;
+  q.pattern = Pattern({kA, kB});
+  q.agg = AggSpec::CountStar();
+  q.window = w;
+  q.partition_attr = 0;
+  workload.Add(q);
+
+  // Sorted truth. (A@3, B@5) is a real match in window 0.
+  std::vector<Event> sorted = {Ev(kA, 2),  Ev(kA, 3),  Ev(kB, 5),
+                               Ev(kA, 9),  Ev(kB, 11), Ev(kA, 13),
+                               Ev(kB, 14)};
+  const ResultCollector oracle = ReferenceResults(workload, sorted);
+  ASSERT_GT(oracle.Value(0, 0, 0, AggFunction::kCountStar), 1.0)
+      << "the late pair must matter in window 0";
+
+  // Arrival order: B@5 emits into pane 0 of window 0 BEFORE the late
+  // first event A@3 (lateness 3 <= budget) reaches the engine. The
+  // watermark at 11 releases ticks < 11-6=5 (A@2, A@3); everything else
+  // drains at close — always in time order.
+  std::vector<Event> arrivals = {Ev(kA, 2),          Ev(kB, 5), Ev(kA, 3),
+                                 Ev(kA, 9),          Ev(kB, 11),
+                                 WatermarkEvent(11), Ev(kA, 13), Ev(kB, 14)};
+
+  DisorderPolicy policy;
+  policy.enabled = true;
+  policy.max_lateness = 6;
+
+  Engine engine(workload);
+  ASSERT_TRUE(engine.ok()) << engine.error();
+  engine.SetDisorderPolicy(policy);
+  for (const Event& e : arrivals) engine.OnEvent(e);
+  engine.CloseStream();
+
+  EXPECT_EQ(engine.watermark_stats().late_dropped, 0u);
+  for (const auto& [key, state] : oracle.cells()) {
+    EXPECT_EQ(engine.results().Get(key.query, key.window, key.group), state)
+        << "window " << key.window;
+  }
+  EXPECT_EQ(engine.results().size(), oracle.size());
 }
 
 }  // namespace

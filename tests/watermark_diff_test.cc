@@ -1,0 +1,464 @@
+// Differential oracle suite for watermark-driven out-of-order ingestion.
+//
+// The verification discipline: every relaxation of the in-order
+// assumption is checked against an exact reference that never relaxed it.
+// For the TX / LR / EC workloads the same recorded stream is run twice —
+// disordered (bounded lateness + punctuation watermarks) through the
+// watermarked executors, and sorted through the independent per-window DP
+// oracle (src/twostep/reference.h). After the closing watermark, the
+// finalized results must be bit-identical for every (query, window,
+// group) cell, at lateness budgets {0, 1, slide, length}, single-threaded
+// and at 1/2/8 shards.
+//
+// Also covers the ResultMerger shard-minimum watermark surface: identical
+// finalized window sets across shard counts, a stalled watermark holding
+// the merged frontier (and the result surface) back, and resumption.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "src/exec/engine.h"
+#include "src/planner/optimizer.h"
+#include "src/query/parser.h"
+#include "src/runtime/sharded_runtime.h"
+#include "src/streamgen/disorder.h"
+#include "src/streamgen/ecommerce.h"
+#include "src/streamgen/linear_road.h"
+#include "src/streamgen/rates.h"
+#include "src/streamgen/taxi.h"
+#include "src/streamgen/workload_gen.h"
+#include "src/twostep/reference.h"
+
+namespace sharon {
+namespace {
+
+using runtime::RuntimeOptions;
+using runtime::ShardedRuntime;
+
+using CellMap = std::map<std::tuple<QueryId, WindowId, AttrValue>, AggState>;
+
+CellMap CellsOf(const ResultCollector& collector) {
+  CellMap cells;
+  for (const auto& [key, state] : collector.cells()) {
+    cells[{key.query, key.window, key.group}] = state;
+  }
+  return cells;
+}
+
+CellMap CellsOf(const ShardedRuntime& rt) {
+  CellMap cells;
+  rt.results().ForEachCell([&](const ResultKey& key, const AggState& state) {
+    cells[{key.query, key.window, key.group}] = state;
+  });
+  return cells;
+}
+
+void ExpectBitIdentical(const CellMap& expected, const CellMap& actual,
+                        const std::string& label) {
+  ASSERT_EQ(expected.size(), actual.size()) << label;
+  for (const auto& [key, state] : expected) {
+    auto it = actual.find(key);
+    ASSERT_NE(it, actual.end())
+        << label << ": missing cell query=" << std::get<0>(key)
+        << " window=" << std::get<1>(key) << " group=" << std::get<2>(key);
+    EXPECT_EQ(state, it->second)
+        << label << ": cell differs at query=" << std::get<0>(key)
+        << " window=" << std::get<1>(key) << " group=" << std::get<2>(key);
+  }
+}
+
+/// One differential case: a sorted stream, a uniform workload and a
+/// sharing plan. The oracle runs on the sorted stream once.
+struct DiffCase {
+  std::string name;
+  Workload workload;
+  SharingPlan plan;
+  std::vector<Event> events;  // sorted
+  CellMap oracle;
+};
+
+DiffCase MakeTaxiCase() {
+  DiffCase c;
+  c.name = "TX";
+  TaxiConfig cfg;
+  cfg.num_streets = 10;
+  cfg.num_vehicles = 16;
+  cfg.events_per_second = 600;
+  cfg.duration = Seconds(40);
+  Scenario s = GenerateTaxi(cfg);
+
+  WorkloadGenConfig wcfg;
+  wcfg.num_queries = 6;
+  wcfg.pattern_length = 4;
+  wcfg.cluster_size = 3;
+  wcfg.window = {Seconds(12), Seconds(5)};  // slide does not divide length
+  wcfg.partition_attr = 0;
+  c.workload = GenerateWorkload(wcfg, cfg.num_streets);
+
+  CostModel cm(EstimateRates(s));
+  OptimizerConfig ocfg;
+  ocfg.expand = false;
+  c.plan = OptimizeSharon(c.workload, cm, ocfg).plan;
+  c.events = std::move(s.events);
+  c.oracle = CellsOf(ReferenceResults(c.workload, c.events));
+  return c;
+}
+
+DiffCase MakeLinearRoadCase() {
+  DiffCase c;
+  c.name = "LR";
+  LinearRoadConfig cfg;
+  cfg.num_segments = 8;
+  cfg.num_cars = 12;
+  cfg.start_rate = 100;
+  cfg.end_rate = 800;
+  cfg.duration = Seconds(40);
+  Scenario s = GenerateLinearRoad(cfg);
+
+  WorkloadGenConfig wcfg;
+  wcfg.num_queries = 5;
+  wcfg.pattern_length = 3;
+  wcfg.cluster_size = 5;
+  wcfg.window = {Seconds(10), Seconds(4)};
+  wcfg.partition_attr = 0;
+  c.workload = GenerateWorkload(wcfg, cfg.num_segments);
+  // A-Seq (empty plan): the disorder machinery must be plan-agnostic.
+  c.events = std::move(s.events);
+  c.oracle = CellsOf(ReferenceResults(c.workload, c.events));
+  return c;
+}
+
+DiffCase MakeEcommerceCase() {
+  DiffCase c;
+  c.name = "EC";
+  EcommerceConfig cfg;
+  cfg.num_items = 15;
+  cfg.num_customers = 10;
+  cfg.events_per_second = 500;
+  cfg.duration = Seconds(50);
+  Scenario s = GenerateEcommerce(cfg);
+
+  for (const char* text : {
+           "RETURN COUNT(*) PATTERN SEQ(Laptop, Case) WHERE [customer] "
+           "WITHIN 15 sec SLIDE 6 sec",
+           "RETURN COUNT(*) PATTERN SEQ(Laptop, Case, Adapter) "
+           "WHERE [customer] WITHIN 15 sec SLIDE 6 sec",
+           "RETURN SUM(Case.price) PATTERN SEQ(Laptop, Case) "
+           "WHERE [customer] WITHIN 15 sec SLIDE 6 sec",
+           "RETURN MAX(iPhone.price) PATTERN SEQ(iPhone, ScreenProtector) "
+           "WHERE [customer] WITHIN 15 sec SLIDE 6 sec",
+       }) {
+    ParseResult parsed = ParseQuery(text, s.types, s.schema);
+    EXPECT_TRUE(parsed.ok) << parsed.error;
+    c.workload.Add(parsed.query);
+  }
+  CostModel cm(EstimateRates(s));
+  c.plan = OptimizeSharon(c.workload, cm).plan;
+  c.events = std::move(s.events);
+  c.oracle = CellsOf(ReferenceResults(c.workload, c.events));
+  return c;
+}
+
+std::vector<Duration> LatenessBudgets(const WindowSpec& w) {
+  return {0, 1, w.slide, w.length};
+}
+
+DisorderConfig InjectionFor(Duration lateness, const WindowSpec& w) {
+  DisorderConfig d;
+  d.max_lateness = lateness;
+  d.punctuation_period = w.slide / 2 > 0 ? w.slide / 2 : 1;
+  d.seed = 0xdeadbeef + static_cast<uint64_t>(lateness);
+  return d;
+}
+
+void RunDifferential(const DiffCase& c) {
+  ASSERT_FALSE(c.oracle.empty()) << c.name;
+  const WindowSpec& w = c.workload.window();
+  for (Duration lateness : LatenessBudgets(w)) {
+    const DisorderConfig inj = InjectionFor(lateness, w);
+    const std::vector<Event> disordered = InjectDisorder(c.events, inj);
+    ASSERT_LE(ObservedLateness(disordered), lateness) << c.name;
+    // The injection is a permutation: sorting it back gives the input.
+    ASSERT_EQ(SortedDataEvents(disordered).size(), c.events.size());
+
+    DisorderPolicy policy;
+    policy.enabled = true;
+    policy.max_lateness = lateness;
+
+    // Single-threaded watermarked engine.
+    {
+      Engine engine(c.workload, c.plan);
+      ASSERT_TRUE(engine.ok()) << engine.error();
+      engine.SetDisorderPolicy(policy);
+      for (const Event& e : disordered) engine.OnEvent(e);
+      engine.CloseStream();
+      ExpectBitIdentical(c.oracle, CellsOf(engine.results()),
+                         c.name + " engine lateness=" +
+                             std::to_string(lateness));
+      // Everything was finalized and the reorder buffer fully drained.
+      EXPECT_EQ(engine.LiveStateSnapshot().buffered_events, 0u);
+      EXPECT_EQ(engine.staged_results().size(), 0u);
+      EXPECT_EQ(engine.watermark_stats().late_dropped, 0u)
+          << c.name << ": injector must honour the declared budget";
+    }
+
+    // Sharded runtime at 1/2/8 shards: watermarks broadcast, results
+    // merged, still bit-identical to the sorted oracle.
+    for (size_t shards : {1u, 2u, 8u}) {
+      RuntimeOptions opts;
+      opts.num_shards = shards;
+      opts.batch_size = 64;
+      opts.queue_capacity = 8;
+      opts.disorder = policy;
+      ShardedRuntime rt(c.workload, c.plan, opts);
+      ASSERT_TRUE(rt.ok()) << rt.error();
+      rt.Run(disordered, 0);
+      ExpectBitIdentical(c.oracle, CellsOf(rt),
+                         c.name + " shards=" + std::to_string(shards) +
+                             " lateness=" + std::to_string(lateness));
+      // The closing watermark finalized every window that has results.
+      for (const auto& [key, state] : c.oracle) {
+        EXPECT_TRUE(rt.results().Finalized(std::get<0>(key), std::get<1>(key)))
+            << c.name << " shards=" << shards;
+      }
+      EXPECT_EQ(rt.stats().TotalLateDropped(), 0u);
+    }
+  }
+}
+
+TEST(WatermarkDifferential, TaxiMatchesSortedOracle) {
+  RunDifferential(MakeTaxiCase());
+}
+
+TEST(WatermarkDifferential, LinearRoadMatchesSortedOracle) {
+  RunDifferential(MakeLinearRoadCase());
+}
+
+TEST(WatermarkDifferential, EcommerceMatchesSortedOracle) {
+  RunDifferential(MakeEcommerceCase());
+}
+
+// Non-uniform workload (different windows): each segment engine reorders
+// and finalizes against its own window grid. Oracle = per-query reference
+// over single-query workloads on the sorted stream.
+TEST(WatermarkDifferential, MultiEngineNonUniformWindowsMatchOracle) {
+  EcommerceConfig cfg;
+  cfg.num_items = 12;
+  cfg.num_customers = 8;
+  cfg.events_per_second = 400;
+  cfg.duration = Seconds(50);
+  Scenario s = GenerateEcommerce(cfg);
+
+  Workload w;
+  for (const char* text : {
+           "RETURN COUNT(*) PATTERN SEQ(Laptop, Case) WHERE [customer] "
+           "WITHIN 10 sec SLIDE 4 sec",
+           "RETURN SUM(Case.price) PATTERN SEQ(Laptop, Case, Adapter) "
+           "WHERE [customer] WITHIN 10 sec SLIDE 4 sec",
+           "RETURN COUNT(*) PATTERN SEQ(iPhone, ScreenProtector) "
+           "WHERE [customer] WITHIN 18 sec SLIDE 5 sec",
+       }) {
+    ParseResult parsed = ParseQuery(text, s.types, s.schema);
+    ASSERT_TRUE(parsed.ok) << parsed.error;
+    w.Add(parsed.query);
+  }
+
+  // Per-query oracle on the sorted stream, keyed by original query id.
+  CellMap oracle;
+  for (const Query& q : w.queries()) {
+    Workload single;
+    Query copy = q;
+    single.Add(copy);
+    const ResultCollector ref = ReferenceResults(single, s.events);
+    for (const auto& [key, state] : ref.cells()) {
+      oracle[{q.id, key.window, key.group}] = state;
+    }
+  }
+  ASSERT_FALSE(oracle.empty());
+
+  const Duration lateness = Seconds(4);
+  DisorderConfig inj;
+  inj.max_lateness = lateness;
+  inj.punctuation_period = Seconds(2);
+  inj.seed = 99;
+  const std::vector<Event> disordered = InjectDisorder(s.events, inj);
+
+  DisorderPolicy policy;
+  policy.enabled = true;
+  policy.max_lateness = lateness;
+
+  CostModel cm(EstimateRates(s));
+  auto plan = PlanMultiEngine(w, cm);
+  ASSERT_TRUE(plan->ok()) << plan->error;
+
+  // Single-threaded MultiEngine.
+  {
+    MultiEngine multi(plan);
+    ASSERT_TRUE(multi.ok()) << multi.error();
+    multi.SetDisorderPolicy(policy);
+    for (const Event& e : disordered) multi.OnEvent(e);
+    multi.CloseStream();
+    for (const auto& [key, state] : oracle) {
+      EXPECT_EQ(multi.Get(std::get<0>(key), std::get<1>(key),
+                          std::get<2>(key)),
+                state)
+          << "query=" << std::get<0>(key) << " window=" << std::get<1>(key);
+      EXPECT_TRUE(
+          multi.Finalized(std::get<0>(key), std::get<1>(key)));
+    }
+    EXPECT_EQ(multi.watermark_stats().late_dropped, 0u);
+  }
+
+  // Sharded (MultiEngine per shard).
+  for (size_t shards : {1u, 2u, 8u}) {
+    RuntimeOptions opts;
+    opts.num_shards = shards;
+    opts.batch_size = 64;
+    opts.queue_capacity = 8;
+    opts.disorder = policy;
+    ShardedRuntime rt(w, plan, opts);
+    ASSERT_TRUE(rt.ok()) << rt.error();
+    rt.Run(disordered, 0);
+    ExpectBitIdentical(oracle, CellsOf(rt),
+                       "multi shards=" + std::to_string(shards));
+  }
+}
+
+// --- ResultMerger shard-minimum watermark ---------------------------------
+
+// All shard counts must finalize exactly the same window set, in the same
+// (ascending, watermark-driven) order; a stalled watermark exposes only
+// the finalized prefix; after the watermark resumes the remainder
+// finalizes and matches the oracle.
+TEST(ResultMergerWatermark, SameFinalizedWindowsAtAnyShardCount) {
+  DiffCase c = MakeTaxiCase();
+  const WindowSpec& w = c.workload.window();
+  const Duration lateness = w.slide;
+  const std::vector<Event> disordered =
+      InjectDisorder(c.events, InjectionFor(lateness, w));
+
+  // Watermark stalls at mid-stream: stop forwarding punctuations past
+  // `stall_at`. Windows closing after the stalled safe point must not
+  // finalize, and their cells must not appear in results().
+  const Timestamp last_time = c.events.back().time;
+  const Timestamp stall_at = last_time / 2;
+
+  DisorderPolicy policy;
+  policy.enabled = true;
+  policy.max_lateness = lateness;
+  policy.close_on_finish = false;  // observe the stall, do not auto-close
+
+  const Timestamp safe = policy.SafePoint(stall_at);
+  const WindowId last_window = w.LastWindowCovering(last_time);
+
+  std::vector<std::vector<bool>> finalized_by_run;
+  for (size_t shards : {1u, 2u, 8u}) {
+    RuntimeOptions opts;
+    opts.num_shards = shards;
+    opts.batch_size = 32;
+    opts.queue_capacity = 8;
+    opts.disorder = policy;
+    ShardedRuntime rt(c.workload, c.plan, opts);
+    ASSERT_TRUE(rt.ok()) << rt.error();
+    rt.Start();
+    Timestamp applied = kNoWatermark;
+    for (const Event& e : disordered) {
+      if (IsWatermark(e)) {
+        if (e.time <= stall_at) {
+          rt.IngestWatermark(e.time);
+          applied = e.time;
+        }
+        continue;  // watermark stalled
+      }
+      rt.Ingest(e);
+    }
+    rt.Finish();
+    ASSERT_NE(applied, kNoWatermark);
+
+    // Merged frontier is the shard minimum; every shard got the same
+    // broadcast, so it equals the last applied punctuation.
+    EXPECT_EQ(rt.results().MinWatermark(), applied)
+        << "shards=" << shards;
+
+    std::vector<bool> finalized;
+    for (WindowId j = 0; j <= last_window; ++j) {
+      const bool f = rt.results().Finalized(0, j);
+      finalized.push_back(f);
+      // Finalization follows the stalled safe point exactly.
+      EXPECT_EQ(f, w.WindowEnd(j) <= policy.SafePoint(applied))
+          << "shards=" << shards << " window=" << j;
+    }
+    finalized_by_run.push_back(std::move(finalized));
+
+    // Results expose finalized windows only; each finalized cell matches
+    // the oracle (the unfinalized remainder is withheld, not wrong).
+    CellMap merged = CellsOf(rt);
+    EXPECT_FALSE(merged.empty());
+    for (const auto& [key, state] : merged) {
+      EXPECT_TRUE(rt.results().Finalized(std::get<0>(key), std::get<1>(key)));
+      auto it = c.oracle.find(key);
+      ASSERT_NE(it, c.oracle.end());
+      EXPECT_EQ(state, it->second);
+    }
+    EXPECT_LT(merged.size(), c.oracle.size())
+        << "a stalled watermark must withhold the open windows";
+  }
+  // Identical finalized window sets (and therefore order: finalization
+  // is monotone in window id) across 1/2/8 shards.
+  EXPECT_EQ(finalized_by_run[0], finalized_by_run[1]);
+  EXPECT_EQ(finalized_by_run[0], finalized_by_run[2]);
+  (void)safe;
+}
+
+// A shard whose groups go quiet mid-stream still advances: watermarks are
+// broadcast to every shard, so an idle shard cannot hold the merged
+// frontier back, and resuming events finalize identically to the oracle.
+TEST(ResultMergerWatermark, IdleShardResumesAndMatchesOracle) {
+  DiffCase c = MakeTaxiCase();
+  const WindowSpec& w = c.workload.window();
+
+  // Phase 1: all groups active. Phase 2: only group 0's events (other
+  // shards idle). Build the phased stream, then disorder it as a whole.
+  const Timestamp split = c.events.back().time / 2;
+  std::vector<Event> phased;
+  for (const Event& e : c.events) {
+    if (e.time <= split || e.attr(0) == 0) phased.push_back(e);
+  }
+  CellMap oracle = CellsOf(ReferenceResults(c.workload, phased));
+
+  DisorderConfig inj = InjectionFor(w.slide, w);
+  const std::vector<Event> disordered = InjectDisorder(phased, inj);
+
+  DisorderPolicy policy;
+  policy.enabled = true;
+  policy.max_lateness = w.slide;
+
+  for (size_t shards : {2u, 8u}) {
+    RuntimeOptions opts;
+    opts.num_shards = shards;
+    opts.batch_size = 32;
+    opts.queue_capacity = 8;
+    opts.disorder = policy;
+    ShardedRuntime rt(c.workload, c.plan, opts);
+    ASSERT_TRUE(rt.ok()) << rt.error();
+    rt.Run(disordered, 0);
+    ExpectBitIdentical(oracle, CellsOf(rt),
+                       "idle-resume shards=" + std::to_string(shards));
+    // Every shard reached the closing watermark — idle ones included.
+    const auto stats = rt.stats();
+    ASSERT_EQ(stats.shard_watermarks.size(), shards);
+    for (const WatermarkStats& ws : stats.shard_watermarks) {
+      EXPECT_EQ(ws.watermark, kWatermarkMax);
+    }
+    for (const auto& [key, state] : oracle) {
+      EXPECT_TRUE(rt.results().Finalized(std::get<0>(key), std::get<1>(key)));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sharon
