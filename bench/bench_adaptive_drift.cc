@@ -1,0 +1,214 @@
+// Adaptive re-optimization under rate drift (src/adaptive/ +
+// src/runtime/plan_swap.h) vs. a static plan.
+//
+// The drift stream (src/streamgen/drift.h) flips its hot type cluster at
+// each phase boundary, which flips which sharing candidates the §3 cost
+// model favours. Three configurations process the same disordered stream:
+//
+//   static    the phase-0 plan, frozen (what a startup-time optimizer
+//             leaves you with)
+//   adaptive  PlanManager re-optimizes on drift and hot-swaps at a
+//             watermark-aligned boundary
+//   fresh     the phase-1 plan from the start (the post-drift optimum;
+//             upper bound on what adaptation can recover)
+//
+// Reported per configuration: total and POST-DRIFT throughput (wall-clock
+// past the first phase flip; small queues keep ingest backpressure-bound,
+// so wall time tracks processing cost), executor state, and for the
+// adaptive run the swap schedule — count, per-swap stall (slowest shard's
+// dual-run span) and the live-state recovery (peak dual-run bytes vs.
+// bytes right after the old engines retired).
+//
+// Expected shape: static and adaptive match until the flip; past it the
+// adaptive run approaches the fresh plan's throughput while static pays
+// non-shared prices for the hot cluster. One JSON record per
+// configuration (PrintJsonRecord) for scraping.
+//
+// Usage: bench_adaptive_drift [--quick] [--shards N]
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace sharon {
+namespace {
+
+using bench::Bytes;
+using bench::Num;
+using bench::PrintJsonRecord;
+using bench::PrintRow;
+
+struct ModeResult {
+  double wall_seconds = 0;
+  double post_drift_wall = 0;
+  uint64_t post_drift_events = 0;
+  uint64_t total_events = 0;
+  double busy_seconds = 0;
+  uint64_t swaps = 0;
+  double max_stall = 0;
+  size_t peak_dual_bytes = 0;
+  size_t post_swap_bytes = 0;
+
+  double TotalEps() const {
+    return wall_seconds > 0 ? static_cast<double>(total_events) / wall_seconds
+                            : 0;
+  }
+  double PostDriftEps() const {
+    return post_drift_wall > 0
+               ? static_cast<double>(post_drift_events) / post_drift_wall
+               : 0;
+  }
+};
+
+ModeResult RunMode(const Workload& w, const SharingPlan& plan,
+                   const std::vector<Event>& arrivals, Timestamp drift_at,
+                   Duration lateness, size_t shards, bool adaptive) {
+  runtime::RuntimeOptions opts;
+  opts.num_shards = shards;
+  // Small queues: ingest stays backpressure-bound, so ingest-side wall
+  // checkpoints track executor cost rather than queue slack.
+  opts.batch_size = 128;
+  opts.queue_capacity = 4;
+  opts.disorder.enabled = true;
+  opts.disorder.max_lateness = lateness;
+  runtime::ShardedRuntime rt(w, plan, opts);
+  if (!rt.ok()) {
+    std::fprintf(stderr, "runtime error: %s\n", rt.error().c_str());
+    return {};
+  }
+
+  adaptive::PlanManagerOptions popts;
+  popts.epoch = Seconds(4);
+  popts.window_epochs = 2;
+  popts.drift_threshold = 0.3;
+  popts.hysteresis = 0.10;
+  popts.optimizer = bench::FastOptimizerConfig();
+  adaptive::PlanManager mgr(w, &rt, plan, popts);
+
+  ModeResult r;
+  StopWatch wall;
+  double drift_checkpoint = -1;
+  rt.Start();
+  for (const Event& e : arrivals) {
+    if (drift_checkpoint < 0 && !IsWatermark(e) && e.time >= drift_at) {
+      drift_checkpoint = wall.ElapsedSeconds();
+    }
+    if (!IsWatermark(e)) ++r.total_events;
+    if (adaptive) {
+      mgr.Ingest(e);
+    } else {
+      rt.Ingest(e);
+    }
+  }
+  rt.Finish();
+  r.wall_seconds = wall.ElapsedSeconds();
+  if (drift_checkpoint >= 0) {
+    r.post_drift_wall = r.wall_seconds - drift_checkpoint;
+    for (const Event& e : arrivals) {
+      if (!IsWatermark(e) && e.time >= drift_at) ++r.post_drift_events;
+    }
+  }
+
+  const runtime::RuntimeStats stats = rt.stats();
+  r.busy_seconds = stats.TotalBusySeconds();
+  r.swaps = stats.CompletedSwaps();
+  r.max_stall = stats.MaxSwapStallSeconds();
+  for (const runtime::PlanSwapStats& s : stats.plan_swaps) {
+    r.peak_dual_bytes = std::max(r.peak_dual_bytes, s.peak_dual_bytes);
+    r.post_swap_bytes = std::max(r.post_swap_bytes, s.post_swap_bytes);
+  }
+  return r;
+}
+
+void Run(bool quick, size_t shards) {
+  std::printf(
+      "=== Adaptive re-optimization under rate drift: static vs adaptive vs "
+      "fresh plan ===\n%s\n", quick ? "(quick mode)" : "");
+
+  DriftConfig cfg;
+  cfg.num_types = 8;
+  cfg.num_groups = quick ? 16 : 64;
+  cfg.events_per_second = quick ? 2000 : 12000;
+  cfg.phase_length = quick ? Seconds(24) : Minutes(1);
+  cfg.num_phases = 2;
+  cfg.seed = 11;
+  Scenario s = GenerateDrift(cfg);
+
+  const WindowSpec window{Seconds(10), Seconds(5)};
+  Workload w = DriftWorkload(cfg, window, /*anchors_per_side=*/8,
+                             /*bridges=*/3);
+
+  const Duration lateness = Seconds(1);
+  DisorderConfig inj;
+  inj.max_lateness = lateness;
+  inj.punctuation_period = Seconds(1);
+  inj.seed = 7;
+  const std::vector<Event> arrivals = InjectDisorder(s.events, inj);
+
+  // Static = phase-0 optimum; fresh = phase-1 optimum (post-drift oracle).
+  CostModel cm0(RatesOfSlice(s.events, 0, cfg.phase_length, cfg.num_types));
+  CostModel cm1(RatesOfSlice(s.events, cfg.phase_length,
+                             2 * cfg.phase_length, cfg.num_types));
+  const SharingPlan static_plan = OptimizeGreedy(w, cm0).plan;
+  const SharingPlan fresh_plan = OptimizeGreedy(w, cm1).plan;
+  std::printf(
+      "stream: %zu events, %u groups, flip at %llds; workload: %zu queries; "
+      "static plan %zu candidates (score %0.f @p0, %.0f @p1), fresh plan %zu "
+      "candidates (score %.0f @p1)\n\n",
+      s.events.size(), cfg.num_groups,
+      static_cast<long long>(cfg.phase_length / kTicksPerSecond), w.size(),
+      static_plan.size(), PlanScore(static_plan, w, cm0),
+      PlanScore(static_plan, w, cm1), fresh_plan.size(),
+      PlanScore(fresh_plan, w, cm1));
+
+  PrintRow({"mode", "wall s", "events/s", "post-drift e/s", "busy s",
+            "swaps", "stall s", "dual peak", "post swap"});
+  struct Mode {
+    const char* name;
+    const SharingPlan* plan;
+    bool adaptive;
+  };
+  const Mode modes[] = {{"static", &static_plan, false},
+                        {"adaptive", &static_plan, true},
+                        {"fresh", &fresh_plan, false}};
+  for (const Mode& m : modes) {
+    ModeResult r = RunMode(w, *m.plan, arrivals, cfg.phase_length, lateness,
+                           shards, m.adaptive);
+    PrintRow({m.name, Num(r.wall_seconds), Num(r.TotalEps(), 0),
+              Num(r.PostDriftEps(), 0), Num(r.busy_seconds),
+              Num(static_cast<double>(r.swaps), 0), Num(r.max_stall, 4),
+              Bytes(r.peak_dual_bytes), Bytes(r.post_swap_bytes)});
+    PrintJsonRecord(
+        "adaptive_drift",
+        {{"mode", m.name},
+         {"shards", std::to_string(shards)},
+         {"quick", quick ? "1" : "0"}},
+        {{"wall_seconds", r.wall_seconds},
+         {"events_per_second", r.TotalEps()},
+         {"post_drift_events_per_second", r.PostDriftEps()},
+         {"busy_seconds", r.busy_seconds},
+         {"swaps", static_cast<double>(r.swaps)},
+         {"max_swap_stall_seconds", r.max_stall},
+         {"peak_dual_bytes", static_cast<double>(r.peak_dual_bytes)},
+         {"post_swap_bytes", static_cast<double>(r.post_swap_bytes)}});
+  }
+}
+
+}  // namespace
+}  // namespace sharon
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  size_t shards = 2;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      shards = static_cast<size_t>(std::atoi(argv[++i]));
+    }
+  }
+  sharon::Run(quick, shards);
+  return 0;
+}

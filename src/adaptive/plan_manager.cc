@@ -1,0 +1,88 @@
+#include "src/adaptive/plan_manager.h"
+
+namespace sharon::adaptive {
+
+PlanManager::PlanManager(const Workload& workload,
+                         runtime::ShardedRuntime* rt, SharingPlan initial_plan,
+                         const PlanManagerOptions& options)
+    : workload_(&workload),
+      runtime_(rt),
+      current_plan_(std::move(initial_plan)),
+      options_(options),
+      monitor_(options.epoch, options.window_epochs,
+               options.drift_threshold) {}
+
+void PlanManager::Ingest(const Event& e) {
+  runtime_->Ingest(e);
+  if (IsWatermark(e)) return;
+  monitor_.OnEvent(e);
+  const int64_t epoch_id = e.time / options_.epoch;
+  if (epoch_id <= last_evaluated_epoch_) return;
+  if (last_evaluated_epoch_ >= 0) {
+    stats_.epochs_seen +=
+        static_cast<uint64_t>(epoch_id - last_evaluated_epoch_);
+  }
+  last_evaluated_epoch_ = epoch_id;
+  // A full estimation window must close before rates mean anything.
+  if (monitor_.epochs_closed() < options_.window_epochs) return;
+  if (!baselined_) {
+    // First complete window: take it as the rates the INITIAL plan stands
+    // for (the caller optimized against startup rates; drift is measured
+    // from here).
+    monitor_.RebaseOnCurrent();
+    baselined_ = true;
+    return;
+  }
+  EvaluateEpoch();
+}
+
+void PlanManager::EvaluateEpoch() {
+  const bool drifted = monitor_.DriftDetected();
+  if (options_.require_drift && !drifted) return;
+  if (drifted) ++stats_.drift_detections;
+  ++stats_.evaluations;
+
+  ReoptimizeOptions ropts;
+  ropts.so_escalation_gap = options_.so_escalation_gap;
+  ropts.config = options_.optimizer;
+  CostModel cm(monitor_.CurrentRates());
+  last_reopt_ = Reoptimize(*workload_, cm, current_plan_, ropts);
+  stats_.planning_millis += last_reopt_.TotalMillis();
+  if (last_reopt_.escalated) ++stats_.escalations;
+  stats_.last_current_score = last_reopt_.current_score;
+  stats_.last_candidate_score = last_reopt_.chosen.score;
+
+  if (last_reopt_.GainRatio() <= options_.hysteresis ||
+      last_reopt_.chosen.plan == current_plan_) {
+    ++stats_.holds;
+    // The incumbent survived a fresh evaluation: it now stands for the
+    // CURRENT rates, so drift is measured from here on. Without the
+    // rebase a one-time rate shift would re-trigger the optimizer every
+    // epoch forever even though the answer never changes.
+    monitor_.RebaseOnCurrent();
+    return;
+  }
+
+  std::string error;
+  CompiledPlanHandle compiled =
+      CompilePlanShared(*workload_, last_reopt_.chosen.plan, &error);
+  ++stats_.swaps_requested;
+  if (!compiled) {
+    // An optimizer plan that fails compilation is a bug upstream; count
+    // the refusal and keep the incumbent rather than crash the stream.
+    ++stats_.swaps_rejected;
+    return;
+  }
+  runtime::ShardedRuntime::SwapRequest req =
+      runtime_->RequestPlanSwap(std::move(compiled));
+  if (!req.accepted) {
+    // Typically "previous swap still in flight": retry next epoch.
+    ++stats_.swaps_rejected;
+    return;
+  }
+  ++stats_.swaps_accepted;
+  current_plan_ = last_reopt_.chosen.plan;
+  monitor_.RebaseOnCurrent();
+}
+
+}  // namespace sharon::adaptive

@@ -1,0 +1,122 @@
+// Adaptive rate-driven re-optimization (paper §7.4, closing the loop).
+//
+// Sharon's sharing benefit (Def. 8) is a pure function of per-type event
+// rates, so a plan chosen at startup degrades silently when rates drift:
+// patterns it shares go cold (benefit evaporates) while newly-hot
+// patterns run non-shared (work the optimizer would now share). The
+// PlanManager closes the monitor -> optimizer -> executor loop:
+//
+//   RateMonitor      sliding per-type rate estimate + drift detection
+//        │ epoch cadence
+//   Reoptimize       re-cost incumbent under fresh rates, run GO,
+//        │           escalate to SO when the gap warrants it
+//   hysteresis       swap only when the predicted relative gain clears
+//        │           a margin (re-planning is cheap, swapping is not:
+//        │           the dual-run overlap costs memory and CPU)
+//   RequestPlanSwap  watermark-aligned hot-swap into the running
+//                    ShardedRuntime (src/runtime/plan_swap.h): finalized
+//                    results stay exactly-once and bit-identical to a
+//                    single-plan oracle run under any swap schedule
+//
+// The manager wraps the runtime's ingest path: feed every event (and
+// in-band watermark punctuation) through Ingest(). It is single-threaded
+// by construction — it runs on the ingest thread, the only thread allowed
+// to call ShardedRuntime::Ingest/RequestPlanSwap — so re-planning happens
+// inline between events. Keep optimizer limits sharp (the default SO
+// escalation config uses bench-grade limits) if ingest latency matters.
+
+#ifndef SHARON_ADAPTIVE_PLAN_MANAGER_H_
+#define SHARON_ADAPTIVE_PLAN_MANAGER_H_
+
+#include <cstdint>
+
+#include "src/planner/optimizer.h"
+#include "src/runtime/sharded_runtime.h"
+#include "src/streamgen/rate_monitor.h"
+
+namespace sharon::adaptive {
+
+/// Policy knobs of the adaptive planner.
+struct PlanManagerOptions {
+  /// Rate-sampling epoch (stream time). Re-optimization is considered at
+  /// most once per epoch; the estimate averages over `window_epochs`.
+  Duration epoch = Seconds(5);
+  size_t window_epochs = 2;
+
+  /// RateMonitor drift threshold (relative per-type deviation from the
+  /// rates the active plan was last validated against).
+  double drift_threshold = 0.4;
+
+  /// When true (default), the optimizer only runs on detected drift;
+  /// false re-optimizes every epoch regardless (bench/diagnostics mode).
+  bool require_drift = true;
+
+  /// Minimum predicted relative gain (ReoptimizeResult::GainRatio) before
+  /// a swap is requested. The margin absorbs estimation noise so the
+  /// runtime does not thrash between near-equal plans.
+  double hysteresis = 0.10;
+
+  /// GO -> SO escalation threshold (ReoptimizeOptions::so_escalation_gap).
+  double so_escalation_gap = 0.5;
+
+  /// Pipeline configuration for the SO escalation.
+  OptimizerConfig optimizer;
+};
+
+/// Counters of one adaptive run (monotone; inspect any time).
+struct PlanManagerStats {
+  uint64_t epochs_seen = 0;        ///< epoch boundaries crossed
+  uint64_t evaluations = 0;        ///< re-optimization passes run
+  uint64_t drift_detections = 0;   ///< evaluations triggered by drift
+  uint64_t escalations = 0;        ///< GO -> SO escalations
+  uint64_t holds = 0;              ///< gain below hysteresis, kept plan
+  uint64_t swaps_requested = 0;
+  uint64_t swaps_accepted = 0;
+  uint64_t swaps_rejected = 0;     ///< runtime refused (swap in flight...)
+  double last_current_score = 0;   ///< incumbent score at last evaluation
+  double last_candidate_score = 0; ///< challenger score at last evaluation
+  double planning_millis = 0;      ///< total time spent in Reoptimize
+};
+
+/// Drives adaptive re-optimization of a uniform-workload ShardedRuntime.
+/// Construct with the runtime's workload and the plan the runtime started
+/// with, then feed the stream through Ingest(). The runtime must have a
+/// disorder policy enabled (plan swaps retire old engines via watermarks)
+/// and must outlive the manager.
+class PlanManager {
+ public:
+  PlanManager(const Workload& workload, runtime::ShardedRuntime* rt,
+              SharingPlan initial_plan, const PlanManagerOptions& options = {});
+
+  /// Forwards `e` to the runtime and samples it into the rate monitor;
+  /// on an epoch boundary, considers re-optimization and a plan swap.
+  void Ingest(const Event& e);
+
+  /// The plan currently executing (initial plan until the first accepted
+  /// swap; updated at swap REQUEST time — the runtime applies it at the
+  /// watermark-aligned boundary).
+  const SharingPlan& current_plan() const { return current_plan_; }
+
+  const PlanManagerStats& stats() const { return stats_; }
+  const RateMonitor& monitor() const { return monitor_; }
+
+  /// Outcome of the most recent Reoptimize pass (phase stats included).
+  const ReoptimizeResult& last_reoptimize() const { return last_reopt_; }
+
+ private:
+  void EvaluateEpoch();
+
+  const Workload* workload_;
+  runtime::ShardedRuntime* runtime_;
+  SharingPlan current_plan_;
+  PlanManagerOptions options_;
+  RateMonitor monitor_;
+  PlanManagerStats stats_;
+  ReoptimizeResult last_reopt_;
+  int64_t last_evaluated_epoch_ = -1;
+  bool baselined_ = false;
+};
+
+}  // namespace sharon::adaptive
+
+#endif  // SHARON_ADAPTIVE_PLAN_MANAGER_H_

@@ -98,8 +98,24 @@ struct WatermarkStats {
   uint64_t evicted_groups = 0;    ///< group states erased outright
   uint64_t finalized_windows = 0; ///< result-carrying windows sealed
   uint64_t finalized_cells = 0;   ///< result cells emitted by finalization
+  uint64_t suppressed_cells = 0;  ///< cells discarded below a results floor
   uint64_t regressions = 0;       ///< non-advancing watermarks (ignored)
   uint64_t buffered_peak = 0;     ///< reorder-buffer high-mark (events)
+
+  /// Folds another executor's COUNTERS in, leaving watermark/safe_point
+  /// untouched — for rollups whose frontier comes from elsewhere (e.g. a
+  /// retired pre-swap engine, whose watermark was deliberately capped at
+  /// its swap boundary and would poison a MIN).
+  void MergeCountersFrom(const WatermarkStats& o) {
+    late_dropped += o.late_dropped;
+    evicted_panes += o.evicted_panes;
+    evicted_groups += o.evicted_groups;
+    finalized_windows += o.finalized_windows;
+    finalized_cells += o.finalized_cells;
+    suppressed_cells += o.suppressed_cells;
+    regressions += o.regressions;
+    buffered_peak += o.buffered_peak;
+  }
 
   /// Folds another executor's counters in (MultiEngine / runtime rollups).
   /// Watermarks combine by MIN: the merged safe point is only as far as
@@ -111,13 +127,7 @@ struct WatermarkStats {
     if (safe_point == kNoWatermark || o.safe_point < safe_point) {
       safe_point = o.safe_point;
     }
-    late_dropped += o.late_dropped;
-    evicted_panes += o.evicted_panes;
-    evicted_groups += o.evicted_groups;
-    finalized_windows += o.finalized_windows;
-    finalized_cells += o.finalized_cells;
-    regressions += o.regressions;
-    buffered_peak += o.buffered_peak;
+    MergeCountersFrom(o);
   }
 };
 

@@ -254,6 +254,13 @@ void Engine::SetDisorderPolicy(const DisorderPolicy& policy) {
   policy_ = policy;
 }
 
+void Engine::SetResultsFloor(Timestamp floor) {
+  results_floor_ = floor;
+  floor_limit_ = compiled_->window.Valid() && floor >= 0
+                     ? compiled_->window.FirstWindowCovering(floor)
+                     : 0;
+}
+
 void Engine::AdvanceWatermark(Timestamp t) {
   if (!policy_.enabled) return;
   if (t <= wm_stats_.watermark) {
@@ -282,10 +289,23 @@ void Engine::AdvanceWatermark(Timestamp t) {
   if (window.Valid() && safe >= 0) {
     const WindowId limit = window.FirstWindowCovering(safe);
     if (limit > next_finalize_) {
-      auto [cells, windows] = staged_.ExtractWindowsBefore(limit, results_);
-      wm_stats_.finalized_cells += cells;
-      wm_stats_.finalized_windows += windows;
-      next_finalize_ = limit;
+      // Windows below the results floor belong to a predecessor engine
+      // (plan hot-swap): this engine only saw part of their events, so
+      // their cells are discarded, not finalized.
+      const WindowId suppress = std::min(limit, floor_limit_);
+      if (suppress > next_finalize_) {
+        ResultCollector discard;
+        auto [cells, windows] = staged_.ExtractWindowsBefore(suppress, discard);
+        wm_stats_.suppressed_cells += cells;
+        (void)windows;
+        next_finalize_ = suppress;
+      }
+      if (limit > next_finalize_) {
+        auto [cells, windows] = staged_.ExtractWindowsBefore(limit, results_);
+        wm_stats_.finalized_cells += cells;
+        wm_stats_.finalized_windows += windows;
+        next_finalize_ = limit;
+      }
     }
   }
 

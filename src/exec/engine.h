@@ -131,6 +131,15 @@ class Engine {
   /// buffered event and finalize every window.
   void CloseStream();
 
+  /// Declares that windows closing at or before `floor` belong to a
+  /// PREDECESSOR of this engine (plan hot-swap, src/runtime/plan_swap.h):
+  /// an engine instantiated mid-stream has only partial data for them, so
+  /// their staged cells are discarded at finalization time instead of
+  /// moving into results() — counted in watermark_stats().suppressed_cells,
+  /// never emitted. Call before the first event; watermark mode only.
+  void SetResultsFloor(Timestamp floor);
+  Timestamp results_floor() const { return results_floor_; }
+
   /// True once `window` has been finalized (its results are complete and
   /// immutable). Always false while no disorder policy is enabled —
   /// without watermarks nothing ever finalizes.
@@ -213,6 +222,8 @@ class Engine {
   Timestamp frontier_ = 0;          ///< ticks below this were released
   Timestamp high_mark_ = kNoWatermark;  ///< highest event time observed
   WindowId next_finalize_ = 0;      ///< windows below this are finalized
+  Timestamp results_floor_ = kNoWatermark;  ///< hot-swap handoff boundary
+  WindowId floor_limit_ = 0;        ///< windows below this are suppressed
 
   static constexpr uint64_t kSweepInterval = 4096;
 };

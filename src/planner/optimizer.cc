@@ -20,7 +20,7 @@ SharonGraph BuildTimed(const Workload& workload,
   r->graph_vertices = g.num_vertices();
   r->graph_edges = g.num_edges();
   r->phases.push_back(
-      {"graph construction", watch.ElapsedMillis(), g.EstimatedBytes()});
+      {"graph construction", watch.ElapsedMillis(), g.EstimatedBytes(), ""});
   return g;
 }
 
@@ -37,7 +37,7 @@ OptimizerResult OptimizeGreedy(const Workload& workload,
   r.score = greedy.weight;
   r.plan = g.ToPlan(greedy.independent_set);
   r.plans_considered = greedy.independent_set.size();
-  r.phases.push_back({"GWMIN", watch.ElapsedMillis(), g.EstimatedBytes()});
+  r.phases.push_back({"GWMIN", watch.ElapsedMillis(), g.EstimatedBytes(), ""});
   return r;
 }
 
@@ -53,12 +53,13 @@ OptimizerResult OptimizeExhaustive(const Workload& workload,
     g = ExpandGraph(g, workload, weight, config.expansion);
     r.expanded_vertices = g.num_vertices();
     r.phases.push_back(
-        {"graph expansion", watch.ElapsedMillis(), g.EstimatedBytes()});
+        {"graph expansion", watch.ElapsedMillis(), g.EstimatedBytes(), ""});
   }
 
   StopWatch watch;
   PlanFinderResult found = ExhaustiveSearch(g, config.finder);
   r.completed = found.completed;
+  r.limit = found.limit;
   r.plans_considered = found.plans_considered;
   r.score = found.best_score;
   r.plan = g.ToPlan(found.best);
@@ -68,7 +69,8 @@ OptimizerResult OptimizeExhaustive(const Workload& workload,
       g.num_vertices() / 2 * sizeof(VertexId) + sizeof(double);
   r.phases.push_back({"exhaustive search", watch.ElapsedMillis(),
                       g.EstimatedBytes() +
-                          found.plans_considered * per_plan_bytes});
+                          found.plans_considered * per_plan_bytes,
+                      found.completed ? "" : PlanFinderLimitName(found.limit)});
   return r;
 }
 
@@ -84,7 +86,7 @@ OptimizerResult OptimizeSharon(const Workload& workload,
     g = ExpandGraph(g, workload, weight, config.expansion);
     r.expanded_vertices = g.num_vertices();
     r.phases.push_back(
-        {"graph expansion", watch.ElapsedMillis(), g.EstimatedBytes()});
+        {"graph expansion", watch.ElapsedMillis(), g.EstimatedBytes(), ""});
   }
 
   std::vector<VertexId> conflict_free;
@@ -96,7 +98,7 @@ OptimizerResult OptimizeSharon(const Workload& workload,
     r.pruned_ridden = red.pruned_ridden.size();
     r.reduced_vertices = red.remaining;
     r.phases.push_back(
-        {"graph reduction", watch.ElapsedMillis(), g.EstimatedBytes()});
+        {"graph reduction", watch.ElapsedMillis(), g.EstimatedBytes(), ""});
   } else {
     r.reduced_vertices = g.num_vertices();
   }
@@ -109,17 +111,26 @@ OptimizerResult OptimizeSharon(const Workload& workload,
   if (found.completed) {
     chosen = found.best;
   } else {
-    // §6 extreme case 1: fall back to GWMIN's polynomial-time plan.
+    // §6 extreme case 1: fall back to GWMIN's polynomial-time plan. The
+    // phase note names the limit that triggered the fallback so Fig. 15
+    // output (and adaptive-planner logs) show time-outs and level
+    // overflows as distinct events.
     r.used_fallback = true;
     r.completed = false;
+    r.limit = found.limit;
     chosen = RunGwmin(g).independent_set;
   }
   // Conflict-free candidates always join the final plan (Alg. 4 line 11).
   chosen.insert(chosen.end(), conflict_free.begin(), conflict_free.end());
   r.score = g.WeightOf(chosen);
   r.plan = g.ToPlan(chosen);
-  r.phases.push_back({"plan finder", watch.ElapsedMillis(),
-                      g.EstimatedBytes() + found.peak_bytes});
+  r.phases.push_back(
+      {"plan finder", watch.ElapsedMillis(),
+       g.EstimatedBytes() + found.peak_bytes,
+       found.completed
+           ? ""
+           : std::string(PlanFinderLimitName(found.limit)) +
+                 " -> GWMIN fallback"});
   return r;
 }
 
@@ -145,6 +156,34 @@ OptimizerResult OptimizeSharon(const Workload& workload, const CostModel& cm,
   return OptimizeSharon(
       workload, cands,
       [&](const Candidate& c) { return cm.BValue(c, workload); }, config);
+}
+
+ReoptimizeResult Reoptimize(const Workload& workload, const CostModel& cm,
+                            const SharingPlan& current,
+                            const ReoptimizeOptions& opts) {
+  ReoptimizeResult r;
+  StopWatch watch;
+  r.current_score = PlanScore(current, workload, cm);
+  r.phases.push_back({"re-cost current", watch.ElapsedMillis(), 0, ""});
+
+  watch.Reset();
+  OptimizerResult go = OptimizeGreedy(workload, cm);
+  r.phases.push_back(
+      {"GO", watch.ElapsedMillis(), go.PeakBytes(), ""});
+
+  const double go_gain = go.score - r.current_score;
+  const double denom = r.current_score > 1.0 ? r.current_score : 1.0;
+  if (go_gain / denom > opts.so_escalation_gap) {
+    watch.Reset();
+    OptimizerResult so = OptimizeSharon(workload, cm, opts.config);
+    r.escalated = true;
+    r.phases.push_back({"SO", watch.ElapsedMillis(), so.PeakBytes(),
+                        so.completed ? "" : PlanFinderLimitName(so.limit)});
+    r.chosen = so.score >= go.score ? std::move(so) : std::move(go);
+  } else {
+    r.chosen = std::move(go);
+  }
+  return r;
 }
 
 }  // namespace sharon

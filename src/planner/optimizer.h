@@ -29,6 +29,9 @@ struct OptimizerPhase {
   std::string name;
   double millis = 0;
   size_t bytes = 0;
+  /// Diagnostic annotation, e.g. which limit cut the phase short
+  /// ("time limit", "level-size limit"). Empty for clean phases.
+  std::string note;
 };
 
 /// Outcome of an optimizer pipeline.
@@ -37,6 +40,9 @@ struct OptimizerResult {
   double score = 0;            ///< sum of candidate benefits (Def. 8)
   bool completed = true;       ///< false: EO/SO hit its limits
   bool used_fallback = false;  ///< SO timed out and returned GWMIN's plan
+  /// The specific limit behind completed=false (kNone when completed):
+  /// time expired vs. an oversized lattice level vs. too many vertices.
+  PlanFinderLimit limit = PlanFinderLimit::kNone;
   std::vector<OptimizerPhase> phases;
 
   // Pipeline statistics.
@@ -91,6 +97,59 @@ OptimizerResult OptimizeExhaustive(const Workload& workload,
                                    const OptimizerConfig& config = {});
 OptimizerResult OptimizeSharon(const Workload& workload, const CostModel& cm,
                                const OptimizerConfig& config = {});
+
+// --- incremental re-optimization (§7.4 dynamic workloads) -------------------
+//
+// When runtime statistics show drifted rates, the cheap question is "how
+// much better could a fresh plan be?" — answered by re-costing the CURRENT
+// plan under the new rates (Def. 8 is a pure function of rates) and running
+// the polynomial GO pipeline. Only when GO already promises a significant
+// gain is the exponential SO pipeline worth its latency; the escalation
+// threshold makes that trade explicit. src/adaptive/PlanManager drives this
+// on an epoch cadence and hot-swaps the winner (src/runtime/plan_swap.h).
+
+/// Knobs of one re-optimization pass.
+struct ReoptimizeOptions {
+  /// Escalate from GO to SO when GO's predicted relative gain over the
+  /// current plan exceeds this ratio (SO can only widen the gain).
+  double so_escalation_gap = 0.5;
+  /// Pipeline configuration for the SO escalation.
+  OptimizerConfig config;
+};
+
+/// Outcome of one re-optimization pass.
+struct ReoptimizeResult {
+  /// The incumbent plan's score (Def. 8 sum) under the NEW rates.
+  double current_score = 0;
+  /// The winning freshly-optimized pipeline outcome (GO, or SO when
+  /// escalated and better).
+  OptimizerResult chosen;
+  bool escalated = false;  ///< SO pipeline ran
+  /// Phase stats of the whole pass: "re-cost current", "GO", ["SO"].
+  std::vector<OptimizerPhase> phases;
+
+  /// Predicted benefit gain of swapping to the chosen plan.
+  double Gain() const { return chosen.score - current_score; }
+
+  /// Gain relative to the incumbent (denominator floored at 1 so an
+  /// empty/zero-benefit incumbent still produces a finite ratio).
+  double GainRatio() const {
+    return Gain() / (current_score > 1.0 ? current_score : 1.0);
+  }
+
+  double TotalMillis() const {
+    double t = 0;
+    for (const auto& p : phases) t += p.millis;
+    return t;
+  }
+};
+
+/// Re-scores `current` under `cm`'s rates and searches for a better plan
+/// (GO, escalating to SO per `opts`). Pure planning: the caller decides
+/// whether the gain clears its hysteresis margin and performs the swap.
+ReoptimizeResult Reoptimize(const Workload& workload, const CostModel& cm,
+                            const SharingPlan& current,
+                            const ReoptimizeOptions& opts = {});
 
 }  // namespace sharon
 

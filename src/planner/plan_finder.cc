@@ -14,6 +14,16 @@ size_t LevelBytes(const PlanLevel& level, size_t plan_size) {
 
 }  // namespace
 
+const char* PlanFinderLimitName(PlanFinderLimit limit) {
+  switch (limit) {
+    case PlanFinderLimit::kNone: return "none";
+    case PlanFinderLimit::kTime: return "time limit";
+    case PlanFinderLimit::kLevelSize: return "level-size limit";
+    case PlanFinderLimit::kVertexCount: return "vertex-count limit";
+  }
+  return "unknown";
+}
+
 PlanLevel GetNextLevel(const SharonGraph& graph, const PlanLevel& parents,
                        uint64_t max_plans, bool* overflow) {
   PlanLevel children;
@@ -92,10 +102,16 @@ bool FindOptimalForComponent(const SharonGraph& graph,
         best = level.plans[i];
       }
     }
-    if (watch.ElapsedSeconds() > opts.time_limit_seconds) return false;
+    if (watch.ElapsedSeconds() > opts.time_limit_seconds) {
+      result->limit = PlanFinderLimit::kTime;
+      return false;
+    }
     bool overflow = false;
     level = GetNextLevel(graph, level, opts.max_level_plans, &overflow);
-    if (overflow) return false;
+    if (overflow) {
+      result->limit = PlanFinderLimit::kLevelSize;
+      return false;
+    }
     ++plan_size;
   }
   result->best_score += best_score;
@@ -132,6 +148,7 @@ PlanFinderResult ExhaustiveSearch(const SharonGraph& graph,
   if (n == 0) return result;
   if (n >= 63) {
     result.completed = false;
+    result.limit = PlanFinderLimit::kVertexCount;
     return result;
   }
 
@@ -173,6 +190,7 @@ PlanFinderResult ExhaustiveSearch(const SharonGraph& graph,
   };
   recurse(recurse, 0, 0.0, true);
   result.completed = !aborted;
+  if (aborted) result.limit = PlanFinderLimit::kTime;
   result.peak_level_plans = result.plans_considered;
   result.peak_bytes =
       (uint64_t{1} << std::min<size_t>(n, 40)) / 8;  // subset bitmap proxy

@@ -24,6 +24,17 @@ struct PlanFinderOptions {
   uint64_t max_level_plans = 2'000'000;
 };
 
+/// Which of the §6 extreme-case limits stopped an incomplete search.
+enum class PlanFinderLimit {
+  kNone,       ///< search completed
+  kTime,       ///< time_limit_seconds expired
+  kLevelSize,  ///< a lattice level exceeded max_level_plans
+  kVertexCount ///< too many vertices to enumerate at all (exhaustive)
+};
+
+/// Human-readable name of a limit ("time limit", "level-size limit", ...).
+const char* PlanFinderLimitName(PlanFinderLimit limit);
+
 /// Outcome of the search.
 struct PlanFinderResult {
   std::vector<VertexId> best;   ///< optimal valid plan (vertex ids)
@@ -32,6 +43,9 @@ struct PlanFinderResult {
   size_t peak_level_plans = 0;  ///< widest level held in memory
   size_t peak_bytes = 0;        ///< memory proxy for Fig. 15(b)
   bool completed = true;        ///< false: hit the time/size limit
+  /// The limit that triggered completed=false (kNone when completed), so
+  /// callers can report WHY a search fell back instead of a bare flag.
+  PlanFinderLimit limit = PlanFinderLimit::kNone;
 };
 
 /// One lattice level: plans as sorted vertex-id vectors plus their scores.

@@ -1,0 +1,106 @@
+// Watermark-aligned sharing-plan hot-swap: the runtime-side mechanics of
+// adaptive re-optimization (policy lives in src/adaptive/plan_manager.h).
+//
+// A swap replaces the compiled sharing plan of every shard's executor
+// while the stream keeps flowing, without losing, duplicating or altering
+// a single finalized result cell. The trick is to cut the WINDOW set, not
+// the event stream: sliding windows overlap, so no single timestamp
+// separates "old plan's events" from "new plan's events" — but every
+// window closes exactly once.
+//
+//   boundary B   = a window close on the workload's window grid, chosen
+//                  past the ingest high-mark so that no event of any
+//                  window closing after B has been routed yet
+//   old engine   owns every window closing <= B: it keeps receiving
+//                  events below B, its watermark is CAPPED at
+//                  B + max_lateness so it finalizes exactly its windows
+//                  and then retires (results drained into the shard's
+//                  archive)
+//   new engine   owns every window closing > B: it is instantiated from
+//                  the new CompiledPlanHandle when the in-band swap
+//                  marker arrives, receives every event at or above the
+//                  first such window's start (events in the overlap
+//                  [B+slide-length, B) are TEED to both engines), and a
+//                  results floor discards its partial cells for windows
+//                  closing <= B
+//
+// Because each window is computed by exactly one engine from exactly the
+// events the sorted stream puts in it, finalized cells stay bit-identical
+// to an oracle run under any swap schedule (tests/adaptive_swap_test.cc).
+//
+// Commands carry a shared_ptr plan handle, which cannot ride inside an
+// Event; they travel in a side queue per shard while an in-band MARKER
+// punctuation (type kSwapMarkerType) holds the swap's position relative
+// to data events through the batch queues — the same trick watermarks
+// use. The producer pushes the command strictly before broadcasting the
+// marker, so the worker always finds the command when the marker arrives.
+
+#ifndef SHARON_RUNTIME_PLAN_SWAP_H_
+#define SHARON_RUNTIME_PLAN_SWAP_H_
+
+#include <cstdint>
+
+#include "src/common/event.h"
+#include "src/common/time.h"
+#include "src/exec/engine.h"
+
+namespace sharon::runtime {
+
+/// Punctuation type of the in-band swap marker (kInvalidType is taken by
+/// watermarks). Markers are runtime-internal: they are broadcast by
+/// ShardedRuntime::RequestPlanSwap and consumed by Shard workers, never
+/// fed to an executor.
+inline constexpr EventTypeId kSwapMarkerType = static_cast<EventTypeId>(-2);
+
+/// Builds the in-band marker that triggers pickup of a pending swap.
+inline Event SwapMarkerEvent() {
+  Event e;
+  e.type = kSwapMarkerType;
+  return e;
+}
+
+/// True if `e` is a swap marker rather than a data event or watermark.
+inline bool IsSwapMarker(const Event& e) { return e.type == kSwapMarkerType; }
+
+/// One plan swap, as handed to a shard (side-channel; the in-band marker
+/// only says "pop the next command").
+struct SwapCommand {
+  uint64_t id = 0;             ///< swap sequence number (runtime-wide)
+  Timestamp boundary = 0;      ///< window close B separating old/new plan
+  CompiledPlanHandle plan;     ///< compiled new plan, shared by all shards
+};
+
+/// What one shard measured for one completed swap (worker-owned; read
+/// after Join like the rest of ShardStats).
+struct ShardSwapRecord {
+  uint64_t id = 0;
+  Timestamp boundary = 0;
+  /// Marker pickup to old-engine retirement, wall seconds: the dual-run
+  /// span during which the shard carries both engines.
+  double dual_run_seconds = 0;
+  /// Events in the overlap [B+slide-length, B) processed by BOTH engines.
+  uint64_t teed_events = 0;
+  /// Peak combined executor bytes observed during the dual run (sampled
+  /// at watermark application, the only points state can shrink anyway).
+  size_t peak_dual_bytes = 0;
+  /// Executor bytes right after the old engine retired — the "recovery"
+  /// figure the drift bench plots against peak_dual_bytes.
+  size_t post_swap_bytes = 0;
+};
+
+/// Cross-shard rollup of one swap (RuntimeStats::plan_swaps). A swap's
+/// stall is the SLOWEST shard's dual-run span: until then the runtime as
+/// a whole still carries old-plan state.
+struct PlanSwapStats {
+  uint64_t id = 0;
+  Timestamp boundary = 0;
+  double max_dual_run_seconds = 0;  ///< per-swap stall time
+  uint64_t teed_events = 0;         ///< summed over shards
+  size_t peak_dual_bytes = 0;       ///< summed over shards
+  size_t post_swap_bytes = 0;       ///< summed over shards
+  size_t shards_completed = 0;
+};
+
+}  // namespace sharon::runtime
+
+#endif  // SHARON_RUNTIME_PLAN_SWAP_H_

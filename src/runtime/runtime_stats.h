@@ -8,6 +8,7 @@
 #ifndef SHARON_RUNTIME_RUNTIME_STATS_H_
 #define SHARON_RUNTIME_RUNTIME_STATS_H_
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <thread>
@@ -15,6 +16,7 @@
 
 #include "src/common/metrics.h"
 #include "src/common/watermark.h"
+#include "src/runtime/plan_swap.h"
 
 namespace sharon::runtime {
 
@@ -76,9 +78,24 @@ struct RuntimeStats {
   /// Per-shard watermark/eviction counters (index-aligned with shards;
   /// empty when the runtime ran without a disorder policy).
   std::vector<WatermarkStats> shard_watermarks;
+  /// Completed plan hot-swaps, in swap order, rolled up across shards
+  /// (src/runtime/plan_swap.h; empty when no swap was requested).
+  std::vector<PlanSwapStats> plan_swaps;
   uint64_t events_ingested = 0;
   uint64_t watermarks_ingested = 0;  ///< punctuations broadcast to shards
   double wall_seconds = 0;  ///< Start() to Finish(), ingest included
+
+  /// Number of plan swaps every shard completed.
+  uint64_t CompletedSwaps() const { return plan_swaps.size(); }
+
+  /// Slowest per-swap stall (dual-run span) across all completed swaps.
+  double MaxSwapStallSeconds() const {
+    double s = 0;
+    for (const PlanSwapStats& p : plan_swaps) {
+      s = std::max(s, p.max_dual_run_seconds);
+    }
+    return s;
+  }
 
   /// Cross-shard watermark rollup: watermark/safe point are the MIN over
   /// shards (the merged finalization frontier), counters are sums.

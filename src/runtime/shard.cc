@@ -1,6 +1,7 @@
 #include "src/runtime/shard.h"
 
 #include <algorithm>
+#include <limits>
 
 namespace sharon::runtime {
 
@@ -8,7 +9,9 @@ Shard::Shard(size_t index, const Workload& workload,
              CompiledPlanHandle compiled, const RuntimeOptions& options)
     : index_(index),
       queue_(options.queue_capacity),
-      engine_(std::make_unique<Engine>(workload, std::move(compiled))) {
+      engine_(std::make_unique<Engine>(workload, std::move(compiled))),
+      engine_mode_(true),
+      disorder_(options.disorder) {
   if (!engine_->ok()) error_ = engine_->error();
   if (options.disorder.enabled) engine_->SetDisorderPolicy(options.disorder);
 }
@@ -17,7 +20,9 @@ Shard::Shard(size_t index, std::shared_ptr<const MultiEnginePlan> plan,
              const RuntimeOptions& options)
     : index_(index),
       queue_(options.queue_capacity),
-      multi_(std::make_unique<MultiEngine>(std::move(plan))) {
+      multi_(std::make_unique<MultiEngine>(std::move(plan))),
+      engine_mode_(false),
+      disorder_(options.disorder) {
   if (!multi_->ok()) error_ = multi_->error();
   if (multi_->ok() && options.disorder.enabled) {
     multi_->SetDisorderPolicy(options.disorder);
@@ -43,6 +48,10 @@ void Shard::Process(const EventBatch& batch) {
   StopWatch watch;
   uint64_t data_events = 0;
   for (const Event& e : batch) {
+    if (IsSwapMarker(e)) {
+      BeginSwap();
+      continue;
+    }
     if (IsWatermark(e)) {
       // Publish before applying so a reader never observes a finalized
       // window whose shard watermark it cannot see. Punctuations arrive
@@ -50,18 +59,122 @@ void Shard::Process(const EventBatch& batch) {
       if (e.time > watermark_.load(std::memory_order_relaxed)) {
         watermark_.store(e.time, std::memory_order_release);
       }
-    } else {
-      ++data_events;
+      if (engine_) {
+        ApplyWatermark(e.time);
+      } else {
+        multi_->OnEvent(e);
+      }
+      continue;
     }
-    if (engine_) {
-      engine_->OnEvent(e);
-    } else {
+    ++data_events;
+    if (!engine_) {
       multi_->OnEvent(e);
+      continue;
     }
+    if (!swap_active_) {
+      engine_->OnEvent(e);
+      continue;
+    }
+    // Dual run: the old engine owns windows closing <= boundary (events
+    // below the boundary), the new engine owns windows closing above it
+    // (events at or past the overlap start). Events in the overlap feed
+    // both — each window still sees its events exactly once per engine.
+    const bool to_old = e.time < swap_.boundary;
+    const bool to_new = e.time >= tee_from_;
+    if (to_old) engine_->OnEvent(e);
+    if (to_new) next_engine_->OnEvent(e);
+    if (to_old && to_new) ++swap_record_.teed_events;
   }
   stats_.busy_seconds += watch.ElapsedSeconds();
   stats_.events += data_events;
   ++stats_.batches;
+}
+
+void Shard::BeginSwap() {
+  SwapCommand cmd;
+  {
+    std::lock_guard<std::mutex> lock(swap_mu_);
+    if (pending_swaps_.empty()) return;  // spurious marker; nothing staged
+    cmd = std::move(pending_swaps_.front());
+    pending_swaps_.pop_front();
+  }
+  // Guarded by the producer (one swap in flight, Engine shards only,
+  // disorder enabled); bail defensively if those invariants are violated.
+  if (!engine_ || !disorder_.enabled || swap_active_ || !cmd.plan) {
+    swap_in_flight_.store(false, std::memory_order_release);
+    return;
+  }
+  swap_ = std::move(cmd);
+  const WindowSpec& window = engine_->compiled().window;
+  tee_from_ = window.Valid()
+                  ? swap_.boundary + window.slide - window.length
+                  : swap_.boundary;
+  next_engine_ = std::make_unique<Engine>(engine_->workload(), swap_.plan);
+  next_engine_->SetDisorderPolicy(disorder_);
+  next_engine_->SetResultsFloor(swap_.boundary);
+  swap_record_ = ShardSwapRecord{};
+  swap_record_.id = swap_.id;
+  swap_record_.boundary = swap_.boundary;
+  swap_watch_.Reset();
+  swap_active_ = true;
+}
+
+void Shard::ApplyWatermark(Timestamp t) {
+  if (!swap_active_) {
+    engine_->AdvanceWatermark(t);
+    return;
+  }
+  // The old engine's watermark is capped so its safe point never passes
+  // the boundary: it finalizes exactly the windows it owns, and the
+  // windows it does not own stay staged (discarded at retirement).
+  const Timestamp cap = SwapWatermarkCap();
+  engine_->AdvanceWatermark(std::min(t, cap));
+  next_engine_->AdvanceWatermark(t);
+  swap_record_.peak_dual_bytes =
+      std::max(swap_record_.peak_dual_bytes,
+               engine_->EstimatedBytes() + next_engine_->EstimatedBytes());
+  // Once the uncapped watermark implies safe point >= boundary, every
+  // window the old engine owns is finalized — hand off.
+  if (t >= cap) RetireOldEngine();
+}
+
+void Shard::RetireOldEngine() {
+  swap_record_.dual_run_seconds = swap_watch_.ElapsedSeconds();
+  retired_peak_bytes_ = std::max(
+      retired_peak_bytes_,
+      std::max(engine_->peak_bytes(), engine_->EstimatedBytes()));
+  // Fold the retiring engine's counters (its watermark/safe point are
+  // frozen at the cap and would poison a MIN-rollup; counters are sums).
+  retired_wm_.MergeCountersFrom(engine_->watermark_stats());
+  // Drain the finalized results (windows closing <= boundary, complete
+  // and immutable) into the shard archive; staged cells of windows the
+  // new engine owns die with the old engine.
+  engine_->mutable_results().ExtractWindowsBefore(
+      std::numeric_limits<WindowId>::max(), archived_);
+  engine_ = std::move(next_engine_);
+  swap_active_ = false;
+  swap_record_.post_swap_bytes =
+      engine_->EstimatedBytes() + archived_.EstimatedBytes();
+  swap_records_.push_back(swap_record_);
+  swap_in_flight_.store(false, std::memory_order_release);
+}
+
+bool Shard::PushSwapCommand(const SwapCommand& cmd) {
+  if (!engine_mode_ || !disorder_.enabled || !cmd.plan) return false;
+  if (swap_in_flight_.load(std::memory_order_acquire)) return false;
+  {
+    std::lock_guard<std::mutex> lock(swap_mu_);
+    pending_swaps_.push_back(cmd);
+  }
+  swap_in_flight_.store(true, std::memory_order_release);
+  return true;
+}
+
+void Shard::CancelSwapCommand() {
+  std::lock_guard<std::mutex> lock(swap_mu_);
+  if (pending_swaps_.empty()) return;  // worker already consumed it
+  pending_swaps_.pop_back();
+  swap_in_flight_.store(false, std::memory_order_release);
 }
 
 void Shard::WorkerLoop() {
@@ -86,15 +199,38 @@ void Shard::WorkerLoop() {
 }
 
 AggState Shard::Get(QueryId query, WindowId window, AttrValue group) const {
-  if (engine_) return engine_->results().Get(query, window, group);
+  if (engine_) {
+    // A cell lives in exactly one store: retired engines archived their
+    // windows (closing <= their boundary); the current engine owns the
+    // rest. Probe the archive by key so a legitimately zero-valued
+    // archived cell is not shadowed by the current engine's Zero().
+    auto it = archived_.cells().find(ResultKey{query, window, group});
+    if (it != archived_.cells().end()) return it->second;
+    AggState state = engine_->results().Get(query, window, group);
+    // A swap stalled at shutdown leaves the incoming engine holding the
+    // finalized cells of its windows — the same cells ForEachCell
+    // enumerates, so Get must see them too.
+    if (state.IsZero() && swap_active_ && next_engine_) {
+      state = next_engine_->results().Get(query, window, group);
+    }
+    return state;
+  }
   return multi_->Get(query, window, group);
 }
 
 void Shard::ForEachCell(
     const std::function<void(const ResultKey&, const AggState&)>& fn) const {
   if (engine_) {
+    for (const auto& [key, state] : archived_.cells()) fn(key, state);
     for (const auto& [key, state] : engine_->results().cells()) {
       fn(key, state);
+    }
+    // A swap that never completed (stalled watermark at shutdown) leaves
+    // the incoming engine holding finalized cells of its own windows.
+    if (swap_active_ && next_engine_) {
+      for (const auto& [key, state] : next_engine_->results().cells()) {
+        fn(key, state);
+      }
     }
     return;
   }
@@ -110,14 +246,23 @@ void Shard::ForEachCell(
 }
 
 size_t Shard::NumCells() const {
-  if (engine_) return engine_->results().size();
+  if (engine_) {
+    size_t n = archived_.size() + engine_->results().size();
+    if (swap_active_ && next_engine_) n += next_engine_->results().size();
+    return n;
+  }
   size_t n = 0;
   for (const auto& e : multi_->engines()) n += e->results().size();
   return n;
 }
 
 size_t Shard::EstimatedBytes() const {
-  return engine_ ? engine_->EstimatedBytes() : multi_->EstimatedBytes();
+  if (engine_) {
+    size_t n = engine_->EstimatedBytes() + archived_.EstimatedBytes();
+    if (swap_active_ && next_engine_) n += next_engine_->EstimatedBytes();
+    return n;
+  }
+  return multi_->EstimatedBytes();
 }
 
 size_t Shard::PeakBytes() const {
@@ -126,7 +271,14 @@ size_t Shard::PeakBytes() const {
   auto peak_of = [](const Engine& e) {
     return std::max(e.peak_bytes(), e.EstimatedBytes());
   };
-  if (engine_) return peak_of(*engine_);
+  if (engine_) {
+    size_t peak = peak_of(*engine_) + archived_.EstimatedBytes();
+    peak = std::max(peak, retired_peak_bytes_);
+    for (const ShardSwapRecord& r : swap_records_) {
+      peak = std::max(peak, r.peak_dual_bytes);
+    }
+    return peak;
+  }
   size_t n = 0;
   for (const auto& e : multi_->engines()) n += peak_of(*e);
   return n;
@@ -138,7 +290,13 @@ size_t Shard::num_shared_counters() const {
 }
 
 WatermarkStats Shard::watermark_stats() const {
-  return engine_ ? engine_->watermark_stats() : multi_->watermark_stats();
+  if (!engine_) return multi_->watermark_stats();
+  // Watermark/safe point come from the CURRENT engine (retired engines
+  // were deliberately capped at their swap boundary); counters sum over
+  // every engine this shard ever ran.
+  WatermarkStats out = engine_->watermark_stats();
+  out.MergeCountersFrom(retired_wm_);
+  return out;
 }
 
 bool Shard::Finalized(QueryId query, WindowId window) const {
@@ -147,7 +305,12 @@ bool Shard::Finalized(QueryId query, WindowId window) const {
 }
 
 LiveState Shard::LiveStateSnapshot() const {
-  return engine_ ? engine_->LiveStateSnapshot() : multi_->LiveStateSnapshot();
+  if (!engine_) return multi_->LiveStateSnapshot();
+  LiveState live = engine_->LiveStateSnapshot();
+  if (swap_active_ && next_engine_) {
+    live.MergeFrom(next_engine_->LiveStateSnapshot());
+  }
+  return live;
 }
 
 }  // namespace sharon::runtime

@@ -10,14 +10,17 @@
 #define SHARON_RUNTIME_SHARD_H_
 
 #include <atomic>
+#include <deque>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "src/exec/engine.h"
 #include "src/exec/multi_engine.h"
+#include "src/runtime/plan_swap.h"
 #include "src/runtime/runtime_stats.h"
 #include "src/runtime/spsc_queue.h"
 
@@ -61,6 +64,21 @@ class Shard {
   /// Producer side: no more batches will be enqueued.
   void SignalDone() { done_.store(true, std::memory_order_release); }
 
+  /// Producer side: stages a plan-swap command for pickup by the next
+  /// in-band swap marker (src/runtime/plan_swap.h). Must be followed by a
+  /// marker broadcast ordered after it; false if this shard cannot swap
+  /// (MultiEngine mode) or a swap is already in flight.
+  bool PushSwapCommand(const SwapCommand& cmd);
+
+  /// Producer side: un-stages a command pushed by PushSwapCommand whose
+  /// marker has NOT been broadcast (partial-broadcast rollback).
+  void CancelSwapCommand();
+
+  /// True from PushSwapCommand until the worker retires the old engine.
+  bool swap_in_flight() const {
+    return swap_in_flight_.load(std::memory_order_acquire);
+  }
+
   /// Blocks until the worker drained the queue and exited. Idempotent.
   void Join();
 
@@ -97,11 +115,18 @@ class Shard {
 
   size_t NumCells() const;
   size_t EstimatedBytes() const;
-  /// Peak logical state bytes (Engine::peak_bytes convention).
+  /// Peak logical state bytes (Engine::peak_bytes convention). Includes
+  /// retired pre-swap engines and the dual-run overlap.
   size_t PeakBytes() const;
   size_t num_shared_counters() const;
 
-  /// The underlying executors (exactly one is non-null).
+  /// Completed plan swaps this shard executed, in order (post-join).
+  const std::vector<ShardSwapRecord>& swap_records() const {
+    return swap_records_;
+  }
+
+  /// The underlying executors (exactly one is non-null). engine() is the
+  /// CURRENT engine after any swaps.
   const Engine* engine() const { return engine_.get(); }
   const MultiEngine* multi() const { return multi_.get(); }
 
@@ -109,16 +134,49 @@ class Shard {
   void WorkerLoop();
   void Process(const EventBatch& batch);
 
+  // --- plan hot-swap (worker thread only; see plan_swap.h) -------------
+  void BeginSwap();
+  void ApplyWatermark(Timestamp t);
+  void RetireOldEngine();
+  Timestamp SwapWatermarkCap() const {
+    return swap_.boundary + disorder_.max_lateness;
+  }
+
   size_t index_;
   std::string error_;
   SpscQueue<EventBatch> queue_;
   std::unique_ptr<Engine> engine_;
   std::unique_ptr<MultiEngine> multi_;
+  /// Set at construction, never changes: lets the producer thread test
+  /// the executor mode without touching engine_ (which the worker
+  /// reassigns at swap retirement).
+  const bool engine_mode_;
   std::thread thread_;
   std::atomic<bool> done_{false};
   std::atomic<Timestamp> watermark_{kNoWatermark};
   bool started_ = false;
   ShardStats stats_;
+  DisorderPolicy disorder_;
+
+  // Swap state. Producer stages commands under swap_mu_; the worker owns
+  // everything else. swap_in_flight_ is the cross-thread handshake: set by
+  // the producer on push, cleared by the worker at retirement.
+  std::mutex swap_mu_;
+  std::deque<SwapCommand> pending_swaps_;
+  std::atomic<bool> swap_in_flight_{false};
+  bool swap_active_ = false;       ///< worker picked the command up
+  SwapCommand swap_;               ///< the active swap
+  Timestamp tee_from_ = 0;         ///< overlap start B + slide - length
+  std::unique_ptr<Engine> next_engine_;
+  StopWatch swap_watch_;
+  ShardSwapRecord swap_record_;    ///< being accumulated for the active swap
+  std::vector<ShardSwapRecord> swap_records_;
+
+  // Results of retired engines (windows closing <= their boundary) plus
+  // their folded-in counters; owned by the worker, read post-join.
+  ResultCollector archived_;
+  WatermarkStats retired_wm_;      ///< counter fields only (sums)
+  size_t retired_peak_bytes_ = 0;  ///< max peak among retired engines
 };
 
 }  // namespace sharon::runtime

@@ -1,5 +1,6 @@
 #include "src/runtime/sharded_runtime.h"
 
+#include <algorithm>
 #include <thread>
 
 namespace sharon::runtime {
@@ -13,6 +14,7 @@ ShardedRuntime::ShardedRuntime(const Workload& workload,
     return;
   }
   workload_size_ = workload.size();
+  workload_ = &workload;
   InitShardsUniform(workload, plan);
 }
 
@@ -61,6 +63,7 @@ void ShardedRuntime::InitShardsUniform(const Workload& workload,
   CompiledPlanHandle compiled = CompilePlanShared(workload, plan, &error_);
   if (!compiled) return;
   partition_ = compiled->partition;
+  window_ = compiled->window;
   const size_t n = options_.ResolvedShards();
   shards_.reserve(n);
   for (size_t i = 0; i < n; ++i) {
@@ -132,6 +135,7 @@ void ShardedRuntime::Ingest(const Event& e) {
   if (batch.capacity() == 0) batch.reserve(options_.batch_size);
   batch.push_back(e);
   ++events_ingested_;
+  if (e.time > high_mark_) high_mark_ = e.time;
   if (batch.size() >= options_.batch_size) PushBatch(idx);
 }
 
@@ -153,6 +157,69 @@ void ShardedRuntime::IngestWatermark(Timestamp t) {
     if (batch.size() >= options_.batch_size) PushBatch(i);
   }
   ++watermarks_ingested_;
+}
+
+ShardedRuntime::SwapRequest ShardedRuntime::RequestPlanSwap(
+    CompiledPlanHandle plan) {
+  SwapRequest req;
+  auto refuse = [&](const char* why) {
+    req.reason = why;
+    return req;
+  };
+  if (!ok() || finished_) return refuse("runtime not running");
+  if (!workload_) {
+    return refuse(
+        "plan swap requires the uniform-workload runtime (MultiEngine "
+        "shards re-plan per segment; rebuild the runtime instead)");
+  }
+  if (!options_.disorder.enabled) {
+    return refuse(
+        "plan swap requires a disorder policy: watermarks are what drain "
+        "and retire the old engines");
+  }
+  if (!plan) return refuse("null compiled plan");
+  if (plan->partition != partition_ || !(plan->window == window_)) {
+    return refuse("new plan was compiled for a different workload");
+  }
+  for (const auto& shard : shards_) {
+    if (shard->swap_in_flight()) {
+      return refuse("previous swap still in flight");
+    }
+  }
+  if (!started_) Start();
+
+  // Boundary: the close of the last window whose start covers the ingest
+  // high-mark. Every event routed so far has time <= high-mark, and the
+  // first window closing after B starts at B + slide - length
+  // > high-mark — so no event of a new-plan window has been routed yet,
+  // and the overlap tee (shard.cc) sees all of them.
+  SwapCommand cmd;
+  cmd.id = ++swaps_requested_;
+  cmd.boundary = window_.WindowEnd(window_.LastWindowCovering(high_mark_));
+  cmd.plan = std::move(plan);
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    if (!shards_[i]->PushSwapCommand(cmd)) {
+      // Un-arm the shards already staged: their markers were not
+      // broadcast yet, so cancelling producer-side is safe and leaves no
+      // shard stuck with swap_in_flight set.
+      for (size_t j = 0; j < i; ++j) shards_[j]->CancelSwapCommand();
+      --swaps_requested_;
+      return refuse("shard refused swap command");
+    }
+  }
+  // In-band markers, ordered after everything ingested so far — same
+  // broadcast discipline as watermarks.
+  const Event marker = SwapMarkerEvent();
+  for (size_t i = 0; i < pending_.size(); ++i) {
+    EventBatch& batch = pending_[i];
+    if (batch.capacity() == 0) batch.reserve(options_.batch_size + 1);
+    batch.push_back(marker);
+    if (batch.size() >= options_.batch_size) PushBatch(i);
+  }
+  req.accepted = true;
+  req.id = cmd.id;
+  req.boundary = cmd.boundary;
+  return req;
 }
 
 void ShardedRuntime::Flush() {
@@ -205,6 +272,27 @@ RuntimeStats ShardedRuntime::stats() const {
   out.events_ingested = events_ingested_;
   out.watermarks_ingested = watermarks_ingested_;
   out.wall_seconds = wall_seconds_;
+  // Roll completed swaps up across shards: a swap counts once it
+  // completed on EVERY shard; its stall is the slowest shard's dual run.
+  size_t completed = shards_.empty() ? 0 : shards_.front()->swap_records().size();
+  for (const auto& shard : shards_) {
+    completed = std::min(completed, shard->swap_records().size());
+  }
+  for (size_t k = 0; k < completed; ++k) {
+    PlanSwapStats swap;
+    for (const auto& shard : shards_) {
+      const ShardSwapRecord& r = shard->swap_records()[k];
+      swap.id = r.id;
+      swap.boundary = r.boundary;
+      swap.max_dual_run_seconds =
+          std::max(swap.max_dual_run_seconds, r.dual_run_seconds);
+      swap.teed_events += r.teed_events;
+      swap.peak_dual_bytes += r.peak_dual_bytes;
+      swap.post_swap_bytes += r.post_swap_bytes;
+      ++swap.shards_completed;
+    }
+    out.plan_swaps.push_back(swap);
+  }
   return out;
 }
 

@@ -24,6 +24,7 @@
 
 #include "src/exec/engine.h"
 #include "src/exec/multi_engine.h"
+#include "src/runtime/plan_swap.h"
 #include "src/runtime/result_merger.h"
 #include "src/runtime/runtime_stats.h"
 #include "src/runtime/shard.h"
@@ -86,6 +87,33 @@ class ShardedRuntime {
   /// finalization frontier is the minimum across shards (ResultMerger).
   void IngestWatermark(Timestamp t);
 
+  /// Outcome of a plan-swap request (see RequestPlanSwap).
+  struct SwapRequest {
+    bool accepted = false;
+    std::string reason;      ///< why the swap was refused (when !accepted)
+    uint64_t id = 0;         ///< swap sequence number (when accepted)
+    Timestamp boundary = 0;  ///< chosen window-aligned boundary B
+  };
+
+  /// Hot-swaps the sharing plan of every shard at a watermark-aligned
+  /// boundary (src/runtime/plan_swap.h). `plan` must be compiled from the
+  /// SAME workload this runtime was built with (uniform constructor).
+  /// Call from the ingest thread, between Ingest calls. The boundary is
+  /// the first window close past the ingest high-mark, so every window
+  /// closing at or before it is finalized by the current engines and
+  /// every later window is computed by the new plan — finalized results
+  /// stay exactly-once and bit-identical to a single-plan oracle run.
+  ///
+  /// Refused (accepted=false) when: the runtime is not uniform-Engine
+  /// mode, no disorder policy is enabled (swaps need watermarks to drain
+  /// the old engines), a previous swap is still in flight on some shard,
+  /// or the runtime already finished.
+  SwapRequest RequestPlanSwap(CompiledPlanHandle plan);
+
+  /// Plan swaps completed so far (valid after Finish(); see also
+  /// stats().plan_swaps).
+  uint64_t swaps_requested() const { return swaps_requested_; }
+
   /// Pushes all non-empty pending batches regardless of occupancy.
   void Flush();
 
@@ -136,6 +164,8 @@ class ShardedRuntime {
   RuntimeOptions options_;
   AttrIndex partition_ = kNoAttr;
   size_t workload_size_ = 0;
+  const Workload* workload_ = nullptr;  ///< uniform ctor only (swap support)
+  WindowSpec window_;                   ///< uniform ctor only
   std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<EventBatch> pending_;  ///< ingest-side per-shard batches
   ResultMerger merger_;
@@ -143,6 +173,8 @@ class ShardedRuntime {
   double wall_seconds_ = 0;
   uint64_t events_ingested_ = 0;
   uint64_t watermarks_ingested_ = 0;
+  uint64_t swaps_requested_ = 0;
+  Timestamp high_mark_ = 0;  ///< max data-event time ingested
   bool started_ = false;
   bool finished_ = false;
 };

@@ -67,4 +67,11 @@ double CostModel::BValue(const Candidate& c, const Workload& w) const {
   return NonShared(c, w) - Shared(c, w);
 }
 
+double PlanScore(const SharingPlan& plan, const Workload& workload,
+                 const CostModel& cm) {
+  double score = 0;
+  for (const Candidate& c : plan) score += cm.BValue(c, workload);
+  return score;
+}
+
 }  // namespace sharon

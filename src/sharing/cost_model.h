@@ -62,6 +62,16 @@ class CostModel {
   TypeRates rates_;
 };
 
+/// Score of a whole sharing plan under `cm`'s rates: the sum of its
+/// candidates' benefit values (the quantity the §6 plan finder maximizes).
+/// Because Def. 8 is a pure function of per-type rates, re-evaluating an
+/// incumbent plan under FRESH rates is how drift is priced: the same plan
+/// object scores differently as the stream's rates move, and the adaptive
+/// planner (src/adaptive/) compares that against a freshly optimized
+/// alternative before paying for a hot-swap.
+double PlanScore(const SharingPlan& plan, const Workload& workload,
+                 const CostModel& cm);
+
 }  // namespace sharon
 
 #endif  // SHARON_SHARING_COST_MODEL_H_

@@ -14,6 +14,7 @@
 #ifndef SHARON_SHARON_H_
 #define SHARON_SHARON_H_
 
+#include "src/adaptive/plan_manager.h"
 #include "src/common/event.h"
 #include "src/common/metrics.h"
 #include "src/common/rng.h"
@@ -38,6 +39,7 @@
 #include "src/query/query.h"
 #include "src/query/window.h"
 #include "src/runtime/partition.h"
+#include "src/runtime/plan_swap.h"
 #include "src/runtime/result_merger.h"
 #include "src/runtime/runtime_stats.h"
 #include "src/runtime/shard.h"
@@ -47,6 +49,7 @@
 #include "src/sharing/ccspan.h"
 #include "src/sharing/cost_model.h"
 #include "src/streamgen/disorder.h"
+#include "src/streamgen/drift.h"
 #include "src/streamgen/ecommerce.h"
 #include "src/streamgen/fixtures.h"
 #include "src/streamgen/linear_road.h"

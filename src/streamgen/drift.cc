@@ -1,0 +1,98 @@
+#include "src/streamgen/drift.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace sharon {
+
+Scenario GenerateDrift(const DriftConfig& config) {
+  Scenario s;
+  for (uint32_t t = 0; t < config.num_types; ++t) {
+    s.types.Intern("T" + std::to_string(t));
+  }
+  s.schema.Register("entity");
+  s.schema.Register("value");
+  s.duration = config.phase_length * config.num_phases;
+
+  Rng rng(config.seed);
+  const uint32_t half = config.num_types / 2;
+  const uint64_t total_events = static_cast<uint64_t>(
+      config.events_per_second * static_cast<double>(s.duration) /
+      kTicksPerSecond);
+  s.events.reserve(total_events);
+
+  // Per-group cyclic walker through each cluster's types: consecutive
+  // same-cluster events of a group form SEQ runs, so consecutive-type
+  // patterns match (the same trick the taxi generator's routes play).
+  struct Walker {
+    uint32_t pos[2] = {0, 0};
+  };
+  std::vector<Walker> walkers(config.num_groups);
+
+  for (uint64_t i = 0; i < total_events; ++i) {
+    const Timestamp t = static_cast<Timestamp>(
+        static_cast<double>(i) * static_cast<double>(s.duration) /
+        static_cast<double>(total_events));
+    const uint32_t phase = static_cast<uint32_t>(t / config.phase_length);
+    const uint32_t hot = phase % 2;  // cluster A hot in even phases
+    const uint32_t cluster =
+        rng.NextDouble() < config.hot_share ? hot : 1 - hot;
+    const uint32_t group = static_cast<uint32_t>(rng.Below(config.num_groups));
+    Walker& w = walkers[group];
+    const uint32_t base = cluster == 0 ? 0 : half;
+    const uint32_t span = cluster == 0 ? half : config.num_types - half;
+    Event e;
+    e.time = t;
+    e.type = base + (w.pos[cluster]++ % span);
+    e.attrs = {static_cast<AttrValue>(group),
+               static_cast<AttrValue>(1 + rng.Below(9))};
+    s.events.push_back(std::move(e));
+  }
+  EnforceStrictOrder(&s.events);
+  if (!s.events.empty() && s.events.back().time >= s.duration) {
+    s.duration = s.events.back().time + 1;
+  }
+  return s;
+}
+
+Workload DriftWorkload(const DriftConfig& config, const WindowSpec& window,
+                       uint32_t anchors_per_side, uint32_t bridges) {
+  Workload w;
+  const EventTypeId h = config.num_types / 2;
+  auto add = [&](std::vector<EventTypeId> types, const std::string& name) {
+    Query q;
+    q.name = name;
+    q.pattern = Pattern(std::move(types));
+    q.agg = AggSpec::CountStar();
+    q.window = window;
+    q.partition_attr = 0;  // entity
+    w.Add(q);
+  };
+  // Anchor families: repeated dashboard-style queries on each side of the
+  // boundary. PA lives in cluster A; PB straddles into B; they overlap at
+  // the pivot type h-1.
+  for (uint32_t i = 0; i < anchors_per_side; ++i) {
+    add({h - 3, h - 2, h - 1}, "drift_pa" + std::to_string(i));
+  }
+  for (uint32_t i = 0; i < anchors_per_side; ++i) {
+    add({h - 1, h, h + 1}, "drift_pb" + std::to_string(i));
+  }
+  // Bridges contain BOTH anchor patterns, so the candidates (PA, ...) and
+  // (PB, ...) conflict inside them: at most one can be in a valid plan.
+  // The resolution decides where each bridge's private gap segment
+  // starts — a hot or a cold type — which is what the rate flip inverts.
+  // Each bridge needs a distinct tail type outside the core (assumption
+  // 3: a type at most once per pattern), which caps the bridge count.
+  bridges = std::min(bridges, config.num_types - 5);
+  for (uint32_t i = 0; i < bridges; ++i) {
+    const EventTypeId tail = (h + 2 + i) % config.num_types;
+    add({h - 3, h - 2, h - 1, h, h + 1, tail},
+        "drift_bridge" + std::to_string(i));
+  }
+  return w;
+}
+
+}  // namespace sharon

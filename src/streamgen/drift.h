@@ -1,0 +1,69 @@
+// Rate-drift scenario: a stream whose per-type rates FLIP between phases,
+// built to make a statically chosen sharing plan visibly suboptimal.
+//
+// The type alphabet is split into two clusters, A = [0, num_types/2) and
+// B = [num_types/2, num_types). In even phases cluster A carries
+// `hot_share` of the traffic, in odd phases cluster B does. Each group
+// walks each cluster's types in cyclic order, so consecutive-type SEQ
+// patterns inside a cluster have real matches — and the paired workload
+// (DriftWorkload) has heavily-overlapping queries inside EACH cluster.
+//
+// The effect on the §3 cost model is the point: sharing benefit and
+// composition cost are functions of the pattern types' rates (Eq. 1-8),
+// and the paired workload (DriftWorkload) is built so the OPTIMAL
+// conflict resolution flips with the hot cluster. Two candidate patterns
+// overlap at a pivot type inside a family of bridge queries — an
+// either/or the optimizer must resolve — and whichever candidate wins
+// decides where the bridges' private gap segment begins: at a hot type
+// (every hot event opens a new A-Seq start in every bridge's private
+// counter, the expensive resolution) or at a cold one (the cheap
+// resolution). A plan frozen at phase 0 keeps the resolution that is
+// about to become the expensive one. Note the flip has to cross the
+// boundary: benefit is homogeneous in rates, so conflicts contained
+// inside ONE cluster are rate-flip-invariant (scaling a cluster's rates
+// scales its candidates' benefits together and changes nothing).
+// The adaptive planner (src/adaptive/) detects the flip and swaps;
+// bench_adaptive_drift.cc measures the gap, tests/adaptive_swap_test.cc
+// proves the swap exact.
+
+#ifndef SHARON_STREAMGEN_DRIFT_H_
+#define SHARON_STREAMGEN_DRIFT_H_
+
+#include <cstdint>
+
+#include "src/query/query.h"
+#include "src/streamgen/scenario.h"
+
+namespace sharon {
+
+/// Configuration of the rate-drift stream.
+struct DriftConfig {
+  uint32_t num_types = 8;      ///< split into two clusters of half each
+  uint32_t num_groups = 16;    ///< distinct entity ids (groups)
+  double events_per_second = 1000;
+  Duration phase_length = Seconds(30);
+  uint32_t num_phases = 2;     ///< >= 2 for at least one rate flip
+  /// Fraction of events drawn from the phase's hot cluster. The cold
+  /// cluster keeps the remainder so its queries still produce results.
+  double hot_share = 0.85;
+  uint64_t seed = 11;
+};
+
+/// Generates the drifting stream. schema: attrs[0]=entity, attrs[1]=value.
+Scenario GenerateDrift(const DriftConfig& config);
+
+/// A uniform workload tailored to the drift stream, all queries on one
+/// window and partitioned by entity (config.num_types >= 8):
+///   - `anchors_per_side` copies of PA = (h-3, h-2, h-1) (inside cluster
+///     A) and of PB = (h-1, h, h+1) (straddling into B), h = num_types/2;
+///   - `bridges` queries containing both, (h-3 .. h+1, unique tail).
+/// PA and PB overlap at the pivot h-1 inside every bridge, so their
+/// candidates conflict and exactly one can be shared — the rate-flip
+/// decides which (see the header comment), which makes the phase-0 plan
+/// measurably wrong after the first flip.
+Workload DriftWorkload(const DriftConfig& config, const WindowSpec& window,
+                       uint32_t anchors_per_side = 8, uint32_t bridges = 3);
+
+}  // namespace sharon
+
+#endif  // SHARON_STREAMGEN_DRIFT_H_

@@ -6,21 +6,39 @@ namespace sharon {
 
 void RateMonitor::OnEvent(const Event& e) {
   const int64_t epoch_id = e.time / epoch_;
-  if (epoch_id != current_epoch_) {
-    if (current_epoch_ >= 0) {
-      closed_.push_back(std::move(current_));
-      while (closed_.size() > window_epochs_) {
-        closed_.pop_front();
-        ++epochs_dropped_;
-      }
-    }
-    current_ = EpochCounts{};
+  if (current_epoch_ < 0) {
     current_epoch_ = epoch_id;
+  } else if (epoch_id > current_epoch_) {
+    CloseEpochsUpTo(epoch_id);
   }
+  // epoch_id <= current_epoch_ falls through: a bounded-disorder feed can
+  // straddle an epoch boundary backwards, and re-opening the closed epoch
+  // would thrash the deque (close the fresh epoch with almost no counts,
+  // then close the stale one again). Folding the straggler into the
+  // current epoch keeps every epoch closed exactly once and biases the
+  // estimate by at most the disorder budget.
   if (e.type >= current_.counts.size()) {
     current_.counts.resize(e.type + 1, 0.0);
   }
   current_.counts[e.type] += 1.0;
+}
+
+void RateMonitor::CloseEpochsUpTo(int64_t up_to) {
+  closed_.push_back(std::move(current_));
+  // Epochs the stream skipped entirely close empty (at most window_epochs_
+  // of them matter; anything older would be evicted immediately).
+  const int64_t gap = up_to - current_epoch_ - 1;
+  const int64_t cap = static_cast<int64_t>(window_epochs_);
+  for (int64_t i = 0; i < std::min(gap, cap); ++i) {
+    closed_.push_back(EpochCounts{});
+  }
+  if (gap > cap) epochs_dropped_ += static_cast<size_t>(gap - cap);
+  while (closed_.size() > window_epochs_) {
+    closed_.pop_front();
+    ++epochs_dropped_;
+  }
+  current_ = EpochCounts{};
+  current_epoch_ = up_to;
 }
 
 TypeRates RateMonitor::CurrentRates() const {

@@ -25,7 +25,12 @@ class RateMonitor {
         window_epochs_(window_epochs),
         drift_threshold_(drift_threshold) {}
 
-  /// Observes one event (events must arrive in time order).
+  /// Observes one event. Events should be roughly in time order; an event
+  /// straddling back over an already-closed epoch boundary (bounded
+  /// disorder) is folded into the CURRENT epoch rather than re-opening the
+  /// old one, so the sliding estimate never double-closes an epoch. Epochs
+  /// that pass with no events at all close empty, decaying the estimate
+  /// toward zero instead of freezing it at the last busy epoch's rates.
   void OnEvent(const Event& e);
 
   /// Current estimate over the sliding window of closed epochs.
@@ -46,6 +51,10 @@ class RateMonitor {
   struct EpochCounts {
     std::vector<double> counts;
   };
+
+  /// Closes the current epoch (and any empty epochs the stream skipped)
+  /// so that `up_to` becomes the new current epoch.
+  void CloseEpochsUpTo(int64_t up_to);
 
   static double Relative(double now, double base) {
     double denom = base > 1e-9 ? base : 1e-9;

@@ -16,4 +16,21 @@ TypeRates EstimateRates(const Scenario& s) {
   return rates;
 }
 
+TypeRates RatesOfSlice(const std::vector<Event>& events, Timestamp from,
+                       Timestamp to, uint32_t num_types) {
+  std::vector<double> counts(num_types, 0.0);
+  for (const Event& e : events) {
+    if (e.time >= from && e.time < to && e.type < counts.size()) {
+      counts[e.type] += 1.0;
+    }
+  }
+  double seconds = static_cast<double>(to - from) / kTicksPerSecond;
+  if (seconds <= 0) seconds = 1;
+  TypeRates rates;
+  for (uint32_t t = 0; t < num_types; ++t) {
+    rates.Set(t, counts[t] / seconds);
+  }
+  return rates;
+}
+
 }  // namespace sharon

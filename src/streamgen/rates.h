@@ -44,6 +44,13 @@ class TypeRates {
 /// Counts events per type over the scenario's duration.
 TypeRates EstimateRates(const Scenario& s);
 
+/// Rates over the stream-time slice [from, to): what a planner sees when
+/// it only knows part of the stream (startup planning, per-phase rates in
+/// drift experiments). Events outside the slice are ignored; `num_types`
+/// sizes the result so silent types report an explicit 0 rate.
+TypeRates RatesOfSlice(const std::vector<Event>& events, Timestamp from,
+                       Timestamp to, uint32_t num_types);
+
 }  // namespace sharon
 
 #endif  // SHARON_STREAMGEN_RATES_H_

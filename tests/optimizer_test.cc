@@ -80,6 +80,40 @@ TEST(OptimizerTest, TimeLimitTriggersGwminFallback) {
   EXPECT_FALSE(r.plan.empty());  // GWMIN still returns a usable plan
   Engine engine(w, r.plan);
   EXPECT_TRUE(engine.ok()) << engine.error();
+  // The incomplete result names the limit that actually triggered — both
+  // in the structured field and in the plan-finder phase's note, so
+  // Fig. 15 output distinguishes time-outs from level overflows.
+  EXPECT_EQ(r.limit, PlanFinderLimit::kTime);
+  ASSERT_FALSE(r.phases.empty());
+  const OptimizerPhase& finder_phase = r.phases.back();
+  EXPECT_EQ(finder_phase.name, "plan finder");
+  EXPECT_NE(finder_phase.note.find("time limit"), std::string::npos)
+      << finder_phase.note;
+}
+
+TEST(OptimizerTest, LevelSizeLimitIsSurfacedDistinctly) {
+  WorkloadGenConfig cfg;
+  cfg.num_queries = 40;
+  cfg.pattern_length = 8;
+  cfg.cluster_size = 8;
+  Workload w = GenerateWorkload(cfg, 24);
+  CostModel cm = UniformModel(24);
+  OptimizerConfig config;
+  config.finder.time_limit_seconds = 1e9;  // time can never trigger
+  config.finder.max_level_plans = 2;       // ...but the level size will
+  OptimizerResult r = OptimizeSharon(w, cm, config);
+  EXPECT_TRUE(r.used_fallback);
+  EXPECT_FALSE(r.completed);
+  EXPECT_EQ(r.limit, PlanFinderLimit::kLevelSize);
+  ASSERT_FALSE(r.phases.empty());
+  EXPECT_NE(r.phases.back().note.find("level-size limit"), std::string::npos)
+      << r.phases.back().note;
+  // A completed run reports no limit and clean phase notes.
+  OptimizerResult clean = OptimizeSharon(w, cm);
+  if (clean.completed) {
+    EXPECT_EQ(clean.limit, PlanFinderLimit::kNone);
+    EXPECT_TRUE(clean.phases.back().note.empty());
+  }
 }
 
 TEST(OptimizerTest, PhasesAreReported) {

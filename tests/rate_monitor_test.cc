@@ -1,0 +1,113 @@
+// RateMonitor edge cases (§7.4 runtime statistics). The monitor feeds the
+// adaptive planner's drift decisions (src/adaptive/plan_manager.cc), so
+// the boundary behaviours that were previously only exercised indirectly
+// get direct coverage here: epoch-boundary straddling under bounded
+// disorder, type-id growth mid-epoch, estimates with no closed epochs,
+// and silent-stream decay.
+
+#include <gtest/gtest.h>
+
+#include "src/streamgen/rate_monitor.h"
+
+namespace sharon {
+namespace {
+
+Event Ev(EventTypeId type, Timestamp t) {
+  Event e;
+  e.type = type;
+  e.time = t;
+  return e;
+}
+
+// Before any epoch has closed there is nothing to estimate: the rates
+// must be identically zero (not NaN, not the partial current epoch), and
+// drift must not trigger against an empty estimate.
+TEST(RateMonitorEdge, EmptyClosedWindowRatesAreZero) {
+  RateMonitor mon(Seconds(1), 2);
+  TypeRates none = mon.CurrentRates();
+  EXPECT_EQ(none.size(), 0u);
+  EXPECT_DOUBLE_EQ(none.Of(0), 0.0);
+  EXPECT_FALSE(mon.DriftDetected());
+
+  // Half an epoch of events: still nothing closed, still zero.
+  for (int i = 0; i < 50; ++i) mon.OnEvent(Ev(0, i));
+  EXPECT_EQ(mon.epochs_closed(), 0u);
+  EXPECT_DOUBLE_EQ(mon.CurrentRates().Of(0), 0.0);
+
+  // Rebasing on the empty estimate then observing traffic must not
+  // divide by zero: every new type's relative deviation is finite.
+  mon.RebaseOnCurrent();
+  for (int s = 0; s < 3; ++s) {
+    for (int i = 0; i < 10; ++i) mon.OnEvent(Ev(0, Seconds(s) + i + 1));
+  }
+  EXPECT_TRUE(mon.DriftDetected());  // 0 -> 10/s is drift, finitely so
+}
+
+// A bounded-disorder feed can deliver an event of epoch k after an event
+// of epoch k+1 opened the new epoch. The straggler must fold into the
+// CURRENT epoch — closing epochs exactly once each — instead of
+// re-opening the old epoch and thrashing the sliding window.
+TEST(RateMonitorEdge, EpochBoundaryStraddlingFoldsForward) {
+  RateMonitor mon(Seconds(1), /*window_epochs=*/4);
+  // Epoch 0: 10 events. Then epoch 1 opens... and two stragglers from
+  // epoch 0 arrive late, then epoch 1 continues.
+  for (int i = 0; i < 10; ++i) mon.OnEvent(Ev(0, 100 + i));
+  mon.OnEvent(Ev(0, Seconds(1) + 1));     // opens epoch 1
+  mon.OnEvent(Ev(0, Seconds(1) - 2));     // straggler (epoch 0)
+  mon.OnEvent(Ev(0, Seconds(1) - 1));     // straggler (epoch 0)
+  for (int i = 0; i < 7; ++i) mon.OnEvent(Ev(0, Seconds(1) + 10 + i));
+  mon.OnEvent(Ev(0, Seconds(2) + 1));     // closes epoch 1
+
+  // Exactly two epochs closed — not four (the naive re-open behaviour
+  // would have closed epoch 0 twice and a nearly-empty epoch 1 once).
+  EXPECT_EQ(mon.epochs_closed(), 2u);
+  // All 20 events are accounted for across the two closed epochs:
+  // 10 in epoch 0, 8 + 2 stragglers in epoch 1 -> average 10/s.
+  EXPECT_DOUBLE_EQ(mon.CurrentRates().Of(0), 10.0);
+}
+
+// A type id first seen mid-epoch grows every vector consistently: the
+// estimate covers the new type, older epochs implicitly contribute zero,
+// and drift against a baseline that never saw the type stays finite.
+TEST(RateMonitorEdge, TypeIdGrowthMidEpoch) {
+  RateMonitor mon(Seconds(1), 2, /*drift_threshold=*/0.5);
+  for (int s = 0; s < 3; ++s) {
+    for (int i = 0; i < 8; ++i) mon.OnEvent(Ev(0, Seconds(s) + i + 1));
+  }
+  mon.RebaseOnCurrent();
+
+  // Type 9 appears mid-epoch-3, with enough volume to matter.
+  for (int s = 3; s < 5; ++s) {
+    for (int i = 0; i < 8; ++i) mon.OnEvent(Ev(0, Seconds(s) + i + 1));
+    for (int i = 0; i < 6; ++i) mon.OnEvent(Ev(9, Seconds(s) + 100 + i));
+  }
+  mon.OnEvent(Ev(0, Seconds(5) + 1));  // close epoch 4
+
+  TypeRates rates = mon.CurrentRates();
+  EXPECT_GE(rates.size(), 10u);
+  EXPECT_DOUBLE_EQ(rates.Of(9), 6.0);
+  EXPECT_DOUBLE_EQ(rates.Of(0), 8.0);
+  // 0 -> 6/s on a fresh type is drift relative to the old baseline.
+  EXPECT_TRUE(mon.DriftDetected());
+}
+
+// Epochs the stream skips entirely close EMPTY: a stream that goes silent
+// decays the estimate toward zero instead of freezing the last busy
+// epoch's rates forever (which would mask drift-to-idle).
+TEST(RateMonitorEdge, SilentEpochsDecayTheEstimate) {
+  RateMonitor mon(Seconds(1), /*window_epochs=*/2);
+  for (int s = 0; s < 3; ++s) {
+    for (int i = 0; i < 10; ++i) mon.OnEvent(Ev(0, Seconds(s) + i + 1));
+  }
+  EXPECT_DOUBLE_EQ(mon.CurrentRates().Of(0), 10.0);
+
+  // Next event arrives three epochs later: epochs 3 and 4 passed silent.
+  mon.OnEvent(Ev(0, Seconds(6) + 1));
+  // Sliding window now holds the two silent epochs only.
+  EXPECT_DOUBLE_EQ(mon.CurrentRates().Of(0), 0.0);
+  // And the dropped-epoch accounting stayed monotone.
+  EXPECT_GE(mon.epochs_closed(), 5u);
+}
+
+}  // namespace
+}  // namespace sharon
