@@ -1,13 +1,39 @@
-// Google-benchmark micro benchmarks for the executor building blocks:
-// per-event cost of SegmentCounter updates, chain combination, and the
-// complete engines (A-Seq vs Sharon) on a canned stream.
+// Micro benchmarks for the executor building blocks: per-event cost of
+// SegmentCounter updates and the complete engines (A-Seq vs Sharon) on a
+// canned stream, plus the hot-path allocation figures the zero-allocation
+// work is measured by (src/common/alloc_stats.h).
+//
+// Plain main() (not google-benchmark) so it runs everywhere the figure
+// benches run, emits the repo's one-line JSON records for scraping
+// (bench/bench_util.h), and can ship a CI regression gate: --quick runs a
+// CI-sized sweep whose `events_per_second_norm` metric (events/s divided
+// by an in-process arithmetic calibration loop) is compared against
+// bench/baseline_micro_executor.json by tools/check_bench_regression.py
+// — normalization absorbs most cross-machine speed differences.
+//
+// Reported per case:
+//   events_per_second       raw stream events/s through one engine
+//   items_per_second        events/s * queries (the paper's convention,
+//                           comparable with the seed's google-benchmark
+//                           items_per_second)
+//   allocs_per_event        heap allocations per event over the run
+//                           (engine construction + warm-up included)
+//   steady_allocs_per_event allocations per event AFTER warm-up — ~0 on
+//                           the shipped schemas (the zero-allocation
+//                           contract, tests/zero_alloc_test.cc)
 
-#include <benchmark/benchmark.h>
+#include <cstdint>
+#include <cstring>
 
-#include "src/sharon.h"
+#include "bench/bench_util.h"
+#include "src/common/alloc_stats.h"
 
 namespace sharon {
 namespace {
+
+using bench::Num;
+using bench::PrintJsonRecord;
+using bench::PrintRow;
 
 std::vector<Event> CannedStream(size_t n, uint32_t num_types,
                                 uint64_t seed = 3) {
@@ -25,31 +51,6 @@ std::vector<Event> CannedStream(size_t n, uint32_t num_types,
   return events;
 }
 
-void BM_SegmentCounterUpdate(benchmark::State& state) {
-  const auto len = static_cast<size_t>(state.range(0));
-  std::vector<EventTypeId> types(len);
-  for (size_t i = 0; i < len; ++i) types[i] = static_cast<EventTypeId>(i);
-  auto events = CannedStream(1 << 14, static_cast<uint32_t>(len));
-  for (auto _ : state) {
-    SegmentCounter sc(Pattern(types), AggSpec::CountStar(), {512, 64});
-    for (const Event& e : events) sc.OnEvent(e);
-    benchmark::DoNotOptimize(sc.num_live_starts());
-  }
-  state.SetItemsProcessed(state.iterations() *
-                          static_cast<int64_t>(events.size()));
-}
-BENCHMARK(BM_SegmentCounterUpdate)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
-
-void BM_AggStateConcat(benchmark::State& state) {
-  AggState a, b;
-  a.count = 17; a.sum = 130; a.target_count = 9; a.min = 2; a.max = 80;
-  b.count = 5; b.sum = 44; b.target_count = 3; b.min = 1; b.max = 90;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(AggState::Concat(a, b));
-  }
-}
-BENCHMARK(BM_AggStateConcat);
-
 Workload SharedWorkload(uint32_t num_queries, uint32_t len,
                         uint32_t num_types) {
   WorkloadGenConfig cfg;
@@ -62,37 +63,152 @@ Workload SharedWorkload(uint32_t num_queries, uint32_t len,
   return GenerateWorkload(cfg, num_types);
 }
 
-void BM_EngineNonShared(benchmark::State& state) {
-  const auto queries = static_cast<uint32_t>(state.range(0));
-  Workload w = SharedWorkload(queries, 6, 12);
-  auto events = CannedStream(1 << 14, 12);
-  for (auto _ : state) {
-    Engine engine(w);
-    for (const Event& e : events) engine.OnEvent(e);
-    benchmark::DoNotOptimize(engine.results().size());
+/// Throughput of a fixed integer kernel, used to normalize events/s
+/// across machines for the CI regression gate.
+double CalibrationOpsPerSecond() {
+  const uint64_t kOps = 50'000'000;
+  uint64_t x = 88172645463325252ull;
+  StopWatch watch;
+  for (uint64_t i = 0; i < kOps; ++i) {  // xorshift64
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
   }
-  state.SetItemsProcessed(state.iterations() *
-                          static_cast<int64_t>(events.size()) * queries);
+  const double seconds = watch.ElapsedSeconds();
+  // Defeat dead-code elimination without affecting the numbers.
+  if (x == 0) std::printf("unreachable\n");
+  return seconds > 0 ? static_cast<double>(kOps) / seconds : 0;
 }
-BENCHMARK(BM_EngineNonShared)->Arg(4)->Arg(8)->Arg(16);
 
-void BM_EngineShared(benchmark::State& state) {
-  const auto queries = static_cast<uint32_t>(state.range(0));
-  Workload w = SharedWorkload(queries, 6, 12);
-  auto events = CannedStream(1 << 14, 12);
-  CostModel cm(TypeRates(std::vector<double>(12, 10.0)));
-  OptimizerResult opt = OptimizeSharon(w, cm);
-  for (auto _ : state) {
-    Engine engine(w, opt.plan);
-    for (const Event& e : events) engine.OnEvent(e);
-    benchmark::DoNotOptimize(engine.results().size());
+struct CaseResult {
+  double events_per_second = 0;
+  double items_per_second = 0;
+  double allocs_per_event = 0;
+  double steady_allocs_per_event = 0;
+};
+
+/// Best-of-`reps` timing of `iters` engine runs over `events`.
+template <typename MakeRunner>
+CaseResult MeasureEngine(const MakeRunner& make_runner,
+                         const std::vector<Event>& events, size_t queries,
+                         int iters, int reps) {
+  CaseResult out;
+  double best_seconds = -1;
+  for (int r = 0; r < reps; ++r) {
+    const auto alloc_before = alloc_stats::Snapshot();
+    StopWatch watch;
+    for (int it = 0; it < iters; ++it) {
+      auto runner = make_runner();
+      for (const Event& e : events) runner.OnEvent(e);
+    }
+    const double seconds = watch.ElapsedSeconds();
+    const auto alloc_delta = alloc_stats::Snapshot() - alloc_before;
+    if (best_seconds < 0 || seconds < best_seconds) {
+      best_seconds = seconds;
+      const double total_events =
+          static_cast<double>(events.size()) * iters;
+      out.events_per_second = total_events / seconds;
+      out.items_per_second =
+          out.events_per_second * static_cast<double>(queries);
+      out.allocs_per_event =
+          static_cast<double>(alloc_delta.allocations) / total_events;
+    }
   }
-  state.SetItemsProcessed(state.iterations() *
-                          static_cast<int64_t>(events.size()) * queries);
+  // Steady state: one warmed engine, allocations over a second pass of
+  // the same stream with timestamps shifted forward (state keeps
+  // rolling; no window is re-opened).
+  {
+    auto runner = make_runner();
+    for (const Event& e : events) runner.OnEvent(e);
+    std::vector<Event> shifted = events;
+    const Timestamp span = events.empty() ? 0 : events.back().time;
+    for (Event& e : shifted) e.time += span;
+    const auto before = alloc_stats::Snapshot();
+    for (const Event& e : shifted) runner.OnEvent(e);
+    const auto delta = alloc_stats::Snapshot() - before;
+    out.steady_allocs_per_event = static_cast<double>(delta.allocations) /
+                                  static_cast<double>(shifted.size());
+  }
+  return out;
 }
-BENCHMARK(BM_EngineShared)->Arg(4)->Arg(8)->Arg(16);
+
+void EmitCase(const char* name, const std::string& param_key,
+              const std::string& param_value, const CaseResult& r,
+              double calib) {
+  PrintRow({name + (" " + param_key + "=" + param_value),
+            Num(r.events_per_second / 1e6, 3) + "M e/s",
+            Num(r.items_per_second / 1e6, 3) + "M it/s",
+            Num(r.allocs_per_event, 4) + " a/e",
+            Num(r.steady_allocs_per_event, 4) + " sa/e"});
+  // events_per_second_norm: stream events per MILLION calibration ops —
+  // roughly machine-independent, the quantity the CI gate compares.
+  const double norm = calib > 0 ? r.events_per_second / calib * 1e6 : 0;
+  PrintJsonRecord("micro_executor", {{"case", name}, {param_key, param_value}},
+                  {{"events_per_second", r.events_per_second},
+                   {"events_per_second_norm", norm},
+                   {"items_per_second", r.items_per_second},
+                   {"allocs_per_event", r.allocs_per_event},
+                   {"steady_allocs_per_event", r.steady_allocs_per_event}});
+}
+
+struct CounterRunner {
+  SegmentCounter counter;
+  void OnEvent(const Event& e) { counter.OnEvent(e); }
+};
+
+void Run(bool quick) {
+  std::printf("=== Micro executor: per-event cost of counters and engines "
+              "(%s) ===\n\n", quick ? "quick" : "full");
+  const int iters = quick ? 5 : 25;
+  const int reps = quick ? 3 : 5;
+  const size_t num_events = 1 << 14;
+
+  const double calib = CalibrationOpsPerSecond();
+  PrintJsonRecord("micro_executor", {{"case", "calibration"}},
+                  {{"ops_per_second", calib}});
+
+  // SegmentCounter alone: pattern lengths {2,4,8,16} over a stream whose
+  // type universe equals the pattern (every event matches some position).
+  for (uint32_t len : {2u, 4u, 8u, 16u}) {
+    std::vector<EventTypeId> types(len);
+    for (uint32_t i = 0; i < len; ++i) types[i] = i;
+    const auto events = CannedStream(num_events, len);
+    const Pattern pattern{types};
+    CaseResult r = MeasureEngine(
+        [&] {
+          return CounterRunner{
+              SegmentCounter(pattern, AggSpec::CountStar(), {512, 64})};
+        },
+        events, 1, iters, reps);
+    EmitCase("segment_counter", "len", std::to_string(len), r, calib);
+  }
+
+  // Whole engines on the shared-cluster workload (§8.1-style): A-Seq
+  // (non-shared) vs the Sharon shared plan.
+  for (uint32_t queries : {4u, 8u, 16u}) {
+    Workload w = SharedWorkload(queries, 6, 12);
+    const auto events = CannedStream(num_events, 12);
+    CostModel cm(TypeRates(std::vector<double>(12, 10.0)));
+    OptimizerResult opt = OptimizeSharon(w, cm);
+
+    CaseResult ns = MeasureEngine([&] { return Engine(w); }, events, queries,
+                                  iters, reps);
+    EmitCase("engine_nonshared", "queries", std::to_string(queries), ns, calib);
+
+    CaseResult sh = MeasureEngine([&] { return Engine(w, opt.plan); }, events,
+                                  queries, iters, reps);
+    EmitCase("engine_shared", "queries", std::to_string(queries), sh, calib);
+  }
+}
 
 }  // namespace
 }  // namespace sharon
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+  sharon::Run(quick);
+  return 0;
+}

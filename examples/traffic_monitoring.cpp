@@ -78,9 +78,10 @@ int main() {
   // Route popularity: total trips per query over all windows/vehicles.
   std::printf("\nTrips counted per query (all windows, all vehicles):\n");
   std::vector<double> totals(fixture.workload.size(), 0);
-  for (const auto& [key, state] : shared.results().cells()) {
-    totals[key.query] += state.count;
-  }
+  shared.results().ForEachCell(
+      [&](const ResultKey& key, const AggState& state) {
+        totals[key.query] += state.count;
+      });
   for (const Query& q : fixture.workload.queries()) {
     std::printf("  %-3s %-40s %12.0f\n", q.name.c_str(),
                 q.pattern.ToString(stream.types).c_str(), totals[q.id]);

@@ -1,0 +1,125 @@
+// Global operator new/delete replacement with allocation counting.
+// See alloc_stats.h for the contract. The replacements forward to
+// std::malloc / std::free, which keeps them compatible with sanitizer
+// allocators (ASan intercepts malloc underneath).
+
+#include "src/common/alloc_stats.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace sharon::alloc_stats {
+namespace {
+
+// Relaxed: the counters are measurement, not synchronization.
+std::atomic<uint64_t> g_allocations{0};
+std::atomic<uint64_t> g_frees{0};
+std::atomic<uint64_t> g_bytes{0};
+
+void* CountedAlloc(std::size_t n) {
+  void* p = std::malloc(n == 0 ? 1 : n);
+  if (p != nullptr) {
+    g_allocations.fetch_add(1, std::memory_order_relaxed);
+    g_bytes.fetch_add(n, std::memory_order_relaxed);
+  }
+  return p;
+}
+
+void CountedFree(void* p) noexcept {
+  if (p != nullptr) {
+    g_frees.fetch_add(1, std::memory_order_relaxed);
+    std::free(p);
+  }
+}
+
+void* CountedAlignedAlloc(std::size_t n, std::align_val_t align) {
+  const std::size_t a = static_cast<std::size_t>(align);
+  // aligned_alloc requires the size to be a multiple of the alignment.
+  const std::size_t rounded = (n + a - 1) / a * a;
+  void* p = std::aligned_alloc(a, rounded == 0 ? a : rounded);
+  if (p != nullptr) {
+    g_allocations.fetch_add(1, std::memory_order_relaxed);
+    g_bytes.fetch_add(n, std::memory_order_relaxed);
+  }
+  return p;
+}
+
+}  // namespace
+
+Counters Snapshot() {
+  Counters c;
+  c.allocations = g_allocations.load(std::memory_order_relaxed);
+  c.frees = g_frees.load(std::memory_order_relaxed);
+  c.bytes = g_bytes.load(std::memory_order_relaxed);
+  return c;
+}
+
+}  // namespace sharon::alloc_stats
+
+// --- global replacement (one definition per program; pulled in whenever
+// --- a binary references alloc_stats::Snapshot) -----------------------
+
+void* operator new(std::size_t n) {
+  void* p = sharon::alloc_stats::CountedAlloc(n);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t n) {
+  void* p = sharon::alloc_stats::CountedAlloc(n);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
+  return sharon::alloc_stats::CountedAlloc(n);
+}
+
+void* operator new[](std::size_t n, const std::nothrow_t&) noexcept {
+  return sharon::alloc_stats::CountedAlloc(n);
+}
+
+void operator delete(void* p) noexcept { sharon::alloc_stats::CountedFree(p); }
+void operator delete[](void* p) noexcept {
+  sharon::alloc_stats::CountedFree(p);
+}
+void operator delete(void* p, std::size_t) noexcept {
+  sharon::alloc_stats::CountedFree(p);
+}
+void operator delete[](void* p, std::size_t) noexcept {
+  sharon::alloc_stats::CountedFree(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  sharon::alloc_stats::CountedFree(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  sharon::alloc_stats::CountedFree(p);
+}
+
+// Over-aligned forms (alignas(64) queue cursors etc.).
+
+void* operator new(std::size_t n, std::align_val_t a) {
+  void* p = sharon::alloc_stats::CountedAlignedAlloc(n, a);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t n, std::align_val_t a) {
+  void* p = sharon::alloc_stats::CountedAlignedAlloc(n, a);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void operator delete(void* p, std::align_val_t) noexcept {
+  sharon::alloc_stats::CountedFree(p);
+}
+void operator delete[](void* p, std::align_val_t) noexcept {
+  sharon::alloc_stats::CountedFree(p);
+}
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  sharon::alloc_stats::CountedFree(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  sharon::alloc_stats::CountedFree(p);
+}

@@ -1,0 +1,41 @@
+// Process-wide heap allocation counters (the hot-path measurement hook).
+//
+// alloc_stats.cc replaces the global `operator new` / `operator delete`
+// family with forwarding versions that bump relaxed atomic counters, so
+// benches and tests can measure ALLOCATIONS PER EVENT directly instead of
+// inferring them: snapshot Counters() around a run and diff. The
+// replacement is linked into every binary that links the sharon library
+// (tests, benches, examples); the cost is one relaxed fetch_add per
+// allocation, which is noise next to the allocation itself.
+//
+// The executor's zero-allocation contract (DESIGN.md "Hot-path memory
+// layout") is regression-tested with exactly this hook: after warm-up,
+// Engine::Run performs zero steady-state allocations per event
+// (tests/zero_alloc_test.cc).
+
+#ifndef SHARON_COMMON_ALLOC_STATS_H_
+#define SHARON_COMMON_ALLOC_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sharon::alloc_stats {
+
+/// Snapshot of the process-wide allocation counters.
+struct Counters {
+  uint64_t allocations = 0;  ///< operator new calls since process start
+  uint64_t frees = 0;        ///< operator delete calls
+  uint64_t bytes = 0;        ///< bytes requested through operator new
+
+  Counters operator-(const Counters& o) const {
+    return {allocations - o.allocations, frees - o.frees, bytes - o.bytes};
+  }
+};
+
+/// Current counter values (relaxed reads; exact between single-threaded
+/// measurement points, a near-exact snapshot under concurrency).
+Counters Snapshot();
+
+}  // namespace sharon::alloc_stats
+
+#endif  // SHARON_COMMON_ALLOC_STATS_H_

@@ -8,12 +8,14 @@
 #ifndef SHARON_COMMON_EVENT_H_
 #define SHARON_COMMON_EVENT_H_
 
+#include <cassert>
 #include <cstdint>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/inline_attrs.h"
 #include "src/common/time.h"
 
 namespace sharon {
@@ -35,15 +37,27 @@ inline constexpr AttrIndex kNoAttr = static_cast<AttrIndex>(-1);
 
 /// A single stream event (Sharon §2.1). Events arrive in strictly
 /// increasing timestamp order on the input stream.
+///
+/// Attributes live inline (InlineAttrs small buffer): an event of any
+/// shipped schema occupies one flat 64-byte block, batches of events are
+/// contiguous, and copying an event on the ingest path allocates nothing.
 struct Event {
   Timestamp time = 0;
   EventTypeId type = kInvalidType;
   /// Attribute values; their meaning is defined by the stream schema
   /// (see streamgen). attrs[0] is conventionally the grouping attribute
   /// (vehicle / customer id) for the paper's workloads.
-  std::vector<AttrValue> attrs;
+  InlineAttrs attrs;
 
+  /// Attribute `i` of this event. Reading past the event's schema is a
+  /// bug (a query aggregating or grouping on an attribute the stream
+  /// does not carry): debug/ASan builds assert so the mismatch surfaces
+  /// at the offending event; release builds keep the seed's tolerant
+  /// read-as-zero so a misconfigured query degrades instead of crashing.
   AttrValue attr(AttrIndex i) const {
+    assert(i < attrs.size() &&
+           "Event::attr: index past the event's schema (check the query's "
+           "GROUP-BY / aggregation attribute against the stream schema)");
     return i < attrs.size() ? attrs[i] : 0;
   }
 };

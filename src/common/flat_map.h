@@ -1,0 +1,323 @@
+// FlatMap: open-addressing robin-hood hash map for the executor hot path.
+//
+// The seed kept per-group executor state and result cells in
+// `std::unordered_map`, paying one heap node per entry and a pointer
+// chase per event. FlatMap stores entries flat in one slot array with
+// robin-hood probing (each entry records its probe distance; inserts
+// displace richer entries, lookups stop as soon as they out-distance the
+// slot), so a lookup is a short linear scan over contiguous memory and an
+// insert into a warmed table allocates nothing. Deletion uses backward
+// shifting — the cluster behind the hole slides back one slot — so there
+// are no tombstones and probe distances stay tight under the group churn
+// that watermark eviction produces.
+//
+// Contracts and quirks callers rely on:
+//  - Key and T must be default-constructible and move-assignable (empty
+//    slots hold default-constructed pairs; erase move-assigns).
+//  - clear() keeps the slot array: a table that reached its steady-state
+//    capacity never allocates again (the zero-allocation invariant,
+//    tests/zero_alloc_test.cc).
+//  - erase(it) returns an iterator that continues the sweep without
+//    skipping entries. Because backward shifting can move an entry of a
+//    cluster that wraps the array end from the front of the array back
+//    to the tail, a sweep that erases may REVISIT a relocated entry;
+//    callers must be idempotent about revisits (both executor sweeps —
+//    group eviction and window extraction — are).
+
+#ifndef SHARON_COMMON_FLAT_MAP_H_
+#define SHARON_COMMON_FLAT_MAP_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace sharon {
+
+/// splitmix64 finalizer: turns dense integer keys (vehicle ids, group
+/// values) into well-spread hashes for power-of-two tables.
+struct Mix64Hash {
+  size_t operator()(uint64_t x) const {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<size_t>(x ^ (x >> 31));
+  }
+  size_t operator()(int64_t x) const {
+    return (*this)(static_cast<uint64_t>(x));
+  }
+};
+
+template <typename Key, typename T, typename Hash = std::hash<Key>,
+          typename KeyEq = std::equal_to<Key>>
+class FlatMap {
+ public:
+  using value_type = std::pair<Key, T>;
+
+  template <bool Const>
+  class Iter {
+   public:
+    using Map = std::conditional_t<Const, const FlatMap, FlatMap>;
+    using Ref = std::conditional_t<Const, const value_type&, value_type&>;
+    using Ptr = std::conditional_t<Const, const value_type*, value_type*>;
+
+    Iter() = default;
+    Iter(Map* map, size_t slot) : map_(map), slot_(slot) {}
+    /// Const iterators convert from mutable ones (find / erase interop).
+    /// Template so it is never the copy constructor.
+    template <bool C = Const, typename = std::enable_if_t<C>>
+    Iter(const Iter<false>& o)  // NOLINT(google-explicit-constructor)
+        : map_(o.map()), slot_(o.slot()) {}
+
+    Ref operator*() const { return map_->slots_[slot_]; }
+    Ptr operator->() const { return &map_->slots_[slot_]; }
+
+    Iter& operator++() {
+      ++slot_;
+      SkipEmpty();
+      return *this;
+    }
+    Iter operator++(int) {
+      Iter tmp = *this;
+      ++*this;
+      return tmp;
+    }
+
+    bool operator==(const Iter& o) const { return slot_ == o.slot_; }
+
+    Map* map() const { return map_; }
+    size_t slot() const { return slot_; }
+
+    void SkipEmpty() {
+      while (slot_ < map_->dist_.size() && map_->dist_[slot_] == 0) ++slot_;
+    }
+
+   private:
+    Map* map_ = nullptr;
+    size_t slot_ = 0;
+  };
+
+  using iterator = Iter<false>;
+  using const_iterator = Iter<true>;
+
+  FlatMap() = default;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t capacity() const { return dist_.size(); }
+
+  /// Drops every entry but keeps the slot arrays (steady-state reuse).
+  void clear() {
+    for (size_t i = 0; i < dist_.size(); ++i) {
+      if (dist_[i] != 0) {
+        slots_[i] = value_type();
+        dist_[i] = 0;
+      }
+    }
+    size_ = 0;
+  }
+
+  /// Grows the table so `n` entries fit without rehashing.
+  void reserve(size_t n) {
+    size_t cap = kMinCapacity;
+    while (cap * kMaxLoadNum < n * kLoadDen) cap <<= 1;
+    if (cap > dist_.size()) Rehash(cap);
+  }
+
+  iterator begin() {
+    iterator it(this, 0);
+    it.SkipEmpty();
+    return it;
+  }
+  iterator end() { return iterator(this, dist_.size()); }
+  const_iterator begin() const {
+    const_iterator it(this, 0);
+    it.SkipEmpty();
+    return it;
+  }
+  const_iterator end() const { return const_iterator(this, dist_.size()); }
+
+  iterator find(const Key& key) {
+    const size_t slot = FindSlot(key);
+    return slot == kNpos ? end() : iterator(this, slot);
+  }
+  const_iterator find(const Key& key) const {
+    const size_t slot = FindSlot(key);
+    return slot == kNpos ? end() : const_iterator(this, slot);
+  }
+
+  bool contains(const Key& key) const { return FindSlot(key) != kNpos; }
+
+  /// Value for `key`, default-constructed and inserted when absent.
+  T& operator[](const Key& key) {
+    return slots_[InsertSlot(key)].second;
+  }
+
+  /// Inserts (key, T(args...)) when absent; returns {slot it, inserted}.
+  template <typename... Args>
+  std::pair<iterator, bool> try_emplace(const Key& key, Args&&... args) {
+    const size_t before = size_;
+    const size_t slot = InsertSlot(key);
+    const bool inserted = size_ != before;
+    if (inserted) slots_[slot].second = T(std::forward<Args>(args)...);
+    return {iterator(this, slot), inserted};
+  }
+
+  /// Erases the entry at `it`. Returns an iterator continuing the sweep
+  /// (the same slot, now holding the backward-shifted successor or
+  /// skipped forward past empties). See the header comment for the
+  /// wrap-around revisit caveat.
+  iterator erase(const_iterator it) {
+    size_t idx = it.slot();
+    assert(idx < dist_.size() && dist_[idx] != 0);
+    size_t next = (idx + 1) & mask_;
+    while (dist_[next] > 1) {
+      slots_[idx] = std::move(slots_[next]);
+      dist_[idx] = static_cast<uint8_t>(dist_[next] - 1);
+      idx = next;
+      next = (next + 1) & mask_;
+    }
+    slots_[idx] = value_type();  // release the moved-from tail slot
+    dist_[idx] = 0;
+    --size_;
+    iterator out(this, it.slot());
+    out.SkipEmpty();
+    return out;
+  }
+
+  /// Erases `key` when present; returns the number of entries removed.
+  size_t erase(const Key& key) {
+    const size_t slot = FindSlot(key);
+    if (slot == kNpos) return 0;
+    erase(const_iterator(this, slot));
+    return 1;
+  }
+
+ private:
+  static constexpr size_t kNpos = static_cast<size_t>(-1);
+  static constexpr size_t kMinCapacity = 16;
+  // Grow at 3/4 load: robin-hood keeps mean probe length ~1-2 there,
+  // which measures faster on the per-event emission path than the denser
+  // 7/8 table despite the extra memory.
+  static constexpr size_t kMaxLoadNum = 3;
+  static constexpr size_t kLoadDen = 4;
+  static constexpr uint8_t kMaxDist = 255;
+
+  size_t FindSlot(const Key& key) const {
+    if (size_ == 0) return kNpos;
+    size_t idx = Hash{}(key)&mask_;
+    uint8_t d = 1;
+    for (;;) {
+      const uint8_t sd = dist_[idx];
+      if (sd < d) return kNpos;  // an occupant this poor would sit here
+      if (sd == d && KeyEq{}(slots_[idx].first, key)) return idx;
+      // Chains never exceed kMaxDist (inserts rehash at the cap), so a
+      // probe this long proves absence — and stops `d` from wrapping.
+      if (d == kMaxDist) return kNpos;
+      idx = (idx + 1) & mask_;
+      ++d;
+    }
+  }
+
+  /// Slot of `key`, inserting a default-constructed entry when absent.
+  size_t InsertSlot(const Key& key) {
+    if (dist_.empty() || (size_ + 1) * kLoadDen > dist_.size() * kMaxLoadNum) {
+      Rehash(dist_.empty() ? kMinCapacity : dist_.size() * 2);
+    }
+    for (;;) {
+      size_t slot = TryInsert(key);
+      // A mid-bubble distance overflow rehashes with the key already
+      // placed (see TryInsert); pick it up instead of growing again.
+      if (slot == kNpos) slot = FindSlot(key);
+      if (slot != kNpos) return slot;
+      Rehash(dist_.size() * 2);  // probe distance overflow: spread out
+    }
+  }
+
+  /// Robin-hood insert of `key`; kNpos if a probe distance would
+  /// overflow the uint8 field (caller rehashes).
+  size_t TryInsert(const Key& key) {
+    size_t idx = Hash{}(key)&mask_;
+    uint8_t d = 1;
+    // Phase 1: find the key or the displacement point.
+    for (;;) {
+      const uint8_t sd = dist_[idx];
+      if (sd == 0) {
+        slots_[idx].first = key;
+        dist_[idx] = d;
+        ++size_;
+        return idx;
+      }
+      if (sd == d && KeyEq{}(slots_[idx].first, key)) return idx;
+      if (sd < d) break;  // rich occupant: displace it (robin hood)
+      if (d == kMaxDist) return kNpos;
+      idx = (idx + 1) & mask_;
+      ++d;
+    }
+    // Phase 2: place the new entry here and bubble the displaced chain.
+    const size_t home = idx;
+    value_type carry;
+    carry.first = key;
+    uint8_t carry_d = d;
+    for (;;) {
+      const uint8_t sd = dist_[idx];
+      if (sd == 0) {
+        slots_[idx] = std::move(carry);
+        dist_[idx] = carry_d;
+        ++size_;
+        return home;
+      }
+      if (sd < carry_d) {
+        std::swap(slots_[idx], carry);
+        std::swap(dist_[idx], carry_d);
+      }
+      if (carry_d == kMaxDist) {
+        // Undo is impossible mid-bubble; grow instead. Walk the carry
+        // back into the table first so no entry is lost: since we got
+        // here the table is overloaded, force the rehash with the carry
+        // re-inserted afterwards.
+        Rehash(dist_.size() * 2, &carry);
+        return kNpos;
+      }
+      idx = (idx + 1) & mask_;
+      ++carry_d;
+    }
+  }
+
+  void Rehash(size_t cap, value_type* carry = nullptr) {
+    std::vector<value_type> old_slots = std::move(slots_);
+    std::vector<uint8_t> old_dist = std::move(dist_);
+    slots_ = std::vector<value_type>(cap);  // default-construct (move-only T)
+    dist_.assign(cap, 0);
+    mask_ = cap - 1;
+    size_ = 0;
+    for (size_t i = 0; i < old_dist.size(); ++i) {
+      if (old_dist[i] != 0) Reinsert(std::move(old_slots[i]));
+    }
+    if (carry) Reinsert(std::move(*carry));
+  }
+
+  void Reinsert(value_type&& entry) {
+    for (;;) {
+      size_t slot = TryInsert(entry.first);
+      if (slot == kNpos) slot = FindSlot(entry.first);
+      if (slot != kNpos) {
+        slots_[slot].second = std::move(entry.second);
+        return;
+      }
+      Rehash(dist_.size() * 2);  // phase-1 distance overflow: spread out
+    }
+  }
+
+  std::vector<value_type> slots_;
+  std::vector<uint8_t> dist_;  ///< 0 = empty, else probe distance + 1
+  size_t mask_ = 0;
+  size_t size_ = 0;
+};
+
+}  // namespace sharon
+
+#endif  // SHARON_COMMON_FLAT_MAP_H_

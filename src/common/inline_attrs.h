@@ -1,0 +1,152 @@
+// InlineAttrs: small-buffer attribute storage for Event.
+//
+// Every shipped schema carries two attributes (group id + value), so the
+// seed's `std::vector<AttrValue>` paid one heap allocation, one pointer
+// indirection and 24 bytes of header per event for a payload that fits in
+// a cache line. InlineAttrs keeps up to kInlineCapacity values inside the
+// event itself — copying an event is a flat memcpy-sized copy, an
+// EventBatch is contiguous event payloads, and the steady-state ingest
+// path allocates nothing. Wider schemas than the inline capacity still
+// work: the array spills to the heap (tests/hotpath_diff_test.cc covers
+// the spill path), it is only the shipped hot path that is guaranteed
+// allocation-free.
+
+#ifndef SHARON_COMMON_INLINE_ATTRS_H_
+#define SHARON_COMMON_INLINE_ATTRS_H_
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+
+namespace sharon {
+
+/// Integer attribute value carried by an event (mirrors event.h; defined
+/// here so this header stays dependency-free).
+using InlineAttrValue = int64_t;
+
+/// Small-buffer array of attribute values. Values up to kInlineCapacity
+/// live inline (no allocation); longer schemas spill to the heap.
+class InlineAttrs {
+ public:
+  /// Inline slots. Covers every shipped schema (TX/LR/EC/drift use 2);
+  /// raising it trades event size for spill headroom.
+  static constexpr uint32_t kInlineCapacity = 4;
+
+  InlineAttrs() = default;
+
+  InlineAttrs(std::initializer_list<InlineAttrValue> init) {
+    assign(init.begin(), init.size());
+  }
+
+  InlineAttrs(const InlineAttrs& o) { assign(o.data(), o.size_); }
+
+  InlineAttrs(InlineAttrs&& o) noexcept { MoveFrom(o); }
+
+  InlineAttrs& operator=(const InlineAttrs& o) {
+    if (this != &o) assign(o.data(), o.size_);
+    return *this;
+  }
+
+  InlineAttrs& operator=(InlineAttrs&& o) noexcept {
+    if (this != &o) {
+      Release();
+      MoveFrom(o);
+    }
+    return *this;
+  }
+
+  InlineAttrs& operator=(std::initializer_list<InlineAttrValue> init) {
+    assign(init.begin(), init.size());
+    return *this;
+  }
+
+  ~InlineAttrs() { Release(); }
+
+  /// Replaces the contents with `n` values from `src` (reuses any
+  /// existing spill buffer that is large enough).
+  void assign(const InlineAttrValue* src, size_t n) {
+    Reserve(n);
+    InlineAttrValue* dst = slots();
+    for (size_t i = 0; i < n; ++i) dst[i] = src[i];
+    size_ = static_cast<uint32_t>(n);
+  }
+
+  void push_back(InlineAttrValue v) {
+    if (size_ == capacity()) Grow();
+    slots()[size_++] = v;
+  }
+
+  void clear() { size_ = 0; }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// True when the values spilled past the inline buffer to the heap.
+  bool spilled() const { return heap_ != nullptr; }
+
+  InlineAttrValue operator[](size_t i) const {
+    assert(i < size_);
+    return data()[i];
+  }
+  InlineAttrValue& operator[](size_t i) {
+    assert(i < size_);
+    return slots()[i];
+  }
+
+  const InlineAttrValue* data() const { return heap_ ? heap_ : inline_; }
+  const InlineAttrValue* begin() const { return data(); }
+  const InlineAttrValue* end() const { return data() + size_; }
+
+  bool operator==(const InlineAttrs& o) const {
+    return size_ == o.size_ && std::equal(begin(), end(), o.begin());
+  }
+
+ private:
+  InlineAttrValue* slots() { return heap_ ? heap_ : inline_; }
+  uint32_t capacity() const { return heap_ ? heap_cap_ : kInlineCapacity; }
+
+  void Reserve(size_t n) {
+    if (n > capacity()) Spill(n);
+  }
+
+  void Grow() { Spill(static_cast<size_t>(capacity()) * 2); }
+
+  void Spill(size_t cap) {
+    InlineAttrValue* wider = new InlineAttrValue[cap];
+    const InlineAttrValue* src = data();
+    for (size_t i = 0; i < size_; ++i) wider[i] = src[i];
+    delete[] heap_;
+    heap_ = wider;
+    heap_cap_ = static_cast<uint32_t>(cap);
+  }
+
+  void MoveFrom(InlineAttrs& o) noexcept {
+    size_ = o.size_;
+    heap_ = o.heap_;
+    heap_cap_ = o.heap_cap_;
+    if (!heap_) {
+      for (uint32_t i = 0; i < size_; ++i) inline_[i] = o.inline_[i];
+    }
+    o.heap_ = nullptr;
+    o.heap_cap_ = 0;
+    o.size_ = 0;
+  }
+
+  void Release() {
+    delete[] heap_;
+    heap_ = nullptr;
+    heap_cap_ = 0;
+    size_ = 0;
+  }
+
+  InlineAttrValue inline_[kInlineCapacity];
+  InlineAttrValue* heap_ = nullptr;  ///< non-null once spilled
+  uint32_t heap_cap_ = 0;
+  uint32_t size_ = 0;
+};
+
+}  // namespace sharon
+
+#endif  // SHARON_COMMON_INLINE_ATTRS_H_

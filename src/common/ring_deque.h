@@ -1,0 +1,89 @@
+// RingDeque: power-of-two circular buffer with deque semantics.
+//
+// SegmentCounter's live starts and ChainRunner's snapshot stages are
+// strict FIFO structures (push_back on arrival, pop_front on window
+// expiration) with positional reads in between. `std::deque` serves that
+// access pattern but churns chunk allocations in steady state: every
+// ~chunk of pushes allocates a node the matching pops free again.
+// RingDeque keeps one contiguous power-of-two slot array and moves head/
+// tail cursors instead — once it has grown to the high-water mark of a
+// run, pushes and pops never allocate again (the zero-allocation
+// invariant, tests/zero_alloc_test.cc).
+//
+// T must be default-constructible and move-assignable; pop_front resets
+// the vacated slot to T() so popped elements release their resources.
+
+#ifndef SHARON_COMMON_RING_DEQUE_H_
+#define SHARON_COMMON_RING_DEQUE_H_
+
+#include <cassert>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace sharon {
+
+template <typename T>
+class RingDeque {
+ public:
+  RingDeque() = default;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Element `i` positions behind the front (0 = oldest).
+  T& operator[](size_t i) {
+    assert(i < size_);
+    return slots_[(head_ + i) & mask_];
+  }
+  const T& operator[](size_t i) const {
+    assert(i < size_);
+    return slots_[(head_ + i) & mask_];
+  }
+
+  T& front() { return (*this)[0]; }
+  const T& front() const { return (*this)[0]; }
+  T& back() { return (*this)[size_ - 1]; }
+  const T& back() const { return (*this)[size_ - 1]; }
+
+  void push_back(T&& v) {
+    if (size_ == slots_.size()) Grow();
+    slots_[(head_ + size_) & mask_] = std::move(v);
+    ++size_;
+  }
+
+  void pop_front() {
+    assert(size_ > 0);
+    slots_[head_] = T();  // release the popped element's resources
+    head_ = (head_ + 1) & mask_;
+    --size_;
+  }
+
+  void clear() {
+    while (size_ > 0) pop_front();
+    head_ = 0;
+  }
+
+ private:
+  void Grow() {
+    const size_t cap = slots_.empty() ? kMinCapacity : slots_.size() * 2;
+    std::vector<T> wider(cap);
+    for (size_t i = 0; i < size_; ++i) {
+      wider[i] = std::move(slots_[(head_ + i) & mask_]);
+    }
+    slots_ = std::move(wider);
+    mask_ = cap - 1;
+    head_ = 0;
+  }
+
+  static constexpr size_t kMinCapacity = 8;
+
+  std::vector<T> slots_;
+  size_t mask_ = 0;
+  size_t head_ = 0;
+  size_t size_ = 0;
+};
+
+}  // namespace sharon
+
+#endif  // SHARON_COMMON_RING_DEQUE_H_

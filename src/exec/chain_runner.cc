@@ -35,6 +35,14 @@ void ChainRunner::OnEvent(const Event& e, AttrValue group,
   }
 }
 
+std::vector<ChainRunner::PaneAgg> ChainRunner::TakePaneVector() {
+  if (pane_pool_.empty()) return {};
+  std::vector<PaneAgg> v = std::move(pane_pool_.back());
+  pane_pool_.pop_back();
+  v.clear();
+  return v;
+}
+
 void ChainRunner::TakeSnapshot(size_t stage, const Event& e) {
   SegmentCounter& counter = *counters_[stage];
   // The engine updated the counter on this event already, creating the
@@ -47,6 +55,7 @@ void ChainRunner::TakeSnapshot(size_t stage, const Event& e) {
 
   if (stage == 0) {
     // F_0: one empty-chain unit in the pane of the chain's first event.
+    snap.per_pane = TakePaneVector();
     snap.per_pane.push_back({window_.PaneOf(e.time), AggState::Identity()});
     stages_[0].push_back(std::move(snap));
     return;
@@ -59,12 +68,14 @@ void ChainRunner::TakeSnapshot(size_t stage, const Event& e) {
   // legally precede e.
   auto& prev = stages_[stage - 1];
   SegmentCounter& prev_counter = *counters_[stage - 1];
-  std::vector<PaneAgg> acc;  // ascending panes, merged across snapshots
-  for (auto it = prev.begin(); it != prev.end(); ++it) {
-    if (!PrunePanes(*it, e.time)) continue;
-    const AggState& complete = prev_counter.CompleteFor(it->start);
+  // Ascending panes, merged across snapshots (recycled buffer).
+  std::vector<PaneAgg> acc = TakePaneVector();
+  for (size_t i = 0; i < prev.size(); ++i) {
+    Snapshot& prev_snap = prev[i];
+    if (!PrunePanes(prev_snap, e.time)) continue;
+    const AggState& complete = prev_counter.CompleteFor(prev_snap.start);
     if (complete.IsZero()) continue;
-    for (const PaneAgg& pa : it->per_pane) {
+    for (const PaneAgg& pa : prev_snap.per_pane) {
       AggState piece = AggState::Concat(pa.agg, complete);
       if (piece.IsZero()) continue;
       // Insert into acc keeping ascending pane order (few panes).
@@ -78,7 +89,10 @@ void ChainRunner::TakeSnapshot(size_t stage, const Event& e) {
       }
     }
   }
-  if (acc.empty()) return;  // nothing can precede e; skip storing
+  if (acc.empty()) {  // nothing can precede e; skip storing
+    pane_pool_.push_back(std::move(acc));
+    return;
+  }
   snap.per_pane = std::move(acc);
   stages_[stage].push_back(std::move(snap));
 }
@@ -92,19 +106,26 @@ void ChainRunner::EmitFinal(const Event& e, AttrValue group,
   const WindowId first_w = window_.FirstWindowCovering(e.time);
 
   // Batch all of this event's deltas by the pane of the chain's first
-  // event, then fold each pane bucket into its window range with ONE
-  // result-map update per (pane, window) instead of one per delta. The
-  // number of live panes is at most length/slide, so the map traffic per
-  // END event drops from O(deltas * panes) to O(panes^2).
+  // event, then fold the pane buckets into per-window accumulators and
+  // touch the result map ONCE per (window, query). The number of live
+  // panes is at most length/slide, so the map traffic per END event
+  // drops from O(deltas * panes * windows) to O(windows) per query.
   pane_batch_.clear();
   for (const SegmentCounter::CompleteDelta& d : deltas) {
     // Find the snapshot for this start (ascending StartId order).
-    auto it = std::lower_bound(
-        snaps.begin(), snaps.end(), d.start,
-        [](const Snapshot& s, StartId id) { return s.start < id; });
-    if (it == snaps.end() || it->start != d.start) continue;
-    if (!PrunePanes(*it, e.time)) continue;
-    for (const PaneAgg& pa : it->per_pane) {
+    size_t lo = 0, hi = snaps.size();
+    while (lo < hi) {
+      const size_t mid = (lo + hi) / 2;
+      if (snaps[mid].start < d.start) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    if (lo == snaps.size() || snaps[lo].start != d.start) continue;
+    Snapshot& snap = snaps[lo];
+    if (!PrunePanes(snap, e.time)) continue;
+    for (const PaneAgg& pa : snap.per_pane) {
       AggState full = AggState::Concat(pa.agg, d.delta);
       if (full.IsZero()) continue;
       auto pos = std::lower_bound(
@@ -117,12 +138,27 @@ void ChainRunner::EmitFinal(const Event& e, AttrValue group,
       }
     }
   }
-  for (const PaneAgg& pa : pane_batch_) {
-    // Chain first events in pane pa.pane: their sequences belong to
-    // windows j in [first_w, pa.pane].
-    for (WindowId j = std::max<WindowId>(first_w, 0); j <= pa.pane; ++j) {
-      for (QueryId q : queries_) out.Add(q, j, group, pa.agg);
+  if (pane_batch_.empty()) return;
+  // Chain first events in pane p contribute to windows j in [first_w, p]:
+  // window j collects every pane >= j. Walk windows descending with a
+  // running suffix sum over the (ascending) pane buckets.
+  const WindowId base_w = std::max<WindowId>(first_w, 0);
+  const WindowId last_w = pane_batch_.back().pane;
+  if (last_w < base_w) return;
+  window_batch_.assign(static_cast<size_t>(last_w - base_w + 1),
+                       AggState::Zero());
+  size_t pane_idx = pane_batch_.size();
+  AggState suffix = AggState::Zero();
+  for (WindowId j = last_w; j >= base_w; --j) {
+    while (pane_idx > 0 && pane_batch_[pane_idx - 1].pane >= j) {
+      suffix.MergeFrom(pane_batch_[--pane_idx].agg);
     }
+    window_batch_[static_cast<size_t>(j - base_w)] = suffix;
+    if (j == 0) break;  // WindowId is unsigned in spirit; avoid wrap
+  }
+  for (WindowId j = base_w; j <= last_w; ++j) {
+    const AggState& agg = window_batch_[static_cast<size_t>(j - base_w)];
+    for (QueryId q : queries_) out.Add(q, j, group, agg);
   }
 }
 
@@ -144,12 +180,14 @@ size_t ChainRunner::ExpireBefore(Timestamp now) {
   for (auto& stage : stages_) {
     while (!stage.empty() && window_.Expired(stage.front().start_time, now)) {
       panes_freed += std::max<size_t>(stage.front().per_pane.size(), 1);
+      pane_pool_.push_back(std::move(stage.front().per_pane));
       stage.pop_front();
     }
     // Snapshots whose own start is live may still hold dead panes (the
     // chain's first event is older than the snapshot); prune those too so
     // watermark-driven eviction leaves only reachable state behind.
-    for (Snapshot& s : stage) {
+    for (size_t i = 0; i < stage.size(); ++i) {
+      Snapshot& s = stage[i];
       const size_t before = s.per_pane.size();
       PrunePanes(s, now);
       panes_freed += before - s.per_pane.size();
@@ -161,7 +199,7 @@ size_t ChainRunner::ExpireBefore(Timestamp now) {
 size_t ChainRunner::NumLivePanes() const {
   size_t n = 0;
   for (const auto& stage : stages_) {
-    for (const Snapshot& s : stage) n += s.per_pane.size();
+    for (size_t i = 0; i < stage.size(); ++i) n += stage[i].per_pane.size();
   }
   return n;
 }
@@ -177,7 +215,9 @@ size_t ChainRunner::EstimatedBytes() const {
   size_t bytes = 0;
   for (const auto& stage : stages_) {
     bytes += stage.size() * sizeof(Snapshot);
-    for (const Snapshot& s : stage) bytes += s.per_pane.size() * sizeof(PaneAgg);
+    for (size_t i = 0; i < stage.size(); ++i) {
+      bytes += stage[i].per_pane.size() * sizeof(PaneAgg);
+    }
   }
   return bytes;
 }

@@ -24,9 +24,9 @@
 #ifndef SHARON_EXEC_CHAIN_RUNNER_H_
 #define SHARON_EXEC_CHAIN_RUNNER_H_
 
-#include <deque>
 #include <vector>
 
+#include "src/common/ring_deque.h"
 #include "src/exec/result.h"
 #include "src/exec/segment_counter.h"
 
@@ -83,14 +83,14 @@ class ChainRunner {
 
  private:
   struct PaneAgg {
-    PaneId pane;
+    PaneId pane = 0;
     AggState agg;
   };
 
   /// Frozen combination state for one START event of one stage.
   struct Snapshot {
-    StartId start;
-    Timestamp start_time;
+    StartId start = 0;
+    Timestamp start_time = 0;
     std::vector<PaneAgg> per_pane;  ///< ascending pane ids
   };
 
@@ -103,11 +103,19 @@ class ChainRunner {
   /// Drops expired panes from a snapshot; true if anything remains.
   bool PrunePanes(Snapshot& s, Timestamp now) const;
 
+  /// A recycled (or fresh) empty pane vector from the pool.
+  std::vector<PaneAgg> TakePaneVector();
+
   std::vector<QueryId> queries_;
   std::vector<SegmentCounter*> counters_;
   WindowSpec window_;
-  std::vector<std::deque<Snapshot>> stages_;  ///< per stage, ascending StartId
-  std::vector<PaneAgg> pane_batch_;  ///< EmitFinal scratch (reused)
+  /// Per stage, ascending StartId. Ring buffers + a recycled pane-vector
+  /// pool: snapshot birth and expiration allocate nothing in steady
+  /// state (DESIGN.md "Hot-path memory layout").
+  std::vector<RingDeque<Snapshot>> stages_;
+  std::vector<std::vector<PaneAgg>> pane_pool_;  ///< recycled per_pane buffers
+  std::vector<PaneAgg> pane_batch_;    ///< EmitFinal scratch (reused)
+  std::vector<AggState> window_batch_; ///< EmitFinal per-window scratch
 #ifndef NDEBUG
   Timestamp last_time_ = -1;  ///< ordering-contract check (debug only)
 #endif

@@ -183,7 +183,7 @@ Engine::GroupState& Engine::GroupFor(AttrValue g) {
   auto it = groups_.find(g);
   if (it != groups_.end()) return it->second;
   const CompiledEngine& compiled = *compiled_;
-  GroupState state;
+  GroupState& state = groups_[g];
   state.counters.reserve(compiled.counters.size());
   for (const auto& cs : compiled.counters) {
     state.counters.push_back(
@@ -196,7 +196,7 @@ Engine::GroupState& Engine::GroupFor(AttrValue g) {
     for (uint32_t ci : ch.counter_idx) refs.push_back(state.counters[ci].get());
     state.chains.emplace_back(ch.queries, std::move(refs), compiled.window);
   }
-  return groups_.emplace(g, std::move(state)).first->second;
+  return state;
 }
 
 void Engine::OnEvent(const Event& e) {
@@ -357,7 +357,7 @@ size_t Engine::DrainFinalized(
   // live, still-growing cells that must not be handed out as sealed.
   if (!policy_.enabled) return 0;
   const size_t n = results_.size();
-  for (const auto& [key, state] : results_.cells()) fn(key, state);
+  results_.ForEachCell(fn);
   results_.Clear();
   return n;
 }

@@ -20,9 +20,9 @@
 #include <memory>
 #include <queue>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "src/common/flat_map.h"
 #include "src/common/metrics.h"
 #include "src/common/watermark.h"
 #include "src/exec/chain_runner.h"
@@ -203,7 +203,11 @@ class Engine {
   const Workload* workload_;
   std::string error_;
   CompiledPlanHandle compiled_;
-  std::unordered_map<AttrValue, GroupState> groups_;
+  /// Per-group executor state, keyed by the partition attribute value.
+  /// Open-addressing flat table: the per-event group lookup is a probe
+  /// over contiguous slots, and a warmed table allocates nothing
+  /// (DESIGN.md "Hot-path memory layout").
+  FlatMap<AttrValue, GroupState, Mix64Hash> groups_;
   ResultCollector results_;
   MemoryMeter memory_;
   uint64_t events_since_sweep_ = 0;

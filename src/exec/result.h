@@ -1,14 +1,27 @@
 // Per-(query, window, group) result accumulation shared by all executors,
 // so that online engines and two-step baselines can be compared result-for-
 // result in tests.
+//
+// Storage layout (the hot-path optimization, DESIGN.md "Hot-path memory
+// layout"): cells are grouped into ROWS keyed by (query, group) in a
+// FlatMap (src/common/flat_map.h), each row holding a DENSE array of
+// AggStates indexed by window id. Window ids are dense integers that
+// advance with stream time, so an emission into windows [j0, j1] is ONE
+// small-table probe (the row set is #queries x #groups, cache-resident)
+// followed by sequential array writes — instead of one probe of an
+// ever-growing (query, window, group) hash map per window. Watermark
+// finalization extracts a PREFIX of each row, which keeps rows compact
+// and allocation-free in steady state.
 
 #ifndef SHARON_EXEC_RESULT_H_
 #define SHARON_EXEC_RESULT_H_
 
+#include <algorithm>
 #include <cstdint>
-#include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
+#include "src/common/flat_map.h"
 #include "src/query/aggregate.h"
 #include "src/query/query.h"
 #include "src/query/window.h"
@@ -39,13 +52,28 @@ class ResultCollector {
  public:
   void Add(QueryId q, WindowId w, AttrValue g, const AggState& delta) {
     if (delta.IsZero()) return;
-    cells_[ResultKey{q, w, g}].MergeFrom(delta);
+    AggState& cell = CellFor(rows_[RowKey{q, g}], w);
+    if (cell.IsZero()) ++size_;  // deltas are non-zero: cell becomes live
+    cell.MergeFrom(delta);
   }
 
   /// Aggregate state of a cell; Zero if absent.
   AggState Get(QueryId q, WindowId w, AttrValue g) const {
-    auto it = cells_.find(ResultKey{q, w, g});
-    return it == cells_.end() ? AggState::Zero() : it->second;
+    const AggState* cell = FindCell(q, w, g);
+    return cell ? *cell : AggState::Zero();
+  }
+
+  /// The cell's state, or nullptr when the cell was never written (lets
+  /// callers distinguish "absent" from a legitimately zero-valued cell).
+  const AggState* FindCell(QueryId q, WindowId w, AttrValue g) const {
+    auto it = rows_.find(RowKey{q, g});
+    if (it == rows_.end()) return nullptr;
+    const Row& row = it->second;
+    if (w < row.base || w - row.base >= static_cast<WindowId>(row.Width())) {
+      return nullptr;
+    }
+    const AggState& cell = row.slots[row.head + (w - row.base)];
+    return cell.IsZero() ? nullptr : &cell;
   }
 
   /// Final numeric value of a cell under `fn`.
@@ -53,12 +81,35 @@ class ResultCollector {
     return Get(q, w, g).Final(fn);
   }
 
-  const std::unordered_map<ResultKey, AggState, ResultKeyHash>& cells() const {
-    return cells_;
+  /// Visits every live cell as (ResultKey, AggState). Iteration order is
+  /// unspecified.
+  template <typename Fn>
+  void ForEachCell(Fn&& fn) const {
+    for (const auto& [key, row] : rows_) {
+      for (size_t i = row.head; i < row.slots.size(); ++i) {
+        if (row.slots[i].IsZero()) continue;
+        fn(ResultKey{key.query,
+                     row.base + static_cast<WindowId>(i - row.head),
+                     key.group},
+           row.slots[i]);
+      }
+    }
   }
 
-  size_t size() const { return cells_.size(); }
-  void Clear() { cells_.clear(); }
+  /// Number of live (non-zero) cells.
+  size_t size() const { return size_; }
+
+  /// Drops every cell but keeps the rows and their slot capacity, so a
+  /// drain-refill cycle (DrainFinalized) allocates nothing in steady
+  /// state. Empty rows of groups that stay quiet are reclaimed by
+  /// ExtractWindowsBefore, not here.
+  void Clear() {
+    for (auto& [key, row] : rows_) {
+      row.head = 0;
+      row.slots.clear();  // keeps capacity
+    }
+    size_ = 0;
+  }
 
   /// Moves every cell with window id < `limit` into `into`, merging into
   /// any existing cells there. Returns {cells moved, distinct windows
@@ -68,33 +119,137 @@ class ResultCollector {
   std::pair<size_t, size_t> ExtractWindowsBefore(WindowId limit,
                                                  ResultCollector& into) {
     size_t cells = 0;
-    std::unordered_set<WindowId> windows;
-    for (auto it = cells_.begin(); it != cells_.end();) {
-      if (it->first.window < limit) {
-        into.cells_[it->first].MergeFrom(it->second);
-        windows.insert(it->first.window);
+    window_scratch_.clear();
+    for (auto it = rows_.begin(); it != rows_.end();) {
+      Row& row = it->second;
+      const size_t width = row.Width();
+      const size_t take =
+          limit <= row.base
+              ? 0
+              : std::min(width, static_cast<size_t>(limit - row.base));
+      for (size_t i = 0; i < take; ++i) {
+        AggState& cell = row.slots[row.head + i];
+        if (cell.IsZero()) continue;
+        const WindowId w = row.base + static_cast<WindowId>(i);
+        into.Add(it->first.query, w, it->first.group, cell);
+        window_scratch_.push_back(w);
         ++cells;
-        it = cells_.erase(it);
-      } else {
-        ++it;
+        --size_;
       }
+      if (take == width) {
+        it = rows_.erase(it);  // row fully drained; revisits are harmless
+        continue;
+      }
+      if (take > 0) {
+        row.head += take;
+        row.base += static_cast<WindowId>(take);
+        row.CompactIfSparse();
+      }
+      ++it;
     }
-    return {cells, windows.size()};
+    std::sort(window_scratch_.begin(), window_scratch_.end());
+    const size_t windows = static_cast<size_t>(
+        std::unique(window_scratch_.begin(), window_scratch_.end()) -
+        window_scratch_.begin());
+    return {cells, windows};
   }
 
-  /// Number of distinct window ids present across cells.
+  /// Number of distinct window ids present across live cells.
   size_t NumWindows() const {
     std::unordered_set<WindowId> windows;
-    for (const auto& [key, state] : cells_) windows.insert(key.window);
+    ForEachCell([&](const ResultKey& key, const AggState&) {
+      windows.insert(key.window);
+    });
     return windows.size();
   }
 
   size_t EstimatedBytes() const {
-    return cells_.size() * (sizeof(ResultKey) + sizeof(AggState) + 16);
+    size_t bytes = 0;
+    for (const auto& [key, row] : rows_) {
+      bytes += sizeof(RowKey) + sizeof(Row) + 16;
+      bytes += row.Width() * sizeof(AggState);
+    }
+    return bytes;
   }
 
  private:
-  std::unordered_map<ResultKey, AggState, ResultKeyHash> cells_;
+  struct RowKey {
+    QueryId query = 0;
+    AttrValue group = 0;
+
+    bool operator==(const RowKey&) const = default;
+  };
+
+  struct RowKeyHash {
+    size_t operator()(const RowKey& k) const {
+      uint64_t h = static_cast<uint64_t>(k.group) * 0x9e3779b97f4a7c15ULL +
+                   k.query;
+      h ^= h >> 30;
+      h *= 0xbf58476d1ce4e5b9ULL;
+      return static_cast<size_t>(h ^ (h >> 27));
+    }
+  };
+
+  /// Dense window range [base, base + Width()) for one (query, group):
+  /// slots[head + i] is window base + i. Extraction advances head/base;
+  /// CompactIfSparse reclaims the dead prefix without reallocating.
+  struct Row {
+    WindowId base = 0;
+    size_t head = 0;
+    std::vector<AggState> slots;
+
+    size_t Width() const { return slots.size() - head; }
+
+    void CompactIfSparse() {
+      if (head > 0 && head >= slots.size() / 2) {
+        slots.erase(slots.begin(),
+                    slots.begin() + static_cast<ptrdiff_t>(head));
+        head = 0;
+      }
+    }
+  };
+
+  /// The slot of window `w` in `row`, growing the range as needed.
+  AggState& CellFor(Row& row, WindowId w) {
+    if (row.slots.size() == row.head) {  // empty row: anchor at w
+      row.head = 0;
+      row.slots.clear();
+      row.base = w;
+      row.slots.emplace_back();
+      return row.slots[0];
+    }
+    if (w < row.base) {  // rare: emission behind the row's first window
+      const size_t need = static_cast<size_t>(row.base - w);
+      if (row.head >= need) {
+        // Reclaim dead-prefix slots; they hold stale extracted states
+        // and must be zeroed before re-entering the valid range.
+        row.head -= need;
+        for (size_t i = 0; i < need; ++i) row.slots[row.head + i] = AggState();
+      } else {
+        for (size_t i = 0; i < row.head; ++i) row.slots[i] = AggState();
+        row.slots.insert(row.slots.begin(), need - row.head, AggState());
+        row.head = 0;
+      }
+      row.base = w;
+      return row.slots[row.head];
+    }
+    const size_t idx = row.head + static_cast<size_t>(w - row.base);
+    if (idx >= row.slots.size()) {
+      // Grow the valid range in chunks: trailing zero slots are skipped
+      // by every reader, and the coarser growth keeps the per-window
+      // resize bookkeeping off the emission path.
+      row.slots.resize(idx + 1 + kRowGrowSlack);
+    }
+    return row.slots[idx];
+  }
+
+  static constexpr size_t kRowGrowSlack = 7;
+
+  FlatMap<RowKey, Row, RowKeyHash> rows_;
+  size_t size_ = 0;  ///< live (non-zero) cells across rows
+  /// ExtractWindowsBefore scratch (distinct-window count without a
+  /// per-call set allocation); capacity persists across watermarks.
+  std::vector<WindowId> window_scratch_;
 };
 
 }  // namespace sharon

@@ -6,7 +6,10 @@ namespace sharon {
 
 SegmentCounter::SegmentCounter(Pattern pattern, AggSpec spec,
                                WindowSpec window)
-    : pattern_(std::move(pattern)), spec_(spec), window_(window) {
+    : pattern_(std::move(pattern)),
+      spec_(spec),
+      window_(window),
+      count_only_(spec.fn == AggFunction::kCountStar) {
   EventTypeId max_type = 0;
   for (EventTypeId t : pattern_.types()) max_type = std::max(max_type, t);
   positions_by_type_.resize(max_type + 1);
@@ -28,18 +31,42 @@ void SegmentCounter::OnEvent(const Event& e) {
 
   ExpireBefore(e.time);
 
-  const EventContribution contrib = ContributionOf(e, spec_);
+  const EventContribution contrib =
+      count_only_ ? EventContribution{} : ContributionOf(e, spec_);
   const size_t last_pos = pattern_.length() - 1;
 
-  for (uint32_t j : positions) {
-    if (j == 0) continue;  // handled below so the new start is appended last
-    for (size_t i = 0; i < starts_.size(); ++i) {
-      Start& s = starts_[i];
-      AggState grown = AggState::Extend(s.pref[j - 1], contrib);
-      if (grown.IsZero()) continue;
-      s.pref[j].MergeFrom(grown);
-      if (j == last_pos) {
-        last_deltas_.push_back({base_ + i, s.time, grown});
+  if (count_only_) {
+    // COUNT(*) fast path (the spec every shared counter projects to when
+    // the aggregation target lies outside its segment, ProjectSpec):
+    // with an all-zero contribution, Extend and MergeFrom only ever move
+    // the `count` lane — sum/target stay 0 and min/max stay at their
+    // identities — so the update touches one double per start instead of
+    // five. Bit-identical to the generic path by construction.
+    for (uint32_t j : positions) {
+      if (j == 0) continue;
+      for (size_t i = 0; i < starts_.size(); ++i) {
+        Start& s = starts_[i];
+        const double grown = s.pref[j - 1].count;
+        if (grown == 0) continue;
+        s.pref[j].count += grown;
+        if (j == last_pos) {
+          AggState delta;
+          delta.count = grown;
+          last_deltas_.push_back({base_ + i, s.time, delta});
+        }
+      }
+    }
+  } else {
+    for (uint32_t j : positions) {
+      if (j == 0) continue;  // handled below: the new start appends last
+      for (size_t i = 0; i < starts_.size(); ++i) {
+        Start& s = starts_[i];
+        AggState grown = AggState::Extend(s.pref[j - 1], contrib);
+        if (grown.IsZero()) continue;
+        s.pref[j].MergeFrom(grown);
+        if (j == last_pos) {
+          last_deltas_.push_back({base_ + i, s.time, grown});
+        }
       }
     }
   }
@@ -47,9 +74,17 @@ void SegmentCounter::OnEvent(const Event& e) {
   if (!positions.empty() && positions.back() == 0) {
     Start s;
     s.time = e.time;
+    if (!pref_pool_.empty()) {  // recycle an expired start's buffer
+      s.pref = std::move(pref_pool_.back());
+      pref_pool_.pop_back();
+    }
     s.pref.assign(pattern_.length(), AggState::Zero());
     s.pref[0] = AggState::Unit(contrib);
     starts_.push_back(std::move(s));
+    if (starts_.size() == 1) {
+      front_expire_ =
+          window_.WindowEnd(window_.LastWindowCovering(e.time));
+    }
     if (last_pos == 0) {
       last_deltas_.push_back(
           {NewestStartId(), e.time, starts_.back().pref[0]});
@@ -68,11 +103,20 @@ Timestamp SegmentCounter::StartTimeFor(StartId id) const {
 }
 
 size_t SegmentCounter::ExpireBefore(Timestamp now) {
+  // front_expire_ caches WindowEnd(LastWindowCovering(front.time)), the
+  // first tick with no window containing both the front start and `now`
+  // — equivalent to WindowSpec::Expired but one comparison on the
+  // nothing-expires fast path instead of two divisions per event.
   size_t dropped = 0;
-  while (!starts_.empty() && window_.Expired(starts_.front().time, now)) {
+  while (now >= front_expire_) {
+    pref_pool_.push_back(std::move(starts_.front().pref));
     starts_.pop_front();
     ++base_;
     ++dropped;
+    front_expire_ = starts_.empty()
+                        ? kNeverExpires
+                        : window_.WindowEnd(
+                              window_.LastWindowCovering(starts_.front().time));
   }
   return dropped;
 }

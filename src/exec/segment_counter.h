@@ -23,9 +23,10 @@
 #define SHARON_EXEC_SEGMENT_COUNTER_H_
 
 #include <cstdint>
-#include <deque>
+#include <limits>
 #include <vector>
 
+#include "src/common/ring_deque.h"
 #include "src/query/aggregate.h"
 #include "src/query/pattern.h"
 #include "src/query/window.h"
@@ -84,17 +85,29 @@ class SegmentCounter {
 
  private:
   struct Start {
-    Timestamp time;
+    Timestamp time = 0;
     std::vector<AggState> pref;  // pref[j]: prefix (T0..Tj) aggregates
   };
 
   Pattern pattern_;
   AggSpec spec_;
   WindowSpec window_;
+  /// COUNT(*) spec: updates only touch the `count` lane (see OnEvent).
+  bool count_only_ = false;
   /// positions_by_type_[t] = descending positions of type t in pattern_.
   std::vector<std::vector<uint32_t>> positions_by_type_;
-  std::deque<Start> starts_;
+  /// Live starts, FIFO by start time. Ring buffer + recycled pref
+  /// vectors: in steady state a start's birth and expiration allocate
+  /// nothing (DESIGN.md "Hot-path memory layout").
+  RingDeque<Start> starts_;
+  std::vector<std::vector<AggState>> pref_pool_;  ///< recycled pref buffers
   StartId base_ = 0;  ///< id of starts_.front()
+  /// First tick at which the FRONT start is expired (cached so the
+  /// per-event expiration probe is one comparison, not two divisions;
+  /// max() while no start is live).
+  Timestamp front_expire_ = kNeverExpires;
+  static constexpr Timestamp kNeverExpires =
+      std::numeric_limits<Timestamp>::max();
   std::vector<CompleteDelta> last_deltas_;
   AggState zero_;
 };

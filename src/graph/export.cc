@@ -39,13 +39,13 @@ std::string ToDot(const SharonGraph& graph, const TypeRegistry& types,
 std::string ResultsToCsv(const ResultCollector& results,
                          const Workload& workload) {
   std::vector<std::pair<ResultKey, double>> rows;
-  rows.reserve(results.cells().size());
-  for (const auto& [key, state] : results.cells()) {
+  rows.reserve(results.size());
+  results.ForEachCell([&](const ResultKey& key, const AggState& state) {
     const Query& q = workload.query(key.query);
     double v = state.Final(q.agg.fn);
-    if (std::isnan(v)) continue;
+    if (std::isnan(v)) return;
     rows.emplace_back(key, v);
-  }
+  });
   std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
     return std::tie(a.first.query, a.first.window, a.first.group) <
            std::tie(b.first.query, b.first.window, b.first.group);

@@ -29,10 +29,22 @@ struct RuntimeOptions {
   /// smaller batches reduce ingest-to-result latency.
   size_t batch_size = 256;
 
-  /// Ring-buffer slots (batches) per shard queue. Bounds in-flight
-  /// memory to roughly num_shards * queue_capacity * batch_size events
-  /// and is the mechanism of backpressure.
+  /// Ring-buffer slots (batches) per (producer, shard) channel. Bounds
+  /// in-flight memory to roughly ingest_partitions * num_shards *
+  /// queue_capacity * batch_size events and is the mechanism of
+  /// backpressure.
   size_t queue_capacity = 64;
+
+  /// Ingest producer partitions. Each partition is an independent
+  /// single-threaded producer (ShardedRuntime::ingest_partition) with a
+  /// private SPSC channel to every shard, so N producer threads feed the
+  /// runtime without sharing a queue. Values > 1 require a disorder
+  /// policy: events of one group may then interleave across producers,
+  /// and only the shard-side reorder buffer (watermark contract,
+  /// src/common/watermark.h) restores the deterministic time order the
+  /// executors need. Each shard merges watermarks as the MINIMUM over
+  /// producer frontiers.
+  size_t ingest_partitions = 1;
 
   /// Bounded-disorder contract for out-of-order streams (disabled by
   /// default: the seed's in-order behaviour). When enabled, every shard's
@@ -55,6 +67,7 @@ struct ShardStats {
   uint64_t batches = 0;       ///< batches popped by the worker
   uint64_t queue_full_stalls = 0;  ///< producer yields on a full queue
   uint64_t idle_spins = 0;    ///< worker yields on an empty queue
+  uint64_t recycle_drops = 0; ///< batch buffers the free ring refused
   double busy_seconds = 0;    ///< wall time spent inside engine code
 
   /// Mean events per popped batch (batch occupancy).
@@ -72,9 +85,27 @@ struct ShardStats {
   }
 };
 
+/// Counters of one ingest partition (owned by its producer thread; read
+/// together with the rest of the stats after the runtime finished).
+/// The batch-buffer counters measure the recycling ring: in steady state
+/// every pushed batch rides a recycled buffer and batch_allocs stays at
+/// its warm-up figure — the zero-allocation ingest invariant the
+/// scaling bench records (DESIGN.md "Hot-path memory layout").
+struct IngestStats {
+  uint64_t events = 0;            ///< data events routed by this producer
+  uint64_t watermarks = 0;        ///< punctuations broadcast
+  uint64_t batches = 0;           ///< batches pushed to shard channels
+  uint64_t batches_recycled = 0;  ///< pushes that reused a pooled buffer
+  uint64_t batch_allocs = 0;      ///< pushes that allocated a fresh buffer
+  uint64_t queue_full_stalls = 0; ///< producer yields on full channels
+};
+
 /// Aggregate counters of one sharded run.
 struct RuntimeStats {
   std::vector<ShardStats> shards;
+  /// Per-producer ingest counters (index-aligned with the runtime's
+  /// ingest partitions).
+  std::vector<IngestStats> ingest;
   /// Per-shard watermark/eviction counters (index-aligned with shards;
   /// empty when the runtime ran without a disorder policy).
   std::vector<WatermarkStats> shard_watermarks;
@@ -128,6 +159,20 @@ struct RuntimeStats {
   uint64_t TotalStalls() const {
     uint64_t n = 0;
     for (const ShardStats& s : shards) n += s.queue_full_stalls;
+    return n;
+  }
+
+  /// Fresh batch-buffer allocations across producers (warm-up cost; flat
+  /// in steady state thanks to the recycling rings).
+  uint64_t TotalBatchAllocs() const {
+    uint64_t n = 0;
+    for (const IngestStats& s : ingest) n += s.batch_allocs;
+    return n;
+  }
+
+  uint64_t TotalBatchesRecycled() const {
+    uint64_t n = 0;
+    for (const IngestStats& s : ingest) n += s.batches_recycled;
     return n;
   }
 

@@ -5,10 +5,26 @@
 
 namespace sharon::runtime {
 
+namespace {
+
+std::vector<std::unique_ptr<BatchChannel>> MakeChannels(
+    const RuntimeOptions& options) {
+  const size_t n = options.ingest_partitions > 0 ? options.ingest_partitions : 1;
+  std::vector<std::unique_ptr<BatchChannel>> channels;
+  channels.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    channels.push_back(std::make_unique<BatchChannel>(options.queue_capacity));
+  }
+  return channels;
+}
+
+}  // namespace
+
 Shard::Shard(size_t index, const Workload& workload,
              CompiledPlanHandle compiled, const RuntimeOptions& options)
     : index_(index),
-      queue_(options.queue_capacity),
+      channels_(MakeChannels(options)),
+      channel_frontier_(channels_.size(), kNoWatermark),
       engine_(std::make_unique<Engine>(workload, std::move(compiled))),
       engine_mode_(true),
       disorder_(options.disorder) {
@@ -19,7 +35,8 @@ Shard::Shard(size_t index, const Workload& workload,
 Shard::Shard(size_t index, std::shared_ptr<const MultiEnginePlan> plan,
              const RuntimeOptions& options)
     : index_(index),
-      queue_(options.queue_capacity),
+      channels_(MakeChannels(options)),
+      channel_frontier_(channels_.size(), kNoWatermark),
       multi_(std::make_unique<MultiEngine>(std::move(plan))),
       engine_mode_(false),
       disorder_(options.disorder) {
@@ -44,7 +61,48 @@ void Shard::Join() {
   if (thread_.joinable()) thread_.join();
 }
 
-void Shard::Process(const EventBatch& batch) {
+void Shard::MergeWatermark(size_t p, Timestamp t) {
+  const bool channel_regression = t <= channel_frontier_[p];
+  if (!channel_regression) channel_frontier_[p] = t;
+  // The executor may only advance to ticks EVERY producer has vouched
+  // for: the merged watermark is the minimum over producer frontiers
+  // (kNoWatermark until all producers punctuated at least once).
+  Timestamp merged = channel_frontier_[0];
+  for (size_t i = 1; i < channel_frontier_.size(); ++i) {
+    merged = std::min(merged, channel_frontier_[i]);
+  }
+  if (merged != kNoWatermark && merged > merged_watermark_) {
+    merged_watermark_ = merged;
+    // Publish before applying so a reader never observes a finalized
+    // window whose shard watermark it cannot see.
+    watermark_.store(merged, std::memory_order_release);
+    if (engine_) {
+      ApplyWatermark(merged);
+    } else {
+      multi_->OnEvent(WatermarkEvent(merged));
+    }
+    return;
+  }
+  if (channel_regression && merged_watermark_ != kNoWatermark &&
+      t <= merged_watermark_) {
+    // A producer re-announced an old frontier. Keep the executor's loud
+    // regression accounting (WatermarkStats::regressions): deliver the
+    // stale punctuation — but ONLY when it does not exceed the merged
+    // minimum already applied, so the executor sees it as the regression
+    // it is. A stale-per-channel value ABOVE the merged minimum (other
+    // producers lag behind this one) must never reach the executor: it
+    // would advance past ticks those producers have not vouched for.
+    // Punctuations that advance their own frontier but not the merged
+    // minimum are likewise folded silently.
+    if (engine_) {
+      ApplyWatermark(t);
+    } else {
+      multi_->OnEvent(WatermarkEvent(t));
+    }
+  }
+}
+
+void Shard::Process(const EventBatch& batch, size_t channel_idx) {
   StopWatch watch;
   uint64_t data_events = 0;
   for (const Event& e : batch) {
@@ -53,17 +111,7 @@ void Shard::Process(const EventBatch& batch) {
       continue;
     }
     if (IsWatermark(e)) {
-      // Publish before applying so a reader never observes a finalized
-      // window whose shard watermark it cannot see. Punctuations arrive
-      // monotone per shard (one broadcaster); the executor double-checks.
-      if (e.time > watermark_.load(std::memory_order_relaxed)) {
-        watermark_.store(e.time, std::memory_order_release);
-      }
-      if (engine_) {
-        ApplyWatermark(e.time);
-      } else {
-        multi_->OnEvent(e);
-      }
+      MergeWatermark(channel_idx, e.time);
       continue;
     }
     ++data_events;
@@ -177,21 +225,42 @@ void Shard::CancelSwapCommand() {
   swap_in_flight_.store(false, std::memory_order_release);
 }
 
+void Shard::Recycle(size_t p, EventBatch&& batch) {
+  batch.clear();  // keeps capacity: the producer reuses the buffer as-is
+  if (!channels_[p]->free.TryPush(std::move(batch))) {
+    ++stats_.recycle_drops;  // free ring is sized to make this unreachable
+  }
+}
+
 void Shard::WorkerLoop() {
   EventBatch batch;
+  const size_t nch = channels_.size();
   for (;;) {
-    if (queue_.TryPop(batch)) {
-      Process(batch);
-      batch.clear();
-      continue;
-    }
-    if (done_.load(std::memory_order_acquire)) {
-      // done_ was set after the final push; drain whatever is left.
-      while (queue_.TryPop(batch)) {
-        Process(batch);
-        batch.clear();
+    bool popped = false;
+    for (size_t p = 0; p < nch; ++p) {
+      if (channels_[p]->full.TryPop(batch)) {
+        Process(batch, p);
+        Recycle(p, std::move(batch));
+        batch = EventBatch();
+        popped = true;
       }
-      return;
+    }
+    if (popped) continue;
+    if (done_.load(std::memory_order_acquire)) {
+      // done_ was set after the final pushes; drain whatever is left on
+      // every channel.
+      for (;;) {
+        bool drained_any = false;
+        for (size_t p = 0; p < nch; ++p) {
+          while (channels_[p]->full.TryPop(batch)) {
+            Process(batch, p);
+            Recycle(p, std::move(batch));
+            batch = EventBatch();
+            drained_any = true;
+          }
+        }
+        if (!drained_any) return;
+      }
     }
     ++stats_.idle_spins;
     std::this_thread::yield();
@@ -204,8 +273,10 @@ AggState Shard::Get(QueryId query, WindowId window, AttrValue group) const {
     // windows (closing <= their boundary); the current engine owns the
     // rest. Probe the archive by key so a legitimately zero-valued
     // archived cell is not shadowed by the current engine's Zero().
-    auto it = archived_.cells().find(ResultKey{query, window, group});
-    if (it != archived_.cells().end()) return it->second;
+    if (const AggState* cell =
+            archived_.FindCell(query, window, group)) {
+      return *cell;
+    }
     AggState state = engine_->results().Get(query, window, group);
     // A swap stalled at shutdown leaves the incoming engine holding the
     // finalized cells of its windows — the same cells ForEachCell
@@ -221,27 +292,24 @@ AggState Shard::Get(QueryId query, WindowId window, AttrValue group) const {
 void Shard::ForEachCell(
     const std::function<void(const ResultKey&, const AggState&)>& fn) const {
   if (engine_) {
-    for (const auto& [key, state] : archived_.cells()) fn(key, state);
-    for (const auto& [key, state] : engine_->results().cells()) {
-      fn(key, state);
-    }
+    archived_.ForEachCell(fn);
+    engine_->results().ForEachCell(fn);
     // A swap that never completed (stalled watermark at shutdown) leaves
     // the incoming engine holding finalized cells of its own windows.
     if (swap_active_ && next_engine_) {
-      for (const auto& [key, state] : next_engine_->results().cells()) {
-        fn(key, state);
-      }
+      next_engine_->results().ForEachCell(fn);
     }
     return;
   }
   const MultiEnginePlan& plan = *multi_->plan();
   for (size_t s = 0; s < multi_->engines().size(); ++s) {
     const std::vector<QueryId>& originals = plan.segments[s].original_ids;
-    for (const auto& [key, state] : multi_->engines()[s]->results().cells()) {
-      ResultKey remapped = key;
-      remapped.query = originals.at(key.query);
-      fn(remapped, state);
-    }
+    multi_->engines()[s]->results().ForEachCell(
+        [&](const ResultKey& key, const AggState& state) {
+          ResultKey remapped = key;
+          remapped.query = originals.at(key.query);
+          fn(remapped, state);
+        });
   }
 }
 

@@ -1,6 +1,18 @@
 // One shard of the sharded runtime: a worker thread that owns a private
 // executor (Engine for uniform workloads, MultiEngine for non-uniform
-// ones) and drains event batches from a bounded SPSC queue.
+// ones) and drains event batches from bounded SPSC channels — one per
+// ingest partition, so any number of producer threads feed the shard
+// without sharing a queue.
+//
+// Each channel is a PAIR of rings: `full` carries filled batches from
+// the producer, `free` carries the emptied buffers back for reuse, so a
+// warmed-up channel moves events with zero steady-state allocations
+// (DESIGN.md "Hot-path memory layout").
+//
+// With several producers the shard is where their watermarks merge: the
+// worker tracks one frontier per channel and advances its executor to
+// the MINIMUM across producer frontiers — only ticks every producer has
+// vouched for are treated as complete.
 //
 // The shard never shares mutable state with other shards — the executor,
 // its group state and its ResultCollector are all private — so no locks
@@ -29,7 +41,24 @@ namespace sharon::runtime {
 /// A batch of events owned by the queue while in flight.
 using EventBatch = std::vector<Event>;
 
-/// Worker shard. Construct, Start(), feed via TryEnqueue from ONE
+/// One (producer, shard) link: filled batches travel producer -> worker
+/// through `full`; emptied buffers travel worker -> producer through
+/// `free` for reuse. Exactly one producer thread touches full.TryPush /
+/// free.TryPop; the worker touches the opposite ends.
+struct BatchChannel {
+  explicit BatchChannel(size_t capacity)
+      // free holds every buffer the channel can have in circulation:
+      // everything `full` can hold + 1 pending at the producer + 1 in
+      // the worker, so a recycle push never drops (recycle_drops counts
+      // the impossible case). Sized from full.capacity(), the ROUNDED-UP
+      // power of two, not the requested capacity.
+      : full(capacity), free(full.capacity() + 2) {}
+
+  SpscQueue<EventBatch> full;
+  SpscQueue<EventBatch> free;
+};
+
+/// Worker shard. Construct, Start(), feed each channel from its ONE
 /// producer thread, then SignalDone() + Join() before reading results.
 class Shard {
  public:
@@ -55,13 +84,12 @@ class Shard {
   /// Spawns the worker thread. Idempotent.
   void Start();
 
-  /// Producer side: moves `batch` into the queue; false when full (the
-  /// batch is untouched and the caller should yield and retry).
-  bool TryEnqueue(EventBatch&& batch) {
-    return queue_.TryPush(std::move(batch));
-  }
+  /// The channel of ingest partition `p` (stable address; the partition
+  /// keeps pushing to it for the lifetime of the runtime).
+  BatchChannel& channel(size_t p) { return *channels_[p]; }
+  size_t num_channels() const { return channels_.size(); }
 
-  /// Producer side: no more batches will be enqueued.
+  /// Producer side: no more batches will be enqueued on any channel.
   void SignalDone() { done_.store(true, std::memory_order_release); }
 
   /// Producer side: stages a plan-swap command for pickup by the next
@@ -79,11 +107,12 @@ class Shard {
     return swap_in_flight_.load(std::memory_order_acquire);
   }
 
-  /// Blocks until the worker drained the queue and exited. Idempotent.
+  /// Blocks until the worker drained every channel and exited. Idempotent.
   void Join();
 
-  /// Producer-side stall accounting (kept here so ShardStats is complete).
-  void CountStall() { ++stats_.queue_full_stalls; }
+  /// Folds producer-side stall counts into this shard's stats. Called by
+  /// the runtime at Finish, after the producers stopped (post-join).
+  void AddProducerStalls(uint64_t n) { stats_.queue_full_stalls += n; }
 
   /// Highest watermark this shard's worker has applied. Safe to read
   /// while the worker runs (atomic); kNoWatermark before the first
@@ -132,7 +161,12 @@ class Shard {
 
  private:
   void WorkerLoop();
-  void Process(const EventBatch& batch);
+  void Process(const EventBatch& batch, size_t channel_idx);
+  /// Returns the emptied buffer to channel `p`'s free ring.
+  void Recycle(size_t p, EventBatch&& batch);
+  /// Applies producer `p`'s watermark `t` and advances the executor to
+  /// the new minimum over producer frontiers (if it moved).
+  void MergeWatermark(size_t p, Timestamp t);
 
   // --- plan hot-swap (worker thread only; see plan_swap.h) -------------
   void BeginSwap();
@@ -144,7 +178,13 @@ class Shard {
 
   size_t index_;
   std::string error_;
-  SpscQueue<EventBatch> queue_;
+  /// One channel per ingest partition (created at construction; the
+  /// vector itself is immutable afterwards).
+  std::vector<std::unique_ptr<BatchChannel>> channels_;
+  /// Worker-owned: highest watermark seen per channel (kNoWatermark
+  /// until the producer punctuates) and the merged minimum applied.
+  std::vector<Timestamp> channel_frontier_;
+  Timestamp merged_watermark_ = kNoWatermark;
   std::unique_ptr<Engine> engine_;
   std::unique_ptr<MultiEngine> multi_;
   /// Set at construction, never changes: lets the producer thread test

@@ -5,6 +5,94 @@
 
 namespace sharon::runtime {
 
+// --- IngestPartition -------------------------------------------------------
+
+IngestPartition::IngestPartition(ShardedRuntime* runtime, size_t index)
+    : runtime_(runtime),
+      index_(index),
+      pending_(runtime->shards_.size()),
+      stalls_by_shard_(runtime->shards_.size(), 0) {}
+
+EventBatch& IngestPartition::PendingFor(size_t shard_idx) {
+  EventBatch& batch = pending_[shard_idx];
+  if (batch.capacity() == 0) {
+    // Prefer a buffer the worker recycled through the free ring; fall
+    // back to a fresh allocation (warm-up, or a worker that has not
+    // returned buffers yet).
+    BatchChannel& ch = runtime_->shards_[shard_idx]->channel(index_);
+    if (ch.free.TryPop(batch)) {
+      ++stats_.batches_recycled;
+    } else {
+      ++stats_.batch_allocs;
+    }
+    if (batch.capacity() < runtime_->options_.batch_size) {
+      batch.reserve(runtime_->options_.batch_size);
+    }
+  }
+  return batch;
+}
+
+void IngestPartition::PushBatch(size_t shard_idx) {
+  EventBatch& batch = pending_[shard_idx];
+  if (batch.empty()) return;
+  Shard& shard = *runtime_->shards_[shard_idx];
+  BatchChannel& ch = shard.channel(index_);
+  while (!ch.full.TryPush(std::move(batch))) {
+    ++stalls_by_shard_[shard_idx];
+    ++stats_.queue_full_stalls;
+    std::this_thread::yield();
+  }
+  ++stats_.batches;
+  batch = EventBatch();  // next PendingFor pulls a recycled buffer
+}
+
+void IngestPartition::Ingest(const Event& e) {
+  ShardedRuntime& rt = *runtime_;
+  // A failed runtime has no shards to index; a finished one has no
+  // workers left to drain the queues, so pushing would livelock.
+  if (!rt.ok() || rt.finished_) return;
+  if (IsWatermark(e)) {
+    IngestWatermark(e.time);
+    return;
+  }
+  if (!rt.started_.load(std::memory_order_acquire)) {
+    rt.Start();  // otherwise a full channel would stall forever
+  }
+  const size_t idx = ShardIndexFor(GroupOf(e, rt.partition_), rt.shards_.size());
+  EventBatch& batch = PendingFor(idx);
+  batch.push_back(e);
+  ++stats_.events;
+  if (e.time > high_mark_) high_mark_ = e.time;
+  if (batch.size() >= rt.options_.batch_size) PushBatch(idx);
+}
+
+void IngestPartition::IngestWatermark(Timestamp t) {
+  ShardedRuntime& rt = *runtime_;
+  if (!rt.ok() || rt.finished_) return;
+  // Without a disorder policy the executors ignore watermarks and the
+  // shard.h contract keeps shard watermark() at kNoWatermark — drop the
+  // punctuation here so a pre-stamped feed cannot fake a frontier.
+  if (!rt.options_.disorder.enabled) return;
+  if (!rt.started_.load(std::memory_order_acquire)) rt.Start();
+  // Appending to every pending batch keeps the punctuation ordered after
+  // all events THIS producer ingested before it — on every shard,
+  // through the same channels the events travel. Shards fold it into
+  // their per-producer frontier and advance to the minimum.
+  const Event punctuation = WatermarkEvent(t);
+  for (size_t i = 0; i < pending_.size(); ++i) {
+    EventBatch& batch = PendingFor(i);
+    batch.push_back(punctuation);
+    if (batch.size() >= rt.options_.batch_size) PushBatch(i);
+  }
+  ++stats_.watermarks;
+}
+
+void IngestPartition::Flush() {
+  for (size_t i = 0; i < pending_.size(); ++i) PushBatch(i);
+}
+
+// --- ShardedRuntime --------------------------------------------------------
+
 ShardedRuntime::ShardedRuntime(const Workload& workload,
                                const SharingPlan& plan,
                                const RuntimeOptions& options)
@@ -58,6 +146,26 @@ bool ShardedRuntime::ValidateForSharding(const Workload& workload) {
   return true;
 }
 
+bool ShardedRuntime::InitIngest() {
+  if (options_.ingest_partitions == 0) options_.ingest_partitions = 1;
+  if (options_.ingest_partitions > 1 && !options_.disorder.enabled) {
+    // Without the reorder buffer a group's events would reach its shard
+    // in whatever order the producers interleave — silently
+    // nondeterministic. Refuse loudly instead.
+    error_ =
+        "ingest_partitions > 1 requires a disorder policy: only the "
+        "watermark reorder buffer restores deterministic time order when "
+        "several producers interleave (src/common/watermark.h)";
+    return false;
+  }
+  partitions_.reserve(options_.ingest_partitions);
+  for (size_t i = 0; i < options_.ingest_partitions; ++i) {
+    partitions_.push_back(
+        std::unique_ptr<IngestPartition>(new IngestPartition(this, i)));
+  }
+  return true;
+}
+
 void ShardedRuntime::InitShardsUniform(const Workload& workload,
                                        const SharingPlan& plan) {
   CompiledPlanHandle compiled = CompilePlanShared(workload, plan, &error_);
@@ -73,7 +181,7 @@ void ShardedRuntime::InitShardsUniform(const Workload& workload,
       return;
     }
   }
-  pending_.resize(n);
+  if (!InitIngest()) return;
   merger_ = ResultMerger(&shards_, partition_);
 }
 
@@ -93,70 +201,31 @@ void ShardedRuntime::InitShardsMulti(
       return;
     }
   }
-  pending_.resize(n);
+  if (!InitIngest()) return;
   merger_ = ResultMerger(&shards_, partition_);
 }
 
 ShardedRuntime::~ShardedRuntime() {
-  if (started_ && !finished_) Finish();
+  if (started_.load(std::memory_order_acquire) && !finished_) Finish();
 }
 
 void ShardedRuntime::Start() {
-  if (started_ || !ok()) return;
-  started_ = true;
+  if (!ok()) return;
+  std::lock_guard<std::mutex> lock(start_mu_);
+  if (started_.load(std::memory_order_relaxed)) return;
   for (auto& shard : shards_) shard->Start();
   wall_.Reset();
-}
-
-void ShardedRuntime::PushBatch(size_t shard_idx) {
-  EventBatch& batch = pending_[shard_idx];
-  if (batch.empty()) return;
-  Shard& shard = *shards_[shard_idx];
-  while (!shard.TryEnqueue(std::move(batch))) {
-    shard.CountStall();
-    std::this_thread::yield();
-  }
-  batch = EventBatch();
-  batch.reserve(options_.batch_size);
+  started_.store(true, std::memory_order_release);
 }
 
 void ShardedRuntime::Ingest(const Event& e) {
-  // A failed runtime has no shards to index; a finished one has no
-  // workers left to drain the queues, so pushing would livelock.
-  if (!ok() || finished_) return;
-  if (IsWatermark(e)) {
-    IngestWatermark(e.time);
-    return;
-  }
-  if (!started_) Start();  // otherwise a full queue would stall forever
-  const size_t idx =
-      ShardIndexFor(GroupOf(e, partition_), shards_.size());
-  EventBatch& batch = pending_[idx];
-  if (batch.capacity() == 0) batch.reserve(options_.batch_size);
-  batch.push_back(e);
-  ++events_ingested_;
-  if (e.time > high_mark_) high_mark_ = e.time;
-  if (batch.size() >= options_.batch_size) PushBatch(idx);
+  if (partitions_.empty()) return;  // failed construction
+  partitions_[0]->Ingest(e);
 }
 
 void ShardedRuntime::IngestWatermark(Timestamp t) {
-  if (!ok() || finished_) return;
-  // Without a disorder policy the executors ignore watermarks and the
-  // shard.h contract keeps shard watermark() at kNoWatermark — drop the
-  // punctuation here so a pre-stamped feed cannot fake a frontier.
-  if (!options_.disorder.enabled) return;
-  if (!started_) Start();
-  // Appending to every pending batch keeps the punctuation ordered after
-  // all events ingested before it — on every shard, through the same
-  // queues the events travel.
-  const Event punctuation = WatermarkEvent(t);
-  for (size_t i = 0; i < pending_.size(); ++i) {
-    EventBatch& batch = pending_[i];
-    if (batch.capacity() == 0) batch.reserve(options_.batch_size + 1);
-    batch.push_back(punctuation);
-    if (batch.size() >= options_.batch_size) PushBatch(i);
-  }
-  ++watermarks_ingested_;
+  if (partitions_.empty()) return;
+  partitions_[0]->IngestWatermark(t);
 }
 
 ShardedRuntime::SwapRequest ShardedRuntime::RequestPlanSwap(
@@ -177,6 +246,12 @@ ShardedRuntime::SwapRequest ShardedRuntime::RequestPlanSwap(
         "plan swap requires a disorder policy: watermarks are what drain "
         "and retire the old engines");
   }
+  if (partitions_.size() > 1) {
+    return refuse(
+        "plan swap requires a single ingest partition: the swap marker "
+        "must be ordered after ALL routed events, which only one "
+        "producer can guarantee");
+  }
   if (!plan) return refuse("null compiled plan");
   if (plan->partition != partition_ || !(plan->window == window_)) {
     return refuse("new plan was compiled for a different workload");
@@ -186,16 +261,18 @@ ShardedRuntime::SwapRequest ShardedRuntime::RequestPlanSwap(
       return refuse("previous swap still in flight");
     }
   }
-  if (!started_) Start();
+  if (!started_.load(std::memory_order_acquire)) Start();
 
   // Boundary: the close of the last window whose start covers the ingest
   // high-mark. Every event routed so far has time <= high-mark, and the
   // first window closing after B starts at B + slide - length
   // > high-mark — so no event of a new-plan window has been routed yet,
   // and the overlap tee (shard.cc) sees all of them.
+  IngestPartition& ingest = *partitions_[0];
   SwapCommand cmd;
   cmd.id = ++swaps_requested_;
-  cmd.boundary = window_.WindowEnd(window_.LastWindowCovering(high_mark_));
+  cmd.boundary =
+      window_.WindowEnd(window_.LastWindowCovering(ingest.high_mark()));
   cmd.plan = std::move(plan);
   for (size_t i = 0; i < shards_.size(); ++i) {
     if (!shards_[i]->PushSwapCommand(cmd)) {
@@ -210,11 +287,10 @@ ShardedRuntime::SwapRequest ShardedRuntime::RequestPlanSwap(
   // In-band markers, ordered after everything ingested so far — same
   // broadcast discipline as watermarks.
   const Event marker = SwapMarkerEvent();
-  for (size_t i = 0; i < pending_.size(); ++i) {
-    EventBatch& batch = pending_[i];
-    if (batch.capacity() == 0) batch.reserve(options_.batch_size + 1);
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    EventBatch& batch = ingest.PendingFor(i);
     batch.push_back(marker);
-    if (batch.size() >= options_.batch_size) PushBatch(i);
+    if (batch.size() >= options_.batch_size) ingest.PushBatch(i);
   }
   req.accepted = true;
   req.id = cmd.id;
@@ -223,19 +299,29 @@ ShardedRuntime::SwapRequest ShardedRuntime::RequestPlanSwap(
 }
 
 void ShardedRuntime::Flush() {
-  for (size_t i = 0; i < pending_.size(); ++i) PushBatch(i);
+  for (auto& partition : partitions_) partition->Flush();
 }
 
 void ShardedRuntime::Finish() {
-  if (!started_ || finished_) return;
+  if (!started_.load(std::memory_order_acquire) || finished_) return;
   if (options_.disorder.enabled && options_.disorder.close_on_finish) {
-    // Closing watermark: releases every reorder buffer and finalizes
-    // every window on every shard, so results() is complete.
-    IngestWatermark(kWatermarkMax);
+    // Closing watermark from EVERY producer: the per-shard minimum over
+    // producer frontiers reaches kWatermarkMax, releasing every reorder
+    // buffer and finalizing every window, so results() is complete.
+    for (auto& partition : partitions_) {
+      partition->IngestWatermark(kWatermarkMax);
+    }
   }
   Flush();
   for (auto& shard : shards_) shard->SignalDone();
   for (auto& shard : shards_) shard->Join();
+  // Producer-side stall counts become visible in ShardStats only now,
+  // post-join, so readers never race the producers.
+  for (auto& partition : partitions_) {
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      shards_[s]->AddProducerStalls(partition->stalls_by_shard_[s]);
+    }
+  }
   wall_seconds_ = wall_.ElapsedSeconds();
   finished_ = true;
 }
@@ -263,14 +349,20 @@ RuntimeStats ShardedRuntime::stats() const {
   RuntimeStats out;
   out.shards.reserve(shards_.size());
   for (const auto& shard : shards_) out.shards.push_back(shard->stats());
+  out.ingest.reserve(partitions_.size());
+  for (const auto& partition : partitions_) {
+    out.ingest.push_back(partition->stats());
+  }
   if (options_.disorder.enabled) {
     out.shard_watermarks.reserve(shards_.size());
     for (const auto& shard : shards_) {
       out.shard_watermarks.push_back(shard->watermark_stats());
     }
   }
-  out.events_ingested = events_ingested_;
-  out.watermarks_ingested = watermarks_ingested_;
+  for (const auto& partition : partitions_) {
+    out.events_ingested += partition->stats().events;
+    out.watermarks_ingested += partition->stats().watermarks;
+  }
   out.wall_seconds = wall_seconds_;
   // Roll completed swaps up across shards: a swap counts once it
   // completed on EVERY shard; its stall is the slowest shard's dual run.

@@ -7,18 +7,34 @@
 // private Engine (or MultiEngine for non-uniform workloads) instantiated
 // from ONE shared compiled plan. Batches travel through bounded SPSC ring
 // buffers; a full ring stalls the ingest thread (backpressure) rather
-// than growing memory without bound.
+// than growing memory without bound. Emptied batch buffers ride a free
+// ring back to the producer, so steady-state ingest allocates nothing
+// (DESIGN.md "Hot-path memory layout").
 //
-// Determinism: a shard sees the events of its groups in stream order, and
-// result cells are keyed by group, so every cell is computed by the same
-// operations in the same order as in the single-threaded engine — results
-// are bit-identical for any shard count (tests/runtime_test.cc asserts
-// this). See DESIGN.md for the full invariant.
+// The ingest side itself shards: `options.ingest_partitions` creates N
+// independent producers (IngestPartition), each with a private channel
+// to every shard, so the one-ingest-thread serial bottleneck disappears
+// for sources that are naturally split (kafka-style partitions, one
+// socket per NIC queue). Multi-producer mode requires a disorder policy:
+// each producer punctuates its own observed high-mark, every shard
+// advances to the MINIMUM across producer frontiers, and the shard-side
+// reorder buffer restores deterministic time order before the
+// order-dependent executors run.
+//
+// Determinism: a shard sees the events of its groups in stream order
+// (single producer) or releases them in time order from the reorder
+// buffer (multi-producer + watermarks), and result cells are keyed by
+// group, so every cell is computed by the same operations in the same
+// order as in the single-threaded engine — results are bit-identical for
+// any shard count and any producer count (tests/runtime_test.cc,
+// tests/hotpath_diff_test.cc). See DESIGN.md for the full invariant.
 
 #ifndef SHARON_RUNTIME_SHARDED_RUNTIME_H_
 #define SHARON_RUNTIME_SHARDED_RUNTIME_H_
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -31,6 +47,57 @@
 #include "src/sharing/cost_model.h"
 
 namespace sharon::runtime {
+
+class ShardedRuntime;
+
+/// One ingest producer: a single-threaded routing front-end with a
+/// private batch channel to every shard. Obtain via
+/// ShardedRuntime::ingest_partition(i); all methods must be called from
+/// ONE thread per partition (different partitions may run on different
+/// threads concurrently). The runtime's own Ingest/IngestWatermark are
+/// partition 0.
+class IngestPartition {
+ public:
+  IngestPartition(const IngestPartition&) = delete;
+  IngestPartition& operator=(const IngestPartition&) = delete;
+
+  /// Routes one event to its owning shard's pending batch; pushes the
+  /// batch when full, stalling (with yield) while that shard's channel
+  /// is full. Events of THIS partition must be in timestamp order up to
+  /// the runtime's disorder bound; watermark punctuations route to
+  /// IngestWatermark.
+  void Ingest(const Event& e);
+
+  /// Broadcasts this producer's watermark to every shard, ordered after
+  /// everything this partition ingested so far. Shards advance to the
+  /// minimum across producer frontiers.
+  void IngestWatermark(Timestamp t);
+
+  /// Pushes all non-empty pending batches regardless of occupancy.
+  void Flush();
+
+  /// This producer's counters (stable after the runtime finished).
+  const IngestStats& stats() const { return stats_; }
+
+  /// Max data-event time this partition ingested.
+  Timestamp high_mark() const { return high_mark_; }
+
+ private:
+  friend class ShardedRuntime;
+
+  IngestPartition(ShardedRuntime* runtime, size_t index);
+
+  /// Pending batch for `shard_idx`, backed by a recycled buffer.
+  EventBatch& PendingFor(size_t shard_idx);
+  void PushBatch(size_t shard_idx);
+
+  ShardedRuntime* runtime_;
+  size_t index_;
+  std::vector<EventBatch> pending_;        ///< per-shard fill buffers
+  std::vector<uint64_t> stalls_by_shard_;  ///< folded into ShardStats at Finish
+  IngestStats stats_;
+  Timestamp high_mark_ = 0;
+};
 
 /// Parallel workload executor with the same result surface as Engine.
 ///
@@ -71,19 +138,32 @@ class ShardedRuntime {
   size_t num_shards() const { return shards_.size(); }
   const RuntimeOptions& options() const { return options_; }
 
-  /// Spawns the shard workers and starts the wall clock. Idempotent.
+  /// Spawns the shard workers and starts the wall clock. Idempotent and
+  /// thread-safe (multi-producer drivers may race the first call).
   void Start();
 
-  /// Routes one event to its owning shard's pending batch; pushes the
-  /// batch when full, stalling (with yield) while that shard's queue is
-  /// full. Call from ONE thread, events in timestamp order — unless
-  /// `options.disorder` is enabled, in which case arrival may trail the
-  /// observed high-mark by up to max_lateness ticks (the shards reorder).
-  /// Watermark punctuations (IsWatermark) route to IngestWatermark.
+  /// Number of ingest partitions (options.ingest_partitions, clamped to
+  /// at least 1).
+  size_t num_ingest_partitions() const { return partitions_.size(); }
+
+  /// Producer handle of partition `i`. Each partition must be driven by
+  /// ONE thread; partitions may run concurrently. Call Start() before
+  /// driving partitions from their own threads, and stop all producer
+  /// threads before Finish().
+  IngestPartition& ingest_partition(size_t i) { return *partitions_[i]; }
+
+  /// Single-producer convenience: partition 0's Ingest. Routes one event
+  /// to its owning shard's pending batch; pushes the batch when full,
+  /// stalling (with yield) while that shard's channel is full. Call from
+  /// ONE thread, events in timestamp order — unless `options.disorder`
+  /// is enabled, in which case arrival may trail the observed high-mark
+  /// by up to max_lateness ticks (the shards reorder). Watermark
+  /// punctuations (IsWatermark) route to IngestWatermark.
   void Ingest(const Event& e);
 
-  /// Broadcasts watermark `t` to every shard, ordered after everything
-  /// ingested so far. Each shard advances independently; the merged
+  /// Single-producer convenience: partition 0's watermark broadcast,
+  /// ordered after everything partition 0 ingested so far. Each shard
+  /// advances to the minimum across producer frontiers; the merged
   /// finalization frontier is the minimum across shards (ResultMerger).
   void IngestWatermark(Timestamp t);
 
@@ -114,11 +194,16 @@ class ShardedRuntime {
   /// stats().plan_swaps).
   uint64_t swaps_requested() const { return swaps_requested_; }
 
-  /// Pushes all non-empty pending batches regardless of occupancy.
+  /// Pushes all non-empty pending batches of every partition regardless
+  /// of occupancy. With several partitions, only call once their
+  /// producer threads have stopped (Finish does this for you).
   void Flush();
 
-  /// Flushes, signals end-of-stream, joins all workers and stops the wall
-  /// clock. Results and stats are valid afterwards. Idempotent.
+  /// Flushes every partition (broadcasting each producer's closing
+  /// watermark under a disorder policy), signals end-of-stream, joins
+  /// all workers and stops the wall clock. Results and stats are valid
+  /// afterwards. Idempotent. All producer threads must have stopped
+  /// before the call.
   void Finish();
 
   /// Convenience: Start + Ingest(all) + Finish, reporting RunStats that
@@ -152,13 +237,17 @@ class ShardedRuntime {
   AttrIndex partition() const { return partition_; }
 
  private:
+  friend class IngestPartition;
+
   /// Checks the common-grouping invariant and records workload size /
   /// partition attribute; sets error_ and returns false on violation.
   bool ValidateForSharding(const Workload& workload);
+  /// Validates ingest options (partitions > 1 need a disorder policy)
+  /// and creates the partition handles; false on violation.
+  bool InitIngest();
   void InitShardsUniform(const Workload& workload, const SharingPlan& plan);
   void InitShardsMulti(const Workload& workload,
                        std::shared_ptr<const MultiEnginePlan> plan);
-  void PushBatch(size_t shard_idx);
 
   std::string error_;
   RuntimeOptions options_;
@@ -167,15 +256,13 @@ class ShardedRuntime {
   const Workload* workload_ = nullptr;  ///< uniform ctor only (swap support)
   WindowSpec window_;                   ///< uniform ctor only
   std::vector<std::unique_ptr<Shard>> shards_;
-  std::vector<EventBatch> pending_;  ///< ingest-side per-shard batches
+  std::vector<std::unique_ptr<IngestPartition>> partitions_;
   ResultMerger merger_;
   StopWatch wall_;
   double wall_seconds_ = 0;
-  uint64_t events_ingested_ = 0;
-  uint64_t watermarks_ingested_ = 0;
   uint64_t swaps_requested_ = 0;
-  Timestamp high_mark_ = 0;  ///< max data-event time ingested
-  bool started_ = false;
+  std::mutex start_mu_;             ///< serializes the first Start()
+  std::atomic<bool> started_{false};
   bool finished_ = false;
 };
 

@@ -15,8 +15,12 @@
 #define SHARON_SHARON_H_
 
 #include "src/adaptive/plan_manager.h"
+#include "src/common/alloc_stats.h"
 #include "src/common/event.h"
+#include "src/common/flat_map.h"
+#include "src/common/inline_attrs.h"
 #include "src/common/metrics.h"
+#include "src/common/ring_deque.h"
 #include "src/common/rng.h"
 #include "src/common/schema.h"
 #include "src/common/time.h"

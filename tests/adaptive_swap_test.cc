@@ -38,9 +38,9 @@ using CellMap = std::map<std::tuple<QueryId, WindowId, AttrValue>, AggState>;
 
 CellMap CellsOf(const ResultCollector& collector) {
   CellMap cells;
-  for (const auto& [key, state] : collector.cells()) {
+  collector.ForEachCell([&](const ResultKey& key, const AggState& state) {
     cells[{key.query, key.window, key.group}] = state;
-  }
+  });
   return cells;
 }
 

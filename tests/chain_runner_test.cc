@@ -177,10 +177,10 @@ TEST(ChainRunnerTest, LateFirstEventIntoEmittedPaneSlideNotDividingLength) {
   engine.CloseStream();
 
   EXPECT_EQ(engine.watermark_stats().late_dropped, 0u);
-  for (const auto& [key, state] : oracle.cells()) {
+  oracle.ForEachCell([&](const ResultKey& key, const AggState& state) {
     EXPECT_EQ(engine.results().Get(key.query, key.window, key.group), state)
         << "window " << key.window;
-  }
+  });
   EXPECT_EQ(engine.results().size(), oracle.size());
 }
 

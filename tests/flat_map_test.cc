@@ -1,0 +1,172 @@
+// FlatMap unit + property tests (src/common/flat_map.h): the group table
+// and result-row store of the hot path. The load-bearing behaviours are
+// robin-hood insertion, backward-shift deletion (no tombstones), erase
+// during iteration (the eviction sweep), rehash under churn, move-only
+// values, and capacity retention across clear().
+
+#include "src/common/flat_map.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <unordered_map>
+
+#include "src/common/rng.h"
+
+namespace sharon {
+namespace {
+
+TEST(FlatMapTest, InsertFindErase) {
+  FlatMap<int64_t, int, Mix64Hash> m;
+  EXPECT_TRUE(m.empty());
+  m[7] = 70;
+  m[8] = 80;
+  EXPECT_EQ(m.size(), 2u);
+  ASSERT_NE(m.find(7), m.end());
+  EXPECT_EQ(m.find(7)->second, 70);
+  EXPECT_EQ(m.find(9), m.end());
+  EXPECT_FALSE(m.contains(9));
+  EXPECT_EQ(m.erase(7), 1u);
+  EXPECT_EQ(m.erase(7), 0u);
+  EXPECT_EQ(m.size(), 1u);
+  EXPECT_EQ(m.find(7), m.end());
+  EXPECT_EQ(m.find(8)->second, 80);
+}
+
+TEST(FlatMapTest, OperatorBracketDefaultConstructs) {
+  FlatMap<int64_t, int, Mix64Hash> m;
+  EXPECT_EQ(m[42], 0);
+  m[42] += 5;
+  EXPECT_EQ(m[42], 5);
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(FlatMapTest, TryEmplaceOnlyInsertsWhenAbsent) {
+  FlatMap<int64_t, int, Mix64Hash> m;
+  auto [it1, inserted1] = m.try_emplace(1, 10);
+  EXPECT_TRUE(inserted1);
+  EXPECT_EQ(it1->second, 10);
+  auto [it2, inserted2] = m.try_emplace(1, 99);
+  EXPECT_FALSE(inserted2);
+  EXPECT_EQ(it2->second, 10);
+}
+
+TEST(FlatMapTest, MoveOnlyValues) {
+  FlatMap<int64_t, std::unique_ptr<int>, Mix64Hash> m;
+  m[1] = std::make_unique<int>(11);
+  m[2] = std::make_unique<int>(22);
+  // Force rehash well past the initial capacity: pointers must survive.
+  int* p1 = m[1].get();
+  for (int64_t k = 10; k < 200; ++k) m[k] = std::make_unique<int>(0);
+  EXPECT_EQ(m[1].get(), p1);
+  EXPECT_EQ(*m[1], 11);
+  EXPECT_EQ(*m[2], 22);
+  EXPECT_EQ(m.erase(1), 1u);
+  EXPECT_EQ(m.find(1), m.end());
+}
+
+TEST(FlatMapTest, IterationVisitsEveryEntry) {
+  FlatMap<int64_t, int, Mix64Hash> m;
+  std::set<int64_t> want;
+  for (int64_t k = 0; k < 500; ++k) {
+    m[k * 3] = static_cast<int>(k);
+    want.insert(k * 3);
+  }
+  std::set<int64_t> got;
+  for (const auto& [k, v] : m) {
+    EXPECT_TRUE(got.insert(k).second) << "duplicate visit of " << k;
+  }
+  EXPECT_EQ(got, want);
+}
+
+TEST(FlatMapTest, EraseDuringIterationSweep) {
+  FlatMap<int64_t, int, Mix64Hash> m;
+  for (int64_t k = 0; k < 1000; ++k) m[k] = static_cast<int>(k % 7);
+  // Evict-style sweep: erase every entry with value 0. Backward-shift
+  // relocation may revisit survivors (documented), never skip a match.
+  for (auto it = m.begin(); it != m.end();) {
+    if (it->second == 0) {
+      it = m.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  size_t live = 0;
+  for (const auto& [k, v] : m) {
+    EXPECT_NE(v, 0) << "unswept entry " << k;
+    ++live;
+  }
+  EXPECT_EQ(live, m.size());
+  for (int64_t k = 0; k < 1000; ++k) {
+    EXPECT_EQ(m.contains(k), k % 7 != 0);
+  }
+}
+
+TEST(FlatMapTest, ClearKeepsCapacity) {
+  FlatMap<int64_t, int, Mix64Hash> m;
+  for (int64_t k = 0; k < 100; ++k) m[k] = 1;
+  const size_t cap = m.capacity();
+  m.clear();
+  EXPECT_EQ(m.size(), 0u);
+  EXPECT_EQ(m.capacity(), cap);
+  for (int64_t k = 0; k < 100; ++k) m[k] = 2;
+  EXPECT_EQ(m.capacity(), cap);  // refill within retained capacity
+}
+
+TEST(FlatMapTest, ReservePreventsRehash) {
+  FlatMap<int64_t, int, Mix64Hash> m;
+  m.reserve(1000);
+  const size_t cap = m.capacity();
+  for (int64_t k = 0; k < 1000; ++k) m[k] = 1;
+  EXPECT_EQ(m.capacity(), cap);
+}
+
+// Randomized churn against a std::unordered_map mirror: interleaved
+// inserts, merges, erases and sweeps must agree exactly. This is the
+// rehash-under-group-churn regime watermark eviction produces.
+TEST(FlatMapTest, ChurnMatchesUnorderedMapMirror) {
+  FlatMap<int64_t, int64_t, Mix64Hash> m;
+  std::unordered_map<int64_t, int64_t> mirror;
+  Rng rng(1234);
+  for (int op = 0; op < 30000; ++op) {
+    const int64_t key = static_cast<int64_t>(rng.Below(700)) - 350;
+    switch (rng.Below(4)) {
+      case 0:
+      case 1:  // upsert (biased: tables should mostly be full)
+        m[key] += key;
+        mirror[key] += key;
+        break;
+      case 2:  // point erase
+        EXPECT_EQ(m.erase(key), mirror.erase(key));
+        break;
+      default:  // probe
+        auto it = m.find(key);
+        auto mit = mirror.find(key);
+        ASSERT_EQ(it == m.end(), mit == mirror.end()) << "key " << key;
+        if (mit != mirror.end()) EXPECT_EQ(it->second, mit->second);
+        break;
+    }
+    if (op % 5000 == 4999) {  // periodic sweep, erase-while-iterating
+      for (auto it = m.begin(); it != m.end();) {
+        if (it->first % 5 == 0) {
+          it = m.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      for (auto it = mirror.begin(); it != mirror.end();) {
+        it = it->first % 5 == 0 ? mirror.erase(it) : std::next(it);
+      }
+    }
+    ASSERT_EQ(m.size(), mirror.size()) << "after op " << op;
+  }
+  for (const auto& [k, v] : mirror) {
+    auto it = m.find(k);
+    ASSERT_NE(it, m.end()) << "missing " << k;
+    EXPECT_EQ(it->second, v);
+  }
+}
+
+}  // namespace
+}  // namespace sharon

@@ -1,0 +1,456 @@
+// Differential tests for the PR-4 hot-path data layout: inline-attr
+// events (spill path included), the flat group table under churn +
+// rehash + watermark eviction, and the sharded multi-producer ingest
+// path. Every relaxation is checked against an executor that does not
+// use it:
+//   - wide spilled events vs the same data remapped into the inline
+//     2-attr schema,
+//   - eviction+rehash churn vs the no-eviction engine (value
+//     neutrality),
+//   - the sharded runtime at 1/2/8 shards x 1/2/3 ingest partitions x
+//     {sorted, disordered} vs the single-threaded in-order Engine on
+//     TX / LR / EC streams — bit-identical cells, the invariant the
+//     whole runtime design rests on (DESIGN.md).
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "src/exec/engine.h"
+#include "src/planner/optimizer.h"
+#include "src/runtime/sharded_runtime.h"
+#include "src/streamgen/disorder.h"
+#include "src/streamgen/ecommerce.h"
+#include "src/streamgen/linear_road.h"
+#include "src/streamgen/rates.h"
+#include "src/streamgen/taxi.h"
+#include "src/streamgen/workload_gen.h"
+
+namespace sharon {
+namespace {
+
+using runtime::RuntimeOptions;
+using runtime::ShardedRuntime;
+
+using CellMap = std::map<std::tuple<QueryId, WindowId, AttrValue>, AggState>;
+
+CellMap CellsOf(const ResultCollector& collector) {
+  CellMap cells;
+  collector.ForEachCell([&](const ResultKey& key, const AggState& state) {
+    cells[{key.query, key.window, key.group}] = state;
+  });
+  return cells;
+}
+
+CellMap CellsOf(const ShardedRuntime& rt) {
+  CellMap cells;
+  rt.results().ForEachCell([&](const ResultKey& key, const AggState& state) {
+    cells[{key.query, key.window, key.group}] = state;
+  });
+  return cells;
+}
+
+void ExpectBitIdentical(const CellMap& expected, const CellMap& actual,
+                        const std::string& label) {
+  ASSERT_EQ(expected.size(), actual.size()) << label;
+  for (const auto& [key, state] : expected) {
+    auto it = actual.find(key);
+    ASSERT_NE(it, actual.end())
+        << label << ": missing cell query=" << std::get<0>(key)
+        << " window=" << std::get<1>(key) << " group=" << std::get<2>(key);
+    EXPECT_EQ(state, it->second)
+        << label << ": cell differs at query=" << std::get<0>(key)
+        << " window=" << std::get<1>(key) << " group=" << std::get<2>(key);
+  }
+}
+
+// --- 1. inline-attr spill path --------------------------------------------
+
+TEST(InlineAttrSpillDiff, WideSchemaMatchesNarrowRemap) {
+  // A 6-attribute schema spills past the inline capacity; grouping on
+  // attr 4 and summing attr 5 must agree bit-for-bit with the same data
+  // remapped into the inline 2-attr layout.
+  constexpr EventTypeId kA = 0, kB = 1;
+  constexpr size_t kEvents = 4000;
+
+  std::vector<Event> wide, narrow;
+  for (size_t i = 0; i < kEvents; ++i) {
+    const auto group = static_cast<AttrValue>(i % 5);
+    const auto value = static_cast<AttrValue>((i * 13) % 101);
+    Event w;
+    w.time = static_cast<Timestamp>(i + 1);
+    w.type = i % 2 == 0 ? kA : kB;
+    w.attrs = {-1, -2, -3, -4, group, value};
+    Event n;
+    n.time = w.time;
+    n.type = w.type;
+    n.attrs = {group, value};
+    wide.push_back(std::move(w));
+    narrow.push_back(std::move(n));
+  }
+  ASSERT_TRUE(wide.front().attrs.spilled());
+  ASSERT_FALSE(narrow.front().attrs.spilled());
+
+  auto make_query = [](AttrIndex partition, AttrIndex target) {
+    Query q;
+    q.pattern = Pattern({kA, kB});
+    q.agg = AggSpec::Of(AggFunction::kSum, kB, target);
+    q.window = {50, 10};
+    q.partition_attr = partition;
+    return q;
+  };
+  Workload wide_w, narrow_w;
+  wide_w.Add(make_query(4, 5));
+  narrow_w.Add(make_query(0, 1));
+
+  Engine wide_engine(wide_w), narrow_engine(narrow_w);
+  ASSERT_TRUE(wide_engine.ok()) << wide_engine.error();
+  ASSERT_TRUE(narrow_engine.ok()) << narrow_engine.error();
+  for (const Event& e : wide) wide_engine.OnEvent(e);
+  for (const Event& e : narrow) narrow_engine.OnEvent(e);
+
+  const CellMap expected = CellsOf(narrow_engine.results());
+  ASSERT_FALSE(expected.empty());
+  ExpectBitIdentical(expected, CellsOf(wide_engine.results()), "spill");
+}
+
+// --- 2. flat group table: churn + rehash + eviction -----------------------
+
+TEST(GroupChurnDiff, EvictionUnderChurnIsValueNeutral) {
+  // A fresh group every 50 events, dead groups evicted as watermarks
+  // pass: the flat table sees sustained insert + backward-shift-erase +
+  // rehash churn. Finalized values must match the no-eviction engine
+  // exactly, and the live table must stay small (state actually
+  // evicted, ExpireBefore interplay).
+  constexpr EventTypeId kA = 0, kB = 1;
+  Query q;
+  q.pattern = Pattern({kA, kB});
+  q.agg = AggSpec::CountStar();
+  q.window = {32, 8};
+  q.partition_attr = 0;
+  Workload w;
+  w.Add(q);
+
+  constexpr size_t kEvents = 60000;
+  std::vector<Event> stream;
+  Timestamp next_punctuation = 16;
+  for (size_t i = 0; i < kEvents; ++i) {
+    Event e;
+    e.time = static_cast<Timestamp>(i + 1);
+    e.type = i % 2 == 0 ? kA : kB;
+    e.attrs = {static_cast<AttrValue>(i / 50), 0};
+    if (e.time >= next_punctuation) {
+      stream.push_back(WatermarkEvent(e.time - 1));
+      next_punctuation += 16;
+    }
+    stream.push_back(std::move(e));
+  }
+
+  DisorderPolicy evicting;
+  evicting.enabled = true;
+  evicting.max_lateness = 0;
+  DisorderPolicy keeping = evicting;
+  keeping.evict = false;
+
+  Engine evict_engine(w), keep_engine(w);
+  evict_engine.SetDisorderPolicy(evicting);
+  keep_engine.SetDisorderPolicy(keeping);
+  for (const Event& e : stream) {
+    evict_engine.OnEvent(e);
+    keep_engine.OnEvent(e);
+  }
+  evict_engine.CloseStream();
+  keep_engine.CloseStream();
+
+  EXPECT_GT(evict_engine.watermark_stats().evicted_groups, 500u)
+      << "churn must actually erase groups";
+  ExpectBitIdentical(CellsOf(keep_engine.results()),
+                     CellsOf(evict_engine.results()), "churn");
+}
+
+// --- 3. sharded runtime x ingest partitions x disorder --------------------
+
+struct DiffCase {
+  std::string name;
+  Workload workload;
+  SharingPlan plan;
+  std::vector<Event> sorted;
+  CellMap oracle;
+  Duration slide = 0;
+};
+
+DiffCase MakeCase(const std::string& name, Scenario s, uint32_t num_types,
+                  WindowSpec window, bool optimize) {
+  DiffCase c;
+  c.name = name;
+  c.slide = window.slide;
+  WorkloadGenConfig wcfg;
+  wcfg.num_queries = 6;
+  wcfg.pattern_length = 4;
+  wcfg.cluster_size = 3;
+  wcfg.window = window;
+  wcfg.partition_attr = 0;
+  c.workload = GenerateWorkload(wcfg, num_types);
+  if (optimize) {
+    CostModel cm(EstimateRates(s));
+    OptimizerConfig ocfg;
+    ocfg.expand = false;
+    c.plan = OptimizeSharon(c.workload, cm, ocfg).plan;
+  }
+  c.sorted = std::move(s.events);
+
+  // Oracle: the single-threaded in-order executor on the sorted stream —
+  // the seed evaluation path, no reordering, no finalization, no
+  // eviction.
+  Engine oracle(c.workload, c.plan);
+  EXPECT_TRUE(oracle.ok()) << oracle.error();
+  for (const Event& e : c.sorted) oracle.OnEvent(e);
+  c.oracle = CellsOf(oracle.results());
+  EXPECT_FALSE(c.oracle.empty());
+  return c;
+}
+
+std::vector<DiffCase> MakeCases() {
+  std::vector<DiffCase> cases;
+  {
+    TaxiConfig cfg;
+    cfg.num_streets = 10;
+    cfg.num_vehicles = 16;
+    cfg.events_per_second = 500;
+    cfg.duration = Seconds(30);
+    cases.push_back(MakeCase("TX", GenerateTaxi(cfg), cfg.num_streets,
+                             {Seconds(12), Seconds(5)}, true));
+  }
+  {
+    LinearRoadConfig cfg;
+    cfg.num_segments = 8;
+    cfg.num_cars = 12;
+    cfg.start_rate = 200;
+    cfg.end_rate = 600;
+    cfg.duration = Seconds(30);
+    cases.push_back(MakeCase("LR", GenerateLinearRoad(cfg), cfg.num_segments,
+                             {Seconds(10), Seconds(4)}, false));
+  }
+  {
+    EcommerceConfig cfg;
+    cfg.num_items = 10;
+    cfg.num_customers = 10;
+    cfg.events_per_second = 400;
+    cfg.duration = Seconds(30);
+    cases.push_back(MakeCase("EC", GenerateEcommerce(cfg), cfg.num_items,
+                             {Seconds(8), Seconds(2)}, true));
+  }
+  return cases;
+}
+
+/// Feeds `arrivals` through `producers` partitions from one thread:
+/// data events round-robin, punctuations broadcast to every producer
+/// (each producer vouches for the global high-mark, which its channel
+/// order makes true for its own share of the stream).
+void SplitIngest(ShardedRuntime& rt, const std::vector<Event>& arrivals,
+                 size_t producers) {
+  size_t rr = 0;
+  for (const Event& e : arrivals) {
+    if (IsWatermark(e)) {
+      for (size_t p = 0; p < producers; ++p) {
+        rt.ingest_partition(p).IngestWatermark(e.time);
+      }
+    } else {
+      rt.ingest_partition(rr++ % producers).Ingest(e);
+    }
+  }
+}
+
+TEST(ShardedIngestDiff, BitIdenticalAcrossShardsProducersAndDisorder) {
+  for (DiffCase& c : MakeCases()) {
+    for (const Duration lateness : {Duration{0}, c.slide}) {
+      DisorderConfig inj;
+      inj.max_lateness = lateness;
+      inj.punctuation_period = c.slide;
+      inj.seed = 7;
+      const std::vector<Event> arrivals = InjectDisorder(c.sorted, inj);
+
+      DisorderPolicy policy;
+      policy.enabled = true;
+      policy.max_lateness = lateness;
+
+      for (size_t shards : {1u, 2u, 8u}) {
+        for (size_t producers : {1u, 2u, 3u}) {
+          RuntimeOptions opts;
+          opts.num_shards = shards;
+          opts.batch_size = 32;
+          opts.queue_capacity = 8;
+          opts.ingest_partitions = producers;
+          opts.disorder = policy;
+          ShardedRuntime rt(c.workload, c.plan, opts);
+          ASSERT_TRUE(rt.ok()) << rt.error();
+          ASSERT_EQ(rt.num_ingest_partitions(), producers);
+          rt.Start();
+          SplitIngest(rt, arrivals, producers);
+          rt.Finish();
+          const std::string label =
+              c.name + " lateness=" + std::to_string(lateness) +
+              " shards=" + std::to_string(shards) +
+              " producers=" + std::to_string(producers);
+          ExpectBitIdentical(c.oracle, CellsOf(rt), label);
+          const auto stats = rt.stats();
+          EXPECT_EQ(stats.TotalLateDropped(), 0u) << label;
+          ASSERT_EQ(stats.ingest.size(), producers) << label;
+          uint64_t ingested = 0;
+          for (const auto& is : stats.ingest) ingested += is.events;
+          EXPECT_EQ(ingested, c.sorted.size()) << label;
+        }
+      }
+    }
+  }
+}
+
+TEST(ShardedIngestDiff, ConcurrentProducerThreadsMatchOracle) {
+  DiffCase c = std::move(MakeCases().front());  // TX
+  DisorderConfig inj;
+  inj.max_lateness = c.slide;
+  inj.punctuation_period = c.slide;
+  inj.seed = 11;
+  const std::vector<Event> arrivals = InjectDisorder(c.sorted, inj);
+
+  // Pre-split: data events round-robin, punctuations to every producer.
+  constexpr size_t kProducers = 3;
+  std::vector<std::vector<Event>> splits(kProducers);
+  size_t rr = 0;
+  for (const Event& e : arrivals) {
+    if (IsWatermark(e)) {
+      for (auto& split : splits) split.push_back(e);
+    } else {
+      splits[rr++ % kProducers].push_back(e);
+    }
+  }
+
+  DisorderPolicy policy;
+  policy.enabled = true;
+  policy.max_lateness = c.slide;
+
+  for (int round = 0; round < 3; ++round) {  // vary the OS interleaving
+    RuntimeOptions opts;
+    opts.num_shards = 2;
+    opts.batch_size = 16;
+    opts.queue_capacity = 4;
+    opts.ingest_partitions = kProducers;
+    opts.disorder = policy;
+    ShardedRuntime rt(c.workload, c.plan, opts);
+    ASSERT_TRUE(rt.ok()) << rt.error();
+    rt.Start();
+    std::vector<std::thread> threads;
+    threads.reserve(kProducers);
+    for (size_t p = 0; p < kProducers; ++p) {
+      threads.emplace_back([&rt, &splits, p] {
+        runtime::IngestPartition& ingest = rt.ingest_partition(p);
+        for (const Event& e : splits[p]) ingest.Ingest(e);
+      });
+    }
+    for (auto& t : threads) t.join();
+    rt.Finish();
+    ExpectBitIdentical(c.oracle, CellsOf(rt),
+                       "threaded round " + std::to_string(round));
+  }
+}
+
+TEST(ShardedIngestDiff, DuplicatePunctuationCannotOutrunSilentProducers) {
+  // Producer 0 punctuates the same frontier twice while producer 1 has
+  // neither punctuated nor delivered its events. The duplicate is a
+  // producer-LOCAL regression; it must not advance any shard past ticks
+  // producer 1 has not vouched for — producer 1's older events must
+  // still be absorbed, not dropped as late.
+  constexpr EventTypeId kA = 0, kB = 1;
+  Query q;
+  q.pattern = Pattern({kA, kB});
+  q.agg = AggSpec::CountStar();
+  q.window = {20, 10};
+  q.partition_attr = 0;
+  Workload w;
+  w.Add(q);
+
+  DisorderPolicy policy;
+  policy.enabled = true;
+  policy.max_lateness = 0;
+  RuntimeOptions opts;
+  opts.num_shards = 2;
+  opts.batch_size = 4;
+  opts.ingest_partitions = 2;
+  opts.disorder = policy;
+  ShardedRuntime rt(w, SharingPlan{}, opts);
+  ASSERT_TRUE(rt.ok()) << rt.error();
+  rt.Start();
+
+  auto ev = [](EventTypeId type, Timestamp t, AttrValue g) {
+    Event e;
+    e.type = type;
+    e.time = t;
+    e.attrs = {g, 0};
+    return e;
+  };
+  // Producer 0: events up to t=50, then the same punctuation twice.
+  for (Timestamp t = 1; t <= 50; ++t) {
+    rt.ingest_partition(0).Ingest(ev(t % 2 == 0 ? kB : kA, t, 0));
+  }
+  rt.ingest_partition(0).IngestWatermark(100);
+  rt.ingest_partition(0).IngestWatermark(100);
+  rt.ingest_partition(0).Flush();
+  // Producer 1 delivers ITS events (times below 100) only now.
+  for (Timestamp t = 1; t <= 50; ++t) {
+    rt.ingest_partition(1).Ingest(ev(t % 2 == 0 ? kA : kB, t, 1));
+  }
+  rt.Finish();
+
+  const auto stats = rt.stats();
+  EXPECT_EQ(stats.TotalLateDropped(), 0u)
+      << "a duplicate punctuation from one producer advanced a shard "
+         "past another producer's in-flight events";
+  // Both groups produced matches: group 1's events survived.
+  EXPECT_GT(rt.Value(0, 0, 1, AggFunction::kCountStar), 0);
+}
+
+TEST(ShardedIngestDiff, NonPowerOfTwoQueueCapacityNeverDropsRecycledBatches) {
+  DiffCase c = std::move(MakeCases().front());  // TX
+  DisorderConfig inj;
+  inj.max_lateness = 0;
+  inj.punctuation_period = c.slide;
+  inj.seed = 5;
+  const std::vector<Event> arrivals = InjectDisorder(c.sorted, inj);
+
+  DisorderPolicy policy;
+  policy.enabled = true;
+  policy.max_lateness = 0;
+  RuntimeOptions opts;
+  opts.num_shards = 2;
+  opts.batch_size = 8;
+  opts.queue_capacity = 5;  // rounds up to 8 inside SpscQueue
+  opts.ingest_partitions = 2;
+  opts.disorder = policy;
+  ShardedRuntime rt(c.workload, c.plan, opts);
+  ASSERT_TRUE(rt.ok()) << rt.error();
+  rt.Start();
+  SplitIngest(rt, arrivals, 2);
+  rt.Finish();
+  ExpectBitIdentical(c.oracle, CellsOf(rt), "non-pow2 capacity");
+  for (const auto& shard_stats : rt.stats().shards) {
+    EXPECT_EQ(shard_stats.recycle_drops, 0u)
+        << "free ring must absorb every circulating buffer";
+  }
+}
+
+TEST(ShardedIngestDiff, MultiProducerWithoutDisorderIsRefused) {
+  DiffCase c = std::move(MakeCases().front());
+  RuntimeOptions opts;
+  opts.num_shards = 2;
+  opts.ingest_partitions = 2;  // no disorder policy: nondeterministic
+  ShardedRuntime rt(c.workload, c.plan, opts);
+  EXPECT_FALSE(rt.ok());
+  EXPECT_NE(rt.error().find("disorder"), std::string::npos) << rt.error();
+}
+
+}  // namespace
+}  // namespace sharon

@@ -85,21 +85,21 @@ RandomCase MakeCase(uint64_t seed, AggFunction fn) {
 void ExpectSameResults(const Workload& w, const ResultCollector& want,
                        const ResultCollector& got, AggFunction fn,
                        const char* label) {
-  auto check_cells = [&](const auto& cells, const ResultCollector& other,
-                         bool got_is_left) {
-    for (const auto& [key, state] : cells) {
+  auto check_cells = [&](const ResultCollector& cells,
+                         const ResultCollector& other, bool got_is_left) {
+    cells.ForEachCell([&](const ResultKey& key, const AggState& state) {
       const Query& q = w.query(key.query);
       double a = state.Final(q.agg.fn);
       double b = other.Get(key.query, key.window, key.group).Final(q.agg.fn);
       if (got_is_left) std::swap(a, b);
-      if (std::isnan(a) && std::isnan(b)) continue;
+      if (std::isnan(a) && std::isnan(b)) return;
       ASSERT_DOUBLE_EQ(a, b)
           << label << ": query " << key.query << " window " << key.window
           << " group " << key.group << " fn " << static_cast<int>(fn);
-    }
+    });
   };
-  check_cells(want.cells(), got, /*got_is_left=*/false);
-  check_cells(got.cells(), want, /*got_is_left=*/true);
+  check_cells(want, got, /*got_is_left=*/false);
+  check_cells(got, want, /*got_is_left=*/true);
 }
 
 class EngineEquivalence

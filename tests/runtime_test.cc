@@ -29,9 +29,9 @@ using CellMap = std::map<std::tuple<QueryId, WindowId, AttrValue>, AggState>;
 
 CellMap CellsOf(const ResultCollector& collector) {
   CellMap cells;
-  for (const auto& [key, state] : collector.cells()) {
+  collector.ForEachCell([&](const ResultKey& key, const AggState& state) {
     cells[{key.query, key.window, key.group}] = state;
-  }
+  });
   return cells;
 }
 
@@ -142,10 +142,10 @@ TEST(ShardedRuntimeDeterminism, EcommerceMultiWindowMatchesMultiEngine) {
   CellMap expected;
   for (size_t seg = 0; seg < reference.engines().size(); ++seg) {
     const auto& originals = plan->segments[seg].original_ids;
-    for (const auto& [key, state] :
-         reference.engines()[seg]->results().cells()) {
-      expected[{originals.at(key.query), key.window, key.group}] = state;
-    }
+    reference.engines()[seg]->results().ForEachCell(
+        [&](const ResultKey& key, const AggState& state) {
+          expected[{originals.at(key.query), key.window, key.group}] = state;
+        });
   }
   ASSERT_FALSE(expected.empty());
 
@@ -182,13 +182,14 @@ TEST(ShardedRuntimeTest, ValueRoutesToOwningShard) {
   ASSERT_TRUE(rt.ok()) << rt.error();
   rt.Run(s.events, s.duration);
 
-  for (const auto& [key, state] : reference.results().cells()) {
+  reference.results().ForEachCell([&](const ResultKey& key,
+                                      const AggState& state) {
     // Merged lookup agrees with the single-threaded collector...
     EXPECT_EQ(rt.Get(key.query, key.window, key.group), state);
     // ...and the cell lives on exactly the shard the partitioner names.
     const size_t owner = ShardIndexFor(key.group, rt.num_shards());
     EXPECT_EQ(rt.results().OwnerOf(key.group).index(), owner);
-  }
+  });
 }
 
 // --- lifecycle, backpressure and stats ------------------------------------

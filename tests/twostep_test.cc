@@ -48,9 +48,9 @@ TEST(TwoStepTest, FlinkLikeMatchesReference) {
   RunStats stats = RunFlinkLike(w, events, {}, &got);
   ASSERT_TRUE(stats.finished);
   ResultCollector want = ReferenceResults(w, events);
-  for (const auto& [key, state] : want.cells()) {
+  want.ForEachCell([&](const ResultKey& key, const AggState& state) {
     EXPECT_EQ(got.Get(key.query, key.window, key.group).count, state.count);
-  }
+  });
 }
 
 TEST(TwoStepTest, SpassLikeSharesConstruction) {
@@ -61,9 +61,9 @@ TEST(TwoStepTest, SpassLikeSharesConstruction) {
   RunStats stats = RunSpassLike(w, plan, events, {}, &got);
   ASSERT_TRUE(stats.finished);
   ResultCollector want = ReferenceResults(w, events);
-  for (const auto& [key, state] : want.cells()) {
+  want.ForEachCell([&](const ResultKey& key, const AggState& state) {
     EXPECT_EQ(got.Get(key.query, key.window, key.group).count, state.count);
-  }
+  });
 }
 
 TEST(TwoStepTest, BudgetExhaustionReportsDnf) {
@@ -102,8 +102,10 @@ TEST(TwoStepTest, ConstructionCostIsSuperlinear) {
   RunFlinkLike(wc, small, budget, &rs);
   RunFlinkLike(wc, big, budget, &rb);
   double small_total = 0, big_total = 0;
-  for (const auto& [k, v] : rs.cells()) small_total += v.count;
-  for (const auto& [k, v] : rb.cells()) big_total += v.count;
+  rs.ForEachCell(
+      [&](const ResultKey&, const AggState& v) { small_total += v.count; });
+  rb.ForEachCell(
+      [&](const ResultKey&, const AggState& v) { big_total += v.count; });
   EXPECT_GT(big_total, 8 * small_total);
   (void)ops_for;
 }
@@ -116,9 +118,9 @@ TEST(TwoStepTest, SpassWithEmptyPlanStillCorrect) {
   RunStats stats = RunSpassLike(w, {}, events, {}, &got);
   ASSERT_TRUE(stats.finished);
   ResultCollector want = ReferenceResults(w, events);
-  for (const auto& [key, state] : want.cells()) {
+  want.ForEachCell([&](const ResultKey& key, const AggState& state) {
     EXPECT_EQ(got.Get(key.query, key.window, key.group).count, state.count);
-  }
+  });
 }
 
 }  // namespace

@@ -43,9 +43,9 @@ using CellMap = std::map<std::tuple<QueryId, WindowId, AttrValue>, AggState>;
 
 CellMap CellsOf(const ResultCollector& collector) {
   CellMap cells;
-  for (const auto& [key, state] : collector.cells()) {
+  collector.ForEachCell([&](const ResultKey& key, const AggState& state) {
     cells[{key.query, key.window, key.group}] = state;
-  }
+  });
   return cells;
 }
 
@@ -274,9 +274,9 @@ TEST(WatermarkDifferential, MultiEngineNonUniformWindowsMatchOracle) {
     Query copy = q;
     single.Add(copy);
     const ResultCollector ref = ReferenceResults(single, s.events);
-    for (const auto& [key, state] : ref.cells()) {
+    ref.ForEachCell([&](const ResultKey& key, const AggState& state) {
       oracle[{q.id, key.window, key.group}] = state;
-    }
+    });
   }
   ASSERT_FALSE(oracle.empty());
 

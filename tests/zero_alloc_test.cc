@@ -1,0 +1,145 @@
+// The zero-allocation contract of the executor hot path (DESIGN.md
+// "Hot-path memory layout"), regression-tested with the process-wide
+// allocation hook (src/common/alloc_stats.h):
+//
+// After warm-up — group state instantiated, ring buffers and recycling
+// pools grown to the workload's high-water mark, finalized results
+// drained once — a bounded-state Engine::Run over a shipped-schema
+// stream performs ZERO heap allocations per event. Every per-event
+// structure either lives inline (Event attrs), in a warmed flat table
+// (groups, result rows), in a ring buffer (counter starts, snapshots),
+// or rides a recycling pool (prefix vectors, pane vectors, batches).
+//
+// The test drives the full watermark pipeline (reorder buffer, window
+// finalization, eviction) because that is the configuration whose steady
+// state is genuinely bounded; grow-forever mode allocates for its
+// monotonically growing result store by design.
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
+
+#include "src/common/alloc_stats.h"
+#include "src/exec/engine.h"
+#include "src/planner/optimizer.h"
+#include "src/sharing/cost_model.h"
+#include "src/streamgen/rates.h"
+
+namespace sharon {
+namespace {
+
+constexpr EventTypeId kA = 0, kB = 1, kC = 2;
+constexpr Duration kLength = 64, kSlide = 16;
+constexpr Timestamp kPunctuate = 32;
+constexpr AttrValue kGroups = 4;
+
+Query CountQuery(std::vector<EventTypeId> pattern) {
+  Query q;
+  q.pattern = Pattern(std::move(pattern));
+  q.agg = AggSpec::CountStar();
+  q.window = {kLength, kSlide};
+  q.partition_attr = 0;
+  return q;
+}
+
+Workload MakeWorkload() {
+  Workload w;
+  w.Add(CountQuery({kA, kB}));
+  w.Add(CountQuery({kA, kB, kC}));
+  w.Add(CountQuery({kB, kC}));
+  return w;
+}
+
+/// Deterministic PERIODIC stream: groups round-robin, types cycling, one
+/// tick per event, a watermark punctuation every kPunctuate ticks. The
+/// event pattern repeats every LCM(3 types, kGroups) = 12 ticks, and all
+/// window/punctuation periods divide 192 — so a phase-aligned steady
+/// phase replays exactly the warm-up's state trajectory and every pool
+/// and ring buffer already sits at its high-water mark.
+std::vector<Event> MakeStream(Timestamp from, size_t events) {
+  std::vector<Event> out;
+  out.reserve(events + events / kPunctuate + 1);
+  Timestamp next_punctuation = from + kPunctuate;
+  for (size_t i = 0; i < events; ++i) {
+    Event e;
+    e.time = from + static_cast<Timestamp>(i) + 1;
+    e.type = static_cast<EventTypeId>(i % 3);
+    e.attrs = {static_cast<AttrValue>(i % kGroups), 1};
+    if (e.time >= next_punctuation) {
+      out.push_back(WatermarkEvent(e.time - 1));
+      next_punctuation += kPunctuate;
+    }
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+void ExpectZeroSteadyStateAllocs(Engine& engine, const char* label) {
+  ASSERT_TRUE(engine.ok()) << engine.error();
+  DisorderPolicy policy;
+  policy.enabled = true;
+  policy.max_lateness = 0;
+  engine.SetDisorderPolicy(policy);
+
+  // 100 full 192-tick periods each; kWarm % 192 == 0 keeps the steady
+  // phase aligned with warm-up (see MakeStream).
+  constexpr size_t kWarm = 19200, kSteady = 19200;
+  const std::vector<Event> warm = MakeStream(0, kWarm);
+  const std::vector<Event> steady =
+      MakeStream(static_cast<Timestamp>(kWarm), kSteady);
+
+  // Warm-up: instantiate groups, grow rings/pools/tables to the
+  // workload's high-water mark, cycle one full drain so the finalized
+  // store's rows exist with capacity.
+  engine.Run(warm, kWarm);
+  uint64_t checksum = 0;
+  std::function<void(const ResultKey&, const AggState&)> drain =
+      [&checksum](const ResultKey& key, const AggState& state) {
+        checksum += static_cast<uint64_t>(key.window) +
+                    static_cast<uint64_t>(state.count);
+      };
+  ASSERT_GT(engine.DrainFinalized(drain), 0u) << label;
+
+  const auto before = alloc_stats::Snapshot();
+  engine.Run(steady, kSteady);
+  const auto delta = alloc_stats::Snapshot() - before;
+  EXPECT_EQ(delta.allocations, 0u)
+      << label << ": the steady-state event path must not allocate ("
+      << delta.allocations << " allocations over " << kSteady << " events)";
+
+  // The run still did real work: events released, windows finalized.
+  EXPECT_GT(engine.watermark_stats().finalized_windows, kWarm / kSlide)
+      << label;
+  EXPECT_GT(engine.DrainFinalized(drain), 0u) << label;
+  (void)checksum;
+}
+
+TEST(ZeroAllocTest, AllocHookCounts) {
+  const auto before = alloc_stats::Snapshot();
+  auto* p = new int(7);
+  const auto mid = alloc_stats::Snapshot() - before;
+  EXPECT_GE(mid.allocations, 1u);
+  EXPECT_GE(mid.bytes, sizeof(int));
+  delete p;
+  const auto delta = alloc_stats::Snapshot() - before;
+  EXPECT_GE(delta.frees, 1u);
+}
+
+TEST(ZeroAllocTest, NonSharedEngineSteadyStateIsAllocationFree) {
+  Workload w = MakeWorkload();
+  Engine engine(w);  // A-Seq: one private chain per query
+  ExpectZeroSteadyStateAllocs(engine, "non-shared");
+}
+
+TEST(ZeroAllocTest, SharedEngineSteadyStateIsAllocationFree) {
+  Workload w = MakeWorkload();
+  CostModel cm(TypeRates(std::vector<double>(3, 10.0)));
+  OptimizerResult opt = OptimizeSharon(w, cm);
+  ASSERT_FALSE(opt.plan.empty());
+  Engine engine(w, opt.plan);
+  ExpectZeroSteadyStateAllocs(engine, "shared");
+}
+
+}  // namespace
+}  // namespace sharon

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""CI bench regression gate for bench_micro_executor.
+
+Usage:
+    ./build/bench/bench_micro_executor --quick > run.txt
+    python3 tools/check_bench_regression.py \
+        --baseline bench/baseline_micro_executor.json --run run.txt
+
+Compares the run's `events_per_second_norm` (events/s divided by an
+in-process arithmetic calibration loop, emitted by the bench itself)
+against the checked-in baseline and FAILS on a drop beyond the tolerance
+(default 20%, override with --tolerance or BENCH_REGRESSION_TOLERANCE).
+Normalizing by the calibration loop absorbs most of the raw speed
+difference between CI runners and the machine that recorded the
+baseline; the residual noise is what the tolerance is for.
+
+To refresh the baseline after an intentional perf change:
+    ./build/bench/bench_micro_executor --quick > run.txt
+    python3 tools/check_bench_regression.py --run run.txt --write-baseline \
+        bench/baseline_micro_executor.json
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load_run_records(path):
+    cases = {}
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line.startswith('{"bench":"micro_executor"'):
+                continue
+            rec = json.loads(line)
+            params = rec.get("params", {})
+            if params.get("case") == "calibration":
+                continue
+            key = "|".join(f"{k}={v}" for k, v in sorted(params.items()))
+            norm = rec.get("metrics", {}).get("events_per_second_norm")
+            if norm:
+                cases[key] = norm
+    return cases
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--baseline", default="bench/baseline_micro_executor.json")
+    ap.add_argument("--run", required=True,
+                    help="file with the bench's stdout (JSON record lines)")
+    ap.add_argument("--tolerance", type=float,
+                    default=float(os.environ.get(
+                        "BENCH_REGRESSION_TOLERANCE", "0.20")),
+                    help="allowed fractional drop (0.20 = 20%%)")
+    ap.add_argument("--write-baseline", metavar="PATH",
+                    help="write the run as the new baseline and exit")
+    args = ap.parse_args()
+
+    cases = load_run_records(args.run)
+    if not cases:
+        print("no micro_executor records found in run output", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        doc = {
+            "description": "bench_micro_executor --quick baseline: "
+                           "events_per_second_norm (events/s per million "
+                           "calibration ops) per case. Refresh with "
+                           "tools/check_bench_regression.py --write-baseline.",
+            "cases": cases,
+        }
+        with open(args.write_baseline, "w") as f:
+            json.dump(doc, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"wrote {args.write_baseline} ({len(cases)} cases)")
+        return 0
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)["cases"]
+
+    failures = []
+    for key, base in sorted(baseline.items()):
+        got = cases.get(key)
+        if got is None:
+            failures.append(f"{key}: missing from run")
+            continue
+        ratio = got / base
+        status = "OK " if ratio >= 1 - args.tolerance else "FAIL"
+        print(f"{status} {key}: norm {got:.0f} vs baseline {base:.0f} "
+              f"({ratio:.2f}x)")
+        if ratio < 1 - args.tolerance:
+            failures.append(
+                f"{key}: {ratio:.2f}x of baseline "
+                f"(tolerance {1 - args.tolerance:.2f}x)")
+    if failures:
+        print("\nbench regression gate FAILED:", file=sys.stderr)
+        for f_ in failures:
+            print(f"  {f_}", file=sys.stderr)
+        return 1
+    print(f"\nbench regression gate passed ({len(baseline)} cases, "
+          f"tolerance {args.tolerance:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
