@@ -1,0 +1,169 @@
+// Checkpoint/restore cost on the Fig. 14 taxi workload: serialized state
+// size (total, per live group, vs. logical executor bytes), save stall
+// (ingest-thread block during ShardedRuntime::Checkpoint), restore time,
+// and heap allocations on both paths — at shard counts {1, 2, 8} with a
+// cross-shard-count restore row (8 -> 2).
+//
+// The "bytes/group" column is the operator-facing number (README "Restart
+// & recovery"): multiply by the live group count of a deployment to size
+// checkpoint storage and transfer. Pass --quick for a CI-sized run.
+//
+// Each row also goes out as a one-line JSON record (PrintJsonRecord,
+// bench/bench_util.h) for scraping.
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/common/alloc_stats.h"
+
+namespace sharon {
+namespace {
+
+using bench::Bytes;
+using bench::Num;
+using bench::PrintJsonRecord;
+using bench::PrintRow;
+using runtime::RuntimeOptions;
+using runtime::ShardedRuntime;
+
+void Run(bool quick) {
+  std::printf(
+      "=== Checkpoint/restore: Fig. 14 workload (taxi, 20 queries, "
+      "length 10)%s ===\n\n",
+      quick ? " (quick mode)" : "");
+
+  TaxiConfig cfg;
+  cfg.num_streets = 24;
+  cfg.num_vehicles = quick ? 64 : 256;
+  cfg.events_per_second = quick ? 2000 : 10000;
+  cfg.duration = quick ? Seconds(40) : Minutes(2);
+  Scenario s = GenerateTaxi(cfg);
+
+  WorkloadGenConfig wcfg;
+  wcfg.num_queries = 20;     // paper default
+  wcfg.pattern_length = 10;  // paper default
+  wcfg.cluster_size = 10;
+  wcfg.backbone_extra = 2;
+  wcfg.window = {Seconds(30), Seconds(10)};
+  wcfg.partition_attr = 0;
+  Workload workload = GenerateWorkload(wcfg, cfg.num_streets);
+
+  CostModel cm(EstimateRates(s));
+  SharingPlan plan = OptimizeSharon(workload, cm, bench::FastOptimizerConfig()).plan;
+
+  DisorderConfig inj;
+  inj.max_lateness = Seconds(2);
+  inj.punctuation_period = Seconds(1);
+  inj.seed = 7;
+  const std::vector<Event> arrivals = InjectDisorder(s.events, inj);
+  const size_t split = arrivals.size() * 3 / 5;
+
+  PrintRow({"shards", "restore_to", "groups", "file_bytes", "bytes/group",
+            "state_bytes", "save_ms", "restore_ms"});
+
+  for (auto [from_shards, to_shards] :
+       {std::pair<size_t, size_t>{1, 1}, {2, 2}, {8, 8}, {8, 2}}) {
+    const std::string dir =
+        std::filesystem::temp_directory_path().string() +
+        "/sharon_bench_ckpt_" + std::to_string(from_shards) + "_" +
+        std::to_string(to_shards);
+    std::filesystem::remove_all(dir);
+
+    RuntimeOptions opts;
+    opts.num_shards = from_shards;
+    opts.disorder.enabled = true;
+    opts.disorder.max_lateness = inj.max_lateness;
+
+    ShardedRuntime rt(workload, plan, opts);
+    if (!rt.ok()) {
+      std::printf("runtime error: %s\n", rt.error().c_str());
+      return;
+    }
+    rt.Start();
+    for (size_t i = 0; i < split; ++i) rt.Ingest(arrivals[i]);
+
+    const alloc_stats::Counters before_save = alloc_stats::Snapshot();
+    StopWatch save_watch;
+    const ShardedRuntime::CheckpointResult cp = rt.Checkpoint(dir);
+    const double save_ms = save_watch.ElapsedMillis();
+    const alloc_stats::Counters save_allocs =
+        alloc_stats::Snapshot() - before_save;
+    if (!cp.ok) {
+      std::printf("checkpoint error: %s\n", cp.reason.c_str());
+      return;
+    }
+
+    ShardedRuntime::RestoreOptions ropts;
+    ropts.runtime = opts;
+    ropts.runtime.num_shards = to_shards;
+    ropts.workload = &workload;
+    ropts.plan = plan;
+    const alloc_stats::Counters before_restore = alloc_stats::Snapshot();
+    StopWatch restore_watch;
+    ShardedRuntime::RestoreOutcome restored = ShardedRuntime::Restore(dir, ropts);
+    const double restore_ms = restore_watch.ElapsedMillis();
+    const alloc_stats::Counters restore_allocs =
+        alloc_stats::Snapshot() - before_restore;
+    if (!restored.runtime) {
+      std::printf("restore error: %s\n", restored.error.c_str());
+      return;
+    }
+    // Census the checkpointed state on the restored runtime BEFORE it
+    // starts: no worker threads exist yet, so the numbers are exact (the
+    // source runtime's workers race a mid-stream census).
+    const size_t state_bytes = restored.runtime->EstimatedBytes();
+    const LiveState live = restored.runtime->LiveStateSnapshot();
+    // Drain the rest of the stream so the restored runtime is exercised,
+    // not just constructed.
+    restored.runtime->Start();
+    for (size_t i = split; i < arrivals.size(); ++i) {
+      restored.runtime->Ingest(arrivals[i]);
+    }
+    restored.runtime->Finish();
+
+    const double groups = static_cast<double>(live.groups);
+    const double bytes_per_group =
+        groups > 0 ? static_cast<double>(cp.bytes) / groups : 0;
+    PrintRow({std::to_string(from_shards), std::to_string(to_shards),
+              std::to_string(live.groups), Bytes(cp.bytes),
+              Num(bytes_per_group, 0), Bytes(state_bytes), Num(save_ms, 2),
+              Num(restore_ms, 2)});
+    PrintJsonRecord(
+        "checkpoint",
+        {{"shards", std::to_string(from_shards)},
+         {"restore_to", std::to_string(to_shards)},
+         {"quick", quick ? "1" : "0"}},
+        {{"groups", groups},
+         {"file_bytes", static_cast<double>(cp.bytes)},
+         {"bytes_per_group", bytes_per_group},
+         {"state_bytes", static_cast<double>(state_bytes)},
+         {"live_panes", static_cast<double>(live.LivePanes())},
+         {"save_ms", save_ms},
+         {"restore_ms", restore_ms},
+         {"save_allocs", static_cast<double>(save_allocs.allocations)},
+         {"restore_allocs", static_cast<double>(restore_allocs.allocations)},
+         {"result_cells",
+          static_cast<double>(restored.runtime->results().NumCells())}});
+    std::filesystem::remove_all(dir);
+  }
+  std::printf(
+      "\nbytes/group multiplies out to deployment checkpoint size; the\n"
+      "save_ms column is the ingest stall of the blocking Checkpoint call\n"
+      "(docs/OPERATIONS.md \"Checkpoint & restore\").\n");
+}
+
+}  // namespace
+}  // namespace sharon
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+  sharon::Run(quick);
+  return 0;
+}

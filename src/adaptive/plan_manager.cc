@@ -10,7 +10,11 @@ PlanManager::PlanManager(const Workload& workload,
       current_plan_(std::move(initial_plan)),
       options_(options),
       monitor_(options.epoch, options.window_epochs,
-               options.drift_threshold) {}
+               options.drift_threshold),
+      // On a checkpoint-restored runtime the swap counter was seeded from
+      // the manifest, so the id sequence continues across incarnations
+      // (the caller passes the checkpoint-time incumbent as initial_plan).
+      incumbent_plan_id_(rt ? rt->swaps_requested() : 0) {}
 
 void PlanManager::Ingest(const Event& e) {
   runtime_->Ingest(e);
@@ -82,6 +86,7 @@ void PlanManager::EvaluateEpoch() {
   }
   ++stats_.swaps_accepted;
   current_plan_ = last_reopt_.chosen.plan;
+  incumbent_plan_id_ = req.id;
   monitor_.RebaseOnCurrent();
 }
 

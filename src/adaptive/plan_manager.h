@@ -97,6 +97,15 @@ class PlanManager {
   /// watermark-aligned boundary).
   const SharingPlan& current_plan() const { return current_plan_; }
 
+  /// Identifier of the incumbent plan: the runtime's accepted-swap count
+  /// when the plan became current (0 for a never-swapped initial plan).
+  /// Checkpoints persist it (checkpoint::Manifest::swaps_requested) and
+  /// restore seeds the runtime's swap counter from it, so a manager
+  /// constructed on a restored runtime — with the checkpoint-time
+  /// incumbent as its initial plan — continues the id sequence and
+  /// re-optimizes from the right baseline instead of restarting at 0.
+  uint64_t incumbent_plan_id() const { return incumbent_plan_id_; }
+
   const PlanManagerStats& stats() const { return stats_; }
   const RateMonitor& monitor() const { return monitor_; }
 
@@ -113,6 +122,7 @@ class PlanManager {
   RateMonitor monitor_;
   PlanManagerStats stats_;
   ReoptimizeResult last_reopt_;
+  uint64_t incumbent_plan_id_ = 0;
   int64_t last_evaluated_epoch_ = -1;
   bool baselined_ = false;
 };

@@ -1,0 +1,249 @@
+// Binary serialization primitives for the checkpoint subsystem
+// (src/checkpoint/): an endian-stable, bounds-checked byte-buffer writer/
+// reader pair plus save/load helpers for the hot-path containers
+// (InlineAttrs, RingDeque, FlatMap) and a CRC-32 for frame integrity.
+//
+// Conventions — every consumer of these primitives follows them, which is
+// what makes a checkpoint written on one machine readable on another:
+//  - all multi-byte integers are LITTLE-ENDIAN, assembled byte by byte
+//    (no reinterpret_cast of the buffer, so host endianness never leaks);
+//  - doubles travel as the IEEE-754 bit pattern in a u64, so an AggState
+//    restores BIT-IDENTICAL — the checkpoint tests compare cells with
+//    operator==, not with a tolerance;
+//  - variable-size payloads are length-prefixed (u64), so a reader can
+//    skip or route a record without understanding its contents — the
+//    restore-with-resharding router moves per-group payloads between
+//    shards exactly this way;
+//  - readers never trust lengths: every read is bounds-checked and flips
+//    a sticky ok() flag instead of running past the buffer, so a
+//    truncated or corrupted frame fails loudly (and safely) at decode.
+
+#ifndef SHARON_COMMON_SERDE_H_
+#define SHARON_COMMON_SERDE_H_
+
+#include <array>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/flat_map.h"
+#include "src/common/inline_attrs.h"
+#include "src/common/ring_deque.h"
+
+namespace sharon::serde {
+
+/// Appends little-endian primitives to a growable byte buffer.
+class BinaryWriter {
+ public:
+  void U8(uint8_t v) { buf_.push_back(v); }
+
+  void U32(uint32_t v) {
+    for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+
+  void U64(uint64_t v) {
+    for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+
+  void I64(int64_t v) { U64(static_cast<uint64_t>(v)); }
+
+  /// IEEE-754 bit pattern: restores bit-identical, NaN payloads included.
+  void F64(double v) { U64(std::bit_cast<uint64_t>(v)); }
+
+  void Bytes(const uint8_t* data, size_t n) {
+    buf_.insert(buf_.end(), data, data + n);
+  }
+
+  /// Length-prefixed string.
+  void Str(const std::string& s) {
+    U64(s.size());
+    Bytes(reinterpret_cast<const uint8_t*>(s.data()), s.size());
+  }
+
+  /// Reserves a u64 length slot for a nested block; pair with EndBlock.
+  /// This is the routing primitive: a reader that does not understand the
+  /// block can still skip or forward it wholesale.
+  size_t BeginBlock() {
+    const size_t mark = buf_.size();
+    U64(0);
+    return mark;
+  }
+
+  /// Patches the length slot reserved by BeginBlock with the number of
+  /// bytes written since.
+  void EndBlock(size_t mark) {
+    const uint64_t len = buf_.size() - mark - 8;
+    for (int i = 0; i < 8; ++i) {
+      buf_[mark + static_cast<size_t>(i)] = static_cast<uint8_t>(len >> (8 * i));
+    }
+  }
+
+  const std::vector<uint8_t>& buffer() const { return buf_; }
+  size_t size() const { return buf_.size(); }
+
+ private:
+  std::vector<uint8_t> buf_;
+};
+
+/// Bounds-checked little-endian reader over a byte span. All reads after
+/// an overrun return zero values; check ok() once at the end of a decode
+/// instead of after every field.
+class BinaryReader {
+ public:
+  BinaryReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  explicit BinaryReader(const std::vector<uint8_t>& buf)
+      : BinaryReader(buf.data(), buf.size()) {}
+
+  bool ok() const { return ok_; }
+  size_t remaining() const { return size_ - pos_; }
+
+  uint8_t U8() {
+    if (!Need(1)) return 0;
+    return data_[pos_++];
+  }
+
+  uint32_t U32() {
+    if (!Need(4)) return 0;
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(data_[pos_++]) << (8 * i);
+    return v;
+  }
+
+  uint64_t U64() {
+    if (!Need(8)) return 0;
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(data_[pos_++]) << (8 * i);
+    return v;
+  }
+
+  int64_t I64() { return static_cast<int64_t>(U64()); }
+
+  double F64() { return std::bit_cast<double>(U64()); }
+
+  std::string Str() {
+    const uint64_t n = U64();
+    if (!Need(n)) return {};
+    std::string s(reinterpret_cast<const char*>(data_ + pos_),
+                  static_cast<size_t>(n));
+    pos_ += static_cast<size_t>(n);
+    return s;
+  }
+
+  /// Consumes a BeginBlock/EndBlock payload and returns a sub-reader over
+  /// it (the routing primitive's read side).
+  BinaryReader Block() {
+    const uint64_t n = U64();
+    if (!Need(n)) return BinaryReader(nullptr, 0);
+    BinaryReader sub(data_ + pos_, static_cast<size_t>(n));
+    pos_ += static_cast<size_t>(n);
+    return sub;
+  }
+
+  /// The raw bytes of a BeginBlock/EndBlock payload (for forwarding a
+  /// record to another consumer without re-encoding).
+  std::vector<uint8_t> BlockBytes() {
+    const uint64_t n = U64();
+    return Bytes(n);
+  }
+
+  /// The next `n` raw bytes as one bulk copy (empty + !ok() on overrun).
+  std::vector<uint8_t> Bytes(uint64_t n) {
+    if (!Need(n)) return {};
+    std::vector<uint8_t> out(data_ + pos_, data_ + pos_ + n);
+    pos_ += static_cast<size_t>(n);
+    return out;
+  }
+
+  /// Everything from the cursor to the end, as one bulk copy.
+  std::vector<uint8_t> Rest() { return Bytes(remaining()); }
+
+ private:
+  bool Need(uint64_t n) {
+    if (!ok_ || n > size_ - pos_) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected) over a byte span. Table is
+/// built on first use; cost is irrelevant on the checkpoint path.
+inline uint32_t Crc32(const uint8_t* data, size_t n) {
+  static const auto table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  uint32_t crc = 0xffffffffu;
+  for (size_t i = 0; i < n; ++i) crc = table[(crc ^ data[i]) & 0xffu] ^ (crc >> 8);
+  return crc ^ 0xffffffffu;
+}
+
+// --- container helpers ------------------------------------------------------
+
+/// InlineAttrs: count + values. The inline/spilled distinction is a
+/// storage detail and deliberately not serialized — a restored event
+/// re-decides based on its own width.
+inline void SaveAttrs(BinaryWriter& w, const InlineAttrs& attrs) {
+  w.U64(attrs.size());
+  for (InlineAttrValue v : attrs) w.I64(v);
+}
+
+inline void LoadAttrs(BinaryReader& r, InlineAttrs& attrs) {
+  const uint64_t n = r.U64();
+  attrs.clear();
+  for (uint64_t i = 0; i < n && r.ok(); ++i) attrs.push_back(r.I64());
+}
+
+/// RingDeque: element count + elements front-to-back via `elem(w, e)`.
+/// Restore pushes back in order, so positional indices (StartId offsets)
+/// are preserved; head/mask cursors are storage details and not saved.
+template <typename T, typename Fn>
+void SaveRingDeque(BinaryWriter& w, const RingDeque<T>& rd, Fn&& elem) {
+  w.U64(rd.size());
+  for (size_t i = 0; i < rd.size(); ++i) elem(w, rd[i]);
+}
+
+template <typename T, typename Fn>
+void LoadRingDeque(BinaryReader& r, RingDeque<T>& rd, Fn&& elem) {
+  rd.clear();
+  const uint64_t n = r.U64();
+  for (uint64_t i = 0; i < n && r.ok(); ++i) {
+    T v{};
+    elem(r, v);
+    rd.push_back(std::move(v));
+  }
+}
+
+/// FlatMap: entry count + length-prefixed (key, payload) records in
+/// iteration order. Iteration order is NOT deterministic across tables —
+/// restore must be order-insensitive (both executor uses are: group
+/// tables and result rows are keyed stores). The length prefix is what
+/// lets the resharding router forward a record to a different shard
+/// without parsing the payload.
+template <typename Key, typename T, typename Hash, typename Eq, typename Fn>
+void SaveFlatMap(BinaryWriter& w, const FlatMap<Key, T, Hash, Eq>& map,
+                 Fn&& entry) {
+  w.U64(map.size());
+  for (const auto& [key, value] : map) {
+    const size_t mark = w.BeginBlock();
+    entry(w, key, value);
+    w.EndBlock(mark);
+  }
+}
+
+}  // namespace sharon::serde
+
+#endif  // SHARON_COMMON_SERDE_H_

@@ -211,6 +211,52 @@ bool ChainRunner::Empty() const {
   return true;
 }
 
+void ChainRunner::SaveState(serde::BinaryWriter& w) const {
+  w.U64(stages_.size());
+  for (const auto& stage : stages_) {
+    serde::SaveRingDeque(
+        w, stage, [](serde::BinaryWriter& out, const Snapshot& s) {
+          out.U64(s.start);
+          out.I64(s.start_time);
+          out.U64(s.per_pane.size());
+          for (const PaneAgg& pa : s.per_pane) {
+            out.I64(pa.pane);
+            SaveAggState(out, pa.agg);
+          }
+        });
+  }
+}
+
+std::string ChainRunner::LoadState(serde::BinaryReader& r) {
+  const uint64_t nstages = r.U64();
+  if (nstages != stages_.size()) {
+    return "chain stage count mismatch (plan does not match the "
+           "checkpointed plan)";
+  }
+  for (auto& stage : stages_) {
+    serde::LoadRingDeque(r, stage, [](serde::BinaryReader& in, Snapshot& s) {
+      s.start = in.U64();
+      s.start_time = in.I64();
+      const uint64_t npanes = in.U64();
+      s.per_pane.clear();
+      for (uint64_t i = 0; i < npanes && in.ok(); ++i) {
+        PaneAgg pa;
+        pa.pane = in.I64();
+        pa.agg = LoadAggState(in);
+        s.per_pane.push_back(pa);
+      }
+    });
+  }
+  if (!r.ok()) return "chain runner state truncated";
+#ifndef NDEBUG
+  // The restored engine releases only events at or above its reorder
+  // frontier, all later than anything processed before the checkpoint, so
+  // the ordering contract stays intact with the sentinel reset.
+  last_time_ = -1;
+#endif
+  return "";
+}
+
 size_t ChainRunner::EstimatedBytes() const {
   size_t bytes = 0;
   for (const auto& stage : stages_) {

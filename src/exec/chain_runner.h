@@ -24,9 +24,11 @@
 #ifndef SHARON_EXEC_CHAIN_RUNNER_H_
 #define SHARON_EXEC_CHAIN_RUNNER_H_
 
+#include <string>
 #include <vector>
 
 #include "src/common/ring_deque.h"
+#include "src/common/serde.h"
 #include "src/exec/result.h"
 #include "src/exec/segment_counter.h"
 
@@ -80,6 +82,18 @@ class ChainRunner {
 
   /// Logical state footprint in bytes (snapshots).
   size_t EstimatedBytes() const;
+
+  // --- checkpoint/restore (src/checkpoint/) -----------------------------
+
+  /// Serializes the frozen combination state: per stage, every live
+  /// snapshot's (start id, start time, pane buckets). Pane-vector pools
+  /// and scratch buffers are storage details and not saved. StartIds stay
+  /// meaningful because SegmentCounter::SaveState preserves its id base.
+  void SaveState(serde::BinaryWriter& w) const;
+
+  /// Restores state saved by SaveState into a runner built from the SAME
+  /// chain template (stage count must match). Empty string on success.
+  std::string LoadState(serde::BinaryReader& r);
 
  private:
   struct PaneAgg {

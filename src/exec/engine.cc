@@ -405,4 +405,78 @@ size_t Engine::num_shared_counters() const {
   return n;
 }
 
+Engine::ScalarState Engine::SaveScalarState() const {
+  ScalarState s;
+  s.now = now_;
+  s.frontier = frontier_;
+  s.high_mark = high_mark_;
+  s.next_finalize = next_finalize_;
+  s.results_floor = results_floor_;
+  s.events_since_sweep = events_since_sweep_;
+  s.wm = wm_stats_;
+  return s;
+}
+
+void Engine::RestoreScalarState(const ScalarState& s) {
+  now_ = s.now;
+  frontier_ = s.frontier;
+  high_mark_ = s.high_mark;
+  next_finalize_ = s.next_finalize;
+  events_since_sweep_ = s.events_since_sweep;
+  wm_stats_ = s.wm;
+  // Recomputes floor_limit_ from the restored floor (kNoWatermark keeps
+  // the no-floor default).
+  SetResultsFloor(s.results_floor);
+}
+
+void Engine::SaveGroupStates(serde::BinaryWriter& w) const {
+  serde::SaveFlatMap(
+      w, groups_,
+      [](serde::BinaryWriter& out, AttrValue g, const GroupState& gs) {
+        out.I64(g);
+        out.U64(gs.events_seen);
+        out.U64(gs.counters.size());
+        for (const auto& c : gs.counters) c->SaveState(out);
+        out.U64(gs.chains.size());
+        for (const auto& ch : gs.chains) ch.SaveState(out);
+      });
+}
+
+std::string Engine::LoadGroupState(AttrValue g, serde::BinaryReader& r) {
+  if (groups_.contains(g)) {
+    return "duplicate group in checkpoint (group routed twice)";
+  }
+  GroupState& gs = GroupFor(g);
+  gs.events_seen = r.U64();
+  if (r.U64() != gs.counters.size()) {
+    return "group counter count mismatch (plan does not match the "
+           "checkpointed plan)";
+  }
+  for (auto& c : gs.counters) {
+    std::string err = c->LoadState(r);
+    if (!err.empty()) return err;
+  }
+  if (r.U64() != gs.chains.size()) {
+    return "group chain count mismatch (plan does not match the "
+           "checkpointed plan)";
+  }
+  for (auto& ch : gs.chains) {
+    std::string err = ch.LoadState(r);
+    if (!err.empty()) return err;
+  }
+  if (!r.ok()) return "group state truncated";
+  return "";
+}
+
+void Engine::SaveBufferedEvents(
+    const std::function<void(const Event&)>& fn) const {
+  auto copy = reorder_;  // priority_queue exposes no iteration; drain a copy
+  while (!copy.empty()) {
+    fn(copy.top());
+    copy.pop();
+  }
+}
+
+void Engine::RestoreBufferedEvent(const Event& e) { reorder_.push(e); }
+
 }  // namespace sharon

@@ -24,6 +24,7 @@
 
 #include "src/common/flat_map.h"
 #include "src/common/metrics.h"
+#include "src/common/serde.h"
 #include "src/common/watermark.h"
 #include "src/exec/chain_runner.h"
 #include "src/exec/result.h"
@@ -179,6 +180,53 @@ class Engine {
 
   /// Number of shared counter templates in the compiled plan.
   size_t num_shared_counters() const;
+
+  // --- checkpoint/restore (orchestrated by src/checkpoint/) -------------
+  // The engine exposes its state in four routable pieces — scalars,
+  // per-group state, result cells, reorder-buffered events — so the
+  // restore path can re-partition a checkpoint across a DIFFERENT shard
+  // count: everything except the scalars is keyed by group. All restore
+  // methods must run before the first post-restore event, on an engine
+  // built from the SAME compiled plan (src/checkpoint/ verifies a plan
+  // fingerprint before calling them).
+
+  /// Non-group-keyed executor state. Frontier fields are identical across
+  /// the shards of a consistent cut; counter fields are per-shard sums.
+  struct ScalarState {
+    Timestamp now = 0;                 ///< last processed event time
+    Timestamp frontier = 0;            ///< reorder release point
+    Timestamp high_mark = kNoWatermark;
+    WindowId next_finalize = 0;
+    Timestamp results_floor = kNoWatermark;
+    uint64_t events_since_sweep = 0;
+    WatermarkStats wm;
+  };
+
+  ScalarState SaveScalarState() const;
+  void RestoreScalarState(const ScalarState& s);
+
+  /// Serializes every group's counters + chains as length-prefixed
+  /// (group, payload) records (serde::SaveFlatMap), the unit the
+  /// resharding router moves between shards.
+  void SaveGroupStates(serde::BinaryWriter& w) const;
+
+  /// Instantiates group `g` from the compiled template and loads one
+  /// payload written by SaveGroupStates (reader positioned after the
+  /// group key). Empty string on success.
+  std::string LoadGroupState(AttrValue g, serde::BinaryReader& r);
+
+  /// Visits a copy of the reorder-buffered events (order unspecified;
+  /// the buffer re-sorts by time on restore anyway).
+  void SaveBufferedEvents(const std::function<void(const Event&)>& fn) const;
+
+  /// Reinserts one buffered event saved by SaveBufferedEvents, without
+  /// touching arrival counters (the original arrival already counted).
+  void RestoreBufferedEvent(const Event& e);
+
+  /// Staged (not-yet-finalized) cells, restore target for
+  /// ResultCollector::RestoreCell. Finalized cells restore through
+  /// mutable_results().
+  ResultCollector& mutable_staged_results() { return staged_; }
 
  private:
   struct GroupState {

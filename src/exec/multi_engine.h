@@ -122,6 +122,13 @@ class MultiEngine {
     return engines_;
   }
 
+  /// Mutable segment engine for checkpoint restore ONLY (src/checkpoint/
+  /// loads per-segment state before the first post-restore event); all
+  /// normal execution goes through OnEvent.
+  Engine* mutable_segment_engine(size_t segment) {
+    return engines_[segment].get();
+  }
+
   size_t EstimatedBytes() const;
 
  private:

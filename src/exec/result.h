@@ -96,6 +96,19 @@ class ResultCollector {
     }
   }
 
+  /// Checkpoint-restore primitive (src/checkpoint/): installs one cell
+  /// VERBATIM. Unlike Add, the state is assigned rather than merged, so a
+  /// checkpointed cell restores bit-identical (merging into a zero cell
+  /// would rewrite -0.0 sums and NaN payloads). Restore targets start
+  /// empty, so overwriting a live cell indicates a corrupt checkpoint;
+  /// the cell is replaced and the count stays consistent regardless.
+  void RestoreCell(QueryId q, WindowId w, AttrValue g, const AggState& state) {
+    if (state.IsZero()) return;
+    AggState& cell = CellFor(rows_[RowKey{q, g}], w);
+    if (cell.IsZero()) ++size_;
+    cell = state;
+  }
+
   /// Number of live (non-zero) cells.
   size_t size() const { return size_; }
 

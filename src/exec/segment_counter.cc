@@ -126,4 +126,34 @@ size_t SegmentCounter::EstimatedBytes() const {
          (sizeof(Start) + pattern_.length() * sizeof(AggState));
 }
 
+void SegmentCounter::SaveState(serde::BinaryWriter& w) const {
+  w.U64(base_);
+  w.U64(pattern_.length());
+  serde::SaveRingDeque(w, starts_, [](serde::BinaryWriter& out, const Start& s) {
+    out.I64(s.time);
+    for (const AggState& a : s.pref) SaveAggState(out, a);
+  });
+}
+
+std::string SegmentCounter::LoadState(serde::BinaryReader& r) {
+  base_ = r.U64();
+  const uint64_t plen = r.U64();
+  if (plen != pattern_.length()) {
+    return "segment counter prefix length mismatch (plan does not match "
+           "the checkpointed plan)";
+  }
+  serde::LoadRingDeque(r, starts_, [&](serde::BinaryReader& in, Start& s) {
+    s.time = in.I64();
+    s.pref.resize(pattern_.length());
+    for (AggState& a : s.pref) a = LoadAggState(in);
+  });
+  if (!r.ok()) return "segment counter state truncated";
+  front_expire_ = starts_.empty()
+                      ? kNeverExpires
+                      : window_.WindowEnd(
+                            window_.LastWindowCovering(starts_.front().time));
+  last_deltas_.clear();
+  return "";
+}
+
 }  // namespace sharon

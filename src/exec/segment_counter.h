@@ -24,9 +24,11 @@
 
 #include <cstdint>
 #include <limits>
+#include <string>
 #include <vector>
 
 #include "src/common/ring_deque.h"
+#include "src/common/serde.h"
 #include "src/query/aggregate.h"
 #include "src/query/pattern.h"
 #include "src/query/window.h"
@@ -82,6 +84,18 @@ class SegmentCounter {
 
   /// Logical state footprint in bytes (per-start aggregate vectors).
   size_t EstimatedBytes() const;
+
+  // --- checkpoint/restore (src/checkpoint/) -----------------------------
+
+  /// Serializes the live prefix-aggregation state: the start-id base and
+  /// every live start's (time, pref vector). Recycling pools and the
+  /// transient last_deltas are storage details and not saved.
+  void SaveState(serde::BinaryWriter& w) const;
+
+  /// Restores state saved by SaveState into a counter built from the SAME
+  /// (pattern, spec, window) template. Returns an empty string on success
+  /// or a diagnostic (truncated payload, prefix-length mismatch).
+  std::string LoadState(serde::BinaryReader& r);
 
  private:
   struct Start {

@@ -30,6 +30,7 @@
 #include <string>
 
 #include "src/common/event.h"
+#include "src/common/serde.h"
 
 namespace sharon {
 
@@ -142,6 +143,27 @@ struct AggState {
 
   bool operator==(const AggState&) const = default;
 };
+
+/// Serializes an AggState as five IEEE-754 bit patterns — restores
+/// bit-identical, which is what lets checkpoint round-trips be compared
+/// with operator== (src/checkpoint/).
+inline void SaveAggState(serde::BinaryWriter& w, const AggState& s) {
+  w.F64(s.count);
+  w.F64(s.sum);
+  w.F64(s.target_count);
+  w.F64(s.min);
+  w.F64(s.max);
+}
+
+inline AggState LoadAggState(serde::BinaryReader& r) {
+  AggState s;
+  s.count = r.F64();
+  s.sum = r.F64();
+  s.target_count = r.F64();
+  s.min = r.F64();
+  s.max = r.F64();
+  return s;
+}
 
 /// Computes the contribution of `e` under `spec`.
 EventContribution ContributionOf(const Event& e, const AggSpec& spec);

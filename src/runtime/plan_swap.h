@@ -62,6 +62,45 @@ inline Event SwapMarkerEvent() {
 /// True if `e` is a swap marker rather than a data event or watermark.
 inline bool IsSwapMarker(const Event& e) { return e.type == kSwapMarkerType; }
 
+/// Punctuation type of the in-band checkpoint marker (src/checkpoint/):
+/// broadcast by ShardedRuntime::RequestCheckpoint with the same ordering
+/// discipline as swap markers, consumed by Shard workers, which quiesce
+/// and serialize their executor state at the marker position.
+inline constexpr EventTypeId kCheckpointMarkerType =
+    static_cast<EventTypeId>(-3);
+
+/// Builds the in-band marker that triggers a staged checkpoint write.
+inline Event CheckpointMarkerEvent() {
+  Event e;
+  e.type = kCheckpointMarkerType;
+  return e;
+}
+
+/// True if `e` is a checkpoint marker.
+inline bool IsCheckpointMarker(const Event& e) {
+  return e.type == kCheckpointMarkerType;
+}
+
+/// Typed refusal codes for the runtime's control operations (plan swap
+/// and checkpoint). The human-readable `reason` strings explain; the code
+/// is what callers branch on — in particular the mutual exclusion between
+/// swaps and checkpoints (a checkpoint is refused kSwapInFlight while a
+/// swap drains, a swap is refused kCheckpointInFlight while a checkpoint
+/// marker is still in the queues; tests/checkpoint_test.cc regression-
+/// tests both orders).
+enum class OpRefusal : uint8_t {
+  kNone = 0,            ///< accepted
+  kNotRunning,          ///< runtime failed to construct or already finished
+  kNotUniform,          ///< operation requires uniform-Engine shards
+  kNoDisorderPolicy,    ///< operation requires watermarks
+  kMultiProducer,       ///< marker ordering needs a single ingest partition
+  kBadPlan,             ///< null plan or plan from a different workload
+  kSwapInFlight,        ///< a plan swap has not retired on every shard yet
+  kCheckpointInFlight,  ///< a checkpoint has not completed on every shard
+  kShardRefused,        ///< a shard rejected the staged command
+  kIoError,             ///< checkpoint directory/file write failed
+};
+
 /// One plan swap, as handed to a shard (side-channel; the in-band marker
 /// only says "pop the next command").
 struct SwapCommand {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "src/checkpoint/checkpoint.h"
+
 namespace sharon::runtime {
 
 namespace {
@@ -110,6 +112,10 @@ void Shard::Process(const EventBatch& batch, size_t channel_idx) {
       BeginSwap();
       continue;
     }
+    if (IsCheckpointMarker(e)) {
+      WriteCheckpoint();
+      continue;
+    }
     if (IsWatermark(e)) {
       MergeWatermark(channel_idx, e.time);
       continue;
@@ -210,6 +216,10 @@ void Shard::RetireOldEngine() {
 bool Shard::PushSwapCommand(const SwapCommand& cmd) {
   if (!engine_mode_ || !disorder_.enabled || !cmd.plan) return false;
   if (swap_in_flight_.load(std::memory_order_acquire)) return false;
+  // Mutually exclusive with checkpoints: a swap picked up between a
+  // checkpoint command and its marker would make the cut ambiguous (two
+  // engines, neither owning the full window set).
+  if (checkpoint_in_flight_.load(std::memory_order_acquire)) return false;
   {
     std::lock_guard<std::mutex> lock(swap_mu_);
     pending_swaps_.push_back(cmd);
@@ -223,6 +233,75 @@ void Shard::CancelSwapCommand() {
   if (pending_swaps_.empty()) return;  // worker already consumed it
   pending_swaps_.pop_back();
   swap_in_flight_.store(false, std::memory_order_release);
+}
+
+bool Shard::PushCheckpointCommand(const CheckpointCommand& cmd) {
+  if (checkpoint_in_flight_.load(std::memory_order_acquire)) return false;
+  // Mutually exclusive with swaps (see PushSwapCommand): a cut during the
+  // dual-run would have to serialize BOTH engines plus the tee position.
+  if (swap_in_flight_.load(std::memory_order_acquire)) return false;
+  {
+    std::lock_guard<std::mutex> lock(swap_mu_);
+    pending_checkpoints_.push_back(cmd);
+  }
+  checkpoint_in_flight_.store(true, std::memory_order_release);
+  return true;
+}
+
+void Shard::CancelCheckpointCommand() {
+  std::lock_guard<std::mutex> lock(swap_mu_);
+  if (pending_checkpoints_.empty()) return;  // worker already consumed it
+  pending_checkpoints_.pop_back();
+  checkpoint_in_flight_.store(false, std::memory_order_release);
+}
+
+Shard::CheckpointOutcome Shard::checkpoint_outcome() const {
+  std::lock_guard<std::mutex> lock(swap_mu_);
+  return checkpoint_outcome_;
+}
+
+void Shard::WriteCheckpoint() {
+  CheckpointCommand cmd;
+  {
+    std::lock_guard<std::mutex> lock(swap_mu_);
+    if (pending_checkpoints_.empty()) return;  // spurious marker
+    cmd = std::move(pending_checkpoints_.front());
+    pending_checkpoints_.pop_front();
+  }
+  CheckpointOutcome outcome;
+  outcome.watermark = merged_watermark_;
+  if (swap_active_) {
+    // Guarded producer-side (swaps and checkpoints are mutually
+    // exclusive); record the violation instead of writing an ambiguous
+    // cut.
+    outcome.error = "checkpoint marker arrived during an active plan swap";
+  } else {
+    checkpoint::ShardCheckpointInput in;
+    in.checkpoint_id = cmd.id;
+    in.boundary = cmd.boundary;
+    in.shard_index = index_;
+    in.num_shards = cmd.num_shards;
+    in.merged_watermark = merged_watermark_;
+    in.engine = engine_.get();
+    in.multi = multi_.get();
+    in.archive = &archived_;
+    in.retired = &retired_wm_;
+    const std::vector<uint8_t> bytes = checkpoint::EncodeShardCheckpoint(in);
+    outcome.bytes = bytes.size();
+    outcome.error = checkpoint::WriteFileBytes(cmd.path, bytes);
+  }
+  {
+    std::lock_guard<std::mutex> lock(swap_mu_);
+    checkpoint_outcome_ = std::move(outcome);
+  }
+  checkpoint_in_flight_.store(false, std::memory_order_release);
+}
+
+void Shard::RestoreFrontier(Timestamp merged) {
+  if (merged == kNoWatermark) return;
+  for (Timestamp& frontier : channel_frontier_) frontier = merged;
+  merged_watermark_ = merged;
+  watermark_.store(merged, std::memory_order_release);
 }
 
 void Shard::Recycle(size_t p, EventBatch&& batch) {

@@ -41,6 +41,18 @@ namespace sharon::runtime {
 /// A batch of events owned by the queue while in flight.
 using EventBatch = std::vector<Event>;
 
+/// One checkpoint, as handed to a shard (side-channel, like SwapCommand;
+/// the in-band checkpoint marker only says "write the next staged
+/// checkpoint"). The worker serializes its executor state at the marker
+/// position and writes `path` itself — shard files are written in
+/// parallel, the coordinator only writes the manifest afterwards.
+struct CheckpointCommand {
+  uint64_t id = 0;         ///< checkpoint sequence number (runtime-wide)
+  Timestamp boundary = 0;  ///< watermark-aligned boundary recorded for the cut
+  size_t num_shards = 0;   ///< topology recorded into the shard header
+  std::string path;        ///< target file for THIS shard's frames
+};
+
 /// One (producer, shard) link: filled batches travel producer -> worker
 /// through `full`; emptied buffers travel worker -> producer through
 /// `free` for reuse. Exactly one producer thread touches full.TryPush /
@@ -107,6 +119,32 @@ class Shard {
     return swap_in_flight_.load(std::memory_order_acquire);
   }
 
+  /// Producer side: stages a checkpoint for pickup by the next in-band
+  /// checkpoint marker (src/checkpoint/). Must be followed by a marker
+  /// broadcast ordered after it; false while a swap or another checkpoint
+  /// is in flight (the two operations are mutually exclusive — each needs
+  /// the executor set it cuts to be unambiguous).
+  bool PushCheckpointCommand(const CheckpointCommand& cmd);
+
+  /// Producer side: un-stages a command pushed by PushCheckpointCommand
+  /// whose marker has NOT been broadcast (partial-broadcast rollback).
+  void CancelCheckpointCommand();
+
+  /// True from PushCheckpointCommand until the worker wrote (or failed to
+  /// write) its shard file.
+  bool checkpoint_in_flight() const {
+    return checkpoint_in_flight_.load(std::memory_order_acquire);
+  }
+
+  /// Outcome of the most recent completed checkpoint on this shard.
+  /// Meaningful once checkpoint_in_flight() dropped back to false.
+  struct CheckpointOutcome {
+    std::string error;  ///< empty on success
+    size_t bytes = 0;   ///< shard file size
+    Timestamp watermark = kNoWatermark;  ///< merged frontier at the cut
+  };
+  CheckpointOutcome checkpoint_outcome() const;
+
   /// Blocks until the worker drained every channel and exited. Idempotent.
   void Join();
 
@@ -159,6 +197,23 @@ class Shard {
   const Engine* engine() const { return engine_.get(); }
   const MultiEngine* multi() const { return multi_.get(); }
 
+  // --- checkpoint restore hooks (pre-Start only) ------------------------
+  // Used exclusively by ShardedRuntime::Restore before the worker thread
+  // exists, so none of them synchronize.
+
+  Engine* restore_engine() { return engine_.get(); }
+  MultiEngine* restore_multi() { return multi_.get(); }
+  ResultCollector& restore_archive() { return archived_; }
+  void RestoreRetiredCounters(const WatermarkStats& wm) {
+    retired_wm_.MergeCountersFrom(wm);
+  }
+
+  /// Seeds every producer frontier and the published shard watermark with
+  /// the checkpointed merged frontier, so a stale post-restore
+  /// punctuation is treated exactly as the uninterrupted run would have
+  /// treated it (regression accounting instead of a frontier rewind).
+  void RestoreFrontier(Timestamp merged);
+
  private:
   void WorkerLoop();
   void Process(const EventBatch& batch, size_t channel_idx);
@@ -198,12 +253,25 @@ class Shard {
   ShardStats stats_;
   DisorderPolicy disorder_;
 
+  /// Worker thread only: pops the staged checkpoint command at the
+  /// in-band marker, serializes the executor state and writes the shard
+  /// file (src/checkpoint/).
+  void WriteCheckpoint();
+
   // Swap state. Producer stages commands under swap_mu_; the worker owns
   // everything else. swap_in_flight_ is the cross-thread handshake: set by
   // the producer on push, cleared by the worker at retirement.
-  std::mutex swap_mu_;
+  mutable std::mutex swap_mu_;
   std::deque<SwapCommand> pending_swaps_;
   std::atomic<bool> swap_in_flight_{false};
+
+  // Checkpoint state, same discipline as the swap state: commands staged
+  // under swap_mu_, checkpoint_in_flight_ set by the producer on push and
+  // cleared by the worker after the file write; the outcome fields are
+  // written by the worker under swap_mu_ before the flag clears.
+  std::deque<CheckpointCommand> pending_checkpoints_;
+  std::atomic<bool> checkpoint_in_flight_{false};
+  CheckpointOutcome checkpoint_outcome_;
   bool swap_active_ = false;       ///< worker picked the command up
   SwapCommand swap_;               ///< the active swap
   Timestamp tee_from_ = 0;         ///< overlap start B + slide - length

@@ -1,7 +1,10 @@
 #include "src/runtime/sharded_runtime.h"
 
 #include <algorithm>
+#include <filesystem>
 #include <thread>
+
+#include "src/runtime/partition.h"
 
 namespace sharon::runtime {
 
@@ -170,6 +173,7 @@ void ShardedRuntime::InitShardsUniform(const Workload& workload,
                                        const SharingPlan& plan) {
   CompiledPlanHandle compiled = CompilePlanShared(workload, plan, &error_);
   if (!compiled) return;
+  compiled_ = compiled;
   partition_ = compiled->partition;
   window_ = compiled->window;
   const size_t n = options_.ResolvedShards();
@@ -192,6 +196,7 @@ void ShardedRuntime::InitShardsMulti(
     error_ = plan ? plan->error : "null multi-engine plan";
     return;
   }
+  multi_plan_ = plan;
   const size_t n = options_.ResolvedShards();
   shards_.reserve(n);
   for (size_t i = 0; i < n; ++i) {
@@ -231,35 +236,55 @@ void ShardedRuntime::IngestWatermark(Timestamp t) {
 ShardedRuntime::SwapRequest ShardedRuntime::RequestPlanSwap(
     CompiledPlanHandle plan) {
   SwapRequest req;
-  auto refuse = [&](const char* why) {
+  auto refuse = [&](OpRefusal code, const char* why) {
+    req.code = code;
     req.reason = why;
     return req;
   };
-  if (!ok() || finished_) return refuse("runtime not running");
+  if (!ok() || finished_) {
+    return refuse(OpRefusal::kNotRunning, "runtime not running");
+  }
   if (!workload_) {
     return refuse(
+        OpRefusal::kNotUniform,
         "plan swap requires the uniform-workload runtime (MultiEngine "
         "shards re-plan per segment; rebuild the runtime instead)");
   }
   if (!options_.disorder.enabled) {
     return refuse(
+        OpRefusal::kNoDisorderPolicy,
         "plan swap requires a disorder policy: watermarks are what drain "
         "and retire the old engines");
   }
   if (partitions_.size() > 1) {
     return refuse(
+        OpRefusal::kMultiProducer,
         "plan swap requires a single ingest partition: the swap marker "
         "must be ordered after ALL routed events, which only one "
         "producer can guarantee");
   }
-  if (!plan) return refuse("null compiled plan");
+  if (!plan) return refuse(OpRefusal::kBadPlan, "null compiled plan");
   if (plan->partition != partition_ || !(plan->window == window_)) {
-    return refuse("new plan was compiled for a different workload");
+    return refuse(OpRefusal::kBadPlan,
+                  "new plan was compiled for a different workload");
   }
   for (const auto& shard : shards_) {
     if (shard->swap_in_flight()) {
-      return refuse("previous swap still in flight");
+      return refuse(OpRefusal::kSwapInFlight,
+                    "previous swap still in flight");
     }
+  }
+  // Mutually exclusive with checkpoints, in both orders (the reverse one
+  // is enforced in RequestCheckpoint): a swap command staged while the
+  // checkpoint marker is still in the queues would let the marker land
+  // mid-dual-run, making the cut ambiguous.
+  if (checkpoint_job_) {
+    if (CheckpointInFlight()) {
+      return refuse(OpRefusal::kCheckpointInFlight,
+                    "checkpoint still in flight: its marker has not "
+                    "reached every shard yet");
+    }
+    FinalizeCheckpoint();  // all shards done — seal it, then swap freely
   }
   if (!started_.load(std::memory_order_acquire)) Start();
 
@@ -281,7 +306,7 @@ ShardedRuntime::SwapRequest ShardedRuntime::RequestPlanSwap(
       // shard stuck with swap_in_flight set.
       for (size_t j = 0; j < i; ++j) shards_[j]->CancelSwapCommand();
       --swaps_requested_;
-      return refuse("shard refused swap command");
+      return refuse(OpRefusal::kShardRefused, "shard refused swap command");
     }
   }
   // In-band markers, ordered after everything ingested so far — same
@@ -292,6 +317,11 @@ ShardedRuntime::SwapRequest ShardedRuntime::RequestPlanSwap(
     batch.push_back(marker);
     if (batch.size() >= options_.batch_size) ingest.PushBatch(i);
   }
+  // The accepted plan is the incumbent from here on. A checkpoint is only
+  // allowed once no swap is in flight — i.e. once every shard runs THIS
+  // plan — so the handle recorded for the checkpoint fingerprint must
+  // follow the swap, not stay at the constructor plan.
+  compiled_ = cmd.plan;
   req.accepted = true;
   req.id = cmd.id;
   req.boundary = cmd.boundary;
@@ -300,6 +330,350 @@ ShardedRuntime::SwapRequest ShardedRuntime::RequestPlanSwap(
 
 void ShardedRuntime::Flush() {
   for (auto& partition : partitions_) partition->Flush();
+}
+
+// --- checkpoint/restore ------------------------------------------------------
+
+bool ShardedRuntime::CheckpointInFlight() const {
+  if (!checkpoint_job_) return false;
+  for (const auto& shard : shards_) {
+    if (shard->checkpoint_in_flight()) return true;
+  }
+  return false;
+}
+
+ShardedRuntime::CheckpointRequest ShardedRuntime::RequestCheckpoint(
+    const std::string& dir) {
+  CheckpointRequest req;
+  auto refuse = [&](OpRefusal code, const std::string& why) {
+    req.code = code;
+    req.reason = why;
+    return req;
+  };
+  if (!ok() || finished_) {
+    return refuse(OpRefusal::kNotRunning, "runtime not running");
+  }
+  if (!options_.disorder.enabled) {
+    return refuse(
+        OpRefusal::kNoDisorderPolicy,
+        "checkpoint requires a disorder policy: the consistent cut is "
+        "defined by watermark frontiers (src/checkpoint/checkpoint.h)");
+  }
+  if (partitions_.size() > 1) {
+    return refuse(
+        OpRefusal::kMultiProducer,
+        "checkpoint requires a single ingest partition: the checkpoint "
+        "marker must be ordered after ALL routed events, which only one "
+        "producer can guarantee");
+  }
+  if (checkpoint_job_) {
+    if (CheckpointInFlight()) {
+      return refuse(OpRefusal::kCheckpointInFlight,
+                    "previous checkpoint still in flight");
+    }
+    FinalizeCheckpoint();
+  }
+  // Mutually exclusive with plan swaps (regression-tested in both orders,
+  // tests/checkpoint_test.cc): a cut during the dual-run would have to
+  // serialize two engines plus the tee position — refuse instead, the
+  // caller retries once the swap retired.
+  for (const auto& shard : shards_) {
+    if (shard->swap_in_flight()) {
+      return refuse(OpRefusal::kSwapInFlight,
+                    "plan swap in flight: checkpoint after it retires");
+    }
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return refuse(OpRefusal::kIoError,
+                  "cannot create checkpoint directory " + dir + ": " +
+                      ec.message());
+  }
+  if (!started_.load(std::memory_order_acquire)) Start();
+
+  IngestPartition& ingest = *partitions_[0];
+  CheckpointCommand cmd;
+  cmd.id = ++checkpoints_requested_;
+  // The watermark-aligned boundary of the cut: the close of the last
+  // window whose start covers the ingest high-mark (the grid point a plan
+  // swap would pick). MultiEngine workloads have several grids; record
+  // the high-mark itself.
+  cmd.boundary = workload_ && window_.Valid()
+                     ? window_.WindowEnd(window_.LastWindowCovering(
+                           ingest.high_mark()))
+                     : ingest.high_mark();
+  cmd.num_shards = shards_.size();
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    cmd.path = dir + "/" + checkpoint::ShardFileName(i);
+    if (!shards_[i]->PushCheckpointCommand(cmd)) {
+      for (size_t j = 0; j < i; ++j) shards_[j]->CancelCheckpointCommand();
+      --checkpoints_requested_;
+      return refuse(OpRefusal::kShardRefused,
+                    "shard refused checkpoint command");
+    }
+  }
+  // In-band markers, ordered after everything ingested so far — the same
+  // broadcast discipline as watermarks and swap markers.
+  const Event marker = CheckpointMarkerEvent();
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    EventBatch& batch = ingest.PendingFor(i);
+    batch.push_back(marker);
+    if (batch.size() >= options_.batch_size) ingest.PushBatch(i);
+  }
+  checkpoint_job_.emplace();
+  checkpoint_job_->id = cmd.id;
+  checkpoint_job_->boundary = cmd.boundary;
+  checkpoint_job_->dir = dir;
+  checkpoint_job_->watch.Reset();
+  checkpoint_job_->high_mark_at_cut = ingest.high_mark();
+  for (const auto& partition : partitions_) {
+    checkpoint_job_->events_at_cut += partition->stats().events;
+  }
+  req.accepted = true;
+  req.id = cmd.id;
+  req.boundary = cmd.boundary;
+  return req;
+}
+
+ShardedRuntime::CheckpointResult ShardedRuntime::FinalizeCheckpoint() {
+  CheckpointResult res;
+  res.id = checkpoint_job_->id;
+  res.boundary = checkpoint_job_->boundary;
+  const std::string dir = checkpoint_job_->dir;
+  Timestamp merged = kWatermarkMax;
+  uint64_t total_bytes = 0;
+  for (const auto& shard : shards_) {
+    const Shard::CheckpointOutcome outcome = shard->checkpoint_outcome();
+    if (!outcome.error.empty()) {
+      res.code = OpRefusal::kIoError;
+      res.reason = "shard " + std::to_string(shard->index()) + ": " +
+                   outcome.error;
+      checkpoint_job_.reset();
+      last_checkpoint_ = res;
+      return res;
+    }
+    total_bytes += outcome.bytes;
+    // Min over shard frontiers; one shard without a frontier pins the
+    // merged value at "none" (kNoWatermark is negative, so min sticks).
+    merged = std::min(merged, outcome.watermark);
+  }
+  checkpoint::Manifest m;
+  m.checkpoint_id = res.id;
+  m.boundary = res.boundary;
+  m.mode = workload_ ? 1 : 2;
+  m.num_shards = shards_.size();
+  m.num_segments =
+      workload_ ? 1 : shards_.front()->multi()->engines().size();
+  m.partition = partition_;
+  m.plan_fingerprint = workload_ ? checkpoint::PlanFingerprint(*compiled_)
+                                 : checkpoint::PlanFingerprint(*multi_plan_);
+  m.disorder = options_.disorder;
+  m.merged_watermark = merged == kWatermarkMax ? kNoWatermark : merged;
+  m.ingest_high_mark = checkpoint_job_->high_mark_at_cut;
+  m.swaps_requested = swaps_requested_;
+  m.events_ingested = checkpoint_job_->events_at_cut;
+  const std::string manifest_path =
+      dir + "/" + checkpoint::kManifestFileName;
+  const std::string err = checkpoint::SaveManifest(m, manifest_path);
+  if (!err.empty()) {
+    res.code = OpRefusal::kIoError;
+    res.reason = err;
+    checkpoint_job_.reset();
+    last_checkpoint_ = res;
+    return res;
+  }
+  res.ok = true;
+  res.manifest_path = manifest_path;
+  res.bytes = total_bytes;
+  res.seconds = checkpoint_job_->watch.ElapsedSeconds();
+  checkpoint_job_.reset();
+  last_checkpoint_ = res;
+  return res;
+}
+
+ShardedRuntime::CheckpointResult ShardedRuntime::Checkpoint(
+    const std::string& dir) {
+  const CheckpointRequest req = RequestCheckpoint(dir);
+  if (!req.accepted) {
+    CheckpointResult res;
+    res.code = req.code;
+    res.reason = req.reason;
+    return res;
+  }
+  // The markers must reach the workers even if no further event does.
+  partitions_[0]->Flush();
+  while (CheckpointInFlight()) std::this_thread::yield();
+  return FinalizeCheckpoint();
+}
+
+ShardedRuntime::RestoreOutcome ShardedRuntime::Restore(
+    const std::string& dir, const RestoreOptions& opts) {
+  RestoreOutcome out;
+  checkpoint::Manifest m;
+  std::string err = checkpoint::LoadManifest(
+      dir + "/" + checkpoint::kManifestFileName, &m);
+  if (!err.empty()) {
+    out.error = "checkpoint manifest: " + err;
+    return out;
+  }
+  if (!opts.workload) {
+    out.error = "RestoreOptions::workload is required";
+    return out;
+  }
+  RuntimeOptions ropts = opts.runtime;
+  // The policy is part of the checkpoint's semantics (it decides what is
+  // late and when windows seal); restoring under a different one would
+  // silently change results.
+  ropts.disorder = m.disorder;
+  std::unique_ptr<ShardedRuntime> rt;
+  if (m.mode == 1) {
+    rt.reset(new ShardedRuntime(*opts.workload, opts.plan, ropts));
+  } else if (m.mode == 2) {
+    if (!opts.multi_plan) {
+      out.error =
+          "checkpoint holds MultiEngine shards: RestoreOptions::multi_plan "
+          "is required";
+      return out;
+    }
+    rt.reset(new ShardedRuntime(*opts.workload, opts.multi_plan, ropts));
+  } else {
+    out.error = "unknown executor mode in manifest";
+    return out;
+  }
+  if (!rt->ok()) {
+    out.error = rt->error();
+    return out;
+  }
+  const uint64_t fingerprint =
+      m.mode == 1 ? checkpoint::PlanFingerprint(*rt->compiled_)
+                  : checkpoint::PlanFingerprint(*rt->multi_plan_);
+  if (fingerprint != m.plan_fingerprint) {
+    out.error =
+        "plan fingerprint mismatch: the supplied workload/plan compiles to "
+        "different executor templates than the checkpointed ones";
+    return out;
+  }
+  const size_t num_segments = static_cast<size_t>(m.num_segments);
+  const size_t new_shards = rt->shards_.size();
+  const bool same_topology = new_shards == m.num_shards;
+
+  // The engine of (new shard j, segment s).
+  auto engine_of = [&](size_t j, size_t s) -> Engine* {
+    return m.mode == 1
+               ? rt->shards_[j]->restore_engine()
+               : rt->shards_[j]->restore_multi()->mutable_segment_engine(s);
+  };
+
+  // Pass 1: decode every old shard file (integrity-checked frame by
+  // frame), so scalars can be composed across old shards before anything
+  // is applied.
+  std::vector<checkpoint::ShardCheckpointData> data(m.num_shards);
+  for (size_t i = 0; i < m.num_shards; ++i) {
+    std::vector<uint8_t> bytes;
+    const std::string file = dir + "/" + checkpoint::ShardFileName(i);
+    err = checkpoint::ReadFileBytes(file, &bytes);
+    if (err.empty()) err = checkpoint::DecodeShardCheckpoint(bytes, &data[i]);
+    if (err.empty() && (data[i].shard_index != i ||
+                        data[i].checkpoint_id != m.checkpoint_id ||
+                        data[i].num_shards != m.num_shards ||
+                        data[i].mode != m.mode ||
+                        data[i].segments.size() != num_segments)) {
+      err = "shard header does not match the manifest";
+    }
+    if (!err.empty()) {
+      out.error = file + ": " + err;
+      return out;
+    }
+  }
+
+  // Pass 2: scalars. Frontier fields are identical across the shards of a
+  // consistent cut (every shard saw the same punctuation sequence), so
+  // they restore onto every new engine; high marks are per-shard data and
+  // fold by MAX; monotone counters are per-shard sums — with an unchanged
+  // topology they restore per index, otherwise they cannot be split by
+  // group and land on new shard 0 (rollups stay exact, per-shard
+  // attribution does not — see docs/OPERATIONS.md).
+  for (size_t s = 0; s < num_segments; ++s) {
+    Engine::ScalarState base = data[0].segments[s].scalars;
+    for (size_t i = 1; i < data.size(); ++i) {
+      const Engine::ScalarState& o = data[i].segments[s].scalars;
+      base.now = std::max(base.now, o.now);
+      base.high_mark = std::max(base.high_mark, o.high_mark);
+    }
+    for (size_t j = 0; j < new_shards; ++j) {
+      Engine::ScalarState applied = base;
+      if (same_topology) {
+        applied = data[j].segments[s].scalars;
+        applied.now = base.now;
+        applied.high_mark = base.high_mark;
+      } else {
+        WatermarkStats counters;  // zero counters, frontier fields kept
+        counters.watermark = base.wm.watermark;
+        counters.safe_point = base.wm.safe_point;
+        applied.wm = counters;
+        applied.events_since_sweep = 0;
+        if (j == 0) {
+          for (const auto& d : data) {
+            applied.wm.MergeCountersFrom(d.segments[s].scalars.wm);
+          }
+        }
+      }
+      engine_of(j, s)->RestoreScalarState(applied);
+    }
+  }
+
+  // Pass 3: group-keyed state, re-partitioned with the SAME hash the
+  // ingest path routes by — the sharding invariant (all state of a group
+  // on the group's shard) holds again by construction.
+  for (size_t i = 0; i < data.size(); ++i) {
+    for (size_t s = 0; s < num_segments; ++s) {
+      const auto& seg = data[i].segments[s];
+      for (const auto& [group, payload] : seg.groups) {
+        serde::BinaryReader r(payload);
+        const size_t j = ShardIndexFor(group, new_shards);
+        err = engine_of(j, s)->LoadGroupState(group, r);
+        if (!err.empty()) {
+          out.error = checkpoint::ShardFileName(i) + ": group " +
+                      std::to_string(group) + ": " + err;
+          return out;
+        }
+      }
+      for (const checkpoint::CellRecord& c : seg.cells) {
+        Engine* e = engine_of(ShardIndexFor(c.group, new_shards), s);
+        ResultCollector& store =
+            c.store == 0 ? e->mutable_staged_results() : e->mutable_results();
+        store.RestoreCell(c.query, c.window, c.group, c.state);
+      }
+      for (const Event& e : seg.buffered) {
+        const size_t j =
+            ShardIndexFor(GroupOf(e, rt->partition_), new_shards);
+        engine_of(j, s)->RestoreBufferedEvent(e);
+      }
+    }
+    for (const checkpoint::CellRecord& c : data[i].archive) {
+      rt->shards_[ShardIndexFor(c.group, new_shards)]
+          ->restore_archive()
+          .RestoreCell(c.query, c.window, c.group, c.state);
+    }
+    const size_t retired_target = same_topology ? i : 0;
+    rt->shards_[retired_target]->RestoreRetiredCounters(data[i].retired);
+  }
+
+  // Pass 4: frontiers and runtime-level baselines.
+  for (auto& shard : rt->shards_) shard->RestoreFrontier(m.merged_watermark);
+  rt->swaps_requested_ = m.swaps_requested;
+  // Checkpoint ids keep counting across incarnations, so two checkpoints
+  // of one logical deployment never share an id (mixing shard files from
+  // different checkpoints then fails the header validation above).
+  rt->checkpoints_requested_ = m.checkpoint_id;
+  // The routed high-mark survives so a post-restore plan swap picks its
+  // boundary past everything the PREVIOUS incarnation routed.
+  rt->partitions_[0]->high_mark_ = m.ingest_high_mark;
+  rt->restored_ = m;
+  out.manifest = m;
+  out.runtime = std::move(rt);
+  return out;
 }
 
 void ShardedRuntime::Finish() {
@@ -324,6 +698,11 @@ void ShardedRuntime::Finish() {
   }
   wall_seconds_ = wall_.ElapsedSeconds();
   finished_ = true;
+  // A checkpoint requested asynchronously (RequestCheckpoint without the
+  // blocking wrapper) completes here at the latest: the workers are
+  // joined, so every marker was processed and every shard file written —
+  // seal the manifest (query last_checkpoint() for the outcome).
+  if (checkpoint_job_) FinalizeCheckpoint();
 }
 
 RunStats ShardedRuntime::Run(const std::vector<Event>& events,

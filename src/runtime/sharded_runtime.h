@@ -35,9 +35,11 @@
 #include <atomic>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "src/checkpoint/checkpoint.h"
 #include "src/exec/engine.h"
 #include "src/exec/multi_engine.h"
 #include "src/runtime/plan_swap.h"
@@ -170,6 +172,7 @@ class ShardedRuntime {
   /// Outcome of a plan-swap request (see RequestPlanSwap).
   struct SwapRequest {
     bool accepted = false;
+    OpRefusal code = OpRefusal::kNone;  ///< typed refusal (when !accepted)
     std::string reason;      ///< why the swap was refused (when !accepted)
     uint64_t id = 0;         ///< swap sequence number (when accepted)
     Timestamp boundary = 0;  ///< chosen window-aligned boundary B
@@ -193,6 +196,97 @@ class ShardedRuntime {
   /// Plan swaps completed so far (valid after Finish(); see also
   /// stats().plan_swaps).
   uint64_t swaps_requested() const { return swaps_requested_; }
+
+  // --- checkpoint/restore (src/checkpoint/; docs/OPERATIONS.md) ---------
+
+  /// Outcome of a checkpoint request (see RequestCheckpoint).
+  struct CheckpointRequest {
+    bool accepted = false;
+    OpRefusal code = OpRefusal::kNone;
+    std::string reason;
+    uint64_t id = 0;
+    Timestamp boundary = 0;  ///< watermark-aligned boundary of the cut
+  };
+
+  /// Outcome of a completed (or refused/failed) checkpoint.
+  struct CheckpointResult {
+    bool ok = false;
+    OpRefusal code = OpRefusal::kNone;
+    std::string reason;
+    uint64_t id = 0;
+    Timestamp boundary = 0;
+    std::string manifest_path;  ///< written LAST; presence = validity
+    size_t bytes = 0;           ///< total serialized shard-file bytes
+    double seconds = 0;         ///< request to manifest, wall time
+  };
+
+  /// Snapshots the COMPLETE executor state of every shard into `dir`
+  /// (created if missing) and blocks until the manifest is written:
+  /// stages a command per shard, broadcasts an in-band checkpoint marker
+  /// ordered after everything ingested so far, flushes, and waits for
+  /// each worker to quiesce at the marker and write its shard file. Call
+  /// from the ingest thread, between Ingest calls (the stall is the
+  /// slowest shard's serialization time — see RuntimeStats.checkpoints).
+  ///
+  /// Refused with a typed code when: the runtime failed/finished
+  /// (kNotRunning), no disorder policy (kNoDisorderPolicy — the
+  /// consistent cut is defined by watermark frontiers), several ingest
+  /// partitions (kMultiProducer — marker ordering needs one producer), or
+  /// a plan swap is in flight (kSwapInFlight — regression-tested together
+  /// with the reverse order in tests/checkpoint_test.cc).
+  CheckpointResult Checkpoint(const std::string& dir);
+
+  /// Asynchronous half of Checkpoint: stages commands and broadcasts the
+  /// marker WITHOUT flushing or waiting — the workers write their files
+  /// when the marker reaches them through the queues, and the manifest is
+  /// written at the next Checkpoint/RequestPlanSwap/Finish call that
+  /// finds all shards done (query last_checkpoint() afterwards). While
+  /// the checkpoint is in flight, RequestPlanSwap refuses with
+  /// kCheckpointInFlight.
+  CheckpointRequest RequestCheckpoint(const std::string& dir);
+
+  /// True while a requested checkpoint has not completed on every shard.
+  bool CheckpointInFlight() const;
+
+  /// Outcome of the most recently completed checkpoint (empty-path
+  /// default before the first one).
+  const CheckpointResult& last_checkpoint() const { return last_checkpoint_; }
+
+  /// Everything Restore needs besides the checkpoint directory. The
+  /// workload (and plan) must be the SAME the checkpointed runtime ran —
+  /// restore verifies a structural fingerprint of the compiled templates
+  /// and refuses a mismatch. `runtime.num_shards` may differ from the
+  /// checkpointed count: group state is re-partitioned by the hash
+  /// attribute. The disorder policy is taken from the manifest (it is
+  /// part of the checkpoint's semantics), not from `runtime`.
+  struct RestoreOptions {
+    RuntimeOptions runtime;
+    const Workload* workload = nullptr;
+    SharingPlan plan;  ///< uniform mode: the incumbent plan at the cut
+    std::shared_ptr<const MultiEnginePlan> multi_plan;  ///< non-uniform mode
+  };
+
+  /// Outcome of Restore: a ready-to-ingest runtime (not yet started) or a
+  /// diagnostic. Corrupt frames (CRC), truncated files, version
+  /// mismatches and plan-fingerprint mismatches all refuse loudly.
+  struct RestoreOutcome {
+    std::unique_ptr<ShardedRuntime> runtime;
+    std::string error;                ///< empty on success
+    checkpoint::Manifest manifest;    ///< valid when runtime is non-null
+  };
+
+  /// Reconstructs a runtime from a checkpoint directory, re-partitioning
+  /// state across `opts.runtime.num_shards` shards. Resume ingestion with
+  /// the events after the checkpointed cut: finalized cells end up
+  /// bit-identical to an uninterrupted run (tests/checkpoint_diff_test.cc,
+  /// same and different shard counts).
+  static RestoreOutcome Restore(const std::string& dir,
+                                const RestoreOptions& opts);
+
+  /// Manifest this runtime was restored from; nullptr for a fresh one.
+  const checkpoint::Manifest* restored_from() const {
+    return restored_ ? &*restored_ : nullptr;
+  }
 
   /// Pushes all non-empty pending batches of every partition regardless
   /// of occupancy. With several partitions, only call once their
@@ -249,18 +343,42 @@ class ShardedRuntime {
   void InitShardsMulti(const Workload& workload,
                        std::shared_ptr<const MultiEnginePlan> plan);
 
+  /// Completes a fully-staged checkpoint whose shards all finished:
+  /// collects per-shard outcomes and writes the manifest. Pre-condition:
+  /// a job is pending and no shard has it in flight.
+  CheckpointResult FinalizeCheckpoint();
+
   std::string error_;
   RuntimeOptions options_;
   AttrIndex partition_ = kNoAttr;
   size_t workload_size_ = 0;
   const Workload* workload_ = nullptr;  ///< uniform ctor only (swap support)
   WindowSpec window_;                   ///< uniform ctor only
+  CompiledPlanHandle compiled_;         ///< uniform ctor only (fingerprint)
+  std::shared_ptr<const MultiEnginePlan> multi_plan_;  ///< multi ctors only
   std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<std::unique_ptr<IngestPartition>> partitions_;
   ResultMerger merger_;
   StopWatch wall_;
   double wall_seconds_ = 0;
   uint64_t swaps_requested_ = 0;
+  /// Pending checkpoint job (ingest-thread-only, like the swap request
+  /// path): set by RequestCheckpoint, cleared by FinalizeCheckpoint.
+  struct CheckpointJob {
+    uint64_t id = 0;
+    Timestamp boundary = 0;
+    std::string dir;
+    StopWatch watch;
+    /// Ingest figures sampled at REQUEST time — the marker cut — so an
+    /// asynchronously-sealed manifest records the cut, not whatever was
+    /// ingested between the request and FinalizeCheckpoint.
+    Timestamp high_mark_at_cut = 0;
+    uint64_t events_at_cut = 0;
+  };
+  std::optional<CheckpointJob> checkpoint_job_;
+  uint64_t checkpoints_requested_ = 0;
+  CheckpointResult last_checkpoint_;
+  std::optional<checkpoint::Manifest> restored_;  ///< set by Restore
   std::mutex start_mu_;             ///< serializes the first Start()
   std::atomic<bool> started_{false};
   bool finished_ = false;

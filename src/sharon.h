@@ -15,6 +15,7 @@
 #define SHARON_SHARON_H_
 
 #include "src/adaptive/plan_manager.h"
+#include "src/checkpoint/checkpoint.h"
 #include "src/common/alloc_stats.h"
 #include "src/common/event.h"
 #include "src/common/flat_map.h"
@@ -22,6 +23,7 @@
 #include "src/common/metrics.h"
 #include "src/common/ring_deque.h"
 #include "src/common/rng.h"
+#include "src/common/serde.h"
 #include "src/common/schema.h"
 #include "src/common/time.h"
 #include "src/common/watermark.h"

@@ -1,0 +1,378 @@
+// Differential oracle suite for checkpoint/restore of executor state
+// (src/checkpoint/ + ShardedRuntime::Checkpoint/Restore).
+//
+// The discipline mirrors tests/watermark_diff_test.cc: the relaxation
+// under test is "the process may stop at an arbitrary point and a new
+// incarnation (possibly with a different shard count) continues from the
+// checkpoint". For TX / LR / EC the stream is split at a seeded random
+// boundary: the prefix runs through one runtime which checkpoints and is
+// destroyed, the suffix through a runtime restored from the checkpoint —
+// at every (from, to) pair in {1,2,8} x {1,2,8} shards, sorted and
+// disordered — and the finalized cells must be bit-identical to the
+// sorted oracle for every (query, window, group). A restart is allowed to
+// change WHERE cells are computed, never WHAT they contain.
+//
+// Also covers the non-uniform MultiEngine restore path (per-segment
+// engine state) and the restored-runtime finalization surface.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <map>
+#include <random>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "src/exec/engine.h"
+#include "src/query/parser.h"
+#include "src/runtime/sharded_runtime.h"
+#include "src/streamgen/disorder.h"
+#include "src/streamgen/ecommerce.h"
+#include "src/streamgen/linear_road.h"
+#include "src/streamgen/rates.h"
+#include "src/streamgen/taxi.h"
+#include "src/streamgen/workload_gen.h"
+#include "src/twostep/reference.h"
+
+namespace sharon {
+namespace {
+
+using runtime::RuntimeOptions;
+using runtime::ShardedRuntime;
+
+using CellMap = std::map<std::tuple<QueryId, WindowId, AttrValue>, AggState>;
+
+CellMap CellsOf(const ShardedRuntime& rt) {
+  CellMap cells;
+  rt.results().ForEachCell([&](const ResultKey& key, const AggState& state) {
+    cells[{key.query, key.window, key.group}] = state;
+  });
+  return cells;
+}
+
+CellMap CellsOfCollector(const ResultCollector& collector) {
+  CellMap cells;
+  collector.ForEachCell([&](const ResultKey& key, const AggState& state) {
+    cells[{key.query, key.window, key.group}] = state;
+  });
+  return cells;
+}
+
+void ExpectBitIdentical(const CellMap& expected, const CellMap& actual,
+                        const std::string& label) {
+  ASSERT_EQ(expected.size(), actual.size()) << label;
+  for (const auto& [key, state] : expected) {
+    auto it = actual.find(key);
+    ASSERT_NE(it, actual.end())
+        << label << ": missing cell query=" << std::get<0>(key)
+        << " window=" << std::get<1>(key) << " group=" << std::get<2>(key);
+    EXPECT_EQ(state, it->second)
+        << label << ": cell differs at query=" << std::get<0>(key)
+        << " window=" << std::get<1>(key) << " group=" << std::get<2>(key);
+  }
+}
+
+uint64_t SeedBase() {
+  const char* env = std::getenv("SHARON_DISORDER_SEED_BASE");
+  return env ? static_cast<uint64_t>(std::atoll(env)) : 0;
+}
+
+/// Fresh, empty checkpoint directory under the test temp root.
+std::string CheckpointDir(const std::string& tag) {
+  const std::string dir = ::testing::TempDir() + "sharon_ckpt_" + tag;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+struct DiffCase {
+  std::string name;
+  Workload workload;
+  SharingPlan plan;
+  std::vector<Event> events;  // sorted
+  CellMap oracle;
+};
+
+DiffCase MakeTaxiCase() {
+  DiffCase c;
+  c.name = "TX";
+  TaxiConfig cfg;
+  cfg.num_streets = 10;
+  cfg.num_vehicles = 14;
+  cfg.events_per_second = 500;
+  cfg.duration = Seconds(32);
+  Scenario s = GenerateTaxi(cfg);
+
+  WorkloadGenConfig wcfg;
+  wcfg.num_queries = 6;
+  wcfg.pattern_length = 4;
+  wcfg.cluster_size = 3;
+  wcfg.window = {Seconds(12), Seconds(5)};  // slide does not divide length
+  wcfg.partition_attr = 0;
+  c.workload = GenerateWorkload(wcfg, cfg.num_streets);
+
+  CostModel cm(EstimateRates(s));
+  OptimizerConfig ocfg;
+  ocfg.expand = false;
+  c.plan = OptimizeSharon(c.workload, cm, ocfg).plan;
+  c.events = std::move(s.events);
+  c.oracle = CellsOfCollector(ReferenceResults(c.workload, c.events));
+  return c;
+}
+
+DiffCase MakeLinearRoadCase() {
+  DiffCase c;
+  c.name = "LR";
+  LinearRoadConfig cfg;
+  cfg.num_segments = 8;
+  cfg.num_cars = 12;
+  cfg.start_rate = 100;
+  cfg.end_rate = 700;
+  cfg.duration = Seconds(32);
+  Scenario s = GenerateLinearRoad(cfg);
+
+  WorkloadGenConfig wcfg;
+  wcfg.num_queries = 5;
+  wcfg.pattern_length = 3;
+  wcfg.cluster_size = 5;
+  wcfg.window = {Seconds(10), Seconds(4)};
+  wcfg.partition_attr = 0;
+  c.workload = GenerateWorkload(wcfg, cfg.num_segments);
+  // A-Seq (empty plan): the checkpoint machinery must be plan-agnostic.
+  c.events = std::move(s.events);
+  c.oracle = CellsOfCollector(ReferenceResults(c.workload, c.events));
+  return c;
+}
+
+DiffCase MakeEcommerceCase() {
+  DiffCase c;
+  c.name = "EC";
+  EcommerceConfig cfg;
+  cfg.num_items = 15;
+  cfg.num_customers = 10;
+  cfg.events_per_second = 450;
+  cfg.duration = Seconds(36);
+  Scenario s = GenerateEcommerce(cfg);
+
+  for (const char* text : {
+           "RETURN COUNT(*) PATTERN SEQ(Laptop, Case) WHERE [customer] "
+           "WITHIN 15 sec SLIDE 6 sec",
+           "RETURN COUNT(*) PATTERN SEQ(Laptop, Case, Adapter) "
+           "WHERE [customer] WITHIN 15 sec SLIDE 6 sec",
+           "RETURN SUM(Case.price) PATTERN SEQ(Laptop, Case) "
+           "WHERE [customer] WITHIN 15 sec SLIDE 6 sec",
+           "RETURN MAX(iPhone.price) PATTERN SEQ(iPhone, ScreenProtector) "
+           "WHERE [customer] WITHIN 15 sec SLIDE 6 sec",
+       }) {
+    ParseResult parsed = ParseQuery(text, s.types, s.schema);
+    EXPECT_TRUE(parsed.ok) << parsed.error;
+    c.workload.Add(parsed.query);
+  }
+  CostModel cm(EstimateRates(s));
+  c.plan = OptimizeSharon(c.workload, cm).plan;
+  c.events = std::move(s.events);
+  c.oracle = CellsOfCollector(ReferenceResults(c.workload, c.events));
+  return c;
+}
+
+RuntimeOptions OptionsFor(size_t shards, Duration lateness) {
+  RuntimeOptions opts;
+  opts.num_shards = shards;
+  opts.batch_size = 64;
+  opts.queue_capacity = 8;
+  opts.disorder.enabled = true;
+  opts.disorder.max_lateness = lateness;
+  return opts;
+}
+
+/// One checkpoint round trip: prefix through a fresh runtime at
+/// `from_shards`, Checkpoint, destroy, Restore at `to_shards`, suffix,
+/// Finish — finalized cells must equal the uninterrupted oracle.
+void RunRoundTrip(const DiffCase& c, const std::vector<Event>& arrivals,
+                  Duration lateness, size_t from_shards, size_t to_shards,
+                  size_t split, const std::string& label) {
+  const std::string dir = CheckpointDir(label);
+  uint64_t checkpoint_id = 0;
+  {
+    ShardedRuntime rt(c.workload, c.plan, OptionsFor(from_shards, lateness));
+    ASSERT_TRUE(rt.ok()) << rt.error();
+    rt.Start();
+    for (size_t i = 0; i < split; ++i) rt.Ingest(arrivals[i]);
+    const ShardedRuntime::CheckpointResult cp = rt.Checkpoint(dir);
+    ASSERT_TRUE(cp.ok) << label << ": " << cp.reason;
+    EXPECT_GT(cp.bytes, 0u) << label;
+    EXPECT_TRUE(std::filesystem::exists(cp.manifest_path)) << label;
+    // The recorded boundary sits on the workload's window-close grid.
+    const WindowSpec& w = c.workload.window();
+    EXPECT_EQ((cp.boundary - w.length) % w.slide, 0)
+        << label << ": boundary off the window-close grid";
+    checkpoint_id = cp.id;
+    // The first incarnation is destroyed WITHOUT draining the rest of the
+    // stream — everything the second incarnation needs is on disk.
+  }
+  ShardedRuntime::RestoreOptions ropts;
+  ropts.runtime = OptionsFor(to_shards, lateness);
+  ropts.workload = &c.workload;
+  ropts.plan = c.plan;
+  ShardedRuntime::RestoreOutcome restored = ShardedRuntime::Restore(dir, ropts);
+  ASSERT_TRUE(restored.runtime) << label << ": " << restored.error;
+  ShardedRuntime& rt = *restored.runtime;
+  ASSERT_TRUE(rt.ok()) << rt.error();
+  ASSERT_NE(rt.restored_from(), nullptr) << label;
+  EXPECT_EQ(rt.restored_from()->checkpoint_id, checkpoint_id) << label;
+  EXPECT_EQ(restored.manifest.num_shards, from_shards) << label;
+  EXPECT_EQ(rt.num_shards(), to_shards) << label;
+
+  rt.Start();
+  for (size_t i = split; i < arrivals.size(); ++i) rt.Ingest(arrivals[i]);
+  rt.Finish();
+
+  ExpectBitIdentical(c.oracle, CellsOf(rt), label);
+  for (const auto& [key, state] : c.oracle) {
+    EXPECT_TRUE(rt.results().Finalized(std::get<0>(key), std::get<1>(key)))
+        << label;
+  }
+  EXPECT_EQ(rt.stats().TotalLateDropped(), 0u)
+      << label << ": restore must not re-classify in-budget events as late";
+  std::filesystem::remove_all(dir);
+}
+
+/// The full (from, to) matrix at one lateness budget, split points drawn
+/// from a seeded RNG per combination (the "random boundaries" of the
+/// acceptance criteria — reproducible via SHARON_DISORDER_SEED_BASE).
+void RunCheckpointDifferential(const DiffCase& c, Duration lateness) {
+  ASSERT_FALSE(c.oracle.empty()) << c.name;
+  const WindowSpec& w = c.workload.window();
+  DisorderConfig inj;
+  inj.max_lateness = lateness;
+  inj.punctuation_period = w.slide / 2 > 0 ? w.slide / 2 : 1;
+  inj.seed = 0xc0ffee + static_cast<uint64_t>(lateness) + SeedBase();
+  const std::vector<Event> arrivals = InjectDisorder(c.events, inj);
+  ASSERT_LE(ObservedLateness(arrivals), lateness) << c.name;
+
+  for (size_t from_shards : {1u, 2u, 8u}) {
+    for (size_t to_shards : {1u, 2u, 8u}) {
+      std::mt19937_64 rng(SeedBase() * 7919 + from_shards * 131 +
+                          to_shards * 17 + static_cast<uint64_t>(lateness));
+      const size_t lo = arrivals.size() / 5;
+      const size_t hi = arrivals.size() * 4 / 5;
+      const size_t split =
+          lo + static_cast<size_t>(rng() % static_cast<uint64_t>(hi - lo));
+      const std::string label = c.name + "_lat" + std::to_string(lateness) +
+                                "_" + std::to_string(from_shards) + "to" +
+                                std::to_string(to_shards);
+      RunRoundTrip(c, arrivals, lateness, from_shards, to_shards, split,
+                   label);
+    }
+  }
+}
+
+TEST(CheckpointDifferential, TaxiSortedMatchesOracle) {
+  RunCheckpointDifferential(MakeTaxiCase(), /*lateness=*/0);
+}
+
+TEST(CheckpointDifferential, TaxiDisorderedMatchesOracle) {
+  DiffCase c = MakeTaxiCase();
+  RunCheckpointDifferential(c, /*lateness=*/c.workload.window().slide);
+}
+
+TEST(CheckpointDifferential, LinearRoadSortedMatchesOracle) {
+  RunCheckpointDifferential(MakeLinearRoadCase(), /*lateness=*/0);
+}
+
+TEST(CheckpointDifferential, LinearRoadDisorderedMatchesOracle) {
+  DiffCase c = MakeLinearRoadCase();
+  RunCheckpointDifferential(c, /*lateness=*/c.workload.window().slide);
+}
+
+TEST(CheckpointDifferential, EcommerceSortedMatchesOracle) {
+  RunCheckpointDifferential(MakeEcommerceCase(), /*lateness=*/0);
+}
+
+TEST(CheckpointDifferential, EcommerceDisorderedMatchesOracle) {
+  DiffCase c = MakeEcommerceCase();
+  RunCheckpointDifferential(c, /*lateness=*/c.workload.window().slide);
+}
+
+// Non-uniform workload (different windows): per-segment engine state
+// round-trips through the MultiEngine save/load path, including restore
+// into a different shard count.
+TEST(CheckpointDifferential, MultiEngineNonUniformWindowsRoundTrip) {
+  EcommerceConfig cfg;
+  cfg.num_items = 12;
+  cfg.num_customers = 8;
+  cfg.events_per_second = 400;
+  cfg.duration = Seconds(40);
+  Scenario s = GenerateEcommerce(cfg);
+
+  Workload w;
+  for (const char* text : {
+           "RETURN COUNT(*) PATTERN SEQ(Laptop, Case) WHERE [customer] "
+           "WITHIN 10 sec SLIDE 4 sec",
+           "RETURN SUM(Case.price) PATTERN SEQ(Laptop, Case, Adapter) "
+           "WHERE [customer] WITHIN 10 sec SLIDE 4 sec",
+           "RETURN COUNT(*) PATTERN SEQ(iPhone, ScreenProtector) "
+           "WHERE [customer] WITHIN 18 sec SLIDE 5 sec",
+       }) {
+    ParseResult parsed = ParseQuery(text, s.types, s.schema);
+    ASSERT_TRUE(parsed.ok) << parsed.error;
+    w.Add(parsed.query);
+  }
+
+  // Per-query oracle on the sorted stream, keyed by original query id.
+  CellMap oracle;
+  for (const Query& q : w.queries()) {
+    Workload single;
+    Query copy = q;
+    single.Add(copy);
+    const ResultCollector ref = ReferenceResults(single, s.events);
+    ref.ForEachCell([&](const ResultKey& key, const AggState& state) {
+      oracle[{q.id, key.window, key.group}] = state;
+    });
+  }
+  ASSERT_FALSE(oracle.empty());
+
+  const Duration lateness = Seconds(4);
+  DisorderConfig inj;
+  inj.max_lateness = lateness;
+  inj.punctuation_period = Seconds(2);
+  inj.seed = 99 + SeedBase();
+  const std::vector<Event> arrivals = InjectDisorder(s.events, inj);
+
+  CostModel cm(EstimateRates(s));
+  auto plan = PlanMultiEngine(w, cm);
+  ASSERT_TRUE(plan->ok()) << plan->error;
+
+  for (auto [from_shards, to_shards] :
+       {std::pair<size_t, size_t>{1, 8}, {8, 2}, {2, 2}}) {
+    const std::string label = "multi_" + std::to_string(from_shards) + "to" +
+                              std::to_string(to_shards);
+    const std::string dir = CheckpointDir(label);
+    const size_t split = arrivals.size() / 2 + from_shards * 97;
+    {
+      ShardedRuntime rt(w, plan, OptionsFor(from_shards, lateness));
+      ASSERT_TRUE(rt.ok()) << rt.error();
+      rt.Start();
+      for (size_t i = 0; i < split; ++i) rt.Ingest(arrivals[i]);
+      const ShardedRuntime::CheckpointResult cp = rt.Checkpoint(dir);
+      ASSERT_TRUE(cp.ok) << label << ": " << cp.reason;
+    }
+    ShardedRuntime::RestoreOptions ropts;
+    ropts.runtime = OptionsFor(to_shards, lateness);
+    ropts.workload = &w;
+    ropts.multi_plan = plan;
+    ShardedRuntime::RestoreOutcome restored =
+        ShardedRuntime::Restore(dir, ropts);
+    ASSERT_TRUE(restored.runtime) << label << ": " << restored.error;
+    ShardedRuntime& rt = *restored.runtime;
+    rt.Start();
+    for (size_t i = split; i < arrivals.size(); ++i) rt.Ingest(arrivals[i]);
+    rt.Finish();
+    ExpectBitIdentical(oracle, CellsOf(rt), label);
+    std::filesystem::remove_all(dir);
+  }
+}
+
+}  // namespace
+}  // namespace sharon
