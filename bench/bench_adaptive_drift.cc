@@ -25,6 +25,7 @@
 // configuration (PrintJsonRecord) for scraping.
 //
 // Usage: bench_adaptive_drift [--quick] [--shards N]
+//        [--metrics-out=<path>] [--trace-out=<path>]   (bench/bench_util.h)
 
 #include <cstdio>
 #include <cstring>
@@ -65,7 +66,8 @@ struct ModeResult {
 
 ModeResult RunMode(const Workload& w, const SharingPlan& plan,
                    const std::vector<Event>& arrivals, Timestamp drift_at,
-                   Duration lateness, size_t shards, bool adaptive) {
+                   Duration lateness, size_t shards, bool adaptive,
+                   const bench::ObsFlags& obs_flags) {
   runtime::RuntimeOptions opts;
   opts.num_shards = shards;
   // Small queues: ingest stays backpressure-bound, so ingest-side wall
@@ -74,6 +76,7 @@ ModeResult RunMode(const Workload& w, const SharingPlan& plan,
   opts.queue_capacity = 4;
   opts.disorder.enabled = true;
   opts.disorder.max_lateness = lateness;
+  obs_flags.Apply(&opts);
   runtime::ShardedRuntime rt(w, plan, opts);
   if (!rt.ok()) {
     std::fprintf(stderr, "runtime error: %s\n", rt.error().c_str());
@@ -104,6 +107,7 @@ ModeResult RunMode(const Workload& w, const SharingPlan& plan,
     }
   }
   rt.Finish();
+  bench::DumpObs(rt, obs_flags);
   r.wall_seconds = wall.ElapsedSeconds();
   if (drift_checkpoint >= 0) {
     r.post_drift_wall = r.wall_seconds - drift_checkpoint;
@@ -123,7 +127,7 @@ ModeResult RunMode(const Workload& w, const SharingPlan& plan,
   return r;
 }
 
-void Run(bool quick, size_t shards) {
+void Run(bool quick, size_t shards, const bench::ObsFlags& obs_flags) {
   std::printf(
       "=== Adaptive re-optimization under rate drift: static vs adaptive vs "
       "fresh plan ===\n%s\n", quick ? "(quick mode)" : "");
@@ -176,7 +180,7 @@ void Run(bool quick, size_t shards) {
                         {"fresh", &fresh_plan, false}};
   for (const Mode& m : modes) {
     ModeResult r = RunMode(w, *m.plan, arrivals, cfg.phase_length, lateness,
-                           shards, m.adaptive);
+                           shards, m.adaptive, obs_flags);
     PrintRow({m.name, Num(r.wall_seconds), Num(r.TotalEps(), 0),
               Num(r.PostDriftEps(), 0), Num(r.busy_seconds),
               Num(static_cast<double>(r.swaps), 0), Num(r.max_stall, 4),
@@ -203,12 +207,14 @@ void Run(bool quick, size_t shards) {
 int main(int argc, char** argv) {
   bool quick = false;
   size_t shards = 2;
+  sharon::bench::ObsFlags obs_flags;
   for (int i = 1; i < argc; ++i) {
+    if (sharon::bench::ParseObsFlag(argv[i], &obs_flags)) continue;
     if (std::strcmp(argv[i], "--quick") == 0) quick = true;
     if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
       shards = static_cast<size_t>(std::atoi(argv[++i]));
     }
   }
-  sharon::Run(quick, shards);
+  sharon::Run(quick, shards, obs_flags);
   return 0;
 }

@@ -30,7 +30,7 @@ using bench::PrintRow;
 using runtime::RuntimeOptions;
 using runtime::ShardedRuntime;
 
-void Run(bool quick) {
+void Run(bool quick, const bench::ObsFlags& obs_flags) {
   std::printf(
       "=== Checkpoint/restore: Fig. 14 workload (taxi, 20 queries, "
       "length 10)%s ===\n\n",
@@ -77,6 +77,7 @@ void Run(bool quick) {
     opts.num_shards = from_shards;
     opts.disorder.enabled = true;
     opts.disorder.max_lateness = inj.max_lateness;
+    obs_flags.Apply(&opts);
 
     ShardedRuntime rt(workload, plan, opts);
     if (!rt.ok()) {
@@ -124,6 +125,10 @@ void Run(bool quick) {
       restored.runtime->Ingest(arrivals[i]);
     }
     restored.runtime->Finish();
+    // Telemetry of the SOURCE runtime (which took the checkpoint): the
+    // trace carries the checkpoint lifecycle the dump is most useful for.
+    rt.Finish();
+    bench::DumpObs(rt, obs_flags);
 
     const double groups = static_cast<double>(live.groups);
     const double bytes_per_group =
@@ -161,9 +166,11 @@ void Run(bool quick) {
 
 int main(int argc, char** argv) {
   bool quick = false;
+  sharon::bench::ObsFlags obs_flags;
   for (int i = 1; i < argc; ++i) {
+    if (sharon::bench::ParseObsFlag(argv[i], &obs_flags)) continue;
     if (std::strcmp(argv[i], "--quick") == 0) quick = true;
   }
-  sharon::Run(quick);
+  sharon::Run(quick, obs_flags);
   return 0;
 }

@@ -16,7 +16,8 @@
 // pending-window count and result bytes grow linearly with the stream.
 //
 // Each row also goes out as a one-line JSON record (PrintJsonRecord,
-// bench/bench_util.h) for scraping.
+// bench/bench_util.h) for scraping. --metrics-out=<path> / --trace-out=
+// <path> dump the runtimes' telemetry (src/obs/) as validated JSON-lines.
 
 #include <cstdio>
 #include <cstring>
@@ -30,10 +31,11 @@ namespace sharon {
 namespace {
 
 using bench::Num;
+using bench::ObsFlags;
 using bench::PrintJsonRecord;
 using bench::PrintRow;
 
-void Run(bool quick) {
+void Run(bool quick, const ObsFlags& obs_flags) {
   std::printf(
       "=== Runtime scaling: Fig. 14 workload (taxi, 20 queries, length 10), "
       "shard counts {1,2,4,8} ===\n");
@@ -76,6 +78,7 @@ void Run(bool quick) {
     for (size_t shards : {1u, 2u, 4u, 8u}) {
       runtime::RuntimeOptions ropts;
       ropts.num_shards = shards;
+      obs_flags.Apply(&ropts);
       runtime::ShardedRuntime rt(w, plan, ropts);
       if (!rt.ok()) {
         std::fprintf(stderr, "runtime error: %s\n", rt.error().c_str());
@@ -84,6 +87,7 @@ void Run(bool quick) {
       const auto alloc_before = alloc_stats::Snapshot();
       rt.Run(s.events, s.duration);
       const auto alloc_delta = alloc_stats::Snapshot() - alloc_before;
+      bench::DumpObs(rt, obs_flags);
       runtime::RuntimeStats stats = rt.stats();
 
       const double rate = stats.EventsPerSecond();
@@ -136,6 +140,7 @@ void Run(bool quick) {
     ropts.ingest_partitions = producers;
     ropts.disorder.enabled = true;
     ropts.disorder.max_lateness = 0;
+    obs_flags.Apply(&ropts);
     runtime::ShardedRuntime rt(w, opt.plan, ropts);
     if (!rt.ok()) {
       std::fprintf(stderr, "runtime error: %s\n", rt.error().c_str());
@@ -166,6 +171,7 @@ void Run(bool quick) {
     for (auto& t : threads) t.join();
     rt.Finish();
     const auto alloc_delta = alloc_stats::Snapshot() - alloc_before;
+    bench::DumpObs(rt, obs_flags);
     runtime::RuntimeStats stats = rt.stats();
     const double rate = stats.EventsPerSecond();
     const double allocs_per_event =
@@ -312,14 +318,16 @@ void RunLongStream(bool quick) {
 int main(int argc, char** argv) {
   bool quick = false;
   bool long_stream = false;
+  sharon::bench::ObsFlags obs_flags;
   for (int i = 1; i < argc; ++i) {
+    if (sharon::bench::ParseObsFlag(argv[i], &obs_flags)) continue;
     if (std::strcmp(argv[i], "--quick") == 0) quick = true;
     if (std::strcmp(argv[i], "--long-stream") == 0) long_stream = true;
   }
   if (long_stream) {
     sharon::RunLongStream(quick);
   } else {
-    sharon::Run(quick);
+    sharon::Run(quick, obs_flags);
   }
   return 0;
 }

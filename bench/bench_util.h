@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "src/obs/exporter.h"
 #include "src/sharon.h"
 
 namespace sharon::bench {
@@ -70,9 +71,12 @@ inline std::string OrDnf(const RunStats& stats, double value,
 
 /// One machine-readable result record. Benches print one JSON object per
 /// line next to their human tables so sweeps can be scraped:
-///   {"bench":"<name>","params":{...},"metrics":{...}}
+///   {"bench":"<name>","params":{...},"metrics":{...},"schema_version":1}
 /// Params are strings, metrics are numbers; keys must be plain
-/// identifiers (no escaping is performed).
+/// identifiers (no escaping is performed). The schema version rides at
+/// the END so the `{"bench":"<name>"` prefix scrapers key on stays put;
+/// tools/check_bench_regression.py refuses records whose version it does
+/// not know (same policy as obs::kSchemaVersion for telemetry dumps).
 inline void PrintJsonRecord(
     const std::string& bench,
     const std::vector<std::pair<std::string, std::string>>& params,
@@ -87,7 +91,65 @@ inline void PrintJsonRecord(
     std::printf("%s\"%s\":%.6g", i ? "," : "", metrics[i].first.c_str(),
                 metrics[i].second);
   }
-  std::printf("}}\n");
+  std::printf("},\"schema_version\":%u}\n", obs::kSchemaVersion);
+}
+
+/// Telemetry output flags shared by the runtime benches and examples:
+///   --metrics-out=<path>  final metrics snapshot, JSON-lines (appended
+///                         once per runtime, so sweeps accumulate lines)
+///   --trace-out=<path>    lifecycle trace, JSON-lines (rewritten; holds
+///                         the most recently dumped runtime's trace)
+/// Both formats are validated by tools/check_metrics_schema.py.
+struct ObsFlags {
+  std::string metrics_out;  ///< "" = metrics dump off
+  std::string trace_out;    ///< "" = trace dump off
+
+  /// True when any telemetry output was requested.
+  bool any() const { return !metrics_out.empty() || !trace_out.empty(); }
+
+  /// Turns on the matching RuntimeOptions::obs switches.
+  void Apply(runtime::RuntimeOptions* opts) const {
+    opts->obs.metrics = opts->obs.metrics || !metrics_out.empty();
+    opts->obs.trace = opts->obs.trace || !trace_out.empty();
+  }
+};
+
+/// Consumes `--metrics-out=`/`--trace-out=` arguments; returns false for
+/// anything else (the bench handles its own flags).
+inline bool ParseObsFlag(const std::string& arg, ObsFlags* flags) {
+  constexpr const char* kMetrics = "--metrics-out=";
+  constexpr const char* kTrace = "--trace-out=";
+  if (arg.rfind(kMetrics, 0) == 0) {
+    flags->metrics_out = arg.substr(std::string(kMetrics).size());
+    return true;
+  }
+  if (arg.rfind(kTrace, 0) == 0) {
+    flags->trace_out = arg.substr(std::string(kTrace).size());
+    return true;
+  }
+  return false;
+}
+
+/// Dumps the finished runtime's telemetry per `flags` (call after
+/// Finish(): the snapshot then carries the folded RuntimeStats gauges).
+inline void DumpObs(const runtime::ShardedRuntime& rt, const ObsFlags& flags) {
+  if (!flags.metrics_out.empty()) {
+    obs::ExporterOptions eopts;
+    eopts.metrics_path = flags.metrics_out;
+    obs::SnapshotExporter exporter([&rt] { return rt.TelemetrySnapshot(); },
+                                   eopts);
+    if (!exporter.ExportNow()) {
+      std::fprintf(stderr, "metrics dump failed: %s\n",
+                   exporter.error().c_str());
+    }
+  }
+  if (!flags.trace_out.empty()) {
+    const std::string err = obs::WriteTraceFile(flags.trace_out,
+                                                rt.DumpTrace());
+    if (!err.empty()) {
+      std::fprintf(stderr, "trace dump failed: %s\n", err.c_str());
+    }
+  }
 }
 
 }  // namespace sharon::bench

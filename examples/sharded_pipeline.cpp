@@ -8,16 +8,32 @@
 //     driver, as a live feed would.
 //  4. Read merged results through the same Value() surface as Engine,
 //     plus per-shard runtime counters.
+//  5. Optionally export telemetry (src/obs/): --metrics-out=<path> dumps
+//     the final metrics snapshot as JSON-lines, --trace-out=<path> the
+//     lifecycle trace (both validated by tools/check_metrics_schema.py).
 //
 // Build & run:  ./build/examples/example_sharded_pipeline
+//               [--metrics-out=<path>] [--trace-out=<path>]
 
 #include <cstdio>
+#include <cstring>
+#include <string>
 
+#include "src/obs/exporter.h"
 #include "src/sharon.h"
 
 using namespace sharon;
 
-int main() {
+int main(int argc, char** argv) {
+  std::string metrics_out, trace_out;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--metrics-out=", 0) == 0) {
+      metrics_out = arg.substr(std::strlen("--metrics-out="));
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
+      trace_out = arg.substr(std::strlen("--trace-out="));
+    }
+  }
   // --- 1. Workload + sharing plan (one optimizer pass for all shards). --
   TaxiConfig tcfg;
   tcfg.num_streets = 16;
@@ -42,6 +58,8 @@ int main() {
   runtime::RuntimeOptions ropts;
   ropts.num_shards = 4;
   ropts.batch_size = 128;
+  ropts.obs.metrics = !metrics_out.empty();
+  ropts.obs.trace = !trace_out.empty();
   runtime::ShardedRuntime rt(workload, opt.plan, ropts);
   if (!rt.ok()) {
     std::fprintf(stderr, "runtime error: %s\n", rt.error().c_str());
@@ -79,5 +97,27 @@ int main() {
               static_cast<unsigned long long>(stats.events_ingested),
               stats.wall_seconds, stats.EventsPerSecond(),
               static_cast<unsigned long long>(stats.TotalStalls()));
+
+  // --- 5. Telemetry export (after Finish: rollup gauges are folded). ----
+  if (!metrics_out.empty()) {
+    obs::ExporterOptions eopts;
+    eopts.metrics_path = metrics_out;
+    obs::SnapshotExporter exporter([&rt] { return rt.TelemetrySnapshot(); },
+                                   eopts);
+    if (exporter.ExportNow()) {
+      std::printf("metrics snapshot -> %s\n", metrics_out.c_str());
+    } else {
+      std::fprintf(stderr, "metrics dump failed: %s\n",
+                   exporter.error().c_str());
+    }
+  }
+  if (!trace_out.empty()) {
+    const std::string err = obs::WriteTraceFile(trace_out, rt.DumpTrace());
+    if (err.empty()) {
+      std::printf("lifecycle trace -> %s\n", trace_out.c_str());
+    } else {
+      std::fprintf(stderr, "trace dump failed: %s\n", err.c_str());
+    }
+  }
   return 0;
 }

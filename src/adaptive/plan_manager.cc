@@ -46,6 +46,23 @@ void PlanManager::EvaluateEpoch() {
   if (drifted) ++stats_.drift_detections;
   ++stats_.evaluations;
 
+  // Lifecycle trace (src/obs/): the manager runs on the ingest thread —
+  // the control ring's designated writer — so emitting here keeps the
+  // one-writer contract. Decision events carry the predicted gain in
+  // parts-per-million (the ring payload is integral).
+  obs::TraceRing* ring = runtime_ ? runtime_->control_trace() : nullptr;
+  if (ring) {
+    ring->Emit(obs::TraceKind::kReoptTriggered, kNoWatermark,
+               last_evaluated_epoch_, drifted ? 1 : 0);
+  }
+  auto decide = [&](obs::ReoptOutcome outcome, double gain) {
+    if (ring) {
+      ring->Emit(obs::TraceKind::kReoptDecision, kNoWatermark,
+                 static_cast<int64_t>(outcome),
+                 static_cast<int64_t>(gain * 1e6));
+    }
+  };
+
   ReoptimizeOptions ropts;
   ropts.so_escalation_gap = options_.so_escalation_gap;
   ropts.config = options_.optimizer;
@@ -64,6 +81,7 @@ void PlanManager::EvaluateEpoch() {
     // rebase a one-time rate shift would re-trigger the optimizer every
     // epoch forever even though the answer never changes.
     monitor_.RebaseOnCurrent();
+    decide(obs::ReoptOutcome::kHold, last_reopt_.GainRatio());
     return;
   }
 
@@ -75,6 +93,7 @@ void PlanManager::EvaluateEpoch() {
     // An optimizer plan that fails compilation is a bug upstream; count
     // the refusal and keep the incumbent rather than crash the stream.
     ++stats_.swaps_rejected;
+    decide(obs::ReoptOutcome::kSwapRejected, last_reopt_.GainRatio());
     return;
   }
   runtime::ShardedRuntime::SwapRequest req =
@@ -82,12 +101,14 @@ void PlanManager::EvaluateEpoch() {
   if (!req.accepted) {
     // Typically "previous swap still in flight": retry next epoch.
     ++stats_.swaps_rejected;
+    decide(obs::ReoptOutcome::kSwapRejected, last_reopt_.GainRatio());
     return;
   }
   ++stats_.swaps_accepted;
   current_plan_ = last_reopt_.chosen.plan;
   incumbent_plan_id_ = req.id;
   monitor_.RebaseOnCurrent();
+  decide(obs::ReoptOutcome::kSwapAccepted, last_reopt_.GainRatio());
 }
 
 }  // namespace sharon::adaptive

@@ -214,11 +214,24 @@ void Engine::OnEvent(const Event& e) {
     // complete (and its windows possibly finalized), so absorbing it
     // would break exactly-once. Drop it, visibly.
     ++wm_stats_.late_dropped;
+    if (obs_) {
+      if (obs_->late_dropped) obs_->late_dropped->Inc();
+      if (obs_->ring) obs_->ring->Emit(obs::TraceKind::kLateDrop, e.time,
+                                       frontier_);
+    }
     return;
   }
   reorder_.push(e);
   if (reorder_.size() > wm_stats_.buffered_peak) {
     wm_stats_.buffered_peak = reorder_.size();
+  }
+  if (obs_) {
+    if (obs_->event_lateness) {
+      obs_->event_lateness->Record(static_cast<uint64_t>(high_mark_ - e.time));
+    }
+    if (obs_->buffered_events) {
+      obs_->buffered_events->Set(static_cast<int64_t>(reorder_.size()));
+    }
   }
 }
 
@@ -275,11 +288,29 @@ void Engine::AdvanceWatermark(Timestamp t) {
 
   // 1. Release buffered events strictly below the safe point, in time
   //    order — the A-Seq machinery sees a sorted stream.
+  uint64_t released = 0;
   while (!reorder_.empty() && reorder_.top().time < safe) {
     ProcessOrdered(reorder_.top());
     reorder_.pop();
+    ++released;
   }
   if (safe > frontier_) frontier_ = safe;
+  if (obs_) {
+    if (obs_->watermark) obs_->watermark->Set(t);
+    if (obs_->safe_point) obs_->safe_point->Set(safe);
+    if (obs_->released_events) obs_->released_events->Add(released);
+    if (obs_->release_batch) obs_->release_batch->Record(released);
+    if (obs_->buffered_events) {
+      obs_->buffered_events->Set(static_cast<int64_t>(reorder_.size()));
+    }
+    if (obs_->ring) {
+      obs_->ring->Emit(obs::TraceKind::kWatermarkAdvance, t, safe);
+      if (released > 0) {
+        obs_->ring->Emit(obs::TraceKind::kReorderRelease, safe,
+                         static_cast<int64_t>(released));
+      }
+    }
+  }
 
   // 2. Finalize windows that close at or before the safe point: all of
   //    their events (times < close <= safe) were released in step 1, so
@@ -305,6 +336,10 @@ void Engine::AdvanceWatermark(Timestamp t) {
         wm_stats_.finalized_cells += cells;
         wm_stats_.finalized_windows += windows;
         next_finalize_ = limit;
+        if (obs_) {
+          if (obs_->finalized_cells) obs_->finalized_cells->Add(cells);
+          if (obs_->finalized_windows) obs_->finalized_windows->Add(windows);
+        }
       }
     }
   }

@@ -29,6 +29,7 @@
 #include "src/exec/chain_runner.h"
 #include "src/exec/result.h"
 #include "src/exec/segment_counter.h"
+#include "src/obs/engine_obs.h"
 #include "src/sharing/candidate.h"
 
 namespace sharon {
@@ -151,6 +152,15 @@ class Engine {
   Timestamp SafePoint() const { return policy_.SafePoint(wm_stats_.watermark); }
 
   const WatermarkStats& watermark_stats() const { return wm_stats_; }
+
+  /// Attaches telemetry (src/obs/): cells and the trace ring of `obs` are
+  /// written from the engine's thread on the event/watermark path. The
+  /// pointed-to handle must outlive the engine (or be detached with
+  /// nullptr); null (the default) keeps the seed behaviour. Cells are
+  /// preallocated by the registry, so the event path stays
+  /// zero-allocation with observability attached.
+  void SetObservability(const obs::EngineObs* o) { obs_ = o; }
+  const obs::EngineObs* observability() const { return obs_; }
 
   /// Results of windows that are not yet finalized (watermark mode only;
   /// these cells may still grow).
@@ -276,6 +286,7 @@ class Engine {
   WindowId next_finalize_ = 0;      ///< windows below this are finalized
   Timestamp results_floor_ = kNoWatermark;  ///< hot-swap handoff boundary
   WindowId floor_limit_ = 0;        ///< windows below this are suppressed
+  const obs::EngineObs* obs_ = nullptr;  ///< optional telemetry handle
 
   static constexpr uint64_t kSweepInterval = 4096;
 };

@@ -95,6 +95,13 @@ class MultiEngine {
   /// Releases and finalizes everything on every segment engine.
   void CloseStream();
 
+  /// Attaches one telemetry handle to every segment engine (they share
+  /// the shard's cells: the segments run on one thread, so the one-writer
+  /// contract holds; counters simply sum across segments). Null detaches.
+  void SetObservability(const obs::EngineObs* o) {
+    for (auto& e : engines_) e->SetObservability(o);
+  }
+
   /// True once `window` (in the query's own window grid) is finalized.
   bool Finalized(QueryId query, WindowId window) const;
 

@@ -1,0 +1,28 @@
+#include "src/obs/engine_obs.h"
+
+namespace sharon::obs {
+
+EngineObs RegisterEngineObs(MetricsRegistry& registry, size_t shard) {
+  const MetricLabels labels = ShardLabels(shard);
+  EngineObs obs;
+  obs.source = static_cast<uint32_t>(shard);
+  obs.late_dropped = registry.Counter("sharon_late_dropped_total", labels);
+  obs.released_events =
+      registry.Counter("sharon_released_events_total", labels);
+  obs.finalized_windows =
+      registry.Counter("sharon_finalized_windows_total", labels);
+  obs.finalized_cells =
+      registry.Counter("sharon_finalized_cells_total", labels);
+  obs.watermark = registry.Gauge("sharon_watermark_ticks", labels);
+  obs.safe_point = registry.Gauge("sharon_safe_point_ticks", labels);
+  obs.buffered_events = registry.Gauge("sharon_buffered_events", labels);
+  obs.event_lateness =
+      registry.Histogram("sharon_event_lateness_ticks", labels);
+  obs.release_batch =
+      registry.Histogram("sharon_release_batch_events", labels);
+  obs.watermark->Set(kNoWatermark);
+  obs.safe_point->Set(kNoWatermark);
+  return obs;
+}
+
+}  // namespace sharon::obs

@@ -1,0 +1,54 @@
+// Executor-level observability handle.
+//
+// Engine (and MultiEngine, which fans one handle out to its segment
+// engines) accepts an optional EngineObs via SetObservability. All
+// members are nullable: a null cell/ring simply skips that signal, and a
+// null handle (the default) keeps the executor bit-for-bit on the seed
+// hot path. Every pointer targets registry- or caller-owned storage that
+// must outlive the engine; all writes are single-threaded from the
+// engine's own thread (the shard worker), matching the cells'
+// one-writer contract.
+
+#ifndef SHARON_OBS_ENGINE_OBS_H_
+#define SHARON_OBS_ENGINE_OBS_H_
+
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
+namespace sharon::obs {
+
+/// Cell/ring pointers an executor emits into. Register the standard set
+/// with RegisterEngineObs, or wire individual cells by hand (tests).
+struct EngineObs {
+  uint32_t source = 0;  ///< trace source id (shard index)
+
+  // --- counters ---------------------------------------------------------
+  CounterCell* late_dropped = nullptr;      ///< events below the safe point
+  CounterCell* released_events = nullptr;   ///< reorder-buffer releases
+  CounterCell* finalized_windows = nullptr; ///< windows sealed exactly-once
+  CounterCell* finalized_cells = nullptr;   ///< result cells sealed
+
+  // --- gauges -----------------------------------------------------------
+  GaugeCell* watermark = nullptr;      ///< highest applied watermark (ticks)
+  GaugeCell* safe_point = nullptr;     ///< watermark - max_lateness (ticks)
+  GaugeCell* buffered_events = nullptr;  ///< reorder-buffer occupancy
+
+  // --- histograms -------------------------------------------------------
+  /// Arrival lateness in ticks (observed high-mark minus event time),
+  /// recorded per buffered data event.
+  HistogramCell* event_lateness = nullptr;
+  /// Events released per watermark application (release-batch size).
+  HistogramCell* release_batch = nullptr;
+
+  /// Lifecycle ring (watermark advances, releases, late drops); may be
+  /// set with all cells null for trace-only observability.
+  TraceRing* ring = nullptr;
+};
+
+/// Registers the standard executor cell set on `registry`, labelled
+/// shard="shard". The ring is left null (attach one if tracing).
+EngineObs RegisterEngineObs(MetricsRegistry& registry, size_t shard);
+
+}  // namespace sharon::obs
+
+#endif  // SHARON_OBS_ENGINE_OBS_H_

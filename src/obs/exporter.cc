@@ -1,0 +1,287 @@
+#include "src/obs/exporter.h"
+
+#include <cstdio>
+#include <utility>
+
+namespace sharon::obs {
+
+namespace {
+
+/// Minimal string escape shared by the JSON and Prometheus emitters
+/// (metric names and label values are plain identifiers by convention;
+/// this keeps a stray quote from corrupting the stream anyway).
+void AppendEscaped(std::string& out, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+}
+
+void AppendJsonLabels(std::string& out, const MetricLabels& labels) {
+  out += "\"labels\":{";
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i) out.push_back(',');
+    out.push_back('"');
+    AppendEscaped(out, labels[i].first);
+    out += "\":\"";
+    AppendEscaped(out, labels[i].second);
+    out.push_back('"');
+  }
+  out.push_back('}');
+}
+
+void AppendU64(std::string& out, uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+void AppendI64(std::string& out, int64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  out += buf;
+}
+
+/// `{label="v",...}` suffix for a Prometheus series ("" when unlabelled).
+std::string PromLabels(const MetricLabels& labels,
+                       const std::string& extra = "") {
+  if (labels.empty() && extra.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += k;
+    out += "=\"";
+    AppendEscaped(out, v);
+    out.push_back('"');
+  }
+  if (!extra.empty()) {
+    if (!first) out.push_back(',');
+    out += extra;
+  }
+  out.push_back('}');
+  return out;
+}
+
+/// Emits the `# TYPE` header once per metric name, in first-appearance
+/// order, with every series of that name grouped under it (the text
+/// exposition format requires one contiguous group per metric).
+template <typename Value, typename EmitSeries>
+void PromGroupByName(std::string& out, const std::vector<Value>& values,
+                     const char* type, const EmitSeries& emit) {
+  std::vector<bool> done(values.size(), false);
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (done[i]) continue;
+    out += "# TYPE ";
+    out += values[i].name;
+    out += " ";
+    out += type;
+    out.push_back('\n');
+    for (size_t j = i; j < values.size(); ++j) {
+      if (done[j] || values[j].name != values[i].name) continue;
+      done[j] = true;
+      emit(values[j]);
+    }
+  }
+}
+
+std::string WriteWholeFile(const std::string& path, const std::string& text,
+                           bool append) {
+  std::FILE* f = std::fopen(path.c_str(), append ? "ab" : "wb");
+  if (!f) return "cannot open " + path;
+  const size_t n = std::fwrite(text.data(), 1, text.size(), f);
+  const bool ok = n == text.size() && std::fclose(f) == 0;
+  if (!ok) return "short write to " + path;
+  return "";
+}
+
+}  // namespace
+
+std::string MetricsJsonLine(const MetricsSnapshot& snapshot, uint64_t seq,
+                            double wall_seconds) {
+  std::string out = "{\"schema_version\":";
+  AppendU64(out, kSchemaVersion);
+  out += ",\"kind\":\"metrics\",\"seq\":";
+  AppendU64(out, seq);
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), ",\"wall_seconds\":%.6f", wall_seconds);
+  out += buf;
+  out += ",\"counters\":[";
+  for (size_t i = 0; i < snapshot.counters.size(); ++i) {
+    const auto& c = snapshot.counters[i];
+    if (i) out.push_back(',');
+    out += "{\"name\":\"";
+    AppendEscaped(out, c.name);
+    out += "\",";
+    AppendJsonLabels(out, c.labels);
+    out += ",\"value\":";
+    AppendU64(out, c.value);
+    out.push_back('}');
+  }
+  out += "],\"gauges\":[";
+  for (size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    const auto& g = snapshot.gauges[i];
+    if (i) out.push_back(',');
+    out += "{\"name\":\"";
+    AppendEscaped(out, g.name);
+    out += "\",";
+    AppendJsonLabels(out, g.labels);
+    out += ",\"value\":";
+    AppendI64(out, g.value);
+    out.push_back('}');
+  }
+  out += "],\"histograms\":[";
+  for (size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    const auto& h = snapshot.histograms[i];
+    if (i) out.push_back(',');
+    out += "{\"name\":\"";
+    AppendEscaped(out, h.name);
+    out += "\",";
+    AppendJsonLabels(out, h.labels);
+    out += ",\"count\":";
+    AppendU64(out, h.data.count);
+    out += ",\"sum\":";
+    AppendU64(out, h.data.sum);
+    out += ",\"buckets\":[";
+    for (size_t j = 0; j < h.data.buckets.size(); ++j) {
+      if (j) out.push_back(',');
+      AppendU64(out, h.data.buckets[j]);
+    }
+    out += "]}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string TraceJsonLine(const TraceEvent& event) {
+  std::string out = "{\"schema_version\":";
+  AppendU64(out, kSchemaVersion);
+  out += ",\"kind\":\"trace\",\"nanos\":";
+  AppendU64(out, event.nanos);
+  out += ",\"seq\":";
+  AppendU64(out, event.seq);
+  out += ",\"source\":";
+  AppendU64(out, event.source);
+  out += ",\"event\":\"";
+  out += TraceKindName(event.kind);
+  out += "\",\"stream_time\":";
+  AppendI64(out, event.stream_time);
+  out += ",\"a\":";
+  AppendI64(out, event.a);
+  out += ",\"b\":";
+  AppendI64(out, event.b);
+  out.push_back('}');
+  return out;
+}
+
+std::string PrometheusText(const MetricsSnapshot& snapshot) {
+  std::string out;
+  PromGroupByName(out, snapshot.counters, "counter",
+                  [&](const MetricsSnapshot::CounterValue& c) {
+                    out += c.name;
+                    out += PromLabels(c.labels);
+                    out.push_back(' ');
+                    AppendU64(out, c.value);
+                    out.push_back('\n');
+                  });
+  PromGroupByName(out, snapshot.gauges, "gauge",
+                  [&](const MetricsSnapshot::GaugeValue& g) {
+                    out += g.name;
+                    out += PromLabels(g.labels);
+                    out.push_back(' ');
+                    AppendI64(out, g.value);
+                    out.push_back('\n');
+                  });
+  PromGroupByName(
+      out, snapshot.histograms, "histogram",
+      [&](const MetricsSnapshot::HistogramValue& h) {
+        uint64_t cumulative = 0;
+        for (size_t i = 0; i < h.data.buckets.size(); ++i) {
+          cumulative += h.data.buckets[i];
+          std::string le;
+          if (i == HistogramCell::kOverflowBucket) {
+            le = "le=\"+Inf\"";
+          } else {
+            le = "le=\"";
+            char buf[24];
+            std::snprintf(buf, sizeof(buf), "%llu",
+                          static_cast<unsigned long long>(
+                              HistogramCell::UpperBound(i)));
+            le += buf;
+            le += "\"";
+          }
+          out += h.name;
+          out += "_bucket";
+          out += PromLabels(h.labels, le);
+          out.push_back(' ');
+          AppendU64(out, cumulative);
+          out.push_back('\n');
+        }
+        out += h.name;
+        out += "_sum";
+        out += PromLabels(h.labels);
+        out.push_back(' ');
+        AppendU64(out, h.data.sum);
+        out.push_back('\n');
+        out += h.name;
+        out += "_count";
+        out += PromLabels(h.labels);
+        out.push_back(' ');
+        AppendU64(out, h.data.count);
+        out.push_back('\n');
+      });
+  return out;
+}
+
+std::string WriteTraceFile(const std::string& path,
+                           const std::vector<TraceEvent>& events) {
+  std::string text;
+  for (const TraceEvent& e : events) {
+    text += TraceJsonLine(e);
+    text.push_back('\n');
+  }
+  return WriteWholeFile(path, text, /*append=*/false);
+}
+
+SnapshotExporter::SnapshotExporter(std::function<MetricsSnapshot()> source,
+                                   ExporterOptions options)
+    : source_(std::move(source)), options_(std::move(options)) {}
+
+bool SnapshotExporter::Tick() {
+  const double now = wall_.ElapsedSeconds();
+  if (last_export_seconds_ >= 0 &&
+      now - last_export_seconds_ < options_.period_seconds) {
+    return false;
+  }
+  return ExportNow();
+}
+
+bool SnapshotExporter::ExportNow() {
+  const double now = wall_.ElapsedSeconds();
+  const MetricsSnapshot snapshot = source_();
+  const std::string line = MetricsJsonLine(snapshot, exports_, now);
+  bool ok = true;
+  if (!options_.metrics_path.empty()) {
+    const std::string err =
+        WriteWholeFile(options_.metrics_path, line + "\n", /*append=*/true);
+    if (!err.empty()) {
+      error_ = err;
+      ok = false;
+    }
+  }
+  if (!options_.prometheus_path.empty()) {
+    const std::string err = WriteWholeFile(
+        options_.prometheus_path, PrometheusText(snapshot), /*append=*/false);
+    if (!err.empty()) {
+      error_ = err;
+      ok = false;
+    }
+  }
+  if (options_.sink) options_.sink(line);
+  last_export_seconds_ = now;
+  ++exports_;
+  return ok;
+}
+
+}  // namespace sharon::obs

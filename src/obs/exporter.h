@@ -1,0 +1,107 @@
+// Snapshot exporter: serializes MetricsSnapshots and trace dumps to
+// stable text formats and drives periodic export to a sink.
+//
+// Two wire formats, both with an explicit schema version the way
+// src/common/serde.h versions its binary frames:
+//   - JSON-lines: one self-contained JSON object per line —
+//     kind="metrics" lines carry a whole snapshot, kind="trace" lines
+//     carry one lifecycle event. tools/check_metrics_schema.py validates
+//     dumps against the checked-in schema (kSchemaVersion); unknown
+//     versions are refused, never guessed at.
+//   - Prometheus text exposition (version 0.0.4): counters as `_total`,
+//     histograms as cumulative `_bucket{le=...}` series + `_sum`/`_count`,
+//     ready for a scrape endpoint to serve verbatim
+//     (docs/OPERATIONS.md "Monitoring reference").
+//
+// The periodic driver (SnapshotExporter) is pull-based and runs on the
+// caller's thread: Tick() between ingest calls exports when the period
+// elapsed, ExportNow() forces one (benches dump a final snapshot this
+// way). File sinks append JSON-lines and rewrite the Prometheus file
+// whole, so the latest exposition is always a complete scrape.
+
+#ifndef SHARON_OBS_EXPORTER_H_
+#define SHARON_OBS_EXPORTER_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/common/metrics.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
+namespace sharon::obs {
+
+/// Version stamped into every exported line; bump on any breaking field
+/// change and teach tools/check_metrics_schema.py the new shape first.
+inline constexpr uint32_t kSchemaVersion = 1;
+
+/// One metrics snapshot as a single JSON line (no trailing newline).
+/// `seq` is the export sequence number, `wall_seconds` the exporter's
+/// wall clock at sampling time.
+std::string MetricsJsonLine(const MetricsSnapshot& snapshot, uint64_t seq,
+                            double wall_seconds);
+
+/// One trace event as a single JSON line (no trailing newline).
+std::string TraceJsonLine(const TraceEvent& event);
+
+/// The whole snapshot in Prometheus text exposition format 0.0.4
+/// (# TYPE comments, cumulative histogram buckets, final newline).
+std::string PrometheusText(const MetricsSnapshot& snapshot);
+
+/// Writes `events` as trace JSON-lines to `path` (truncating). Returns
+/// an empty string on success, a diagnostic otherwise.
+std::string WriteTraceFile(const std::string& path,
+                           const std::vector<TraceEvent>& events);
+
+/// Where and how often SnapshotExporter writes.
+struct ExporterOptions {
+  /// JSON-lines file, appended one metrics line per export ("" = off).
+  std::string metrics_path;
+  /// Prometheus text file, rewritten whole per export ("" = off).
+  std::string prometheus_path;
+  /// Callback sink, invoked with each metrics JSON line (null = off).
+  std::function<void(const std::string& line)> sink;
+  /// Minimum seconds between Tick()-driven exports.
+  double period_seconds = 1.0;
+};
+
+/// Periodic, pull-based export driver. Single-threaded: call Tick /
+/// ExportNow from one thread (the ingest thread); the snapshot source
+/// itself reads atomically-published cells, so sampling while shard
+/// workers run is safe.
+class SnapshotExporter {
+ public:
+  /// `source` produces the snapshot to serialize (e.g. wraps
+  /// ShardedRuntime::TelemetrySnapshot); must remain callable for the
+  /// exporter's lifetime.
+  SnapshotExporter(std::function<MetricsSnapshot()> source,
+                   ExporterOptions options);
+
+  /// Exports if `period_seconds` elapsed since the last export. Returns
+  /// true when an export happened.
+  bool Tick();
+
+  /// Exports unconditionally. Returns false on a sink I/O failure
+  /// (error() explains; the exporter keeps running).
+  bool ExportNow();
+
+  /// Last I/O diagnostic ("" when every export succeeded).
+  const std::string& error() const { return error_; }
+
+  /// Completed exports (the `seq` of the next line).
+  uint64_t exports() const { return exports_; }
+
+ private:
+  std::function<MetricsSnapshot()> source_;
+  ExporterOptions options_;
+  StopWatch wall_;
+  double last_export_seconds_ = -1;  ///< first Tick always exports
+  uint64_t exports_ = 0;
+  std::string error_;
+};
+
+}  // namespace sharon::obs
+
+#endif  // SHARON_OBS_EXPORTER_H_

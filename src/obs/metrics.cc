@@ -1,0 +1,77 @@
+#include "src/obs/metrics.h"
+
+namespace sharon::obs {
+
+MetricLabels ShardLabels(size_t shard) {
+  return {{"shard", std::to_string(shard)}};
+}
+
+MetricLabels PartitionLabels(size_t partition) {
+  return {{"partition", std::to_string(partition)}};
+}
+
+namespace {
+
+// The cells hold atomics and are neither copyable nor movable, so every
+// Entry is default-constructed in place and named afterwards.
+template <typename Deque>
+auto* RegisterEntry(Deque& entries, std::string name, MetricLabels labels) {
+  entries.emplace_back();
+  auto& e = entries.back();
+  e.name = std::move(name);
+  e.labels = std::move(labels);
+  return &e.cell;
+}
+
+}  // namespace
+
+CounterCell* MetricsRegistry::Counter(std::string name, MetricLabels labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return RegisterEntry(counters_, std::move(name), std::move(labels));
+}
+
+GaugeCell* MetricsRegistry::Gauge(std::string name, MetricLabels labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return RegisterEntry(gauges_, std::move(name), std::move(labels));
+}
+
+HistogramCell* MetricsRegistry::Histogram(std::string name,
+                                          MetricLabels labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return RegisterEntry(histograms_, std::move(name), std::move(labels));
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& e : counters_) {
+    snap.counters.push_back({e.name, e.labels, e.cell.value()});
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& e : gauges_) {
+    snap.gauges.push_back({e.name, e.labels, e.cell.value()});
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& e : histograms_) {
+    MetricsSnapshot::HistogramValue h;
+    h.name = e.name;
+    h.labels = e.labels;
+    uint64_t count = 0;
+    for (size_t i = 0; i < HistogramCell::kNumBuckets; ++i) {
+      h.data.buckets[i] = e.cell.bucket(i);
+      count += h.data.buckets[i];
+    }
+    h.data.count = count;
+    h.data.sum = e.cell.sum();
+    snap.histograms.push_back(std::move(h));
+  }
+  return snap;
+}
+
+size_t MetricsRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+}  // namespace sharon::obs

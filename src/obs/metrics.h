@@ -1,0 +1,206 @@
+// Zero-allocation metrics registry (the telemetry half of src/obs/).
+//
+// Design contract, in the order the hot path cares about:
+//   - Cells are PREALLOCATED at registration time. Registration (startup,
+//     shard construction) may allocate; Add/Set/Record never do — the
+//     executor event path stays zero-allocation with metrics enabled
+//     (tests/zero_alloc_test.cc).
+//   - Cells are CONTENTION-FREE by layout, not by locking: every shard or
+//     ingest partition registers its own cells (labelled shard="i" /
+//     partition="i"), so each atomic is written by exactly one thread.
+//     The atomics exist for the READER: MetricsRegistry::Snapshot() may
+//     run concurrently with the writers (periodic export) and sees a
+//     race-free, monotone view — relaxed loads of monotone counters.
+//   - Histograms are FIXED log2-bucketed: bucket 0 holds the value 0,
+//     bucket i (1..32) holds values with bit-width i (2^(i-1) .. 2^i - 1),
+//     and the last bucket is the overflow for values >= 2^32. Bucket
+//     array sizes are compile-time constants, so recording is one
+//     bit_width plus two relaxed fetch_adds.
+//
+// Aggregation happens on demand: Snapshot() walks the registered cells
+// into a typed MetricsSnapshot, the single source of truth the exporter
+// (src/obs/exporter.h) serializes. Rollups that used to live only in
+// RuntimeStats are folded onto the same snapshot by the runtime
+// (ShardedRuntime::TelemetrySnapshot).
+
+#ifndef SHARON_OBS_METRICS_H_
+#define SHARON_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace sharon::obs {
+
+/// Monotone counter cell. One writer thread; any number of readers.
+class CounterCell {
+ public:
+  /// Adds `n` (relaxed; never allocates).
+  void Add(uint64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  /// Adds 1.
+  void Inc() { Add(1); }
+  /// Current value (relaxed read; monotone across reads).
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-value gauge cell (signed: watermark gauges use kNoWatermark = -1).
+class GaugeCell {
+ public:
+  /// Replaces the value (relaxed; never allocates).
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  /// Current value (relaxed read).
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Fixed log2-bucketed histogram cell for latencies and sizes.
+class HistogramCell {
+ public:
+  /// Bucket 0 (value 0) + buckets for bit widths 1..32 + one overflow.
+  static constexpr size_t kNumBuckets = 34;
+  static constexpr size_t kOverflowBucket = kNumBuckets - 1;
+
+  /// Bucket index of `v`: 0 for 0, bit_width for values below 2^32,
+  /// the overflow bucket otherwise.
+  static constexpr size_t BucketFor(uint64_t v) {
+    if (v == 0) return 0;
+    const size_t w = static_cast<size_t>(std::bit_width(v));
+    return w <= 32 ? w : kOverflowBucket;
+  }
+
+  /// Inclusive upper bound of bucket `i` (2^i - 1), or UINT64_MAX for the
+  /// overflow bucket ("+Inf" in the Prometheus exposition).
+  static constexpr uint64_t UpperBound(size_t i) {
+    if (i == 0) return 0;
+    if (i >= kOverflowBucket) return UINT64_MAX;
+    return (uint64_t{1} << i) - 1;
+  }
+
+  /// Records one observation (two relaxed fetch_adds; never allocates).
+  void Record(uint64_t v) {
+    buckets_[BucketFor(v)].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  /// Total observations, derived from the buckets so a concurrent
+  /// snapshot is always internally consistent (count == sum of buckets).
+  uint64_t count() const {
+    uint64_t n = 0;
+    for (const auto& b : buckets_) n += b.load(std::memory_order_relaxed);
+    return n;
+  }
+
+  /// Sum of observed values (may trail `count` under concurrent writes).
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+
+  /// Observations in bucket `i` (relaxed read).
+  uint64_t bucket(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<uint64_t> sum_{0};
+};
+
+/// One `key="value"` metric label. By convention the registry uses
+/// shard="i" / partition="i" to keep per-thread cells apart.
+using MetricLabel = std::pair<std::string, std::string>;
+using MetricLabels = std::vector<MetricLabel>;
+
+/// Convenience label sets for the runtime's per-thread cells.
+MetricLabels ShardLabels(size_t shard);
+MetricLabels PartitionLabels(size_t partition);
+
+/// Point-in-time copy of one histogram cell.
+struct HistogramData {
+  uint64_t count = 0;  ///< sum over `buckets`
+  uint64_t sum = 0;    ///< sum of observed values
+  std::array<uint64_t, HistogramCell::kNumBuckets> buckets{};
+};
+
+/// Typed, self-contained aggregation of every registered cell — the unit
+/// the exporter serializes and the unit a future cluster mode merges
+/// across nodes.
+struct MetricsSnapshot {
+  /// One sampled counter.
+  struct CounterValue {
+    std::string name;     ///< metric name (sharon_..._total convention)
+    MetricLabels labels;  ///< identity labels (may be empty)
+    uint64_t value = 0;   ///< sampled value
+  };
+  /// One sampled gauge.
+  struct GaugeValue {
+    std::string name;     ///< metric name
+    MetricLabels labels;  ///< identity labels (may be empty)
+    int64_t value = 0;    ///< sampled value
+  };
+  /// One sampled histogram.
+  struct HistogramValue {
+    std::string name;     ///< metric name
+    MetricLabels labels;  ///< identity labels (may be empty)
+    HistogramData data;   ///< sampled buckets/count/sum
+  };
+
+  std::vector<CounterValue> counters;      ///< in registration order
+  std::vector<GaugeValue> gauges;          ///< in registration order
+  std::vector<HistogramValue> histograms;  ///< in registration order
+};
+
+/// Owns the cells. Registration allocates and takes a mutex (startup
+/// path); the returned pointers are stable for the registry's lifetime,
+/// so the hot path holds raw cell pointers and never touches the
+/// registry again. Snapshot() may run concurrently with cell writers.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Registers a counter cell. `name` should follow the
+  /// `sharon_<noun>_total` convention (docs/OPERATIONS.md).
+  CounterCell* Counter(std::string name, MetricLabels labels = {});
+
+  /// Registers a gauge cell.
+  GaugeCell* Gauge(std::string name, MetricLabels labels = {});
+
+  /// Registers a histogram cell (fixed log2 buckets, see HistogramCell).
+  HistogramCell* Histogram(std::string name, MetricLabels labels = {});
+
+  /// Copies every cell into a typed snapshot (relaxed loads; safe while
+  /// writers run). Cells appear in registration order.
+  MetricsSnapshot Snapshot() const;
+
+  /// Number of registered cells across all kinds.
+  size_t size() const;
+
+ private:
+  template <typename Cell>
+  struct Entry {
+    std::string name;
+    MetricLabels labels;
+    Cell cell;
+  };
+
+  mutable std::mutex mu_;  ///< registration + snapshot iteration guard
+  // deques: stable addresses across registration (the hot path keeps raw
+  // pointers into them).
+  std::deque<Entry<CounterCell>> counters_;
+  std::deque<Entry<GaugeCell>> gauges_;
+  std::deque<Entry<HistogramCell>> histograms_;
+};
+
+}  // namespace sharon::obs
+
+#endif  // SHARON_OBS_METRICS_H_

@@ -1,0 +1,98 @@
+#include "src/obs/runtime_telemetry.h"
+
+namespace sharon::obs {
+
+RuntimeTelemetry::RuntimeTelemetry(size_t num_shards, size_t num_partitions,
+                                   const ObsOptions& options)
+    : options_(options), num_shards_(num_shards) {
+  if (options_.trace) {
+    const size_t ring_count = num_shards + 1 + num_partitions;
+    rings_.reserve(ring_count);
+    for (size_t i = 0; i < ring_count; ++i) {
+      rings_.push_back(std::make_unique<TraceRing>(
+          &clock_, static_cast<uint32_t>(i), options_.trace_ring_capacity));
+    }
+  }
+
+  engine_obs_.resize(num_shards);
+  shard_cells_.resize(num_shards);
+  ingest_cells_.resize(num_partitions);
+
+  for (size_t i = 0; i < num_shards; ++i) {
+    if (options_.metrics) {
+      engine_obs_[i] = RegisterEngineObs(registry_, i);
+    } else {
+      engine_obs_[i].source = static_cast<uint32_t>(i);
+    }
+    engine_obs_[i].ring = shard_ring(i);
+  }
+
+  if (!options_.metrics) return;
+
+  for (size_t i = 0; i < num_shards; ++i) {
+    const MetricLabels labels = ShardLabels(i);
+    ShardCells& c = shard_cells_[i];
+    c.events = registry_.Counter("sharon_shard_events_total", labels);
+    c.batches = registry_.Counter("sharon_shard_batches_total", labels);
+    c.batch_occupancy =
+        registry_.Histogram("sharon_shard_batch_occupancy_events", labels);
+    c.swaps_started = registry_.Counter("sharon_swaps_started_total", labels);
+    c.swaps_retired = registry_.Counter("sharon_swaps_retired_total", labels);
+    c.checkpoints_quiesced =
+        registry_.Counter("sharon_checkpoints_quiesced_total", labels);
+    c.checkpoint_bytes =
+        registry_.Counter("sharon_shard_checkpoint_bytes_total", labels);
+    c.busy_micros = registry_.Gauge("sharon_shard_busy_micros", labels);
+    c.idle_spins = registry_.Gauge("sharon_shard_idle_spins", labels);
+    c.queue_full_stalls =
+        registry_.Gauge("sharon_shard_queue_full_stalls", labels);
+    c.evicted_panes = registry_.Gauge("sharon_shard_evicted_panes", labels);
+    c.evicted_groups = registry_.Gauge("sharon_shard_evicted_groups", labels);
+    c.buffered_peak = registry_.Gauge("sharon_shard_buffered_peak", labels);
+  }
+
+  for (size_t p = 0; p < ingest_cells_.size(); ++p) {
+    const MetricLabels labels = PartitionLabels(p);
+    IngestCells& c = ingest_cells_[p];
+    c.events = registry_.Counter("sharon_ingest_events_total", labels);
+    c.watermarks = registry_.Counter("sharon_ingest_watermarks_total", labels);
+    c.batches = registry_.Counter("sharon_ingest_batches_total", labels);
+    c.queue_full_stalls =
+        registry_.Counter("sharon_ingest_queue_full_stalls_total", labels);
+    c.batch_allocs =
+        registry_.Counter("sharon_ingest_batch_allocs_total", labels);
+    c.batches_recycled =
+        registry_.Counter("sharon_ingest_batches_recycled_total", labels);
+  }
+
+  control_cells_.swap_requests =
+      registry_.Counter("sharon_swap_requests_total", {});
+  control_cells_.checkpoint_requests =
+      registry_.Counter("sharon_checkpoint_requests_total", {});
+  control_cells_.checkpoints_sealed =
+      registry_.Counter("sharon_checkpoints_sealed_total", {});
+  control_cells_.checkpoint_bytes =
+      registry_.Counter("sharon_checkpoint_bytes_total", {});
+  control_cells_.wall_micros = registry_.Gauge("sharon_wall_micros", {});
+  control_cells_.completed_swaps =
+      registry_.Gauge("sharon_completed_swaps", {});
+  control_cells_.swap_teed_events =
+      registry_.Gauge("sharon_swap_teed_events", {});
+  control_cells_.swap_max_stall_micros =
+      registry_.Gauge("sharon_swap_max_stall_micros", {});
+}
+
+std::vector<TraceEvent> RuntimeTelemetry::DumpTrace() const {
+  std::vector<const TraceRing*> rings;
+  rings.reserve(rings_.size());
+  for (const auto& r : rings_) rings.push_back(r.get());
+  return MergeTraces(rings);
+}
+
+uint64_t RuntimeTelemetry::trace_dropped() const {
+  uint64_t total = 0;
+  for (const auto& r : rings_) total += r->dropped();
+  return total;
+}
+
+}  // namespace sharon::obs

@@ -1,0 +1,150 @@
+// Per-runtime telemetry hub: owns the metrics registry and the lifecycle
+// trace rings for one ShardedRuntime, and hands each runtime thread the
+// cell/ring set it is allowed to write.
+//
+// Writer topology mirrors the runtime's thread topology — that is what
+// makes the whole layer contention-free without locks:
+//   - shard worker i writes engine_obs(i) + shard_cells(i) + shard_ring(i),
+//   - ingest partition p writes ingest_cells(p) + partition_ring(p),
+//   - the control thread (ingest thread: swap/checkpoint requests,
+//     PlanManager decisions) writes control_cells() + control_ring().
+// Readers (periodic export, post-run dumps) only touch atomics, so a
+// snapshot while the workers run is race-free.
+//
+// Trace sources are numbered shards first (0..S-1), then the control
+// thread (S), then the partitions (S+1..S+P) — see the source accessors.
+
+#ifndef SHARON_OBS_RUNTIME_TELEMETRY_H_
+#define SHARON_OBS_RUNTIME_TELEMETRY_H_
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "src/obs/engine_obs.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
+namespace sharon::obs {
+
+/// Observability switches (RuntimeOptions::obs). Both default OFF so the
+/// seed hot path is untouched; with metrics/trace ON every emission is a
+/// relaxed atomic write into preallocated storage, keeping the
+/// zero-allocation contract (tests/zero_alloc_test.cc).
+struct ObsOptions {
+  bool metrics = false;  ///< register + update metric cells
+  bool trace = false;    ///< emit lifecycle trace events
+  /// Events each ring retains (rounded up to a power of two). One ring
+  /// per shard, per partition, plus the control ring.
+  size_t trace_ring_capacity = 4096;
+
+  bool enabled() const { return metrics || trace; }
+};
+
+/// Worker-thread cells of one shard, beyond the executor's EngineObs.
+/// Null members are simply skipped (metrics disabled).
+struct ShardCells {
+  CounterCell* events = nullptr;   ///< data events processed
+  CounterCell* batches = nullptr;  ///< batches popped
+  HistogramCell* batch_occupancy = nullptr;  ///< events per popped batch
+  CounterCell* swaps_started = nullptr;   ///< dual runs begun
+  CounterCell* swaps_retired = nullptr;   ///< old engines retired
+  CounterCell* checkpoints_quiesced = nullptr;  ///< markers honoured
+  CounterCell* checkpoint_bytes = nullptr;      ///< shard file bytes written
+  // Fold-time gauges: set by ShardedRuntime::TelemetrySnapshot from the
+  // post-join rollups (RuntimeStats / WatermarkStats), so the snapshot
+  // is the single export surface for them too.
+  GaugeCell* busy_micros = nullptr;
+  GaugeCell* idle_spins = nullptr;
+  GaugeCell* queue_full_stalls = nullptr;
+  GaugeCell* evicted_panes = nullptr;
+  GaugeCell* evicted_groups = nullptr;
+  GaugeCell* buffered_peak = nullptr;
+};
+
+/// Producer-thread cells of one ingest partition.
+struct IngestCells {
+  CounterCell* events = nullptr;      ///< data events routed
+  CounterCell* watermarks = nullptr;  ///< punctuations broadcast
+  CounterCell* batches = nullptr;     ///< batches pushed
+  CounterCell* queue_full_stalls = nullptr;  ///< yields on full channels
+  CounterCell* batch_allocs = nullptr;       ///< fresh buffer allocations
+  CounterCell* batches_recycled = nullptr;   ///< pooled buffers reused
+};
+
+/// Control-thread cells (swap/checkpoint orchestration, wall clock).
+struct ControlCells {
+  CounterCell* swap_requests = nullptr;        ///< accepted swap requests
+  CounterCell* checkpoint_requests = nullptr;  ///< accepted checkpoints
+  CounterCell* checkpoints_sealed = nullptr;   ///< manifests written
+  CounterCell* checkpoint_bytes = nullptr;     ///< total serialized bytes
+  // Fold-time gauges (see ShardCells).
+  GaugeCell* wall_micros = nullptr;
+  GaugeCell* completed_swaps = nullptr;
+  GaugeCell* swap_teed_events = nullptr;
+  GaugeCell* swap_max_stall_micros = nullptr;
+};
+
+/// Owns registry + rings for one runtime; see file comment for the
+/// writer topology. Construct before Start, destroy after the workers
+/// joined (the runtime owns it for exactly that span).
+class RuntimeTelemetry {
+ public:
+  RuntimeTelemetry(size_t num_shards, size_t num_partitions,
+                   const ObsOptions& options);
+
+  const ObsOptions& options() const { return options_; }
+
+  /// The registry behind every cell (snapshot with Snapshot()).
+  MetricsRegistry& registry() { return registry_; }
+
+  /// Executor handle of shard `i` (cells null unless metrics, ring null
+  /// unless trace — never returns null itself).
+  EngineObs* engine_obs(size_t i) { return &engine_obs_[i]; }
+
+  ShardCells& shard_cells(size_t i) { return shard_cells_[i]; }
+  IngestCells& ingest_cells(size_t p) { return ingest_cells_[p]; }
+  ControlCells& control_cells() { return control_cells_; }
+
+  /// Rings (null when tracing is off).
+  TraceRing* shard_ring(size_t i) { return Ring(i); }
+  TraceRing* control_ring() { return Ring(num_shards_); }
+  TraceRing* partition_ring(size_t p) { return Ring(num_shards_ + 1 + p); }
+
+  /// Trace source ids, matching TraceEvent::source.
+  uint32_t control_source() const {
+    return static_cast<uint32_t>(num_shards_);
+  }
+  uint32_t partition_source(size_t p) const {
+    return static_cast<uint32_t>(num_shards_ + 1 + p);
+  }
+
+  /// Merge-sorted dump across every ring (oldest first; see MergeTraces).
+  std::vector<TraceEvent> DumpTrace() const;
+
+  /// Events overwritten before any dump, summed over rings.
+  uint64_t trace_dropped() const;
+
+  /// Registry snapshot (fold-time gauges hold their last Set values).
+  MetricsSnapshot Snapshot() const { return registry_.Snapshot(); }
+
+ private:
+  TraceRing* Ring(size_t idx) {
+    return rings_.empty() ? nullptr : rings_[idx].get();
+  }
+
+  ObsOptions options_;
+  size_t num_shards_;
+  MetricsRegistry registry_;
+  TraceClock clock_;
+  /// Shards, then control, then partitions; empty when tracing is off.
+  std::vector<std::unique_ptr<TraceRing>> rings_;
+  std::vector<EngineObs> engine_obs_;
+  std::vector<ShardCells> shard_cells_;
+  std::vector<IngestCells> ingest_cells_;
+  ControlCells control_cells_;
+};
+
+}  // namespace sharon::obs
+
+#endif  // SHARON_OBS_RUNTIME_TELEMETRY_H_

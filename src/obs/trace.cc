@@ -1,0 +1,106 @@
+#include "src/obs/trace.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace sharon::obs {
+
+const char* TraceKindName(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kSwapRequested:
+      return "swap_requested";
+    case TraceKind::kSwapBoundary:
+      return "swap_boundary";
+    case TraceKind::kSwapDualRunStart:
+      return "swap_dual_run_start";
+    case TraceKind::kSwapRetired:
+      return "swap_retired";
+    case TraceKind::kCheckpointRequested:
+      return "checkpoint_requested";
+    case TraceKind::kCheckpointQuiesce:
+      return "checkpoint_quiesce";
+    case TraceKind::kCheckpointShardDone:
+      return "checkpoint_shard_done";
+    case TraceKind::kCheckpointSealed:
+      return "checkpoint_sealed";
+    case TraceKind::kWatermarkAdvance:
+      return "watermark_advance";
+    case TraceKind::kReorderRelease:
+      return "reorder_release";
+    case TraceKind::kLateDrop:
+      return "late_drop";
+    case TraceKind::kQueueFullStall:
+      return "queue_full_stall";
+    case TraceKind::kReoptTriggered:
+      return "reopt_triggered";
+    case TraceKind::kReoptDecision:
+      return "reopt_decision";
+  }
+  return "unknown";
+}
+
+TraceRing::TraceRing(const TraceClock* clock, uint32_t source,
+                     size_t capacity)
+    : clock_(clock),
+      source_(source),
+      capacity_(std::bit_ceil(std::max<size_t>(capacity, 8))),
+      mask_(capacity_ - 1),
+      slots_(std::make_unique<Slot[]>(capacity_)) {}
+
+void TraceRing::Emit(TraceKind kind, Timestamp stream_time, int64_t a,
+                     int64_t b) {
+  const uint64_t idx = emitted_.load(std::memory_order_relaxed);
+  Slot& s = slots_[idx & mask_];
+  // Odd version = write in progress; a concurrent Dump skips the slot.
+  s.ver.store(2 * idx + 1, std::memory_order_release);
+  s.nanos.store(clock_->Nanos(), std::memory_order_relaxed);
+  s.stream_time.store(stream_time, std::memory_order_relaxed);
+  s.a.store(a, std::memory_order_relaxed);
+  s.b.store(b, std::memory_order_relaxed);
+  s.kind.store(static_cast<uint32_t>(kind), std::memory_order_relaxed);
+  s.ver.store(2 * idx + 2, std::memory_order_release);
+  emitted_.store(idx + 1, std::memory_order_release);
+}
+
+std::vector<TraceEvent> TraceRing::Dump() const {
+  const uint64_t n = emitted_.load(std::memory_order_acquire);
+  const uint64_t start = n > capacity_ ? n - capacity_ : 0;
+  std::vector<TraceEvent> out;
+  out.reserve(static_cast<size_t>(n - start));
+  for (uint64_t i = start; i < n; ++i) {
+    const Slot& s = slots_[i & mask_];
+    const uint64_t v1 = s.ver.load(std::memory_order_acquire);
+    if (v1 != 2 * i + 2) continue;  // overwritten or mid-write: skip
+    TraceEvent e;
+    e.nanos = s.nanos.load(std::memory_order_relaxed);
+    e.stream_time = s.stream_time.load(std::memory_order_relaxed);
+    e.a = s.a.load(std::memory_order_relaxed);
+    e.b = s.b.load(std::memory_order_relaxed);
+    e.kind = static_cast<TraceKind>(s.kind.load(std::memory_order_relaxed));
+    const uint64_t v2 = s.ver.load(std::memory_order_acquire);
+    if (v2 != v1) continue;  // writer lapped us mid-copy: skip
+    e.seq = i;
+    e.source = source_;
+    out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<TraceEvent> MergeTraces(
+    const std::vector<const TraceRing*>& rings) {
+  std::vector<TraceEvent> merged;
+  for (const TraceRing* ring : rings) {
+    if (!ring) continue;
+    std::vector<TraceEvent> dump = ring->Dump();
+    merged.insert(merged.end(), dump.begin(), dump.end());
+  }
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const TraceEvent& x, const TraceEvent& y) {
+                     if (x.nanos != y.nanos) return x.nanos < y.nanos;
+                     if (x.source != y.source) return x.source < y.source;
+                     return x.seq < y.seq;
+                   });
+  return merged;
+}
+
+}  // namespace sharon::obs

@@ -1,0 +1,162 @@
+// Lifecycle trace ring (the "why did throughput dip at 12:03?" half of
+// src/obs/).
+//
+// Every lifecycle transition the runtime goes through — swap requested /
+// boundary picked / dual-run start / retired, checkpoint requested /
+// quiesce / shard written / sealed, watermark advances, reorder-buffer
+// releases, late drops, queue-full stalls, re-optimization trigger and
+// decision — is a fixed-size structured TraceEvent appended to a bounded
+// per-writer ring buffer:
+//
+//   - ONE writer per ring (the shard worker, one ingest partition, or the
+//     control/ingest thread), matching the runtime's no-shared-mutable-
+//     state discipline. Emit never allocates and never blocks: the ring
+//     is preallocated at construction and overwrites its oldest entries
+//     (dropped() counts the overwritten ones).
+//   - Readers may dump concurrently: slots carry a seqlock-style version
+//     and every field is an atomic, so a torn slot is skipped, never
+//     misread (ASan/TSan-clean by construction).
+//   - Cross-ring ordering: all rings of one runtime share a TraceClock
+//     (one steady-clock epoch); MergeTraces sorts by (nanos, source,
+//     seq), which respects causality because an event that happens-before
+//     another (swap request before the marker's pickup) also reads an
+//     earlier steady clock.
+//
+// The merged dump is what lines up against the oracle when a chaos/soak
+// run diverges (ROADMAP), and what the lifecycle-reconstruction test
+// (tests/obs_runtime_test.cc) asserts pairs up begin/end.
+
+#ifndef SHARON_OBS_TRACE_H_
+#define SHARON_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/common/time.h"
+#include "src/common/watermark.h"
+
+namespace sharon::obs {
+
+/// What happened. Payload fields `a`/`b` are kind-specific; see
+/// docs/OPERATIONS.md "Trace event reference" for the full table.
+enum class TraceKind : uint8_t {
+  kSwapRequested = 0,     ///< control: a=swap id, b=0
+  kSwapBoundary = 1,      ///< control: a=swap id, stream_time=boundary B
+  kSwapDualRunStart = 2,  ///< shard: a=swap id, stream_time=boundary
+  kSwapRetired = 3,       ///< shard: a=swap id, b=teed events
+  kCheckpointRequested = 4,  ///< control: a=ckpt id, stream_time=boundary
+  kCheckpointQuiesce = 5,    ///< shard: a=ckpt id, stream_time=frontier
+  kCheckpointShardDone = 6,  ///< shard: a=ckpt id, b=shard file bytes
+  kCheckpointSealed = 7,     ///< control: a=ckpt id, b=total bytes
+  kWatermarkAdvance = 8,  ///< shard: stream_time=watermark, a=safe point
+  kReorderRelease = 9,    ///< shard: a=events released by this watermark
+  kLateDrop = 10,         ///< shard: stream_time=event time, a=frontier
+  kQueueFullStall = 11,   ///< partition: a=target shard index
+  kReoptTriggered = 12,   ///< control: a=epoch id, b=1 if drift detected
+  kReoptDecision = 13,    ///< control: a=outcome (see ReoptOutcome), b=gain ppm
+};
+
+/// Payload values of TraceKind::kReoptDecision's `a` field.
+enum class ReoptOutcome : int64_t {
+  kHold = 0,          ///< incumbent kept (gain under hysteresis)
+  kSwapAccepted = 1,  ///< runtime accepted the swap request
+  kSwapRejected = 2,  ///< compile failure or runtime refusal
+};
+
+/// Stable lower_snake_case name of `kind` (the exporter's `event` field).
+const char* TraceKindName(TraceKind kind);
+
+/// One structured trace event, fixed-size (no strings on the emit path).
+struct TraceEvent {
+  uint64_t nanos = 0;       ///< TraceClock nanoseconds at emission
+  uint64_t seq = 0;         ///< per-ring emission index (dense from 0)
+  uint32_t source = 0;      ///< writer id (see RuntimeTelemetry sources)
+  TraceKind kind = TraceKind::kWatermarkAdvance;
+  Timestamp stream_time = kNoWatermark;  ///< stream-time anchor (or none)
+  int64_t a = 0;            ///< kind-specific payload
+  int64_t b = 0;            ///< kind-specific payload
+};
+
+/// Shared steady-clock epoch. All rings of one runtime point at the same
+/// TraceClock so their nanosecond stamps are mutually comparable.
+class TraceClock {
+ public:
+  TraceClock() : epoch_(std::chrono::steady_clock::now()) {}
+
+  /// Nanoseconds since construction (monotone).
+  uint64_t Nanos() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count());
+  }
+
+ private:
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+/// Bounded single-writer ring of TraceEvents. Capacity is rounded up to
+/// a power of two and fully preallocated at construction; Emit is
+/// allocation-free and overwrites the oldest entry when full.
+class TraceRing {
+ public:
+  /// `clock` must outlive the ring; `source` tags every event (shard
+  /// index / partition id / control id); `capacity` is rounded up to a
+  /// power of two (minimum 8).
+  TraceRing(const TraceClock* clock, uint32_t source, size_t capacity);
+
+  TraceRing(const TraceRing&) = delete;
+  TraceRing& operator=(const TraceRing&) = delete;
+
+  /// Appends one event (writer thread only; never allocates).
+  void Emit(TraceKind kind, Timestamp stream_time = kNoWatermark,
+            int64_t a = 0, int64_t b = 0);
+
+  /// Events ever emitted on this ring.
+  uint64_t emitted() const { return emitted_.load(std::memory_order_acquire); }
+
+  /// Events overwritten before any dump could see them.
+  uint64_t dropped() const {
+    const uint64_t n = emitted();
+    return n > capacity_ ? n - capacity_ : 0;
+  }
+
+  size_t capacity() const { return capacity_; }
+  uint32_t source() const { return source_; }
+
+  /// Copies the surviving events oldest-to-newest. Safe concurrently
+  /// with Emit: slots the writer is racing on are skipped via their
+  /// version word, never misread.
+  std::vector<TraceEvent> Dump() const;
+
+ private:
+  // Seqlock-per-slot encoding: ver == 2*idx + 2 publishes emission idx;
+  // odd values mark a write in progress. Payload words are atomics so
+  // concurrent dumps are formally race-free.
+  struct Slot {
+    std::atomic<uint64_t> ver{0};
+    std::atomic<uint64_t> nanos{0};
+    std::atomic<int64_t> stream_time{0};
+    std::atomic<int64_t> a{0};
+    std::atomic<int64_t> b{0};
+    std::atomic<uint32_t> kind{0};
+  };
+
+  const TraceClock* clock_;
+  uint32_t source_;
+  size_t capacity_;  ///< power of two
+  size_t mask_;
+  std::unique_ptr<Slot[]> slots_;
+  std::atomic<uint64_t> emitted_{0};
+};
+
+/// Merge-sorted dump across rings: every surviving event of every ring,
+/// ordered by (nanos, source, seq). Null rings are permitted and skipped.
+std::vector<TraceEvent> MergeTraces(const std::vector<const TraceRing*>& rings);
+
+}  // namespace sharon::obs
+
+#endif  // SHARON_OBS_TRACE_H_

@@ -16,6 +16,7 @@
 
 #include "src/common/metrics.h"
 #include "src/common/watermark.h"
+#include "src/obs/runtime_telemetry.h"
 #include "src/runtime/plan_swap.h"
 
 namespace sharon::runtime {
@@ -51,6 +52,12 @@ struct RuntimeOptions {
   /// executor reorders/finalizes/evicts, watermark punctuations are
   /// broadcast to all shards, and ResultMerger exposes Finalized().
   DisorderPolicy disorder;
+
+  /// Observability switches (src/obs/). Both off by default, leaving the
+  /// hot path exactly as in the seed; when enabled the runtime builds a
+  /// RuntimeTelemetry, wires per-shard/per-partition cells and trace
+  /// rings, and exposes TelemetrySnapshot() / DumpTrace().
+  obs::ObsOptions obs;
 
   size_t ResolvedShards() const {
     if (num_shards > 0) return num_shards;

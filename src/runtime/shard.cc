@@ -142,6 +142,13 @@ void Shard::Process(const EventBatch& batch, size_t channel_idx) {
   stats_.busy_seconds += watch.ElapsedSeconds();
   stats_.events += data_events;
   ++stats_.batches;
+  if (obs_cells_) {
+    if (obs_cells_->events) obs_cells_->events->Add(data_events);
+    if (obs_cells_->batches) obs_cells_->batches->Inc();
+    if (obs_cells_->batch_occupancy) {
+      obs_cells_->batch_occupancy->Record(data_events);
+    }
+  }
 }
 
 void Shard::BeginSwap() {
@@ -166,11 +173,17 @@ void Shard::BeginSwap() {
   next_engine_ = std::make_unique<Engine>(engine_->workload(), swap_.plan);
   next_engine_->SetDisorderPolicy(disorder_);
   next_engine_->SetResultsFloor(swap_.boundary);
+  next_engine_->SetObservability(obs_engine_);
   swap_record_ = ShardSwapRecord{};
   swap_record_.id = swap_.id;
   swap_record_.boundary = swap_.boundary;
   swap_watch_.Reset();
   swap_active_ = true;
+  if (obs_cells_ && obs_cells_->swaps_started) obs_cells_->swaps_started->Inc();
+  if (obs_ring_) {
+    obs_ring_->Emit(obs::TraceKind::kSwapDualRunStart, swap_.boundary,
+                    static_cast<int64_t>(swap_.id));
+  }
 }
 
 void Shard::ApplyWatermark(Timestamp t) {
@@ -210,6 +223,12 @@ void Shard::RetireOldEngine() {
   swap_record_.post_swap_bytes =
       engine_->EstimatedBytes() + archived_.EstimatedBytes();
   swap_records_.push_back(swap_record_);
+  if (obs_cells_ && obs_cells_->swaps_retired) obs_cells_->swaps_retired->Inc();
+  if (obs_ring_) {
+    obs_ring_->Emit(obs::TraceKind::kSwapRetired, swap_record_.boundary,
+                    static_cast<int64_t>(swap_record_.id),
+                    static_cast<int64_t>(swap_record_.teed_events));
+  }
   swap_in_flight_.store(false, std::memory_order_release);
 }
 
@@ -270,6 +289,13 @@ void Shard::WriteCheckpoint() {
   }
   CheckpointOutcome outcome;
   outcome.watermark = merged_watermark_;
+  if (obs_cells_ && obs_cells_->checkpoints_quiesced) {
+    obs_cells_->checkpoints_quiesced->Inc();
+  }
+  if (obs_ring_) {
+    obs_ring_->Emit(obs::TraceKind::kCheckpointQuiesce, merged_watermark_,
+                    static_cast<int64_t>(cmd.id));
+  }
   if (swap_active_) {
     // Guarded producer-side (swaps and checkpoints are mutually
     // exclusive); record the violation instead of writing an ambiguous
@@ -289,6 +315,16 @@ void Shard::WriteCheckpoint() {
     const std::vector<uint8_t> bytes = checkpoint::EncodeShardCheckpoint(in);
     outcome.bytes = bytes.size();
     outcome.error = checkpoint::WriteFileBytes(cmd.path, bytes);
+    if (outcome.error.empty()) {
+      if (obs_cells_ && obs_cells_->checkpoint_bytes) {
+        obs_cells_->checkpoint_bytes->Add(outcome.bytes);
+      }
+      if (obs_ring_) {
+        obs_ring_->Emit(obs::TraceKind::kCheckpointShardDone, cmd.boundary,
+                        static_cast<int64_t>(cmd.id),
+                        static_cast<int64_t>(outcome.bytes));
+      }
+    }
   }
   {
     std::lock_guard<std::mutex> lock(swap_mu_);

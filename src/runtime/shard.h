@@ -96,6 +96,20 @@ class Shard {
   /// Spawns the worker thread. Idempotent.
   void Start();
 
+  /// Attaches telemetry (src/obs/) BEFORE Start: `eo` feeds the executor
+  /// (and any engine a later hot-swap instantiates), `cells` the shard's
+  /// own counters, `ring` the lifecycle trace. All nullable, all owned by
+  /// the caller (RuntimeTelemetry) and written only from the worker
+  /// thread afterwards.
+  void SetObservability(const obs::EngineObs* eo, obs::ShardCells* cells,
+                        obs::TraceRing* ring) {
+    obs_engine_ = eo;
+    obs_cells_ = cells;
+    obs_ring_ = ring;
+    if (engine_) engine_->SetObservability(eo);
+    if (multi_) multi_->SetObservability(eo);
+  }
+
   /// The channel of ingest partition `p` (stable address; the partition
   /// keeps pushing to it for the lifetime of the runtime).
   BatchChannel& channel(size_t p) { return *channels_[p]; }
@@ -252,6 +266,12 @@ class Shard {
   bool started_ = false;
   ShardStats stats_;
   DisorderPolicy disorder_;
+
+  // Telemetry handles (src/obs/); null when observability is off. The
+  // worker thread is the only writer after Start.
+  const obs::EngineObs* obs_engine_ = nullptr;
+  obs::ShardCells* obs_cells_ = nullptr;
+  obs::TraceRing* obs_ring_ = nullptr;
 
   /// Worker thread only: pops the staged checkpoint command at the
   /// in-band marker, serializes the executor state and writes the shard

@@ -25,8 +25,14 @@ EventBatch& IngestPartition::PendingFor(size_t shard_idx) {
     BatchChannel& ch = runtime_->shards_[shard_idx]->channel(index_);
     if (ch.free.TryPop(batch)) {
       ++stats_.batches_recycled;
+      if (obs_cells_ && obs_cells_->batches_recycled) {
+        obs_cells_->batches_recycled->Inc();
+      }
     } else {
       ++stats_.batch_allocs;
+      if (obs_cells_ && obs_cells_->batch_allocs) {
+        obs_cells_->batch_allocs->Inc();
+      }
     }
     if (batch.capacity() < runtime_->options_.batch_size) {
       batch.reserve(runtime_->options_.batch_size);
@@ -40,12 +46,25 @@ void IngestPartition::PushBatch(size_t shard_idx) {
   if (batch.empty()) return;
   Shard& shard = *runtime_->shards_[shard_idx];
   BatchChannel& ch = shard.channel(index_);
+  bool stalled = false;
   while (!ch.full.TryPush(std::move(batch))) {
     ++stalls_by_shard_[shard_idx];
     ++stats_.queue_full_stalls;
+    if (obs_cells_ && obs_cells_->queue_full_stalls) {
+      obs_cells_->queue_full_stalls->Inc();
+    }
+    if (!stalled && obs_ring_) {
+      // One trace event per stall EPISODE (the counter tracks the spins):
+      // the episode marks backpressure onset, which is what lines up
+      // against watermark stalls in the merged trace.
+      obs_ring_->Emit(obs::TraceKind::kQueueFullStall, kNoWatermark,
+                      static_cast<int64_t>(shard_idx));
+      stalled = true;
+    }
     std::this_thread::yield();
   }
   ++stats_.batches;
+  if (obs_cells_ && obs_cells_->batches) obs_cells_->batches->Inc();
   batch = EventBatch();  // next PendingFor pulls a recycled buffer
 }
 
@@ -65,6 +84,7 @@ void IngestPartition::Ingest(const Event& e) {
   EventBatch& batch = PendingFor(idx);
   batch.push_back(e);
   ++stats_.events;
+  if (obs_cells_ && obs_cells_->events) obs_cells_->events->Inc();
   if (e.time > high_mark_) high_mark_ = e.time;
   if (batch.size() >= rt.options_.batch_size) PushBatch(idx);
 }
@@ -88,6 +108,7 @@ void IngestPartition::IngestWatermark(Timestamp t) {
     if (batch.size() >= rt.options_.batch_size) PushBatch(i);
   }
   ++stats_.watermarks;
+  if (obs_cells_ && obs_cells_->watermarks) obs_cells_->watermarks->Inc();
 }
 
 void IngestPartition::Flush() {
@@ -186,6 +207,7 @@ void ShardedRuntime::InitShardsUniform(const Workload& workload,
     }
   }
   if (!InitIngest()) return;
+  InitTelemetry();
   merger_ = ResultMerger(&shards_, partition_);
 }
 
@@ -207,7 +229,23 @@ void ShardedRuntime::InitShardsMulti(
     }
   }
   if (!InitIngest()) return;
+  InitTelemetry();
   merger_ = ResultMerger(&shards_, partition_);
+}
+
+void ShardedRuntime::InitTelemetry() {
+  if (!options_.obs.enabled()) return;
+  telemetry_ = std::make_unique<obs::RuntimeTelemetry>(
+      shards_.size(), partitions_.size(), options_.obs);
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    shards_[i]->SetObservability(telemetry_->engine_obs(i),
+                                 &telemetry_->shard_cells(i),
+                                 telemetry_->shard_ring(i));
+  }
+  for (size_t p = 0; p < partitions_.size(); ++p) {
+    partitions_[p]->obs_cells_ = &telemetry_->ingest_cells(p);
+    partitions_[p]->obs_ring_ = telemetry_->partition_ring(p);
+  }
 }
 
 ShardedRuntime::~ShardedRuntime() {
@@ -325,6 +363,16 @@ ShardedRuntime::SwapRequest ShardedRuntime::RequestPlanSwap(
   req.accepted = true;
   req.id = cmd.id;
   req.boundary = cmd.boundary;
+  if (telemetry_) {
+    obs::ControlCells& cc = telemetry_->control_cells();
+    if (cc.swap_requests) cc.swap_requests->Inc();
+    if (obs::TraceRing* ring = telemetry_->control_ring()) {
+      ring->Emit(obs::TraceKind::kSwapRequested, kNoWatermark,
+                 static_cast<int64_t>(cmd.id));
+      ring->Emit(obs::TraceKind::kSwapBoundary, cmd.boundary,
+                 static_cast<int64_t>(cmd.id));
+    }
+  }
   return req;
 }
 
@@ -433,6 +481,14 @@ ShardedRuntime::CheckpointRequest ShardedRuntime::RequestCheckpoint(
   req.accepted = true;
   req.id = cmd.id;
   req.boundary = cmd.boundary;
+  if (telemetry_) {
+    obs::ControlCells& cc = telemetry_->control_cells();
+    if (cc.checkpoint_requests) cc.checkpoint_requests->Inc();
+    if (obs::TraceRing* ring = telemetry_->control_ring()) {
+      ring->Emit(obs::TraceKind::kCheckpointRequested, cmd.boundary,
+                 static_cast<int64_t>(cmd.id));
+    }
+  }
   return req;
 }
 
@@ -489,6 +545,16 @@ ShardedRuntime::CheckpointResult ShardedRuntime::FinalizeCheckpoint() {
   res.seconds = checkpoint_job_->watch.ElapsedSeconds();
   checkpoint_job_.reset();
   last_checkpoint_ = res;
+  if (telemetry_) {
+    obs::ControlCells& cc = telemetry_->control_cells();
+    if (cc.checkpoints_sealed) cc.checkpoints_sealed->Inc();
+    if (cc.checkpoint_bytes) cc.checkpoint_bytes->Add(total_bytes);
+    if (obs::TraceRing* ring = telemetry_->control_ring()) {
+      ring->Emit(obs::TraceKind::kCheckpointSealed, res.boundary,
+                 static_cast<int64_t>(res.id),
+                 static_cast<int64_t>(total_bytes));
+    }
+  }
   return res;
 }
 
@@ -781,6 +847,50 @@ LiveState ShardedRuntime::LiveStateSnapshot() const {
 
 size_t ShardedRuntime::num_shared_counters() const {
   return shards_.empty() ? 0 : shards_.front()->num_shared_counters();
+}
+
+void ShardedRuntime::FoldFinalStats() const {
+  const RuntimeStats rs = stats();
+  auto set = [](obs::GaugeCell* g, int64_t v) {
+    if (g) g->Set(v);
+  };
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    obs::ShardCells& c = telemetry_->shard_cells(i);
+    const ShardStats& s = rs.shards[i];
+    set(c.busy_micros, static_cast<int64_t>(s.busy_seconds * 1e6));
+    set(c.idle_spins, static_cast<int64_t>(s.idle_spins));
+    set(c.queue_full_stalls, static_cast<int64_t>(s.queue_full_stalls));
+    if (i < rs.shard_watermarks.size()) {
+      const WatermarkStats& w = rs.shard_watermarks[i];
+      set(c.evicted_panes, static_cast<int64_t>(w.evicted_panes));
+      set(c.evicted_groups, static_cast<int64_t>(w.evicted_groups));
+      set(c.buffered_peak, static_cast<int64_t>(w.buffered_peak));
+    }
+  }
+  obs::ControlCells& cc = telemetry_->control_cells();
+  set(cc.wall_micros, static_cast<int64_t>(rs.wall_seconds * 1e6));
+  set(cc.completed_swaps, static_cast<int64_t>(rs.CompletedSwaps()));
+  int64_t teed = 0;
+  for (const PlanSwapStats& p : rs.plan_swaps) {
+    teed += static_cast<int64_t>(p.teed_events);
+  }
+  set(cc.swap_teed_events, teed);
+  set(cc.swap_max_stall_micros,
+      static_cast<int64_t>(rs.MaxSwapStallSeconds() * 1e6));
+}
+
+obs::MetricsSnapshot ShardedRuntime::TelemetrySnapshot() const {
+  if (!telemetry_) return {};
+  // Post-run, the RuntimeStats rollups (worker-owned plain counters,
+  // unreadable mid-run) become safe to read — fold them onto their
+  // gauges so the snapshot is the one export surface for everything.
+  if (finished_ && options_.obs.metrics) FoldFinalStats();
+  return telemetry_->Snapshot();
+}
+
+std::vector<obs::TraceEvent> ShardedRuntime::DumpTrace() const {
+  if (!telemetry_) return {};
+  return telemetry_->DumpTrace();
 }
 
 }  // namespace sharon::runtime

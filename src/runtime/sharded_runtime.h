@@ -99,6 +99,11 @@ class IngestPartition {
   std::vector<uint64_t> stalls_by_shard_;  ///< folded into ShardStats at Finish
   IngestStats stats_;
   Timestamp high_mark_ = 0;
+  // Telemetry handles (src/obs/), wired by the runtime at construction;
+  // null when observability is off. This partition's thread is the only
+  // writer.
+  obs::IngestCells* obs_cells_ = nullptr;
+  obs::TraceRing* obs_ring_ = nullptr;
 };
 
 /// Parallel workload executor with the same result surface as Engine.
@@ -330,6 +335,30 @@ class ShardedRuntime {
   /// The grouping attribute events are partitioned by.
   AttrIndex partition() const { return partition_; }
 
+  // --- observability (src/obs/; enabled via RuntimeOptions::obs) --------
+
+  /// The telemetry hub, or null when options().obs is fully off.
+  obs::RuntimeTelemetry* telemetry() { return telemetry_.get(); }
+
+  /// Snapshot of every registered metric cell. Safe to call while the
+  /// workers run (cells are atomics); after Finish() the RuntimeStats
+  /// rollups (busy time, stalls, eviction counters, swap figures, wall
+  /// clock) are folded onto their gauges first, so the snapshot is the
+  /// single export surface. Empty when observability is off.
+  obs::MetricsSnapshot TelemetrySnapshot() const;
+
+  /// Merge-sorted lifecycle trace across every ring (empty when tracing
+  /// is off). Call after Finish() for a complete run, or concurrently for
+  /// a live sample (in-progress slots are skipped, never torn).
+  std::vector<obs::TraceEvent> DumpTrace() const;
+
+  /// The control thread's trace ring (swap/checkpoint/re-opt lifecycle),
+  /// for co-located emitters like adaptive::PlanManager. Null when
+  /// tracing is off.
+  obs::TraceRing* control_trace() {
+    return telemetry_ ? telemetry_->control_ring() : nullptr;
+  }
+
  private:
   friend class IngestPartition;
 
@@ -342,6 +371,12 @@ class ShardedRuntime {
   void InitShardsUniform(const Workload& workload, const SharingPlan& plan);
   void InitShardsMulti(const Workload& workload,
                        std::shared_ptr<const MultiEnginePlan> plan);
+  /// Builds the telemetry hub and hands every shard/partition its cells
+  /// and ring (no-op when options_.obs is off). Runs after InitIngest.
+  void InitTelemetry();
+  /// Folds the post-join RuntimeStats rollups onto their snapshot gauges
+  /// (mutates atomic cells only, hence const).
+  void FoldFinalStats() const;
 
   /// Completes a fully-staged checkpoint whose shards all finished:
   /// collects per-shard outcomes and writes the manifest. Pre-condition:
@@ -358,6 +393,11 @@ class ShardedRuntime {
   std::shared_ptr<const MultiEnginePlan> multi_plan_;  ///< multi ctors only
   std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<std::unique_ptr<IngestPartition>> partitions_;
+  /// Telemetry hub (src/obs/); null unless options_.obs enables it. Its
+  /// writers are the shard workers and producer threads, all joined or
+  /// stopped by Finish() — which ~ShardedRuntime runs first — so the
+  /// hub is never destroyed under a live writer.
+  std::unique_ptr<obs::RuntimeTelemetry> telemetry_;
   ResultMerger merger_;
   StopWatch wall_;
   double wall_seconds_ = 0;

@@ -1,0 +1,308 @@
+// Lifecycle-reconstruction suite for the runtime telemetry layer
+// (src/obs/ wired through ShardedRuntime, PlanManager, checkpoint).
+//
+// An adaptive drift run with a mid-stream checkpoint produces a merged
+// trace from which every swap and checkpoint lifecycle must be
+// reconstructible as paired begin/end events in causal order:
+//   swap:       kSwapRequested -> kSwapBoundary -> per-shard
+//               kSwapDualRunStart -> per-shard kSwapRetired
+//   checkpoint: kCheckpointRequested -> per-shard kCheckpointQuiesce +
+//               kCheckpointShardDone -> kCheckpointSealed
+// and the folded metrics snapshot must agree with the runtime's own
+// RuntimeStats rollups (one export surface, no second bookkeeping).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/adaptive/plan_manager.h"
+#include "src/obs/exporter.h"
+#include "src/planner/optimizer.h"
+#include "src/runtime/sharded_runtime.h"
+#include "src/streamgen/disorder.h"
+#include "src/streamgen/drift.h"
+#include "src/streamgen/rates.h"
+
+namespace sharon {
+namespace {
+
+using adaptive::PlanManager;
+using adaptive::PlanManagerOptions;
+using runtime::RuntimeOptions;
+using runtime::ShardedRuntime;
+
+struct DriftCase {
+  DriftConfig config;
+  Workload workload;
+  std::vector<Event> events;  // sorted
+  SharingPlan initial_plan;   // optimized for phase-0 rates only
+};
+
+DriftCase MakeDriftCase() {
+  DriftCase c;
+  c.config.num_types = 8;
+  c.config.num_groups = 12;
+  c.config.events_per_second = 600;
+  c.config.phase_length = Seconds(20);
+  c.config.num_phases = 2;
+  c.config.seed = 11;
+  Scenario s = GenerateDrift(c.config);
+  const WindowSpec window{Seconds(10), Seconds(4)};
+  c.workload = DriftWorkload(c.config, window, /*anchors_per_side=*/6,
+                             /*bridges=*/3);
+  c.events = std::move(s.events);
+  CostModel cm(RatesOfSlice(c.events, 0, c.config.phase_length,
+                            c.config.num_types));
+  c.initial_plan = OptimizeGreedy(c.workload, cm).plan;
+  return c;
+}
+
+PlanManagerOptions FastManagerOptions() {
+  PlanManagerOptions opts;
+  opts.epoch = Seconds(4);
+  opts.window_epochs = 2;
+  opts.drift_threshold = 0.3;
+  opts.hysteresis = 0.05;
+  return opts;
+}
+
+/// Events of `kind` whose `a` payload (the lifecycle id) equals `id`.
+std::vector<obs::TraceEvent> EventsOf(const std::vector<obs::TraceEvent>& trace,
+                                      obs::TraceKind kind, int64_t id) {
+  std::vector<obs::TraceEvent> out;
+  for (const obs::TraceEvent& e : trace) {
+    if (e.kind == kind && e.a == id) out.push_back(e);
+  }
+  return out;
+}
+
+uint64_t CounterSum(const obs::MetricsSnapshot& snap, const std::string& name) {
+  uint64_t sum = 0;
+  for (const auto& c : snap.counters) {
+    if (c.name == name) sum += c.value;
+  }
+  return sum;
+}
+
+TEST(ObsRuntime, AdaptiveRunWithCheckpointReconstructsLifecycles) {
+  DriftCase c = MakeDriftCase();
+  DisorderConfig inj;
+  inj.max_lateness = Seconds(2);
+  inj.punctuation_period = Seconds(1);
+  inj.seed = 0xabadcafe;
+  const std::vector<Event> arrivals = InjectDisorder(c.events, inj);
+
+  const size_t kShards = 2;
+  RuntimeOptions opts;
+  opts.num_shards = kShards;
+  opts.batch_size = 32;
+  opts.queue_capacity = 2;
+  opts.disorder.enabled = true;
+  opts.disorder.max_lateness = Seconds(2);
+  opts.obs.metrics = true;
+  opts.obs.trace = true;
+  ShardedRuntime rt(c.workload, c.initial_plan, opts);
+  ASSERT_TRUE(rt.ok()) << rt.error();
+  ASSERT_NE(rt.telemetry(), nullptr);
+
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "sharon_obs_runtime_ckpt")
+          .string();
+  std::filesystem::remove_all(dir);
+
+  PlanManager mgr(c.workload, &rt, c.initial_plan, FastManagerOptions());
+  rt.Start();
+  // Checkpoint once the drift phase (and with it at least one swap
+  // opportunity) has passed; retry while a swap is still draining. Starts
+  // at 60% of the stream because a swap accepted near the END never
+  // retires before Finish (no watermark past its boundary remains) and
+  // would refuse the checkpoint for the whole tail.
+  const size_t checkpoint_at = (arrivals.size() * 6) / 10;
+  bool checkpoint_accepted = false;
+  std::string last_refusal;
+  for (size_t i = 0; i < arrivals.size(); ++i) {
+    mgr.Ingest(arrivals[i]);
+    if (!checkpoint_accepted && i >= checkpoint_at && i % 256 == 0) {
+      const ShardedRuntime::CheckpointRequest req = rt.RequestCheckpoint(dir);
+      checkpoint_accepted = req.accepted;
+      if (!req.accepted) last_refusal = req.reason;
+    }
+  }
+  rt.Finish();
+
+  ASSERT_TRUE(checkpoint_accepted) << last_refusal;
+  ASSERT_TRUE(rt.last_checkpoint().ok) << rt.last_checkpoint().reason;
+  ASSERT_GE(mgr.stats().swaps_accepted, 1u);
+
+  const std::vector<obs::TraceEvent> trace = rt.DumpTrace();
+  ASSERT_FALSE(trace.empty());
+  // Nothing was overwritten, so the reconstruction below sees every event.
+  EXPECT_EQ(rt.telemetry()->trace_dropped(), 0u);
+  // The merged dump is ordered.
+  for (size_t i = 1; i < trace.size(); ++i) {
+    EXPECT_GE(trace[i].nanos, trace[i - 1].nanos);
+  }
+  const uint32_t control = rt.telemetry()->control_source();
+
+  // --- swap lifecycles, paired per swap id ----------------------------
+  const runtime::RuntimeStats stats = rt.stats();
+  ASSERT_EQ(stats.CompletedSwaps(), mgr.stats().swaps_accepted);
+  std::map<int64_t, size_t> requested_ids;
+  for (const obs::TraceEvent& e : trace) {
+    if (e.kind == obs::TraceKind::kSwapRequested) ++requested_ids[e.a];
+  }
+  EXPECT_EQ(requested_ids.size(), mgr.stats().swaps_accepted);
+  for (const runtime::PlanSwapStats& swap : stats.plan_swaps) {
+    const int64_t id = static_cast<int64_t>(swap.id);
+    const auto req = EventsOf(trace, obs::TraceKind::kSwapRequested, id);
+    const auto boundary = EventsOf(trace, obs::TraceKind::kSwapBoundary, id);
+    const auto starts = EventsOf(trace, obs::TraceKind::kSwapDualRunStart, id);
+    const auto retired = EventsOf(trace, obs::TraceKind::kSwapRetired, id);
+    ASSERT_EQ(req.size(), 1u) << "swap " << id;
+    ASSERT_EQ(boundary.size(), 1u) << "swap " << id;
+    ASSERT_EQ(starts.size(), kShards) << "swap " << id;
+    ASSERT_EQ(retired.size(), kShards) << "swap " << id;
+    EXPECT_EQ(req[0].source, control);
+    EXPECT_EQ(boundary[0].stream_time, swap.boundary);
+    // Causal order: the request happens-before every shard's dual-run
+    // start, which happens-before that same shard's retirement.
+    std::map<uint32_t, uint64_t> start_nanos;
+    for (const obs::TraceEvent& s : starts) {
+      EXPECT_GE(s.nanos, req[0].nanos) << "swap " << id;
+      EXPECT_EQ(s.stream_time, swap.boundary) << "swap " << id;
+      start_nanos[s.source] = s.nanos;
+    }
+    int64_t teed_total = 0;
+    for (const obs::TraceEvent& r : retired) {
+      ASSERT_TRUE(start_nanos.count(r.source)) << "swap " << id;
+      EXPECT_GE(r.nanos, start_nanos[r.source]) << "swap " << id;
+      teed_total += r.b;
+    }
+    EXPECT_EQ(teed_total, static_cast<int64_t>(swap.teed_events))
+        << "swap " << id;
+  }
+  // Every re-optimization decision follows a trigger, all on the control
+  // ring, and at least one decision accepted a swap.
+  size_t triggers = 0, accepts = 0;
+  for (const obs::TraceEvent& e : trace) {
+    if (e.kind == obs::TraceKind::kReoptTriggered) {
+      EXPECT_EQ(e.source, control);
+      ++triggers;
+    }
+    if (e.kind == obs::TraceKind::kReoptDecision &&
+        e.a == static_cast<int64_t>(obs::ReoptOutcome::kSwapAccepted)) {
+      ++accepts;
+    }
+  }
+  EXPECT_GE(triggers, mgr.stats().evaluations);
+  EXPECT_EQ(accepts, mgr.stats().swaps_accepted);
+
+  // --- checkpoint lifecycle, paired per checkpoint id -----------------
+  const int64_t ckpt_id = static_cast<int64_t>(rt.last_checkpoint().id);
+  const auto creq = EventsOf(trace, obs::TraceKind::kCheckpointRequested,
+                             ckpt_id);
+  const auto quiesce = EventsOf(trace, obs::TraceKind::kCheckpointQuiesce,
+                                ckpt_id);
+  const auto shard_done = EventsOf(trace, obs::TraceKind::kCheckpointShardDone,
+                                   ckpt_id);
+  const auto sealed = EventsOf(trace, obs::TraceKind::kCheckpointSealed,
+                               ckpt_id);
+  ASSERT_EQ(creq.size(), 1u);
+  ASSERT_EQ(quiesce.size(), kShards);
+  ASSERT_EQ(shard_done.size(), kShards);
+  ASSERT_EQ(sealed.size(), 1u);
+  EXPECT_EQ(creq[0].source, control);
+  EXPECT_EQ(sealed[0].source, control);
+  int64_t bytes_total = 0;
+  for (const obs::TraceEvent& d : shard_done) {
+    EXPECT_GE(d.nanos, creq[0].nanos);
+    EXPECT_LE(d.nanos, sealed[0].nanos);
+    EXPECT_GT(d.b, 0);
+    bytes_total += d.b;
+  }
+  EXPECT_EQ(sealed[0].b, bytes_total);
+  EXPECT_EQ(sealed[0].stream_time, creq[0].stream_time);
+
+  // Watermark progress was traced on every shard.
+  std::map<uint32_t, size_t> advances;
+  for (const obs::TraceEvent& e : trace) {
+    if (e.kind == obs::TraceKind::kWatermarkAdvance) ++advances[e.source];
+  }
+  EXPECT_EQ(advances.size(), kShards);
+
+  // --- folded metrics snapshot agree with RuntimeStats ----------------
+  const obs::MetricsSnapshot snap = rt.TelemetrySnapshot();
+  ASSERT_FALSE(snap.counters.empty());
+  uint64_t data_events = 0;
+  for (const Event& e : arrivals) {
+    if (!IsWatermark(e)) ++data_events;
+  }
+  EXPECT_EQ(CounterSum(snap, "sharon_shard_events_total"), data_events);
+  EXPECT_EQ(CounterSum(snap, "sharon_ingest_events_total"), data_events);
+  EXPECT_EQ(CounterSum(snap, "sharon_swap_requests_total"),
+            mgr.stats().swaps_accepted);
+  EXPECT_EQ(CounterSum(snap, "sharon_swaps_retired_total"),
+            mgr.stats().swaps_accepted * kShards);
+  EXPECT_EQ(CounterSum(snap, "sharon_checkpoint_requests_total"), 1u);
+  EXPECT_EQ(CounterSum(snap, "sharon_checkpoints_sealed_total"), 1u);
+  EXPECT_EQ(CounterSum(snap, "sharon_checkpoint_bytes_total"),
+            static_cast<uint64_t>(bytes_total));
+  EXPECT_EQ(CounterSum(snap, "sharon_late_dropped_total"), 0u);
+  // Fold-time gauges carry the RuntimeStats rollups.
+  int64_t completed_swaps = -1, wall_micros = -1;
+  for (const auto& g : snap.gauges) {
+    if (g.name == "sharon_completed_swaps") completed_swaps = g.value;
+    if (g.name == "sharon_wall_micros") wall_micros = g.value;
+  }
+  EXPECT_EQ(completed_swaps,
+            static_cast<int64_t>(mgr.stats().swaps_accepted));
+  EXPECT_GT(wall_micros, 0);
+
+  // The snapshot serializes under both wire formats.
+  const std::string json = obs::MetricsJsonLine(snap, 0, stats.wall_seconds);
+  EXPECT_NE(json.find("\"schema_version\":1"), std::string::npos);
+  EXPECT_NE(json.find("sharon_shard_events_total"), std::string::npos);
+  const std::string prom = obs::PrometheusText(snap);
+  EXPECT_NE(prom.find("# TYPE sharon_shard_events_total counter"),
+            std::string::npos);
+
+  std::filesystem::remove_all(dir);
+}
+
+// Observability fully off: no telemetry hub, empty snapshot and trace —
+// the seed behavior is untouched by default.
+TEST(ObsRuntime, DisabledByDefault) {
+  DriftCase c = MakeDriftCase();
+  RuntimeOptions opts;
+  opts.num_shards = 2;
+  ShardedRuntime rt(c.workload, c.initial_plan, opts);
+  ASSERT_TRUE(rt.ok()) << rt.error();
+  EXPECT_EQ(rt.telemetry(), nullptr);
+  EXPECT_EQ(rt.control_trace(), nullptr);
+  rt.Run(c.events, 0);
+  EXPECT_TRUE(rt.TelemetrySnapshot().counters.empty());
+  EXPECT_TRUE(rt.DumpTrace().empty());
+}
+
+// Metrics without tracing: counters live, no rings anywhere.
+TEST(ObsRuntime, MetricsOnlyRunCountsEvents) {
+  DriftCase c = MakeDriftCase();
+  RuntimeOptions opts;
+  opts.num_shards = 2;
+  opts.obs.metrics = true;
+  ShardedRuntime rt(c.workload, c.initial_plan, opts);
+  ASSERT_TRUE(rt.ok()) << rt.error();
+  ASSERT_NE(rt.telemetry(), nullptr);
+  EXPECT_EQ(rt.control_trace(), nullptr);
+  rt.Run(c.events, 0);
+  EXPECT_TRUE(rt.DumpTrace().empty());
+  const obs::MetricsSnapshot snap = rt.TelemetrySnapshot();
+  EXPECT_EQ(CounterSum(snap, "sharon_shard_events_total"), c.events.size());
+}
+
+}  // namespace
+}  // namespace sharon

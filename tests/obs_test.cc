@@ -1,0 +1,446 @@
+// Unit tests for the observability layer (src/obs/): histogram bucket
+// boundaries, trace-ring wraparound and cross-ring merge ordering,
+// snapshot determinism under concurrent writers, and the exporter's two
+// wire formats (JSON-lines shape, Prometheus golden text).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/obs/exporter.h"
+#include "src/obs/metrics.h"
+#include "src/obs/runtime_telemetry.h"
+#include "src/obs/trace.h"
+
+namespace sharon::obs {
+namespace {
+
+// --- histogram buckets ------------------------------------------------------
+
+TEST(HistogramCell, BucketBoundaries) {
+  // Bucket 0 holds exactly the value 0.
+  EXPECT_EQ(HistogramCell::BucketFor(0), 0u);
+  // Bucket i (1..32) holds bit-width-i values: [2^(i-1), 2^i - 1].
+  EXPECT_EQ(HistogramCell::BucketFor(1), 1u);
+  EXPECT_EQ(HistogramCell::BucketFor(2), 2u);
+  EXPECT_EQ(HistogramCell::BucketFor(3), 2u);
+  EXPECT_EQ(HistogramCell::BucketFor(4), 3u);
+  EXPECT_EQ(HistogramCell::BucketFor(7), 3u);
+  EXPECT_EQ(HistogramCell::BucketFor(8), 4u);
+  EXPECT_EQ(HistogramCell::BucketFor((uint64_t{1} << 31)), 32u);
+  EXPECT_EQ(HistogramCell::BucketFor((uint64_t{1} << 32) - 1), 32u);
+  // 2^32 and above land in the overflow bucket, up to UINT64_MAX.
+  EXPECT_EQ(HistogramCell::BucketFor(uint64_t{1} << 32),
+            HistogramCell::kOverflowBucket);
+  EXPECT_EQ(HistogramCell::BucketFor(UINT64_MAX),
+            HistogramCell::kOverflowBucket);
+}
+
+TEST(HistogramCell, UpperBoundsMatchBuckets) {
+  EXPECT_EQ(HistogramCell::UpperBound(0), 0u);
+  EXPECT_EQ(HistogramCell::UpperBound(1), 1u);
+  EXPECT_EQ(HistogramCell::UpperBound(3), 7u);
+  EXPECT_EQ(HistogramCell::UpperBound(32), (uint64_t{1} << 32) - 1);
+  EXPECT_EQ(HistogramCell::UpperBound(HistogramCell::kOverflowBucket),
+            UINT64_MAX);
+  // Every value is <= the upper bound of its own bucket and > the upper
+  // bound of the previous one.
+  for (uint64_t v : {uint64_t{0}, uint64_t{1}, uint64_t{2}, uint64_t{100},
+                     uint64_t{65536}, (uint64_t{1} << 32) - 1}) {
+    const size_t b = HistogramCell::BucketFor(v);
+    EXPECT_LE(v, HistogramCell::UpperBound(b)) << v;
+    if (b > 0) EXPECT_GT(v, HistogramCell::UpperBound(b - 1)) << v;
+  }
+}
+
+TEST(HistogramCell, RecordAccumulatesCountAndSum) {
+  HistogramCell h;
+  h.Record(0);
+  h.Record(5);
+  h.Record(5);
+  h.Record(uint64_t{1} << 40);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.sum(), 10u + (uint64_t{1} << 40));
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(3), 2u);  // 5 has bit width 3
+  EXPECT_EQ(h.bucket(HistogramCell::kOverflowBucket), 1u);
+}
+
+// --- registry ---------------------------------------------------------------
+
+TEST(MetricsRegistry, CellPointersAreStableAcrossRegistrations) {
+  MetricsRegistry registry;
+  CounterCell* first = registry.Counter("first_total");
+  first->Add(7);
+  // A deque backs the entries, so growing the registry must not move the
+  // early cells (the hot path holds raw pointers).
+  std::vector<CounterCell*> cells;
+  for (int i = 0; i < 100; ++i) {
+    cells.push_back(registry.Counter("c" + std::to_string(i) + "_total"));
+  }
+  first->Add(1);
+  cells[0]->Add(2);
+  const MetricsSnapshot snap = registry.Snapshot();
+  ASSERT_EQ(snap.counters.size(), 101u);
+  EXPECT_EQ(snap.counters[0].name, "first_total");
+  EXPECT_EQ(snap.counters[0].value, 8u);
+  EXPECT_EQ(snap.counters[1].value, 2u);
+}
+
+TEST(MetricsRegistry, SnapshotIsConsistentUnderConcurrentWriters) {
+  MetricsRegistry registry;
+  constexpr int kWriters = 4;
+  constexpr uint64_t kPerWriter = 20000;
+  struct WriterCells {
+    CounterCell* counter;
+    HistogramCell* histogram;
+  };
+  std::vector<WriterCells> cells;
+  for (int w = 0; w < kWriters; ++w) {
+    cells.push_back(
+        {registry.Counter("events_total", {{"writer", std::to_string(w)}}),
+         registry.Histogram("sizes", {{"writer", std::to_string(w)}})});
+  }
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      for (uint64_t i = 0; i < kPerWriter; ++i) {
+        cells[w].counter->Inc();
+        cells[w].histogram->Record(i % 257);
+      }
+    });
+  }
+  // Sample while the writers hammer their cells: every snapshot must be
+  // internally consistent (histogram count == sum of buckets) and
+  // counters monotone across snapshots.
+  std::vector<uint64_t> last_counts(kWriters, 0);
+  while (!stop.load()) {
+    const MetricsSnapshot snap = registry.Snapshot();
+    ASSERT_EQ(snap.counters.size(), static_cast<size_t>(kWriters));
+    for (int w = 0; w < kWriters; ++w) {
+      EXPECT_GE(snap.counters[w].value, last_counts[w]);
+      last_counts[w] = snap.counters[w].value;
+      uint64_t bucket_sum = 0;
+      for (uint64_t b : snap.histograms[w].data.buckets) bucket_sum += b;
+      EXPECT_EQ(snap.histograms[w].data.count, bucket_sum);
+    }
+    bool all_done = true;
+    for (int w = 0; w < kWriters; ++w) {
+      all_done = all_done && last_counts[w] == kPerWriter;
+    }
+    if (all_done) stop.store(true);
+  }
+  for (auto& t : writers) t.join();
+  const MetricsSnapshot final_snap = registry.Snapshot();
+  for (int w = 0; w < kWriters; ++w) {
+    EXPECT_EQ(final_snap.counters[w].value, kPerWriter);
+    EXPECT_EQ(final_snap.histograms[w].data.count, kPerWriter);
+  }
+}
+
+// --- trace ring -------------------------------------------------------------
+
+TEST(TraceRing, CapacityRoundsUpToPowerOfTwo) {
+  TraceClock clock;
+  EXPECT_EQ(TraceRing(&clock, 0, 1).capacity(), 8u);    // minimum
+  EXPECT_EQ(TraceRing(&clock, 0, 8).capacity(), 8u);
+  EXPECT_EQ(TraceRing(&clock, 0, 9).capacity(), 16u);
+  EXPECT_EQ(TraceRing(&clock, 0, 4096).capacity(), 4096u);
+}
+
+TEST(TraceRing, WraparoundKeepsTheNewestEvents) {
+  TraceClock clock;
+  TraceRing ring(&clock, 3, 8);
+  for (int i = 0; i < 20; ++i) {
+    ring.Emit(TraceKind::kWatermarkAdvance, /*stream_time=*/i, /*a=*/i);
+  }
+  EXPECT_EQ(ring.emitted(), 20u);
+  EXPECT_EQ(ring.dropped(), 12u);
+  const std::vector<TraceEvent> events = ring.Dump();
+  ASSERT_EQ(events.size(), 8u);
+  for (size_t i = 0; i < events.size(); ++i) {
+    // The survivors are emissions 12..19, oldest first, seq = emission
+    // index and source stamped from the ring.
+    EXPECT_EQ(events[i].seq, 12 + i);
+    EXPECT_EQ(events[i].a, static_cast<int64_t>(12 + i));
+    EXPECT_EQ(events[i].source, 3u);
+    EXPECT_EQ(events[i].kind, TraceKind::kWatermarkAdvance);
+    if (i > 0) EXPECT_GE(events[i].nanos, events[i - 1].nanos);
+  }
+}
+
+TEST(TraceRing, MergeOrdersAcrossRingsBySharedClock) {
+  TraceClock clock;
+  TraceRing a(&clock, 0, 64);
+  TraceRing b(&clock, 1, 64);
+  // Interleave emissions; the shared steady clock makes the real-time
+  // emission order recoverable in the merge.
+  for (int i = 0; i < 10; ++i) {
+    a.Emit(TraceKind::kWatermarkAdvance, i);
+    b.Emit(TraceKind::kReorderRelease, i);
+  }
+  const std::vector<TraceEvent> merged = MergeTraces({&a, &b, nullptr});
+  ASSERT_EQ(merged.size(), 20u);
+  for (size_t i = 1; i < merged.size(); ++i) {
+    const TraceEvent& prev = merged[i - 1];
+    const TraceEvent& cur = merged[i];
+    const bool ordered =
+        prev.nanos < cur.nanos ||
+        (prev.nanos == cur.nanos &&
+         (prev.source < cur.source ||
+          (prev.source == cur.source && prev.seq < cur.seq)));
+    EXPECT_TRUE(ordered) << "at " << i;
+  }
+  // Per-ring relative order always survives the merge.
+  uint64_t last_a_seq = 0;
+  for (const TraceEvent& e : merged) {
+    if (e.source == 0) {
+      EXPECT_GE(e.seq, last_a_seq);
+      last_a_seq = e.seq;
+    }
+  }
+}
+
+TEST(TraceRing, DumpIsSafeWhileEmitting) {
+  TraceClock clock;
+  TraceRing ring(&clock, 0, 16);
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    uint64_t i = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      ring.Emit(TraceKind::kWatermarkAdvance, static_cast<Timestamp>(i), 1, 2);
+      ++i;
+    }
+  });
+  // Concurrent dumps must only ever see fully-published slots: payloads
+  // are constant per emission except stream_time, so any torn read would
+  // show a/b mismatched.
+  for (int round = 0; round < 200; ++round) {
+    for (const TraceEvent& e : ring.Dump()) {
+      EXPECT_EQ(e.kind, TraceKind::kWatermarkAdvance);
+      EXPECT_EQ(e.a, 1);
+      EXPECT_EQ(e.b, 2);
+    }
+  }
+  stop.store(true);
+  writer.join();
+}
+
+// --- runtime telemetry hub --------------------------------------------------
+
+TEST(RuntimeTelemetry, TopologyAndToggles) {
+  ObsOptions both;
+  both.metrics = true;
+  both.trace = true;
+  both.trace_ring_capacity = 32;
+  RuntimeTelemetry t(/*num_shards=*/2, /*num_partitions=*/3, both);
+  EXPECT_NE(t.engine_obs(0)->late_dropped, nullptr);
+  EXPECT_NE(t.engine_obs(1)->ring, nullptr);
+  EXPECT_NE(t.shard_cells(1).events, nullptr);
+  EXPECT_NE(t.ingest_cells(2).events, nullptr);
+  EXPECT_NE(t.control_cells().swap_requests, nullptr);
+  EXPECT_NE(t.control_ring(), nullptr);
+  EXPECT_EQ(t.control_source(), 2u);
+  EXPECT_EQ(t.partition_source(0), 3u);
+  EXPECT_EQ(t.shard_ring(0)->source(), 0u);
+  EXPECT_EQ(t.partition_ring(2)->source(), 5u);
+
+  ObsOptions metrics_only;
+  metrics_only.metrics = true;
+  RuntimeTelemetry m(1, 1, metrics_only);
+  EXPECT_EQ(m.shard_ring(0), nullptr);
+  EXPECT_EQ(m.control_ring(), nullptr);
+  EXPECT_NE(m.shard_cells(0).events, nullptr);
+  EXPECT_EQ(m.engine_obs(0)->ring, nullptr);
+
+  ObsOptions trace_only;
+  trace_only.trace = true;
+  RuntimeTelemetry tr(1, 1, trace_only);
+  EXPECT_NE(tr.shard_ring(0), nullptr);
+  EXPECT_EQ(tr.shard_cells(0).events, nullptr);
+  EXPECT_EQ(tr.engine_obs(0)->late_dropped, nullptr);
+  EXPECT_EQ(tr.engine_obs(0)->ring, tr.shard_ring(0));
+}
+
+// --- exporter ---------------------------------------------------------------
+
+TEST(Exporter, MetricsJsonLineShape) {
+  MetricsRegistry registry;
+  registry.Counter("sharon_events_total", {{"shard", "0"}})->Add(42);
+  registry.Gauge("sharon_watermark_ticks")->Set(-1);
+  registry.Histogram("sharon_lat")->Record(5);
+  const std::string line =
+      MetricsJsonLine(registry.Snapshot(), /*seq=*/3, /*wall_seconds=*/1.5);
+  EXPECT_NE(line.find("\"schema_version\":1"), std::string::npos);
+  EXPECT_NE(line.find("\"kind\":\"metrics\""), std::string::npos);
+  EXPECT_NE(line.find("\"seq\":3"), std::string::npos);
+  EXPECT_NE(line.find("\"wall_seconds\":1.500000"), std::string::npos);
+  EXPECT_NE(line.find("{\"name\":\"sharon_events_total\",\"labels\":{\"shard\":"
+                      "\"0\"},\"value\":42}"),
+            std::string::npos);
+  EXPECT_NE(line.find("{\"name\":\"sharon_watermark_ticks\",\"labels\":{},"
+                      "\"value\":-1}"),
+            std::string::npos);
+  EXPECT_NE(line.find("\"count\":1,\"sum\":5,\"buckets\":[0,0,0,1,0"),
+            std::string::npos);
+  // One self-contained object per line: no embedded newline, brace-closed.
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+  EXPECT_EQ(line.back(), '}');
+}
+
+TEST(Exporter, TraceJsonLineShape) {
+  TraceEvent e;
+  e.nanos = 12345;
+  e.seq = 7;
+  e.source = 2;
+  e.kind = TraceKind::kSwapRetired;
+  e.stream_time = 800;
+  e.a = 1;
+  e.b = 96;
+  const std::string line = TraceJsonLine(e);
+  EXPECT_EQ(line,
+            "{\"schema_version\":1,\"kind\":\"trace\",\"nanos\":12345,"
+            "\"seq\":7,\"source\":2,\"event\":\"swap_retired\","
+            "\"stream_time\":800,\"a\":1,\"b\":96}");
+}
+
+TEST(Exporter, PrometheusGoldenText) {
+  MetricsRegistry registry;
+  registry.Counter("t_total")->Add(3);
+  registry.Gauge("g", {{"shard", "1"}})->Set(-2);
+  HistogramCell* h = registry.Histogram("h");
+  h->Record(0);
+  h->Record(5);
+  const std::string expected =
+      "# TYPE t_total counter\n"
+      "t_total 3\n"
+      "# TYPE g gauge\n"
+      "g{shard=\"1\"} -2\n"
+      "# TYPE h histogram\n"
+      "h_bucket{le=\"0\"} 1\n"
+      "h_bucket{le=\"1\"} 1\n"
+      "h_bucket{le=\"3\"} 1\n"
+      "h_bucket{le=\"7\"} 2\n"
+      "h_bucket{le=\"15\"} 2\n"
+      "h_bucket{le=\"31\"} 2\n"
+      "h_bucket{le=\"63\"} 2\n"
+      "h_bucket{le=\"127\"} 2\n"
+      "h_bucket{le=\"255\"} 2\n"
+      "h_bucket{le=\"511\"} 2\n"
+      "h_bucket{le=\"1023\"} 2\n"
+      "h_bucket{le=\"2047\"} 2\n"
+      "h_bucket{le=\"4095\"} 2\n"
+      "h_bucket{le=\"8191\"} 2\n"
+      "h_bucket{le=\"16383\"} 2\n"
+      "h_bucket{le=\"32767\"} 2\n"
+      "h_bucket{le=\"65535\"} 2\n"
+      "h_bucket{le=\"131071\"} 2\n"
+      "h_bucket{le=\"262143\"} 2\n"
+      "h_bucket{le=\"524287\"} 2\n"
+      "h_bucket{le=\"1048575\"} 2\n"
+      "h_bucket{le=\"2097151\"} 2\n"
+      "h_bucket{le=\"4194303\"} 2\n"
+      "h_bucket{le=\"8388607\"} 2\n"
+      "h_bucket{le=\"16777215\"} 2\n"
+      "h_bucket{le=\"33554431\"} 2\n"
+      "h_bucket{le=\"67108863\"} 2\n"
+      "h_bucket{le=\"134217727\"} 2\n"
+      "h_bucket{le=\"268435455\"} 2\n"
+      "h_bucket{le=\"536870911\"} 2\n"
+      "h_bucket{le=\"1073741823\"} 2\n"
+      "h_bucket{le=\"2147483647\"} 2\n"
+      "h_bucket{le=\"4294967295\"} 2\n"
+      "h_bucket{le=\"+Inf\"} 2\n"
+      "h_sum 5\n"
+      "h_count 2\n";
+  EXPECT_EQ(PrometheusText(registry.Snapshot()), expected);
+}
+
+TEST(Exporter, PrometheusGroupsSeriesOfOneMetricName) {
+  MetricsRegistry registry;
+  registry.Counter("a_total", {{"shard", "0"}})->Add(1);
+  registry.Counter("b_total")->Add(2);
+  registry.Counter("a_total", {{"shard", "1"}})->Add(3);
+  const std::string text = PrometheusText(registry.Snapshot());
+  // One contiguous group per metric name, # TYPE emitted exactly once.
+  EXPECT_EQ(text,
+            "# TYPE a_total counter\n"
+            "a_total{shard=\"0\"} 1\n"
+            "a_total{shard=\"1\"} 3\n"
+            "# TYPE b_total counter\n"
+            "b_total 2\n");
+}
+
+TEST(Exporter, FileSinksAppendMetricsAndRewritePrometheus) {
+  MetricsRegistry registry;
+  CounterCell* c = registry.Counter("n_total");
+  const std::string dir = ::testing::TempDir();
+  ExporterOptions opts;
+  opts.metrics_path = dir + "/obs_test_metrics.jsonl";
+  opts.prometheus_path = dir + "/obs_test.prom";
+  opts.period_seconds = 0;  // every Tick exports
+  std::remove(opts.metrics_path.c_str());
+  std::vector<std::string> sunk;
+  opts.sink = [&](const std::string& line) { sunk.push_back(line); };
+  SnapshotExporter exporter([&] { return registry.Snapshot(); }, opts);
+  c->Add(1);
+  EXPECT_TRUE(exporter.Tick());
+  c->Add(1);
+  EXPECT_TRUE(exporter.ExportNow());
+  EXPECT_EQ(exporter.exports(), 2u);
+  EXPECT_TRUE(exporter.error().empty());
+  ASSERT_EQ(sunk.size(), 2u);
+  EXPECT_NE(sunk[0].find("\"seq\":0"), std::string::npos);
+  EXPECT_NE(sunk[1].find("\"seq\":1"), std::string::npos);
+
+  std::ifstream metrics(opts.metrics_path);
+  std::string line;
+  size_t lines = 0;
+  while (std::getline(metrics, line)) {
+    EXPECT_EQ(line, sunk[lines]);
+    ++lines;
+  }
+  EXPECT_EQ(lines, 2u);  // JSON-lines file appends
+
+  std::ifstream prom(opts.prometheus_path);
+  std::stringstream buf;
+  buf << prom.rdbuf();
+  // Prometheus file is rewritten whole: only the LATEST exposition.
+  EXPECT_EQ(buf.str(),
+            "# TYPE n_total counter\n"
+            "n_total 2\n");
+}
+
+TEST(Exporter, WriteTraceFileRoundTrips) {
+  TraceClock clock;
+  TraceRing ring(&clock, 1, 8);
+  ring.Emit(TraceKind::kCheckpointSealed, 100, 1, 2048);
+  const std::string path = ::testing::TempDir() + "/obs_test_trace.jsonl";
+  ASSERT_EQ(WriteTraceFile(path, ring.Dump()), "");
+  std::ifstream in(path);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_NE(line.find("\"event\":\"checkpoint_sealed\""), std::string::npos);
+  EXPECT_NE(line.find("\"stream_time\":100"), std::string::npos);
+  EXPECT_NE(line.find("\"b\":2048"), std::string::npos);
+  EXPECT_FALSE(std::getline(in, line));
+}
+
+TEST(Exporter, EveryTraceKindHasAStableName) {
+  for (int k = 0; k <= static_cast<int>(TraceKind::kReoptDecision); ++k) {
+    const char* name = TraceKindName(static_cast<TraceKind>(k));
+    ASSERT_NE(name, nullptr);
+    EXPECT_STRNE(name, "unknown") << "kind " << k;
+  }
+}
+
+}  // namespace
+}  // namespace sharon::obs

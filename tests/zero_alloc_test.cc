@@ -141,5 +141,28 @@ TEST(ZeroAllocTest, SharedEngineSteadyStateIsAllocationFree) {
   ExpectZeroSteadyStateAllocs(engine, "shared");
 }
 
+// Metrics AND lifecycle tracing enabled: cells are preallocated at
+// registration and the trace ring at construction, so the instrumented
+// steady state stays allocation-free (the src/obs/metrics.h contract).
+TEST(ZeroAllocTest, SteadyStateWithMetricsAndTracingIsAllocationFree) {
+  Workload w = MakeWorkload();
+  Engine engine(w);
+  obs::MetricsRegistry registry;
+  obs::EngineObs eo = obs::RegisterEngineObs(registry, /*shard=*/0);
+  obs::TraceClock clock;
+  obs::TraceRing ring(&clock, /*source=*/0, /*capacity=*/4096);
+  eo.ring = &ring;
+  engine.SetObservability(&eo);
+  ExpectZeroSteadyStateAllocs(engine, "metrics+trace");
+
+  // The instrumentation actually fired during the run.
+  EXPECT_GT(eo.released_events->value(), 0u);
+  EXPECT_GT(eo.finalized_windows->value(), 0u);
+  EXPECT_GT(eo.event_lateness->count(), 0u);
+  EXPECT_GT(ring.emitted(), 0u);
+  const obs::MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_FALSE(snap.counters.empty());
+}
+
 }  // namespace
 }  // namespace sharon

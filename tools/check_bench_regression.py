@@ -25,6 +25,16 @@ import json
 import os
 import sys
 
+# Bench-record schema versions this checker understands (the
+# `schema_version` field PrintJsonRecord appends to every record; the
+# telemetry dumps carry the same policy via tools/check_metrics_schema.py).
+# Records with an unknown or missing version are REFUSED, never guessed at.
+KNOWN_SCHEMA_VERSIONS = {1}
+
+
+class SchemaVersionError(Exception):
+    pass
+
 
 def load_run_records(path):
     cases = {}
@@ -34,6 +44,12 @@ def load_run_records(path):
             if not line.startswith('{"bench":"micro_executor"'):
                 continue
             rec = json.loads(line)
+            version = rec.get("schema_version")
+            if version not in KNOWN_SCHEMA_VERSIONS:
+                raise SchemaVersionError(
+                    f"record schema_version {version!r} not in known set "
+                    f"{sorted(KNOWN_SCHEMA_VERSIONS)}; refusing to compare "
+                    f"(update this checker alongside the record format)")
             params = rec.get("params", {})
             if params.get("case") == "calibration":
                 continue
@@ -57,7 +73,11 @@ def main():
                     help="write the run as the new baseline and exit")
     args = ap.parse_args()
 
-    cases = load_run_records(args.run)
+    try:
+        cases = load_run_records(args.run)
+    except SchemaVersionError as e:
+        print(f"bench record schema check failed: {e}", file=sys.stderr)
+        return 2
     if not cases:
         print("no micro_executor records found in run output", file=sys.stderr)
         return 2

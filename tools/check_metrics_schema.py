@@ -1,0 +1,189 @@
+#!/usr/bin/env python3
+"""Validates telemetry JSON-lines dumps (src/obs/exporter.h wire format).
+
+Usage:
+    python3 tools/check_metrics_schema.py FILE [FILE ...]
+
+Every line of every FILE must be one self-contained JSON object of
+schema_version 1, either
+
+  kind="metrics"  a whole metrics snapshot:
+      {"schema_version":1,"kind":"metrics","seq":N,"wall_seconds":F,
+       "counters":[{"name":S,"labels":{S:S...},"value":N>=0}...],
+       "gauges":  [{"name":S,"labels":{...},"value":INT}...],
+       "histograms":[{"name":S,"labels":{...},"count":N,"sum":N,
+                      "buckets":[34 non-negative ints]}...]}
+      with count == sum(buckets) for every histogram, or
+
+  kind="trace"    one lifecycle event:
+      {"schema_version":1,"kind":"trace","nanos":N,"seq":N,"source":N,
+       "event":S,"stream_time":INT,"a":INT,"b":INT}
+      with event drawn from the TraceKind name set (src/obs/trace.h).
+
+Unknown schema versions are refused, never guessed at — bump
+obs::kSchemaVersion and teach this checker the new shape first. Exit 0
+when every line of every file validates, 1 otherwise. CI runs this on a
+metrics-enabled bench_runtime_scaling --quick smoke.
+"""
+
+import json
+import sys
+
+KNOWN_SCHEMA_VERSIONS = {1}
+NUM_HISTOGRAM_BUCKETS = 34  # HistogramCell::kNumBuckets (src/obs/metrics.h)
+
+# TraceKindName values, src/obs/trace.cc.
+TRACE_EVENTS = {
+    "swap_requested", "swap_boundary", "swap_dual_run_start", "swap_retired",
+    "checkpoint_requested", "checkpoint_quiesce", "checkpoint_shard_done",
+    "checkpoint_sealed", "watermark_advance", "reorder_release", "late_drop",
+    "queue_full_stall", "reopt_triggered", "reopt_decision",
+}
+
+
+def is_uint(v):
+    return isinstance(v, int) and not isinstance(v, bool) and v >= 0
+
+
+def is_int(v):
+    return isinstance(v, int) and not isinstance(v, bool)
+
+
+def check_labels(labels, where):
+    if not isinstance(labels, dict):
+        return [f"{where}: labels must be an object"]
+    return [f"{where}: label {k!r} -> {v!r} must be string:string"
+            for k, v in labels.items()
+            if not (isinstance(k, str) and isinstance(v, str))]
+
+
+def check_series(entry, where, value_check, value_desc):
+    errors = []
+    if not isinstance(entry, dict):
+        return [f"{where}: must be an object"]
+    if not isinstance(entry.get("name"), str) or not entry.get("name"):
+        errors.append(f"{where}: missing/empty name")
+    errors += check_labels(entry.get("labels"), where)
+    if not value_check(entry.get("value")):
+        errors.append(f"{where}: value must be {value_desc}")
+    return errors
+
+
+def check_metrics_line(rec):
+    errors = []
+    if not is_uint(rec.get("seq")):
+        errors.append("seq must be a non-negative integer")
+    if not isinstance(rec.get("wall_seconds"), (int, float)) \
+            or isinstance(rec.get("wall_seconds"), bool):
+        errors.append("wall_seconds must be a number")
+    for key, value_check, desc in (("counters", is_uint, "a uint"),
+                                   ("gauges", is_int, "an int")):
+        series = rec.get(key)
+        if not isinstance(series, list):
+            errors.append(f"{key} must be an array")
+            continue
+        for i, entry in enumerate(series):
+            errors += check_series(entry, f"{key}[{i}]", value_check, desc)
+    histograms = rec.get("histograms")
+    if not isinstance(histograms, list):
+        errors.append("histograms must be an array")
+        return errors
+    for i, h in enumerate(histograms):
+        where = f"histograms[{i}]"
+        if not isinstance(h, dict):
+            errors.append(f"{where}: must be an object")
+            continue
+        if not isinstance(h.get("name"), str) or not h.get("name"):
+            errors.append(f"{where}: missing/empty name")
+        errors += check_labels(h.get("labels"), where)
+        buckets = h.get("buckets")
+        if (not isinstance(buckets, list)
+                or len(buckets) != NUM_HISTOGRAM_BUCKETS
+                or not all(is_uint(b) for b in buckets)):
+            errors.append(f"{where}: buckets must be "
+                          f"{NUM_HISTOGRAM_BUCKETS} non-negative ints")
+            continue
+        if not is_uint(h.get("count")) or not is_uint(h.get("sum")):
+            errors.append(f"{where}: count/sum must be non-negative ints")
+            continue
+        if h["count"] != sum(buckets):
+            errors.append(f"{where}: count {h['count']} != "
+                          f"sum(buckets) {sum(buckets)}")
+    return errors
+
+
+def check_trace_line(rec):
+    errors = []
+    for key in ("nanos", "seq", "source"):
+        if not is_uint(rec.get(key)):
+            errors.append(f"{key} must be a non-negative integer")
+    event = rec.get("event")
+    if event not in TRACE_EVENTS:
+        errors.append(f"event {event!r} not a known trace kind")
+    for key in ("stream_time", "a", "b"):
+        if not is_int(rec.get(key)):
+            errors.append(f"{key} must be an integer")
+    return errors
+
+
+def check_file(path):
+    """Returns a list of 'path:line: message' validation errors."""
+    errors = []
+    lines = 0
+    with open(path) as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            lines += 1
+            where = f"{path}:{lineno}"
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError as e:
+                errors.append(f"{where}: not valid JSON: {e}")
+                continue
+            if not isinstance(rec, dict):
+                errors.append(f"{where}: line must be a JSON object")
+                continue
+            version = rec.get("schema_version")
+            if version not in KNOWN_SCHEMA_VERSIONS:
+                errors.append(
+                    f"{where}: schema_version {version!r} not in known set "
+                    f"{sorted(KNOWN_SCHEMA_VERSIONS)}; refusing to validate")
+                continue
+            kind = rec.get("kind")
+            if kind == "metrics":
+                line_errors = check_metrics_line(rec)
+            elif kind == "trace":
+                line_errors = check_trace_line(rec)
+            else:
+                line_errors = [f"kind {kind!r} must be 'metrics' or 'trace'"]
+            errors += [f"{where}: {e}" for e in line_errors]
+    if lines == 0:
+        errors.append(f"{path}: no JSON lines found (empty dump)")
+    return errors
+
+
+def main():
+    if len(sys.argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    failures = []
+    for path in sys.argv[1:]:
+        errors = check_file(path)
+        if errors:
+            failures += errors
+        else:
+            print(f"OK  {path}")
+    if failures:
+        print("\ntelemetry schema check FAILED:", file=sys.stderr)
+        for e in failures[:50]:
+            print(f"  {e}", file=sys.stderr)
+        if len(failures) > 50:
+            print(f"  ... and {len(failures) - 50} more", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

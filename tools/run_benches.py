@@ -31,7 +31,13 @@ BENCHES = [
     ("bench_micro_executor", [], ["--quick"]),
     ("bench_runtime_scaling", [], ["--quick"]),
     ("bench_runtime_scaling", ["--long-stream"], ["--long-stream", "--quick"]),
+    ("bench_checkpoint", [], ["--quick"]),
 ]
+
+# Version stamped onto every scraped record (benches append it themselves
+# via PrintJsonRecord; records from older binaries are stamped here so a
+# consolidated document is uniformly versioned).
+RECORD_SCHEMA_VERSION = 1
 
 
 def run_bench(path, args):
@@ -49,9 +55,11 @@ def run_bench(path, args):
         line = line.strip()
         if line.startswith('{"bench":'):
             try:
-                records.append(json.loads(line))
+                rec = json.loads(line)
             except json.JSONDecodeError:
-                pass
+                continue
+            rec.setdefault("schema_version", RECORD_SCHEMA_VERSION)
+            records.append(rec)
     # ru_maxrss of children accumulates in the parent after wait;
     # query the children's high-water mark (KiB on Linux).
     peak_rss = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss * 1024
@@ -128,6 +136,7 @@ def main():
 
     doc = {
         "generated_by": "tools/run_benches.py" + (" --quick" if args.quick else ""),
+        "schema_version": RECORD_SCHEMA_VERSION,
         "baseline_pre_pr4": baseline,
         "speedup_summary": summary,
         "runs": runs,
