@@ -1,0 +1,105 @@
+// Chaos soak driver (src/chaos/soak.h): composes drifting rates, bounded
+// disorder, adaptive plan swaps, checkpoints and kill/restore topology
+// changes into one seeded run, diffed against the two-step oracle.
+//
+//   soak_main [--quick] [--seed=N] [--rounds=N] [--kill-every=N]
+//             [--verbose] [--metrics-out=...] [--trace-out=...]
+//
+// --quick is the CI smoke shape: 28 rounds, a kill every 4, so the
+// topology schedule (shards {1,2,8} x producers {1,3}) wraps fully even
+// when some kills defer a round or two on an in-flight swap.
+// Without it the soak runs the long nightly shape. Exits non-zero on the
+// first failed validation, with the diagnostic on stderr; always prints
+// one JSON record (tools/run_benches.py scrapes it).
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "src/chaos/soak.h"
+
+namespace {
+
+bool ParseSizeFlag(const std::string& arg, const char* name, size_t* out) {
+  const std::string prefix = std::string(name) + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  *out = static_cast<size_t>(std::atoll(arg.substr(prefix.size()).c_str()));
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sharon::chaos::SoakConfig config;
+  // Nightly shape by default; --quick shrinks to the CI smoke.
+  config.rounds = 96;
+  config.kill_every = 4;
+  size_t seed = 1;
+  bool quick = false;
+  sharon::bench::ObsFlags obs;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    size_t value = 0;
+    if (arg == "--quick") {
+      quick = true;
+    } else if (arg == "--verbose") {
+      config.verbose = true;
+    } else if (ParseSizeFlag(arg, "--seed", &value)) {
+      seed = value;
+    } else if (ParseSizeFlag(arg, "--rounds", &value)) {
+      config.rounds = value;
+    } else if (ParseSizeFlag(arg, "--kill-every", &value)) {
+      config.kill_every = value;
+    } else if (sharon::bench::ParseObsFlag(arg, &obs)) {
+      // Telemetry dump paths, wired through below: the soak validates
+      // telemetry internally either way; the dumps additionally feed
+      // tools/check_metrics_schema.py.
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (quick) {
+    config.rounds = 28;
+    config.kill_every = 4;
+  }
+  config.seed = seed;
+  config.metrics_out = obs.metrics_out;
+  config.trace_out = obs.trace_out;
+
+  const sharon::chaos::SoakReport report = sharon::chaos::RunSoak(config);
+
+  std::printf("chaos soak: seed=%zu rounds=%zu/%zu cycles=%zu retries=%zu "
+              "swaps=%llu/%llu cells=%zu wall=%.2fs -> %s\n",
+              static_cast<size_t>(config.seed), report.rounds_run,
+              config.rounds, report.cycles.size(), report.checkpoint_retries,
+              static_cast<unsigned long long>(report.swaps_accepted),
+              static_cast<unsigned long long>(report.swaps_accepted +
+                                              report.swaps_rejected),
+              report.cells_compared, report.wall_seconds,
+              report.ok ? "OK" : "FAIL");
+  sharon::bench::PrintJsonRecord(
+      "chaos_soak",
+      {{"seed", std::to_string(config.seed)},
+       {"rounds", std::to_string(config.rounds)},
+       {"kill_every", std::to_string(config.kill_every)},
+       {"mode", quick ? "quick" : "long"}},
+      {{"ok", report.ok ? 1.0 : 0.0},
+       {"rounds_run", static_cast<double>(report.rounds_run)},
+       {"events_ingested", static_cast<double>(report.events_ingested)},
+       {"cycles", static_cast<double>(report.cycles.size())},
+       {"checkpoint_retries", static_cast<double>(report.checkpoint_retries)},
+       {"swaps_accepted", static_cast<double>(report.swaps_accepted)},
+       {"swaps_rejected", static_cast<double>(report.swaps_rejected)},
+       {"telemetry_validations",
+        static_cast<double>(report.telemetry_validations)},
+       {"cells_compared", static_cast<double>(report.cells_compared)},
+       {"wall_seconds", report.wall_seconds}});
+  if (!report.ok) {
+    std::fprintf(stderr, "soak FAILED (seed=%zu): %s\n",
+                 static_cast<size_t>(config.seed), report.error.c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -16,8 +16,10 @@ PlanManager::PlanManager(const Workload& workload,
       // (the caller passes the checkpoint-time incumbent as initial_plan).
       incumbent_plan_id_(rt ? rt->swaps_requested() : 0) {}
 
-void PlanManager::Ingest(const Event& e) {
-  runtime_->Ingest(e);
+void PlanManager::Ingest(const Event& e) { Ingest(e, 0); }
+
+void PlanManager::Ingest(const Event& e, size_t partition) {
+  runtime_->ingest_partition(partition).Ingest(e);
   if (IsWatermark(e)) return;
   monitor_.OnEvent(e);
   const int64_t epoch_id = e.time / options_.epoch;

@@ -88,9 +88,18 @@ class PlanManager {
   PlanManager(const Workload& workload, runtime::ShardedRuntime* rt,
               SharingPlan initial_plan, const PlanManagerOptions& options = {});
 
-  /// Forwards `e` to the runtime and samples it into the rate monitor;
-  /// on an epoch boundary, considers re-optimization and a plan swap.
+  /// Forwards `e` to the runtime (ingest partition 0) and samples it into
+  /// the rate monitor; on an epoch boundary, considers re-optimization
+  /// and a plan swap.
   void Ingest(const Event& e);
+
+  /// Multi-producer variant: routes `e` through ingest partition
+  /// `partition` instead of partition 0. The manager stays single-
+  /// threaded — ALL partitions must be driven from the manager's one
+  /// thread (which also satisfies the quiescence contract of
+  /// RequestPlanSwap); watermark punctuations reach only the given
+  /// partition, so the caller broadcasts them per producer as usual.
+  void Ingest(const Event& e, size_t partition);
 
   /// The plan currently executing (initial plan until the first accepted
   /// swap; updated at swap REQUEST time — the runtime applies it at the

@@ -1,0 +1,378 @@
+#include "src/chaos/soak.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <tuple>
+#include <utility>
+
+#include "src/adaptive/plan_manager.h"
+#include "src/common/metrics.h"
+#include "src/obs/exporter.h"
+#include "src/obs/runtime_telemetry.h"
+#include "src/obs/trace.h"
+#include "src/planner/optimizer.h"
+#include "src/runtime/sharded_runtime.h"
+#include "src/streamgen/disorder.h"
+#include "src/streamgen/drift.h"
+#include "src/streamgen/rates.h"
+#include "src/twostep/reference.h"
+
+namespace sharon::chaos {
+namespace {
+
+using adaptive::PlanManager;
+using adaptive::PlanManagerOptions;
+using runtime::OpRefusal;
+using runtime::RuntimeOptions;
+using runtime::ShardedRuntime;
+
+using CellMap = std::map<std::tuple<QueryId, WindowId, AttrValue>, AggState>;
+
+// Works for both ResultCollector (the oracle) and the runtime's
+// ResultMerger — both expose the same ForEachCell shape.
+template <typename Results>
+CellMap CellsOf(const Results& results) {
+  CellMap cells;
+  results.ForEachCell([&](const ResultKey& key, const AggState& state) {
+    cells[{key.query, key.window, key.group}] = state;
+  });
+  return cells;
+}
+
+// Every shard x producer combination, ordered so each kill/restore
+// transition (including the wrap-around) changes BOTH counts — the
+// harshest re-partitioning the restore path supports.
+struct Topology {
+  size_t shards;
+  size_t producers;
+};
+constexpr Topology kSchedule[] = {{1, 1}, {2, 3}, {8, 1},
+                                  {1, 3}, {2, 1}, {8, 3}};
+constexpr size_t kScheduleSize = sizeof(kSchedule) / sizeof(kSchedule[0]);
+
+std::string CellKey(const std::string& name, const obs::MetricLabels& labels) {
+  std::string key = name;
+  for (const auto& [k, v] : labels) key += "|" + k + "=" + v;
+  return key;
+}
+
+/// Validates one incarnation's telemetry while its workers run: registry
+/// snapshots must be internally consistent and monotone, trace dumps must
+/// contain only known kinds from known sources in merge order. Reset at
+/// every restore (a fresh incarnation starts its counters at zero).
+class TelemetryValidator {
+ public:
+  void Reset() { last_counters_.clear(); }
+
+  /// Returns "" when every invariant held, a diagnostic otherwise.
+  std::string Validate(const ShardedRuntime& rt) {
+    const obs::MetricsSnapshot snap = rt.TelemetrySnapshot();
+    for (const auto& h : snap.histograms) {
+      uint64_t sum = 0;
+      for (const uint64_t b : h.data.buckets) sum += b;
+      if (sum != h.data.count) {
+        return "histogram " + CellKey(h.name, h.labels) +
+               " count != sum of buckets";
+      }
+    }
+    for (const auto& c : snap.counters) {
+      const std::string key = CellKey(c.name, c.labels);
+      auto [it, inserted] = last_counters_.try_emplace(key, c.value);
+      if (!inserted) {
+        if (c.value < it->second) {
+          return "counter " + key + " regressed within an incarnation";
+        }
+        it->second = c.value;
+      }
+    }
+    const size_t num_sources = rt.num_shards() + 1 + rt.num_ingest_partitions();
+    uint64_t prev_nanos = 0;
+    for (const obs::TraceEvent& e : rt.DumpTrace()) {
+      if (std::strcmp(obs::TraceKindName(e.kind), "unknown") == 0) {
+        return "trace event with unknown kind " +
+               std::to_string(static_cast<int>(e.kind));
+      }
+      if (e.source >= num_sources) {
+        return "trace event from out-of-range source " +
+               std::to_string(e.source);
+      }
+      if (e.nanos < prev_nanos) return "trace dump out of merge order";
+      prev_nanos = e.nanos;
+    }
+    return "";
+  }
+
+ private:
+  std::map<std::string, uint64_t> last_counters_;
+};
+
+RuntimeOptions OptionsFor(const Topology& topo, const SoakConfig& config) {
+  RuntimeOptions opts;
+  opts.num_shards = topo.shards;
+  opts.ingest_partitions = topo.producers;
+  opts.batch_size = 64;
+  opts.queue_capacity = 4;  // tight: backpressure keeps epochs honest
+  opts.disorder.enabled = true;
+  opts.disorder.max_lateness = config.max_lateness;
+  opts.obs.metrics = config.validate_telemetry;
+  opts.obs.trace = config.validate_telemetry;
+  return opts;
+}
+
+}  // namespace
+
+SoakReport RunSoak(const SoakConfig& config) {
+  SoakReport report;
+  StopWatch wall;
+  auto fail = [&](const std::string& what) {
+    report.ok = false;
+    report.error = what;
+    report.wall_seconds = wall.ElapsedSeconds();
+    return report;
+  };
+  if (config.rounds == 0) return fail("config: rounds must be > 0");
+  if (config.max_lateness >= config.round_length) {
+    return fail("config: max_lateness must stay below round_length");
+  }
+
+  // --- the one composed scenario, all derived from config.seed ---------
+  DriftConfig drift;
+  drift.num_types = config.num_types;
+  drift.num_groups = config.num_groups;
+  drift.events_per_second = config.events_per_second;
+  drift.phase_length = 2 * config.round_length;  // rates flip every 2 rounds
+  drift.num_phases =
+      static_cast<uint32_t>((config.rounds + 1) / 2);  // covers every round
+  drift.seed = config.seed;
+  Scenario scenario = GenerateDrift(drift);
+
+  const WindowSpec window{Seconds(10), Seconds(4)};  // slide ∤ length
+  const Workload workload =
+      DriftWorkload(drift, window, /*anchors_per_side=*/6, /*bridges=*/3);
+
+  // The static plan only ever sees phase 0 — drift makes it stale, which
+  // is exactly what keeps the PlanManager swapping.
+  CostModel cm(RatesOfSlice(scenario.events, 0, drift.phase_length,
+                            drift.num_types));
+  const SharingPlan initial_plan = OptimizeGreedy(workload, cm).plan;
+
+  const ResultCollector oracle = ReferenceResults(workload, scenario.events);
+  const CellMap oracle_cells = CellsOf(oracle);
+  if (oracle_cells.empty()) return fail("oracle produced no cells");
+
+  DisorderConfig inj;
+  inj.max_lateness = config.max_lateness;
+  inj.punctuation_period = Seconds(1);
+  inj.seed = config.seed * 0x9e3779b97f4a7c15ULL + 1;
+  const std::vector<Event> arrivals = InjectDisorder(scenario.events, inj);
+
+  const std::string ckpt_dir =
+      config.checkpoint_dir.empty()
+          ? (std::filesystem::temp_directory_path() /
+             ("sharon_soak_" + std::to_string(config.seed)))
+                .string()
+          : config.checkpoint_dir;
+
+  PlanManagerOptions popts;
+  popts.epoch = Seconds(4);
+  popts.window_epochs = 2;
+  popts.drift_threshold = 0.3;
+  popts.hysteresis = 0.05;
+
+  // --- incarnation state ------------------------------------------------
+  size_t topo_idx = config.seed % kScheduleSize;
+  auto rt = std::make_unique<ShardedRuntime>(
+      workload, initial_plan, OptionsFor(kSchedule[topo_idx], config));
+  if (!rt->ok()) return fail("initial runtime: " + rt->error());
+  auto mgr =
+      std::make_unique<PlanManager>(workload, rt.get(), initial_plan, popts);
+  rt->Start();
+  TelemetryValidator validator;
+
+  auto fold_manager = [&] {
+    report.swaps_accepted += mgr->stats().swaps_accepted;
+    report.swaps_rejected += mgr->stats().swaps_rejected;
+  };
+
+  // Rounds are fixed arrival-order chunks; the last round takes the
+  // remainder so every event is ingested exactly once.
+  const size_t per_round = arrivals.size() / config.rounds;
+  if (per_round == 0) return fail("config: fewer arrivals than rounds");
+
+  bool kill_pending = false;  // a due kill deferred by an in-flight swap
+  size_t rr = 0;              // data-event round robin across producers
+  for (size_t round = 0; round < config.rounds; ++round) {
+    const size_t begin = round * per_round;
+    const size_t end =
+        round + 1 == config.rounds ? arrivals.size() : begin + per_round;
+    const size_t producers = rt->num_ingest_partitions();
+    const bool last_round = round + 1 == config.rounds;
+    const bool kill_due = config.kill_every > 0 &&
+                          (round + 1) % config.kill_every == 0 && !last_round;
+    // In the round leading into a kill — and while one stays deferred on
+    // an in-flight swap — bypass the manager: an operator about to
+    // checkpoint stops re-planning, and without new swap requests the
+    // draining one retires within a round or two of stream time.
+    // Otherwise epoch evaluations keep a swap in flight nearly
+    // continuously and starve the kill/restore axis.
+    const bool quiesce_planning = kill_pending || kill_due;
+    for (size_t i = begin; i < end; ++i) {
+      const Event& e = arrivals[i];
+      if (IsWatermark(e)) {
+        for (size_t p = 0; p < producers; ++p) {
+          if (quiesce_planning) {
+            rt->ingest_partition(p).IngestWatermark(e.time);
+          } else {
+            mgr->Ingest(e, p);
+          }
+        }
+      } else {
+        const size_t p = rr++ % producers;
+        if (quiesce_planning) {
+          rt->ingest_partition(p).Ingest(e);
+        } else {
+          mgr->Ingest(e, p);
+        }
+        ++report.events_ingested;
+      }
+    }
+    ++report.rounds_run;
+    if (config.verbose) {
+      std::fprintf(stderr, "soak: round %zu/%zu done (topology %zux%zu)\n",
+                   round + 1, config.rounds, rt->num_shards(),
+                   rt->num_ingest_partitions());
+    }
+
+    if (config.validate_telemetry) {
+      const std::string err = validator.Validate(*rt);
+      if (!err.empty()) {
+        return fail("round " + std::to_string(round) + ": telemetry: " + err);
+      }
+      ++report.telemetry_validations;
+    }
+
+    // Kill/restore cycle: due every kill_every rounds (never after the
+    // final round — that one ends in Finish + the oracle diff).
+    if (!kill_due && !kill_pending) continue;
+    if (last_round) break;
+
+    std::filesystem::remove_all(ckpt_dir);
+    const ShardedRuntime::CheckpointResult cp = rt->Checkpoint(ckpt_dir);
+    if (!cp.ok) {
+      // The only legitimate refusal here is a swap still draining: defer
+      // the kill to the next round boundary. Anything else is a bug.
+      if (cp.code != OpRefusal::kSwapInFlight) {
+        return fail("round " + std::to_string(round) +
+                    ": checkpoint refused [" + cp.reason + "]");
+      }
+      kill_pending = true;
+      ++report.checkpoint_retries;
+      continue;
+    }
+    kill_pending = false;
+
+    SoakCycleRecord cycle;
+    cycle.round = round;
+    cycle.checkpoint_id = cp.id;
+    cycle.from_shards = rt->num_shards();
+    cycle.from_producers = rt->num_ingest_partitions();
+
+    // Kill: the incumbent plan is what the checkpoint fingerprinted.
+    const SharingPlan incumbent = mgr->current_plan();
+    fold_manager();
+    mgr.reset();
+    rt.reset();
+
+    // Restore into the NEXT topology — different shard count AND
+    // different producer count by schedule construction.
+    topo_idx = (topo_idx + 1) % kScheduleSize;
+    ShardedRuntime::RestoreOptions ropts;
+    ropts.runtime = OptionsFor(kSchedule[topo_idx], config);
+    ropts.workload = &workload;
+    ropts.plan = incumbent;
+    ShardedRuntime::RestoreOutcome restored =
+        ShardedRuntime::Restore(ckpt_dir, ropts);
+    if (!restored.runtime) {
+      return fail("round " + std::to_string(round) + ": restore into " +
+                  std::to_string(kSchedule[topo_idx].shards) + "x" +
+                  std::to_string(kSchedule[topo_idx].producers) + ": " +
+                  restored.error);
+    }
+    rt = std::move(restored.runtime);
+    mgr = std::make_unique<PlanManager>(workload, rt.get(), incumbent, popts);
+    rt->Start();
+    validator.Reset();
+
+    cycle.to_shards = rt->num_shards();
+    cycle.to_producers = rt->num_ingest_partitions();
+    report.cycles.push_back(cycle);
+    if (config.verbose) {
+      std::fprintf(stderr, "soak: cycle %zu: restored %zux%zu -> %zux%zu\n",
+                   report.cycles.size(), cycle.from_shards,
+                   cycle.from_producers, cycle.to_shards, cycle.to_producers);
+    }
+  }
+
+  rt->Finish();
+  fold_manager();
+  if (config.validate_telemetry) {
+    const std::string err = validator.Validate(*rt);
+    if (!err.empty()) return fail("post-finish telemetry: " + err);
+    ++report.telemetry_validations;
+  }
+  if (rt->stats().TotalLateDropped() != 0) {
+    return fail("final incarnation dropped in-budget events as late");
+  }
+
+  // The verdict: finalized cells of the whole composed run, bit-identical
+  // to the two-step oracle over the sorted stream.
+  const CellMap actual = CellsOf(rt->results());
+  if (actual.size() != oracle_cells.size()) {
+    return fail("cell count mismatch: oracle " +
+                std::to_string(oracle_cells.size()) + ", soak " +
+                std::to_string(actual.size()));
+  }
+  for (const auto& [key, state] : oracle_cells) {
+    const auto it = actual.find(key);
+    if (it == actual.end() || !(it->second == state)) {
+      return fail("cell diverged at query=" +
+                  std::to_string(std::get<0>(key)) +
+                  " window=" + std::to_string(std::get<1>(key)) +
+                  " group=" + std::to_string(std::get<2>(key)));
+    }
+    if (!rt->results().Finalized(std::get<0>(key), std::get<1>(key))) {
+      return fail("cell not finalized at query=" +
+                  std::to_string(std::get<0>(key)) +
+                  " window=" + std::to_string(std::get<1>(key)));
+    }
+  }
+  report.cells_compared = oracle_cells.size();
+
+  // Final telemetry dumps (post-Finish: the snapshot carries the folded
+  // RuntimeStats gauges), in the formats the schema checker validates.
+  if (!config.metrics_out.empty()) {
+    obs::ExporterOptions eopts;
+    eopts.metrics_path = config.metrics_out;
+    obs::SnapshotExporter exporter(
+        [&] { return rt->TelemetrySnapshot(); }, eopts);
+    if (!exporter.ExportNow()) {
+      return fail("metrics dump failed: " + exporter.error());
+    }
+  }
+  if (!config.trace_out.empty()) {
+    const std::string err =
+        obs::WriteTraceFile(config.trace_out, rt->DumpTrace());
+    if (!err.empty()) return fail("trace dump failed: " + err);
+  }
+
+  std::filesystem::remove_all(ckpt_dir);
+  report.ok = true;
+  report.wall_seconds = wall.ElapsedSeconds();
+  return report;
+}
+
+}  // namespace sharon::chaos

@@ -1,0 +1,124 @@
+// Chaos soak harness: one seeded, deterministic driver that composes
+// every subsystem the engine has grown — drifting rates (src/streamgen/
+// drift.h), bounded disorder, adaptive re-optimization plan swaps
+// (src/adaptive/), periodic checkpoints with kill/restore cycles into a
+// DIFFERENT shard and producer topology (src/checkpoint/), and the
+// telemetry layer (src/obs/) — and continuously cross-checks the whole
+// composition against the two-step oracle (src/twostep/reference.h).
+//
+// The harness is a bug-flushing instrument, not a benchmark: everything
+// is derived from one master seed, so any divergence it finds is
+// replayable by seed alone, and the first divergence aborts the run with
+// a labelled diagnostic (round, cycle, topology) so a failing soak can be
+// minimized into a deterministic regression test. The stream is cut into
+// ROUNDS (fixed arrival-order chunks); every `kill_every` rounds the run
+// checkpoints, destroys the runtime mid-stream and restores into the next
+// topology of a schedule cycling all shard x producer combinations, with
+// each transition changing BOTH counts. Swaps ride on the PlanManager's
+// epoch cadence; a checkpoint refused because a swap is still draining is
+// retried next round (the refusal itself is validated to carry the typed
+// kSwapInFlight code).
+//
+// Telemetry is validated per cycle while the workers run — registry
+// snapshots must stay internally consistent (histogram count == sum of
+// buckets) and monotone (counters never regress within an incarnation),
+// trace dumps must contain only known event kinds from known sources.
+// Result cells are diffed ONLY after the final Finish: mid-run result
+// reads would race the shard workers by design.
+
+#ifndef SHARON_CHAOS_SOAK_H_
+#define SHARON_CHAOS_SOAK_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/time.h"
+
+namespace sharon::chaos {
+
+/// Everything a soak run derives from: one master seed plus shape knobs.
+/// Two runs with equal configs replay the same stream, the same disorder,
+/// the same topology schedule and the same kill points.
+struct SoakConfig {
+  /// Master seed: drives the drift scenario, the disorder injection and
+  /// the topology schedule's starting point.
+  uint64_t seed = 1;
+
+  /// Ingest rounds (fixed arrival-order chunks of the stream). The
+  /// default pairs with `kill_every` to visit every topology of the
+  /// schedule at least once; raise it for long soaks.
+  size_t rounds = 24;
+
+  /// Checkpoint + kill + restore every this many rounds (0 disables the
+  /// kill/restore axis entirely — swaps and telemetry still run).
+  size_t kill_every = 4;
+
+  /// Stream time per round. With the default drift phase of two rounds,
+  /// rates flip every second round, keeping the PlanManager busy.
+  Duration round_length = Seconds(10);
+
+  /// Drift scenario shape (src/streamgen/drift.h).
+  uint32_t events_per_second = 600;
+  uint32_t num_types = 8;    ///< event schema size of the generated stream
+  uint32_t num_groups = 12;  ///< group-by key cardinality
+
+  /// Bounded-disorder budget of the injected arrival order; also the
+  /// runtime's max_lateness. Must stay below `round_length` so watermarks
+  /// keep finalizing within a round.
+  Duration max_lateness = Seconds(4);
+
+  /// Validate metrics snapshots and trace dumps each cycle (and once at
+  /// the end). Off only for perf-focused soaks.
+  bool validate_telemetry = true;
+
+  /// Scratch directory for checkpoint cycles ("" = under the system temp
+  /// directory, named by seed). The harness wipes and reuses it.
+  std::string checkpoint_dir;
+
+  /// Final telemetry dumps of the last incarnation, written after Finish
+  /// ("" = off). Both formats are what tools/check_metrics_schema.py
+  /// validates: metrics as one appended JSON line, trace as JSON lines.
+  std::string metrics_out;
+  std::string trace_out;
+
+  /// Per-round progress lines on stderr (soak_main --verbose).
+  bool verbose = false;
+};
+
+/// One completed kill/restore cycle (for the report and for minimizing a
+/// failure into a regression test).
+struct SoakCycleRecord {
+  size_t round = 0;            ///< round after which the kill happened
+  uint64_t checkpoint_id = 0;  ///< id the sealed checkpoint carried
+  size_t from_shards = 0;      ///< topology checkpointed under
+  size_t from_producers = 0;
+  size_t to_shards = 0;        ///< topology restored into
+  size_t to_producers = 0;
+};
+
+/// Outcome of one soak run. `ok` is the single pass/fail bit; everything
+/// else is evidence (and feeds soak_main's JSON record).
+struct SoakReport {
+  bool ok = false;     ///< every round ran and every validation held
+  std::string error;   ///< first failure, labelled with round/cycle ("" ok)
+
+  size_t rounds_run = 0;             ///< rounds fully ingested
+  uint64_t events_ingested = 0;      ///< data events fed (all incarnations)
+  std::vector<SoakCycleRecord> cycles;  ///< completed kill/restore cycles
+  size_t checkpoint_retries = 0;  ///< kills deferred by an in-flight swap
+  uint64_t swaps_accepted = 0;    ///< over all incarnations (PlanManager)
+  uint64_t swaps_rejected = 0;    ///< over all incarnations (PlanManager)
+  uint64_t telemetry_validations = 0;  ///< snapshot+trace passes that ran
+  size_t cells_compared = 0;  ///< oracle cells checked in the final diff
+  double wall_seconds = 0;    ///< whole-run wall time
+};
+
+/// Runs one composed chaos soak (see the file comment for the scenario).
+/// Deterministic in `config`; returns on the FIRST failed validation.
+SoakReport RunSoak(const SoakConfig& config);
+
+}  // namespace sharon::chaos
+
+#endif  // SHARON_CHAOS_SOAK_H_

@@ -67,8 +67,12 @@ RuntimeTelemetry::RuntimeTelemetry(size_t num_shards, size_t num_partitions,
 
   control_cells_.swap_requests =
       registry_.Counter("sharon_swap_requests_total", {});
+  control_cells_.swaps_rejected =
+      registry_.Counter("sharon_swaps_rejected_total", {});
   control_cells_.checkpoint_requests =
       registry_.Counter("sharon_checkpoint_requests_total", {});
+  control_cells_.checkpoints_rejected =
+      registry_.Counter("sharon_checkpoints_rejected_total", {});
   control_cells_.checkpoints_sealed =
       registry_.Counter("sharon_checkpoints_sealed_total", {});
   control_cells_.checkpoint_bytes =

@@ -75,7 +75,9 @@ struct IngestCells {
 /// Control-thread cells (swap/checkpoint orchestration, wall clock).
 struct ControlCells {
   CounterCell* swap_requests = nullptr;        ///< accepted swap requests
+  CounterCell* swaps_rejected = nullptr;       ///< refused swap requests
   CounterCell* checkpoint_requests = nullptr;  ///< accepted checkpoints
+  CounterCell* checkpoints_rejected = nullptr;  ///< refused checkpoints
   CounterCell* checkpoints_sealed = nullptr;   ///< manifests written
   CounterCell* checkpoint_bytes = nullptr;     ///< total serialized bytes
   // Fold-time gauges (see ShardCells).

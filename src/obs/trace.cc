@@ -35,6 +35,10 @@ const char* TraceKindName(TraceKind kind) {
       return "reopt_triggered";
     case TraceKind::kReoptDecision:
       return "reopt_decision";
+    case TraceKind::kSwapRejected:
+      return "swap_rejected";
+    case TraceKind::kCheckpointRejected:
+      return "checkpoint_rejected";
   }
   return "unknown";
 }

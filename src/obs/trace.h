@@ -57,6 +57,8 @@ enum class TraceKind : uint8_t {
   kQueueFullStall = 11,   ///< partition: a=target shard index
   kReoptTriggered = 12,   ///< control: a=epoch id, b=1 if drift detected
   kReoptDecision = 13,    ///< control: a=outcome (see ReoptOutcome), b=gain ppm
+  kSwapRejected = 14,        ///< control: a=OpRefusal code of the refusal
+  kCheckpointRejected = 15,  ///< control: a=OpRefusal code of the refusal
 };
 
 /// Payload values of TraceKind::kReoptDecision's `a` field.

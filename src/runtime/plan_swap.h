@@ -32,8 +32,16 @@
 // Event; they travel in a side queue per shard while an in-band MARKER
 // punctuation (type kSwapMarkerType) holds the swap's position relative
 // to data events through the batch queues — the same trick watermarks
-// use. The producer pushes the command strictly before broadcasting the
+// use. The runtime pushes the command strictly before broadcasting the
 // marker, so the worker always finds the command when the marker arrives.
+//
+// With several ingest partitions the marker is broadcast on EVERY
+// partition's channels; a shard executes the operation only once the
+// marker of every channel arrived, holding each aligned channel's
+// subsequent events until then (Shard::OnControlMarker) — the same
+// min-over-channels discipline watermark merging uses. Control requests
+// therefore require all producer threads to be externally quiescent for
+// the duration of the call, nothing more.
 
 #ifndef SHARON_RUNTIME_PLAN_SWAP_H_
 #define SHARON_RUNTIME_PLAN_SWAP_H_
@@ -93,7 +101,7 @@ enum class OpRefusal : uint8_t {
   kNotRunning,          ///< runtime failed to construct or already finished
   kNotUniform,          ///< operation requires uniform-Engine shards
   kNoDisorderPolicy,    ///< operation requires watermarks
-  kMultiProducer,       ///< marker ordering needs a single ingest partition
+  kMultiProducer,       ///< historical (pre-marker-alignment); never returned
   kBadPlan,             ///< null plan or plan from a different workload
   kSwapInFlight,        ///< a plan swap has not retired on every shard yet
   kCheckpointInFlight,  ///< a checkpoint has not completed on every shard

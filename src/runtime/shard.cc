@@ -27,6 +27,8 @@ Shard::Shard(size_t index, const Workload& workload,
     : index_(index),
       channels_(MakeChannels(options)),
       channel_frontier_(channels_.size(), kNoWatermark),
+      marker_seen_(channels_.size(), 0),
+      held_(channels_.size()),
       engine_(std::make_unique<Engine>(workload, std::move(compiled))),
       engine_mode_(true),
       disorder_(options.disorder) {
@@ -39,6 +41,8 @@ Shard::Shard(size_t index, std::shared_ptr<const MultiEnginePlan> plan,
     : index_(index),
       channels_(MakeChannels(options)),
       channel_frontier_(channels_.size(), kNoWatermark),
+      marker_seen_(channels_.size(), 0),
+      held_(channels_.size()),
       multi_(std::make_unique<MultiEngine>(std::move(plan))),
       engine_mode_(false),
       disorder_(options.disorder) {
@@ -106,48 +110,84 @@ void Shard::MergeWatermark(size_t p, Timestamp t) {
 
 void Shard::Process(const EventBatch& batch, size_t channel_idx) {
   StopWatch watch;
-  uint64_t data_events = 0;
-  for (const Event& e : batch) {
-    if (IsSwapMarker(e)) {
-      BeginSwap();
-      continue;
-    }
-    if (IsCheckpointMarker(e)) {
-      WriteCheckpoint();
-      continue;
-    }
-    if (IsWatermark(e)) {
-      MergeWatermark(channel_idx, e.time);
-      continue;
-    }
-    ++data_events;
-    if (!engine_) {
-      multi_->OnEvent(e);
-      continue;
-    }
-    if (!swap_active_) {
-      engine_->OnEvent(e);
-      continue;
-    }
-    // Dual run: the old engine owns windows closing <= boundary (events
-    // below the boundary), the new engine owns windows closing above it
-    // (events at or past the overlap start). Events in the overlap feed
-    // both — each window still sees its events exactly once per engine.
-    const bool to_old = e.time < swap_.boundary;
-    const bool to_new = e.time >= tee_from_;
-    if (to_old) engine_->OnEvent(e);
-    if (to_new) next_engine_->OnEvent(e);
-    if (to_old && to_new) ++swap_record_.teed_events;
-  }
+  batch_data_events_ = 0;
+  for (const Event& e : batch) HandleEvent(e, channel_idx);
   stats_.busy_seconds += watch.ElapsedSeconds();
-  stats_.events += data_events;
+  stats_.events += batch_data_events_;
   ++stats_.batches;
   if (obs_cells_) {
-    if (obs_cells_->events) obs_cells_->events->Add(data_events);
+    if (obs_cells_->events) obs_cells_->events->Add(batch_data_events_);
     if (obs_cells_->batches) obs_cells_->batches->Inc();
     if (obs_cells_->batch_occupancy) {
-      obs_cells_->batch_occupancy->Record(data_events);
+      obs_cells_->batch_occupancy->Record(batch_data_events_);
     }
+  }
+}
+
+void Shard::HandleEvent(const Event& e, size_t p) {
+  if (IsSwapMarker(e) || IsCheckpointMarker(e)) {
+    OnControlMarker(e, p);
+    return;
+  }
+  if (markers_seen_ > 0 && marker_seen_[p]) {
+    // This channel already delivered its marker for the pending control
+    // op: everything behind it is part of the POST-cut stream and must
+    // wait until the remaining channels align (a marker can sit mid-batch
+    // when the producer kept appending before the flush).
+    held_[p].push_back(e);
+    return;
+  }
+  if (IsWatermark(e)) {
+    MergeWatermark(p, e.time);
+    return;
+  }
+  ++batch_data_events_;
+  if (!engine_) {
+    multi_->OnEvent(e);
+    return;
+  }
+  if (!swap_active_) {
+    engine_->OnEvent(e);
+    return;
+  }
+  // Dual run: the old engine owns windows closing <= boundary (events
+  // below the boundary), the new engine owns windows closing above it
+  // (events at or past the overlap start). Events in the overlap feed
+  // both — each window still sees its events exactly once per engine.
+  const bool to_old = e.time < swap_.boundary;
+  const bool to_new = e.time >= tee_from_;
+  if (to_old) engine_->OnEvent(e);
+  if (to_new) next_engine_->OnEvent(e);
+  if (to_old && to_new) ++swap_record_.teed_events;
+}
+
+void Shard::OnControlMarker(const Event& e, size_t p) {
+  if (marker_seen_[p]) {
+    // A marker for a LATER control op behind the pending one (defensive:
+    // the runtime serializes control ops, so this is unreachable through
+    // the public API). Park it with the channel's held events; the replay
+    // below re-delivers it and starts a fresh alignment round.
+    held_[p].push_back(e);
+    return;
+  }
+  marker_seen_[p] = 1;
+  if (++markers_seen_ < channels_.size()) return;
+  // Every producer channel delivered its marker: the shard is quiesced at
+  // a cut ordered after everything every producer routed before the
+  // request. Reset the alignment state BEFORE executing so the replayed
+  // events (and any held next-op marker) see a fresh round.
+  std::fill(marker_seen_.begin(), marker_seen_.end(), 0);
+  markers_seen_ = 0;
+  if (IsSwapMarker(e)) {
+    BeginSwap();
+  } else {
+    WriteCheckpoint();
+  }
+  for (size_t q = 0; q < held_.size(); ++q) {
+    if (held_[q].empty()) continue;
+    EventBatch replay = std::move(held_[q]);
+    held_[q] = EventBatch();
+    for (const Event& held_event : replay) HandleEvent(held_event, q);
   }
 }
 

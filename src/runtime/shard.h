@@ -14,6 +14,16 @@
 // the MINIMUM across producer frontiers — only ticks every producer has
 // vouched for are treated as complete.
 //
+// Control markers (swap/checkpoint, src/runtime/plan_swap.h) follow the
+// same per-channel discipline: the runtime broadcasts one marker per
+// channel, and the worker quiesces at the cut only once the marker of
+// EVERY channel arrived. After a channel delivers its marker, events
+// behind it are held in a worker-owned buffer; when the last channel
+// aligns, the control operation executes at a position ordered after
+// everything every producer routed before the request, and the held
+// events replay in order. With one channel the first marker completes
+// the alignment immediately — identical to the single-producer path.
+//
 // The shard never shares mutable state with other shards — the executor,
 // its group state and its ResultCollector are all private — so no locks
 // are taken on the event path. Results are read only after Join().
@@ -231,6 +241,14 @@ class Shard {
  private:
   void WorkerLoop();
   void Process(const EventBatch& batch, size_t channel_idx);
+  /// Dispatches one event from channel `p`: control-marker alignment,
+  /// watermark merging, or executor delivery (data). Also the replay path
+  /// for events held behind an aligned channel's marker.
+  void HandleEvent(const Event& e, size_t p);
+  /// Folds a control marker from channel `p` into the alignment state;
+  /// executes the staged operation once every channel's marker arrived,
+  /// then replays the held events.
+  void OnControlMarker(const Event& e, size_t p);
   /// Returns the emptied buffer to channel `p`'s free ring.
   void Recycle(size_t p, EventBatch&& batch);
   /// Applies producer `p`'s watermark `t` and advances the executor to
@@ -254,6 +272,14 @@ class Shard {
   /// until the producer punctuates) and the merged minimum applied.
   std::vector<Timestamp> channel_frontier_;
   Timestamp merged_watermark_ = kNoWatermark;
+  // Control-marker alignment (worker-owned). marker_seen_[p] is set when
+  // channel p delivered its marker for the pending control op;
+  // markers_seen_ counts the set flags. Events arriving on an aligned
+  // channel are parked in held_[p] and replayed once the operation ran.
+  std::vector<uint8_t> marker_seen_;
+  size_t markers_seen_ = 0;
+  std::vector<EventBatch> held_;
+  uint64_t batch_data_events_ = 0;  ///< data events of the batch in Process
   std::unique_ptr<Engine> engine_;
   std::unique_ptr<MultiEngine> multi_;
   /// Set at construction, never changes: lets the producer thread test

@@ -277,6 +277,17 @@ ShardedRuntime::SwapRequest ShardedRuntime::RequestPlanSwap(
   auto refuse = [&](OpRefusal code, const char* why) {
     req.code = code;
     req.reason = why;
+    // Every refusal is visible to operators: PlanManager counts only its
+    // own rejections, so without this the runtime-side refusals (direct
+    // callers, races with in-flight ops) would be silent.
+    if (telemetry_) {
+      obs::ControlCells& cc = telemetry_->control_cells();
+      if (cc.swaps_rejected) cc.swaps_rejected->Inc();
+      if (obs::TraceRing* ring = telemetry_->control_ring()) {
+        ring->Emit(obs::TraceKind::kSwapRejected, kNoWatermark,
+                   static_cast<int64_t>(code));
+      }
+    }
     return req;
   };
   if (!ok() || finished_) {
@@ -293,13 +304,6 @@ ShardedRuntime::SwapRequest ShardedRuntime::RequestPlanSwap(
         OpRefusal::kNoDisorderPolicy,
         "plan swap requires a disorder policy: watermarks are what drain "
         "and retire the old engines");
-  }
-  if (partitions_.size() > 1) {
-    return refuse(
-        OpRefusal::kMultiProducer,
-        "plan swap requires a single ingest partition: the swap marker "
-        "must be ordered after ALL routed events, which only one "
-        "producer can guarantee");
   }
   if (!plan) return refuse(OpRefusal::kBadPlan, "null compiled plan");
   if (plan->partition != partition_ || !(plan->window == window_)) {
@@ -327,15 +331,16 @@ ShardedRuntime::SwapRequest ShardedRuntime::RequestPlanSwap(
   if (!started_.load(std::memory_order_acquire)) Start();
 
   // Boundary: the close of the last window whose start covers the ingest
-  // high-mark. Every event routed so far has time <= high-mark, and the
-  // first window closing after B starts at B + slide - length
-  // > high-mark — so no event of a new-plan window has been routed yet,
-  // and the overlap tee (shard.cc) sees all of them.
-  IngestPartition& ingest = *partitions_[0];
+  // high-mark — the MAX over all producers' high marks, since with
+  // several partitions each has routed events up to its own. Every event
+  // routed so far has time <= that high-mark, and the first window
+  // closing after B starts at B + slide - length > high-mark — so no
+  // event of a new-plan window has been routed yet, and the overlap tee
+  // (shard.cc) sees all of them.
   SwapCommand cmd;
   cmd.id = ++swaps_requested_;
   cmd.boundary =
-      window_.WindowEnd(window_.LastWindowCovering(ingest.high_mark()));
+      window_.WindowEnd(window_.LastWindowCovering(IngestHighMark()));
   cmd.plan = std::move(plan);
   for (size_t i = 0; i < shards_.size(); ++i) {
     if (!shards_[i]->PushSwapCommand(cmd)) {
@@ -348,13 +353,12 @@ ShardedRuntime::SwapRequest ShardedRuntime::RequestPlanSwap(
     }
   }
   // In-band markers, ordered after everything ingested so far — same
-  // broadcast discipline as watermarks.
-  const Event marker = SwapMarkerEvent();
-  for (size_t i = 0; i < shards_.size(); ++i) {
-    EventBatch& batch = ingest.PendingFor(i);
-    batch.push_back(marker);
-    if (batch.size() >= options_.batch_size) ingest.PushBatch(i);
-  }
+  // broadcast discipline as watermarks, through EVERY partition's
+  // channels. Each shard quiesces only once the marker of every channel
+  // arrived (Shard::OnControlMarker), so the cut is ordered after
+  // everything every producer routed. The caller must have externally
+  // synchronized with all producer threads (see the header contract).
+  BroadcastControlMarker(SwapMarkerEvent());
   // The accepted plan is the incumbent from here on. A checkpoint is only
   // allowed once no swap is in flight — i.e. once every shard runs THIS
   // plan — so the handle recorded for the checkpoint fingerprint must
@@ -380,6 +384,24 @@ void ShardedRuntime::Flush() {
   for (auto& partition : partitions_) partition->Flush();
 }
 
+Timestamp ShardedRuntime::IngestHighMark() const {
+  Timestamp high_mark = 0;
+  for (const auto& partition : partitions_) {
+    high_mark = std::max(high_mark, partition->high_mark());
+  }
+  return high_mark;
+}
+
+void ShardedRuntime::BroadcastControlMarker(const Event& marker) {
+  for (auto& partition : partitions_) {
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      EventBatch& batch = partition->PendingFor(i);
+      batch.push_back(marker);
+      if (batch.size() >= options_.batch_size) partition->PushBatch(i);
+    }
+  }
+}
+
 // --- checkpoint/restore ------------------------------------------------------
 
 bool ShardedRuntime::CheckpointInFlight() const {
@@ -396,6 +418,15 @@ ShardedRuntime::CheckpointRequest ShardedRuntime::RequestCheckpoint(
   auto refuse = [&](OpRefusal code, const std::string& why) {
     req.code = code;
     req.reason = why;
+    // Same operator-visibility discipline as RequestPlanSwap's refusals.
+    if (telemetry_) {
+      obs::ControlCells& cc = telemetry_->control_cells();
+      if (cc.checkpoints_rejected) cc.checkpoints_rejected->Inc();
+      if (obs::TraceRing* ring = telemetry_->control_ring()) {
+        ring->Emit(obs::TraceKind::kCheckpointRejected, kNoWatermark,
+                   static_cast<int64_t>(code));
+      }
+    }
     return req;
   };
   if (!ok() || finished_) {
@@ -406,13 +437,6 @@ ShardedRuntime::CheckpointRequest ShardedRuntime::RequestCheckpoint(
         OpRefusal::kNoDisorderPolicy,
         "checkpoint requires a disorder policy: the consistent cut is "
         "defined by watermark frontiers (src/checkpoint/checkpoint.h)");
-  }
-  if (partitions_.size() > 1) {
-    return refuse(
-        OpRefusal::kMultiProducer,
-        "checkpoint requires a single ingest partition: the checkpoint "
-        "marker must be ordered after ALL routed events, which only one "
-        "producer can guarantee");
   }
   if (checkpoint_job_) {
     if (CheckpointInFlight()) {
@@ -440,17 +464,17 @@ ShardedRuntime::CheckpointRequest ShardedRuntime::RequestCheckpoint(
   }
   if (!started_.load(std::memory_order_acquire)) Start();
 
-  IngestPartition& ingest = *partitions_[0];
+  const Timestamp high_mark = IngestHighMark();
   CheckpointCommand cmd;
   cmd.id = ++checkpoints_requested_;
   // The watermark-aligned boundary of the cut: the close of the last
-  // window whose start covers the ingest high-mark (the grid point a plan
-  // swap would pick). MultiEngine workloads have several grids; record
-  // the high-mark itself.
+  // window whose start covers the ingest high-mark — max over producers,
+  // as in RequestPlanSwap (the grid point a plan swap would pick).
+  // MultiEngine workloads have several grids; record the high-mark
+  // itself.
   cmd.boundary = workload_ && window_.Valid()
-                     ? window_.WindowEnd(window_.LastWindowCovering(
-                           ingest.high_mark()))
-                     : ingest.high_mark();
+                     ? window_.WindowEnd(window_.LastWindowCovering(high_mark))
+                     : high_mark;
   cmd.num_shards = shards_.size();
   for (size_t i = 0; i < shards_.size(); ++i) {
     cmd.path = dir + "/" + checkpoint::ShardFileName(i);
@@ -462,19 +486,15 @@ ShardedRuntime::CheckpointRequest ShardedRuntime::RequestCheckpoint(
     }
   }
   // In-band markers, ordered after everything ingested so far — the same
-  // broadcast discipline as watermarks and swap markers.
-  const Event marker = CheckpointMarkerEvent();
-  for (size_t i = 0; i < shards_.size(); ++i) {
-    EventBatch& batch = ingest.PendingFor(i);
-    batch.push_back(marker);
-    if (batch.size() >= options_.batch_size) ingest.PushBatch(i);
-  }
+  // broadcast discipline as watermarks and swap markers, through every
+  // partition's channels (see RequestPlanSwap).
+  BroadcastControlMarker(CheckpointMarkerEvent());
   checkpoint_job_.emplace();
   checkpoint_job_->id = cmd.id;
   checkpoint_job_->boundary = cmd.boundary;
   checkpoint_job_->dir = dir;
   checkpoint_job_->watch.Reset();
-  checkpoint_job_->high_mark_at_cut = ingest.high_mark();
+  checkpoint_job_->high_mark_at_cut = high_mark;
   for (const auto& partition : partitions_) {
     checkpoint_job_->events_at_cut += partition->stats().events;
   }
@@ -567,8 +587,10 @@ ShardedRuntime::CheckpointResult ShardedRuntime::Checkpoint(
     res.reason = req.reason;
     return res;
   }
-  // The markers must reach the workers even if no further event does.
-  partitions_[0]->Flush();
+  // The markers must reach the workers even if no further event does —
+  // from EVERY partition, or a shard would wait forever for the missing
+  // channel's marker.
+  Flush();
   while (CheckpointInFlight()) std::this_thread::yield();
   return FinalizeCheckpoint();
 }
@@ -734,8 +756,12 @@ ShardedRuntime::RestoreOutcome ShardedRuntime::Restore(
   // different checkpoints then fails the header validation above).
   rt->checkpoints_requested_ = m.checkpoint_id;
   // The routed high-mark survives so a post-restore plan swap picks its
-  // boundary past everything the PREVIOUS incarnation routed.
-  rt->partitions_[0]->high_mark_ = m.ingest_high_mark;
+  // boundary past everything the PREVIOUS incarnation routed — on every
+  // partition, since the boundary is the max over producer high marks and
+  // the restored topology may have any producer count.
+  for (auto& partition : rt->partitions_) {
+    partition->high_mark_ = m.ingest_high_mark;
+  }
   rt->restored_ = m;
   out.manifest = m;
   out.runtime = std::move(rt);

@@ -186,16 +186,24 @@ class ShardedRuntime {
   /// Hot-swaps the sharing plan of every shard at a watermark-aligned
   /// boundary (src/runtime/plan_swap.h). `plan` must be compiled from the
   /// SAME workload this runtime was built with (uniform constructor).
-  /// Call from the ingest thread, between Ingest calls. The boundary is
-  /// the first window close past the ingest high-mark, so every window
-  /// closing at or before it is finalized by the current engines and
-  /// every later window is computed by the new plan — finalized results
-  /// stay exactly-once and bit-identical to a single-plan oracle run.
+  /// The boundary is the first window close past the ingest high-mark
+  /// (max over producers), so every window closing at or before it is
+  /// finalized by the current engines and every later window is computed
+  /// by the new plan — finalized results stay exactly-once and
+  /// bit-identical to a single-plan oracle run.
+  ///
+  /// Works with any producer count: the marker is broadcast through EVERY
+  /// partition's channels and each shard quiesces only once all channels'
+  /// markers arrived (Shard::OnControlMarker). With several partitions the
+  /// caller must be externally synchronized with all producer threads — no
+  /// partition may have a concurrent Ingest in progress (a single thread
+  /// driving all partitions satisfies this trivially).
   ///
   /// Refused (accepted=false) when: the runtime is not uniform-Engine
   /// mode, no disorder policy is enabled (swaps need watermarks to drain
   /// the old engines), a previous swap is still in flight on some shard,
-  /// or the runtime already finished.
+  /// or the runtime already finished. Every refusal emits a
+  /// kSwapRejected trace event and bumps sharon_swaps_rejected_total.
   SwapRequest RequestPlanSwap(CompiledPlanHandle plan);
 
   /// Plan swaps completed so far (valid after Finish(); see also
@@ -228,17 +236,21 @@ class ShardedRuntime {
   /// Snapshots the COMPLETE executor state of every shard into `dir`
   /// (created if missing) and blocks until the manifest is written:
   /// stages a command per shard, broadcasts an in-band checkpoint marker
-  /// ordered after everything ingested so far, flushes, and waits for
-  /// each worker to quiesce at the marker and write its shard file. Call
-  /// from the ingest thread, between Ingest calls (the stall is the
-  /// slowest shard's serialization time — see RuntimeStats.checkpoints).
+  /// ordered after everything ingested so far (through every partition's
+  /// channels, each shard quiescing once all channels' markers arrived),
+  /// flushes every partition, and waits for each worker to quiesce at the
+  /// marker and write its shard file. With several partitions the caller
+  /// must be externally synchronized with all producer threads, exactly
+  /// as for RequestPlanSwap (the stall is the slowest shard's
+  /// serialization time — see RuntimeStats.checkpoints).
   ///
   /// Refused with a typed code when: the runtime failed/finished
   /// (kNotRunning), no disorder policy (kNoDisorderPolicy — the
-  /// consistent cut is defined by watermark frontiers), several ingest
-  /// partitions (kMultiProducer — marker ordering needs one producer), or
-  /// a plan swap is in flight (kSwapInFlight — regression-tested together
-  /// with the reverse order in tests/checkpoint_test.cc).
+  /// consistent cut is defined by watermark frontiers), or a plan swap is
+  /// in flight (kSwapInFlight — regression-tested together with the
+  /// reverse order in tests/checkpoint_test.cc). Every refusal emits a
+  /// kCheckpointRejected trace event and bumps
+  /// sharon_checkpoints_rejected_total.
   CheckpointResult Checkpoint(const std::string& dir);
 
   /// Asynchronous half of Checkpoint: stages commands and broadcasts the
@@ -359,6 +371,11 @@ class ShardedRuntime {
     return telemetry_ ? telemetry_->control_ring() : nullptr;
   }
 
+  /// Test-only direct shard access (e.g. planting a control command to
+  /// exercise the shard-refusal unwind paths). Not part of the stable
+  /// API; `i` must be a valid shard index.
+  Shard& shard_for_test(size_t i) { return *shards_[i]; }
+
  private:
   friend class IngestPartition;
 
@@ -382,6 +399,14 @@ class ShardedRuntime {
   /// collects per-shard outcomes and writes the manifest. Pre-condition:
   /// a job is pending and no shard has it in flight.
   CheckpointResult FinalizeCheckpoint();
+
+  /// Max data-event time routed across ALL partitions — the high-mark
+  /// control-op boundaries are computed from.
+  Timestamp IngestHighMark() const;
+  /// Appends `marker` to every (partition, shard) pending batch, pushing
+  /// batches that filled up — one marker per channel, the alignment set
+  /// Shard::OnControlMarker waits for. Producer threads must be quiescent.
+  void BroadcastControlMarker(const Event& marker);
 
   std::string error_;
   RuntimeOptions options_;

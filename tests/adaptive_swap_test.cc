@@ -122,6 +122,69 @@ TEST(AdaptiveDrift, PhaseFlipChangesTheOptimalPlan) {
             PlanScore(c.initial_plan, c.workload, cm1));
 }
 
+void RunAdaptiveDifferentialOne(const AdaptiveCase& c,
+                                const std::vector<Event>& arrivals,
+                                Duration lateness, uint64_t min_swaps,
+                                const PlanManagerOptions& popts, size_t shards,
+                                size_t producers) {
+  RuntimeOptions opts;
+  opts.num_shards = shards;
+  opts.ingest_partitions = producers;
+  // Tight queues: ingest stays backpressure-bound, so the manager's
+  // epoch clock (driven by ingested stream time) cannot run a whole
+  // phase ahead of the workers. With deep queues on a small host, every
+  // post-swap evaluation would find the previous swap still in flight
+  // and the swap SCHEDULE — not its correctness — would degenerate.
+  opts.batch_size = 32;
+  opts.queue_capacity = 2;
+  opts.disorder.enabled = true;
+  opts.disorder.max_lateness = lateness;
+  ShardedRuntime rt(c.workload, c.initial_plan, opts);
+  ASSERT_TRUE(rt.ok()) << rt.error();
+
+  // Multi-producer split ingest: data events round-robin across the
+  // partitions, punctuations broadcast to every partition (the swap
+  // markers then align per channel inside each shard). The cells must
+  // come out bit-identical to the producers=1 pass of the same case.
+  PlanManager mgr(c.workload, &rt, c.initial_plan, popts);
+  rt.Start();
+  size_t rr = 0;
+  for (const Event& e : arrivals) {
+    if (IsWatermark(e)) {
+      for (size_t p = 0; p < producers; ++p) mgr.Ingest(e, p);
+    } else {
+      mgr.Ingest(e, rr++ % producers);
+    }
+  }
+  rt.Finish();
+
+  const std::string label = "adaptive shards=" + std::to_string(shards) +
+                            " producers=" + std::to_string(producers) +
+                            " lateness=" + std::to_string(lateness);
+  EXPECT_GE(mgr.stats().swaps_accepted, min_swaps) << label;
+
+  // RuntimeStats reports every swap with a per-swap stall figure, and
+  // every boundary sits on the workload's window-close grid.
+  const runtime::RuntimeStats stats = rt.stats();
+  EXPECT_EQ(stats.CompletedSwaps(), mgr.stats().swaps_accepted) << label;
+  const WindowSpec& w = c.workload.window();
+  for (const runtime::PlanSwapStats& swap : stats.plan_swaps) {
+    EXPECT_EQ(swap.shards_completed, shards) << label;
+    EXPECT_GE(swap.max_dual_run_seconds, 0.0) << label;
+    EXPECT_GT(swap.boundary, 0) << label;
+    EXPECT_EQ((swap.boundary - w.length) % w.slide, 0)
+        << label << ": boundary off the window-close grid";
+  }
+
+  // The heart of the suite: bit-identical finalized cells, all sealed.
+  ExpectBitIdentical(c.oracle, CellsOf(rt), label);
+  for (const auto& [key, state] : c.oracle) {
+    EXPECT_TRUE(rt.results().Finalized(std::get<0>(key), std::get<1>(key)))
+        << label;
+  }
+  EXPECT_EQ(stats.TotalLateDropped(), 0u) << label;
+}
+
 void RunAdaptiveDifferential(const AdaptiveCase& c, Duration lateness,
                              uint64_t min_swaps,
                              const PlanManagerOptions& popts) {
@@ -133,49 +196,10 @@ void RunAdaptiveDifferential(const AdaptiveCase& c, Duration lateness,
   const std::vector<Event> arrivals = InjectDisorder(c.events, inj);
 
   for (size_t shards : {1u, 2u, 8u}) {
-    RuntimeOptions opts;
-    opts.num_shards = shards;
-    // Tight queues: ingest stays backpressure-bound, so the manager's
-    // epoch clock (driven by ingested stream time) cannot run a whole
-    // phase ahead of the workers. With deep queues on a small host, every
-    // post-swap evaluation would find the previous swap still in flight
-    // and the swap SCHEDULE — not its correctness — would degenerate.
-    opts.batch_size = 32;
-    opts.queue_capacity = 2;
-    opts.disorder.enabled = true;
-    opts.disorder.max_lateness = lateness;
-    ShardedRuntime rt(c.workload, c.initial_plan, opts);
-    ASSERT_TRUE(rt.ok()) << rt.error();
-
-    PlanManager mgr(c.workload, &rt, c.initial_plan, popts);
-    rt.Start();
-    for (const Event& e : arrivals) mgr.Ingest(e);
-    rt.Finish();
-
-    const std::string label = "adaptive shards=" + std::to_string(shards) +
-                              " lateness=" + std::to_string(lateness);
-    EXPECT_GE(mgr.stats().swaps_accepted, min_swaps) << label;
-
-    // RuntimeStats reports every swap with a per-swap stall figure, and
-    // every boundary sits on the workload's window-close grid.
-    const runtime::RuntimeStats stats = rt.stats();
-    EXPECT_EQ(stats.CompletedSwaps(), mgr.stats().swaps_accepted) << label;
-    const WindowSpec& w = c.workload.window();
-    for (const runtime::PlanSwapStats& swap : stats.plan_swaps) {
-      EXPECT_EQ(swap.shards_completed, shards) << label;
-      EXPECT_GE(swap.max_dual_run_seconds, 0.0) << label;
-      EXPECT_GT(swap.boundary, 0) << label;
-      EXPECT_EQ((swap.boundary - w.length) % w.slide, 0)
-          << label << ": boundary off the window-close grid";
+    for (size_t producers : {1u, 3u}) {
+      RunAdaptiveDifferentialOne(c, arrivals, lateness, min_swaps, popts,
+                                 shards, producers);
     }
-
-    // The heart of the suite: bit-identical finalized cells, all sealed.
-    ExpectBitIdentical(c.oracle, CellsOf(rt), label);
-    for (const auto& [key, state] : c.oracle) {
-      EXPECT_TRUE(rt.results().Finalized(std::get<0>(key), std::get<1>(key)))
-          << label;
-    }
-    EXPECT_EQ(stats.TotalLateDropped(), 0u) << label;
   }
 }
 
@@ -249,6 +273,60 @@ TEST(AdaptiveSwap, SecondSwapWhileInFlightIsRefused) {
   // The accepted swap completed on every shard and results stay exact.
   ASSERT_EQ(rt.stats().CompletedSwaps(), 1u);
   ExpectBitIdentical(c.oracle, CellsOf(rt), "in-flight refusal");
+}
+
+// Regression for the partial-stage unwind in RequestPlanSwap: when a late
+// shard refuses the staged command, the runtime must cancel the commands
+// already pushed to the earlier shards — a missed cancel leaves a shard
+// with swap_in_flight permanently set (its marker is never broadcast) and
+// every later control operation refused forever. The soak harness flushes
+// this class of bug only probabilistically; this pins it deterministically
+// by planting a bare checkpoint command on the LAST shard so that shard —
+// and only that shard — refuses the swap.
+TEST(AdaptiveSwap, ShardRefusalUnwindsStagedCommands) {
+  AdaptiveCase c = MakeDriftCase();
+  RuntimeOptions opts;
+  opts.num_shards = 3;
+  opts.disorder.enabled = true;
+  opts.disorder.max_lateness = Seconds(1);
+  ShardedRuntime rt(c.workload, c.initial_plan, opts);
+  ASSERT_TRUE(rt.ok()) << rt.error();
+  std::string error;
+  CompiledPlanHandle handle = CompilePlanShared(c.workload, {}, &error);
+  ASSERT_TRUE(handle) << error;
+
+  rt.Start();
+  for (size_t i = 0; i < 1000 && i < c.events.size(); ++i) {
+    rt.Ingest(c.events[i]);
+  }
+  // Plant a checkpoint command directly on the last shard (no marker, no
+  // runtime-level job): shards 0 and 1 will accept the swap command, the
+  // last will refuse it with checkpoint_in_flight.
+  const size_t last = opts.num_shards - 1;
+  runtime::CheckpointCommand planted;
+  planted.id = 1;
+  planted.num_shards = opts.num_shards;
+  planted.path = ::testing::TempDir() + "sharon_unwind_planted.bin";
+  ASSERT_TRUE(rt.shard_for_test(last).PushCheckpointCommand(planted));
+
+  const ShardedRuntime::SwapRequest refused = rt.RequestPlanSwap(handle);
+  EXPECT_FALSE(refused.accepted);
+  EXPECT_EQ(refused.code, runtime::OpRefusal::kShardRefused);
+  // The unwind must leave NO shard armed: the staged commands of the
+  // earlier shards were cancelled before any marker was broadcast.
+  for (size_t i = 0; i < opts.num_shards; ++i) {
+    EXPECT_FALSE(rt.shard_for_test(i).swap_in_flight()) << "shard " << i;
+  }
+
+  // Un-plant the checkpoint; the very next swap must go through and the
+  // stream must stay exact end to end.
+  rt.shard_for_test(last).CancelCheckpointCommand();
+  const ShardedRuntime::SwapRequest accepted = rt.RequestPlanSwap(handle);
+  ASSERT_TRUE(accepted.accepted) << accepted.reason;
+  for (size_t i = 1000; i < c.events.size(); ++i) rt.Ingest(c.events[i]);
+  rt.Finish();
+  EXPECT_EQ(rt.stats().CompletedSwaps(), 1u);
+  ExpectBitIdentical(c.oracle, CellsOf(rt), "post-unwind swap");
 }
 
 // The swap rejects a plan compiled for a different workload outright.

@@ -19,10 +19,12 @@
 
 #include <cstdlib>
 #include <filesystem>
+#include <iterator>
 #include <map>
 #include <random>
 #include <string>
 #include <tuple>
+#include <utility>
 #include <vector>
 
 #include "src/exec/engine.h"
@@ -186,19 +188,42 @@ RuntimeOptions OptionsFor(size_t shards, Duration lateness) {
   return opts;
 }
 
+/// Drives `[begin, end)` of `arrivals` through `producers` ingest
+/// partitions from the calling thread: data events round-robin,
+/// punctuations broadcast to every partition (tests/hotpath_diff_test.cc
+/// discipline). producers == 1 degenerates to plain Ingest.
+void SplitIngestRange(ShardedRuntime& rt, const std::vector<Event>& arrivals,
+                      size_t begin, size_t end, size_t producers) {
+  size_t rr = 0;
+  for (size_t i = begin; i < end; ++i) {
+    const Event& e = arrivals[i];
+    if (IsWatermark(e)) {
+      for (size_t p = 0; p < producers; ++p) {
+        rt.ingest_partition(p).IngestWatermark(e.time);
+      }
+    } else {
+      rt.ingest_partition(rr++ % producers).Ingest(e);
+    }
+  }
+}
+
 /// One checkpoint round trip: prefix through a fresh runtime at
-/// `from_shards`, Checkpoint, destroy, Restore at `to_shards`, suffix,
-/// Finish — finalized cells must equal the uninterrupted oracle.
+/// `from_shards` x `from_producers`, Checkpoint, destroy, Restore at
+/// `to_shards` x `to_producers`, suffix, Finish — finalized cells must
+/// equal the uninterrupted (single-stream) oracle.
 void RunRoundTrip(const DiffCase& c, const std::vector<Event>& arrivals,
                   Duration lateness, size_t from_shards, size_t to_shards,
-                  size_t split, const std::string& label) {
+                  size_t split, const std::string& label,
+                  size_t from_producers = 1, size_t to_producers = 1) {
   const std::string dir = CheckpointDir(label);
   uint64_t checkpoint_id = 0;
   {
-    ShardedRuntime rt(c.workload, c.plan, OptionsFor(from_shards, lateness));
+    RuntimeOptions opts = OptionsFor(from_shards, lateness);
+    opts.ingest_partitions = from_producers;
+    ShardedRuntime rt(c.workload, c.plan, opts);
     ASSERT_TRUE(rt.ok()) << rt.error();
     rt.Start();
-    for (size_t i = 0; i < split; ++i) rt.Ingest(arrivals[i]);
+    SplitIngestRange(rt, arrivals, 0, split, from_producers);
     const ShardedRuntime::CheckpointResult cp = rt.Checkpoint(dir);
     ASSERT_TRUE(cp.ok) << label << ": " << cp.reason;
     EXPECT_GT(cp.bytes, 0u) << label;
@@ -213,6 +238,7 @@ void RunRoundTrip(const DiffCase& c, const std::vector<Event>& arrivals,
   }
   ShardedRuntime::RestoreOptions ropts;
   ropts.runtime = OptionsFor(to_shards, lateness);
+  ropts.runtime.ingest_partitions = to_producers;
   ropts.workload = &c.workload;
   ropts.plan = c.plan;
   ShardedRuntime::RestoreOutcome restored = ShardedRuntime::Restore(dir, ropts);
@@ -225,7 +251,7 @@ void RunRoundTrip(const DiffCase& c, const std::vector<Event>& arrivals,
   EXPECT_EQ(rt.num_shards(), to_shards) << label;
 
   rt.Start();
-  for (size_t i = split; i < arrivals.size(); ++i) rt.Ingest(arrivals[i]);
+  SplitIngestRange(rt, arrivals, split, arrivals.size(), to_producers);
   rt.Finish();
 
   ExpectBitIdentical(c.oracle, CellsOf(rt), label);
@@ -251,6 +277,14 @@ void RunCheckpointDifferential(const DiffCase& c, Duration lateness) {
   const std::vector<Event> arrivals = InjectDisorder(c.events, inj);
   ASSERT_LE(ObservedLateness(arrivals), lateness) << c.name;
 
+  // Besides the single-producer baseline, every (from, to) shard pair
+  // also runs one multi-producer combination — cycling through 3->1,
+  // 1->3 and 3->3 ingest partitions so the matrix covers checkpointing
+  // UNDER multiple producers, restoring INTO a different producer count,
+  // and both at once, against the same single-stream oracle.
+  static constexpr std::pair<size_t, size_t> kProducerPairs[] = {
+      {3, 1}, {1, 3}, {3, 3}};
+  size_t combo = 0;
   for (size_t from_shards : {1u, 2u, 8u}) {
     for (size_t to_shards : {1u, 2u, 8u}) {
       std::mt19937_64 rng(SeedBase() * 7919 + from_shards * 131 +
@@ -264,6 +298,12 @@ void RunCheckpointDifferential(const DiffCase& c, Duration lateness) {
                                 std::to_string(to_shards);
       RunRoundTrip(c, arrivals, lateness, from_shards, to_shards, split,
                    label);
+      const auto [from_producers, to_producers] =
+          kProducerPairs[combo++ % std::size(kProducerPairs)];
+      RunRoundTrip(c, arrivals, lateness, from_shards, to_shards, split,
+                   label + "_p" + std::to_string(from_producers) + "to" +
+                       std::to_string(to_producers),
+                   from_producers, to_producers);
     }
   }
 }

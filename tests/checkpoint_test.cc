@@ -4,7 +4,9 @@
 //  - Checkpoint/RequestPlanSwap mutual exclusion, regression-tested in
 //    BOTH orders with the typed refusal codes (runtime::OpRefusal),
 //  - restore refusals: torn checkpoint (no manifest), corrupt shard file,
-//    plan-fingerprint mismatch, missing disorder policy, multi-producer.
+//    plan-fingerprint mismatch, missing disorder policy,
+//  - multi-producer acceptance: a checkpoint cut with ingest_partitions=2
+//    (per-channel marker alignment) restores into a different topology.
 // The end-to-end bit-identity matrix lives in checkpoint_diff_test.cc.
 
 #include <gtest/gtest.h>
@@ -276,16 +278,48 @@ TEST(CheckpointRefusal, RequiresDisorderPolicy) {
   EXPECT_EQ(cp.code, OpRefusal::kNoDisorderPolicy);
 }
 
-TEST(CheckpointRefusal, RequiresSingleIngestPartition) {
+// Multi-producer checkpoints are supported: the marker is broadcast on
+// EVERY ingest partition's channels and each shard cuts only once all of
+// them arrived (per-channel marker alignment, src/runtime/shard.h). The
+// cut restores into a different shard AND producer count and replaying
+// the suffix reproduces the single-stream oracle exactly.
+TEST(CheckpointMultiProducer, AcceptedAndRestoresAcrossTopologies) {
   CheckpointFixture f = MakeFixture();
   RuntimeOptions opts = FixtureOptions(2);
   opts.ingest_partitions = 2;
   ShardedRuntime rt(f.workload, f.plan, opts);
   ASSERT_TRUE(rt.ok()) << rt.error();
-  const ShardedRuntime::CheckpointResult cp =
-      rt.Checkpoint(FreshDir("multi_producer"));
-  EXPECT_FALSE(cp.ok);
-  EXPECT_EQ(cp.code, OpRefusal::kMultiProducer);
+  rt.Start();
+  const size_t split = f.arrivals.size() / 2;
+  size_t rr = 0;
+  for (size_t i = 0; i < split; ++i) {
+    const Event& e = f.arrivals[i];
+    if (IsWatermark(e)) {
+      rt.ingest_partition(0).IngestWatermark(e.time);
+      rt.ingest_partition(1).IngestWatermark(e.time);
+    } else {
+      rt.ingest_partition(rr++ % 2).Ingest(e);
+    }
+  }
+  const std::string dir = FreshDir("multi_producer");
+  const ShardedRuntime::CheckpointResult cp = rt.Checkpoint(dir);
+  ASSERT_TRUE(cp.ok) << cp.reason;
+  ASSERT_TRUE(
+      std::filesystem::exists(dir + "/" + checkpoint::kManifestFileName));
+
+  // Restore into 3 shards / 1 producer and replay the suffix.
+  ShardedRuntime::RestoreOutcome restored = RestoreAt(f, dir, 3);
+  ASSERT_TRUE(restored.runtime) << restored.error;
+  restored.runtime->Start();
+  for (size_t i = split; i < f.arrivals.size(); ++i) {
+    restored.runtime->Ingest(f.arrivals[i]);
+  }
+  restored.runtime->Finish();
+  const ResultCollector oracle = ReferenceResults(f.workload, f.sorted);
+  oracle.ForEachCell([&](const ResultKey& key, const AggState& state) {
+    EXPECT_EQ(restored.runtime->Get(key.query, key.window, key.group), state);
+  });
+  std::filesystem::remove_all(dir);
 }
 
 TEST(CheckpointRefusal, CorruptShardFileRefusesRestore) {

@@ -38,6 +38,7 @@ TRACE_EVENTS = {
     "checkpoint_requested", "checkpoint_quiesce", "checkpoint_shard_done",
     "checkpoint_sealed", "watermark_advance", "reorder_release", "late_drop",
     "queue_full_stall", "reopt_triggered", "reopt_decision",
+    "swap_rejected", "checkpoint_rejected",
 }
 
 

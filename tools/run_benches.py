@@ -32,6 +32,9 @@ BENCHES = [
     ("bench_runtime_scaling", [], ["--quick"]),
     ("bench_runtime_scaling", ["--long-stream"], ["--long-stream", "--quick"]),
     ("bench_checkpoint", [], ["--quick"]),
+    # Chaos soak (pass/fail harness, not a perf bench): its one JSON record
+    # carries ok/cycles/retries evidence alongside the perf numbers.
+    ("soak_main", [], ["--quick"]),
 ]
 
 # Version stamped onto every scraped record (benches append it themselves
