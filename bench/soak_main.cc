@@ -3,7 +3,8 @@
 // changes into one seeded run, diffed against the two-step oracle.
 //
 //   soak_main [--quick] [--seed=N] [--rounds=N] [--kill-every=N]
-//             [--verbose] [--metrics-out=...] [--trace-out=...]
+//             [--churn-every=N] [--verbose] [--metrics-out=...]
+//             [--trace-out=...]
 //
 // --quick is the CI smoke shape: 28 rounds, a kill every 4, so the
 // topology schedule (shards {1,2,8} x producers {1,3}) wraps fully even
@@ -51,6 +52,8 @@ int main(int argc, char** argv) {
       config.rounds = value;
     } else if (ParseSizeFlag(arg, "--kill-every", &value)) {
       config.kill_every = value;
+    } else if (ParseSizeFlag(arg, "--churn-every", &value)) {
+      config.churn_every = value;
     } else if (sharon::bench::ParseObsFlag(arg, &obs)) {
       // Telemetry dump paths, wired through below: the soak validates
       // telemetry internally either way; the dumps additionally feed
@@ -71,12 +74,16 @@ int main(int argc, char** argv) {
   const sharon::chaos::SoakReport report = sharon::chaos::RunSoak(config);
 
   std::printf("chaos soak: seed=%zu rounds=%zu/%zu cycles=%zu retries=%zu "
-              "swaps=%llu/%llu cells=%zu wall=%.2fs -> %s\n",
+              "swaps=%llu/%llu churn=%llu+%llu/%llu cells=%zu wall=%.2fs "
+              "-> %s\n",
               static_cast<size_t>(config.seed), report.rounds_run,
               config.rounds, report.cycles.size(), report.checkpoint_retries,
               static_cast<unsigned long long>(report.swaps_accepted),
               static_cast<unsigned long long>(report.swaps_accepted +
                                               report.swaps_rejected),
+              static_cast<unsigned long long>(report.queries_registered),
+              static_cast<unsigned long long>(report.queries_retired),
+              static_cast<unsigned long long>(report.churn_swaps),
               report.cells_compared, report.wall_seconds,
               report.ok ? "OK" : "FAIL");
   sharon::bench::PrintJsonRecord(
@@ -84,12 +91,18 @@ int main(int argc, char** argv) {
       {{"seed", std::to_string(config.seed)},
        {"rounds", std::to_string(config.rounds)},
        {"kill_every", std::to_string(config.kill_every)},
+       {"churn_every", std::to_string(config.churn_every)},
        {"mode", quick ? "quick" : "long"}},
       {{"ok", report.ok ? 1.0 : 0.0},
        {"rounds_run", static_cast<double>(report.rounds_run)},
        {"events_ingested", static_cast<double>(report.events_ingested)},
        {"cycles", static_cast<double>(report.cycles.size())},
        {"checkpoint_retries", static_cast<double>(report.checkpoint_retries)},
+       {"churn_deferred_kills",
+        static_cast<double>(report.churn_deferred_kills)},
+       {"queries_registered", static_cast<double>(report.queries_registered)},
+       {"queries_retired", static_cast<double>(report.queries_retired)},
+       {"churn_swaps", static_cast<double>(report.churn_swaps)},
        {"swaps_accepted", static_cast<double>(report.swaps_accepted)},
        {"swaps_rejected", static_cast<double>(report.swaps_rejected)},
        {"telemetry_validations",

@@ -20,7 +20,13 @@ void PlanManager::Ingest(const Event& e) { Ingest(e, 0); }
 
 void PlanManager::Ingest(const Event& e, size_t partition) {
   runtime_->ingest_partition(partition).Ingest(e);
-  if (IsWatermark(e)) return;
+  if (IsWatermark(e)) {
+    // A watermark may have cleared whatever refused the last churn swap
+    // (old engines retire and checkpoints seal on watermark progress), so
+    // pending churn retries here rather than waiting for the next call.
+    if (registry_ && !registry_->pending().empty()) TryChurnSwap();
+    return;
+  }
   monitor_.OnEvent(e);
   const int64_t epoch_id = e.time / options_.epoch;
   if (epoch_id <= last_evaluated_epoch_) return;
@@ -109,8 +115,117 @@ void PlanManager::EvaluateEpoch() {
   ++stats_.swaps_accepted;
   current_plan_ = last_reopt_.chosen.plan;
   incumbent_plan_id_ = req.id;
+  // A drift swap compiles from the same active mask as a churn swap, so
+  // it realizes any pending churn at its boundary: commit the ops there.
+  if (registry_) registry_->CommitPending(req.boundary);
+  // Drift invalidates every cluster weight at once (Eq. 8 is a pure
+  // function of rates) — the incremental optimizer's designed-for rebuild.
+  if (inc_) inc_->SetRates(monitor_.CurrentRates());
   monitor_.RebaseOnCurrent();
   decide(obs::ReoptOutcome::kSwapAccepted, last_reopt_.GainRatio());
+}
+
+void PlanManager::AttachRegistry(query::QueryRegistry* registry) {
+  registry_ = registry;
+}
+
+query::ChurnResult PlanManager::RegisterQuery(Query q) {
+  if (!registry_) {
+    return {false, query::ChurnRefusal::kBadQuery, "no registry attached", 0};
+  }
+  query::ChurnResult r = registry_->Register(std::move(q));
+  if (!r.accepted) return r;
+  ++stats_.queries_registered;
+  EnsureIncremental();
+  sharing::UpdateSharingGraph(*inc_, query::ChurnOp::Kind::kRegister, r.id);
+  NoteChurn(obs::TraceKind::kQueryRegistered, r.id);
+  TryChurnSwap();
+  return r;
+}
+
+query::ChurnResult PlanManager::RetireQuery(QueryId id) {
+  if (!registry_) {
+    return {false, query::ChurnRefusal::kBadQuery, "no registry attached", 0};
+  }
+  query::ChurnResult r = registry_->Retire(id);
+  if (!r.accepted) return r;
+  ++stats_.queries_retired;
+  EnsureIncremental();
+  sharing::UpdateSharingGraph(*inc_, query::ChurnOp::Kind::kRetire, id);
+  NoteChurn(obs::TraceKind::kQueryRetired, id);
+  TryChurnSwap();
+  return r;
+}
+
+query::ChurnResult PlanManager::ReactivateQuery(QueryId id) {
+  if (!registry_) {
+    return {false, query::ChurnRefusal::kBadQuery, "no registry attached", 0};
+  }
+  query::ChurnResult r = registry_->Reactivate(id);
+  if (!r.accepted) return r;
+  ++stats_.queries_registered;
+  EnsureIncremental();
+  sharing::UpdateSharingGraph(*inc_, query::ChurnOp::Kind::kRegister, id);
+  NoteChurn(obs::TraceKind::kQueryRegistered, id);
+  TryChurnSwap();
+  return r;
+}
+
+void PlanManager::EnsureIncremental() {
+  if (inc_) return;
+  // Before the first full estimation window the monitor reports zero
+  // rates; a zero-rate graph has no beneficial candidate, so the cold-
+  // start churn plan runs every query non-shared — correct, just unshared
+  // until drift planning (or SetRates on the next drift swap) kicks in.
+  inc_ = std::make_unique<sharing::IncrementalSharingOptimizer>(
+      workload_, CostModel(monitor_.CurrentRates()), options_.incremental);
+}
+
+void PlanManager::NoteChurn(obs::TraceKind kind, QueryId id) {
+  obs::TraceRing* ring = runtime_ ? runtime_->control_trace() : nullptr;
+  if (ring) {
+    ring->Emit(kind, kNoWatermark, static_cast<int64_t>(id),
+               static_cast<int64_t>(registry_->pending().size()));
+  }
+  obs::RuntimeTelemetry* tel = runtime_ ? runtime_->telemetry() : nullptr;
+  if (tel) {
+    obs::CounterCell* cell = kind == obs::TraceKind::kQueryRegistered
+                                 ? tel->control_cells().queries_registered
+                                 : tel->control_cells().queries_retired;
+    if (cell) cell->Inc();
+  }
+}
+
+void PlanManager::TryChurnSwap() {
+  if (!registry_ || !inc_ || registry_->pending().empty()) return;
+  std::string error;
+  CompiledPlanHandle compiled =
+      CompilePlanShared(*workload_, inc_->plan(), &error);
+  if (!compiled) {
+    ++stats_.churn_swap_retries;
+    last_churn_swap_ = {};
+    last_churn_swap_.code = runtime::OpRefusal::kBadPlan;
+    last_churn_swap_.reason = error;
+    return;
+  }
+  last_churn_swap_ = runtime_->RequestPlanSwap(std::move(compiled));
+  if (!last_churn_swap_.accepted) {
+    // Typed refusal (kSwapInFlight, kCheckpointInFlight, ...): the ops
+    // stay pending and retry on the next watermark punctuation.
+    ++stats_.churn_swap_retries;
+    return;
+  }
+  registry_->CommitPending(last_churn_swap_.boundary);
+  current_plan_ = inc_->plan();
+  incumbent_plan_id_ = last_churn_swap_.id;
+  // The swapped-in plan stands for the current rates: measure drift from
+  // here, exactly as after a drift-triggered swap.
+  monitor_.RebaseOnCurrent();
+  ++stats_.churn_swaps;
+  obs::RuntimeTelemetry* tel = runtime_ ? runtime_->telemetry() : nullptr;
+  if (tel && tel->control_cells().churn_swaps) {
+    tel->control_cells().churn_swaps->Inc();
+  }
 }
 
 }  // namespace sharon::adaptive

@@ -29,9 +29,12 @@
 #define SHARON_ADAPTIVE_PLAN_MANAGER_H_
 
 #include <cstdint>
+#include <memory>
 
 #include "src/planner/optimizer.h"
+#include "src/query/registration.h"
 #include "src/runtime/sharded_runtime.h"
+#include "src/sharing/incremental.h"
 #include "src/streamgen/rate_monitor.h"
 
 namespace sharon::adaptive {
@@ -61,6 +64,10 @@ struct PlanManagerOptions {
 
   /// Pipeline configuration for the SO escalation.
   OptimizerConfig optimizer;
+
+  /// Knobs of the incremental churn optimizer (fallback threshold and the
+  /// per-cluster SO escalation pipeline).
+  sharing::IncrementalConfig incremental;
 };
 
 /// Counters of one adaptive run (monotone; inspect any time).
@@ -73,6 +80,10 @@ struct PlanManagerStats {
   uint64_t swaps_requested = 0;
   uint64_t swaps_accepted = 0;
   uint64_t swaps_rejected = 0;     ///< runtime refused (swap in flight...)
+  uint64_t queries_registered = 0;  ///< accepted Register/Reactivate calls
+  uint64_t queries_retired = 0;     ///< accepted Retire calls
+  uint64_t churn_swaps = 0;         ///< churn-driven swaps accepted
+  uint64_t churn_swap_retries = 0;  ///< churn swaps refused, left pending
   double last_current_score = 0;   ///< incumbent score at last evaluation
   double last_candidate_score = 0; ///< challenger score at last evaluation
   double planning_millis = 0;      ///< total time spent in Reoptimize
@@ -121,8 +132,65 @@ class PlanManager {
   /// Outcome of the most recent Reoptimize pass (phase stats included).
   const ReoptimizeResult& last_reoptimize() const { return last_reopt_; }
 
+  // --- live query churn (src/query/registration.h) ----------------------
+  //
+  // The attached registry is the DESIRED standing query set; the manager
+  // turns accepted churn calls into a plan swap at the next watermark-
+  // aligned boundary, reusing the drift hot-swap machinery. The sharing
+  // plan over the changed query set comes from the INCREMENTAL optimizer
+  // (src/sharing/incremental.h): only the conflict clusters the churned
+  // query touches are re-solved. All churn calls are ingest-thread only,
+  // like Ingest itself.
+
+  /// Attaches the registry (must wrap the SAME workload this manager was
+  /// constructed with, and outlive the manager). Churn calls without an
+  /// attached registry are refused with kBadQuery.
+  void AttachRegistry(query::QueryRegistry* registry);
+
+  /// Registers a new standing query. On acceptance the sharing graph is
+  /// patched incrementally and a churn swap is attempted immediately
+  /// (retried on later watermark punctuations while refused). The
+  /// returned id produces results beginning at the commit boundary.
+  query::ChurnResult RegisterQuery(Query q);
+
+  /// Retires a live query at the next boundary; its id keeps already-
+  /// finalized windows readable forever (result-surface identity).
+  query::ChurnResult RetireQuery(QueryId id);
+
+  /// Re-opens a retired id's result surface at the next boundary.
+  query::ChurnResult ReactivateQuery(QueryId id);
+
+  /// Churn ops accepted but not yet committed at a swap boundary.
+  size_t pending_churn() const {
+    return registry_ ? registry_->pending().size() : 0;
+  }
+
+  /// Outcome of the most recent churn swap attempt (typed OpRefusal when
+  /// the runtime refused, e.g. kSwapInFlight/kCheckpointInFlight).
+  const runtime::ShardedRuntime::SwapRequest& last_churn_swap() const {
+    return last_churn_swap_;
+  }
+
+  /// The incremental optimizer (null until the first accepted churn op).
+  const sharing::IncrementalSharingOptimizer* incremental() const {
+    return inc_.get();
+  }
+
  private:
   void EvaluateEpoch();
+
+  /// Lazily builds the incremental optimizer over the current active set
+  /// (rates: monitor estimate when a window closed, zero otherwise —
+  /// zero-rate plans share nothing, which is the right cold-start plan).
+  void EnsureIncremental();
+
+  /// Compiles the incremental plan and requests the swap that commits
+  /// every pending churn op. Refusals leave the ops pending; the caller
+  /// retries on watermark punctuations.
+  void TryChurnSwap();
+
+  /// Trace + metrics emission of one accepted churn call.
+  void NoteChurn(obs::TraceKind kind, QueryId id);
 
   const Workload* workload_;
   runtime::ShardedRuntime* runtime_;
@@ -134,6 +202,9 @@ class PlanManager {
   uint64_t incumbent_plan_id_ = 0;
   int64_t last_evaluated_epoch_ = -1;
   bool baselined_ = false;
+  query::QueryRegistry* registry_ = nullptr;
+  std::unique_ptr<sharing::IncrementalSharingOptimizer> inc_;
+  runtime::ShardedRuntime::SwapRequest last_churn_swap_;
 };
 
 }  // namespace sharon::adaptive

@@ -6,8 +6,10 @@
 #include <filesystem>
 #include <map>
 #include <memory>
+#include <random>
 #include <tuple>
 #include <utility>
+#include <vector>
 
 #include "src/adaptive/plan_manager.h"
 #include "src/common/metrics.h"
@@ -15,6 +17,7 @@
 #include "src/obs/runtime_telemetry.h"
 #include "src/obs/trace.h"
 #include "src/planner/optimizer.h"
+#include "src/query/registration.h"
 #include "src/runtime/sharded_runtime.h"
 #include "src/streamgen/disorder.h"
 #include "src/streamgen/drift.h"
@@ -151,8 +154,12 @@ SoakReport RunSoak(const SoakConfig& config) {
   Scenario scenario = GenerateDrift(drift);
 
   const WindowSpec window{Seconds(10), Seconds(4)};  // slide ∤ length
-  const Workload workload =
+  // Non-const: the churn axis appends queries and flips the active mask
+  // through the registry (safe mid-stream — workers never read workload
+  // contents after engine construction).
+  Workload workload =
       DriftWorkload(drift, window, /*anchors_per_side=*/6, /*bridges=*/3);
+  query::QueryRegistry registry(&workload);
 
   // The static plan only ever sees phase 0 — drift makes it stale, which
   // is exactly what keeps the PlanManager swapping.
@@ -160,9 +167,8 @@ SoakReport RunSoak(const SoakConfig& config) {
                             drift.num_types));
   const SharingPlan initial_plan = OptimizeGreedy(workload, cm).plan;
 
-  const ResultCollector oracle = ReferenceResults(workload, scenario.events);
-  const CellMap oracle_cells = CellsOf(oracle);
-  if (oracle_cells.empty()) return fail("oracle produced no cells");
+  // The oracle diff moves to AFTER the run: churn appends queries, and the
+  // reference must cover every id ever known before its interval filter.
 
   DisorderConfig inj;
   inj.max_lateness = config.max_lateness;
@@ -190,12 +196,49 @@ SoakReport RunSoak(const SoakConfig& config) {
   if (!rt->ok()) return fail("initial runtime: " + rt->error());
   auto mgr =
       std::make_unique<PlanManager>(workload, rt.get(), initial_plan, popts);
+  mgr->AttachRegistry(&registry);
   rt->Start();
   TelemetryValidator validator;
 
   auto fold_manager = [&] {
     report.swaps_accepted += mgr->stats().swaps_accepted;
     report.swaps_rejected += mgr->stats().swaps_rejected;
+    report.queries_registered += mgr->stats().queries_registered;
+    report.queries_retired += mgr->stats().queries_retired;
+    report.churn_swaps += mgr->stats().churn_swaps;
+  };
+
+  // Churn schedule: seeded independently of the topology schedule, paced
+  // by GLOBAL data-event count so the op sequence replays identically no
+  // matter where kills land. Refusals (last active query, dead id) are
+  // normal outcomes of a random schedule.
+  std::mt19937_64 churn_rng(config.seed * 0xd1342543de82ef95ULL + 3);
+  uint64_t churn_data_seen = 0;
+  auto churn_step = [&] {
+    const uint64_t roll = churn_rng() % 3;
+    if (roll == 0) {
+      std::uniform_int_distribution<size_t> len_dist(2, 3);
+      const size_t len = len_dist(churn_rng);
+      std::vector<EventTypeId> types(config.num_types);
+      for (uint32_t t = 0; t < config.num_types; ++t) types[t] = t;
+      std::shuffle(types.begin(), types.end(), churn_rng);
+      types.resize(len);
+      Query q;
+      q.pattern = Pattern(std::move(types));
+      q.agg = AggSpec::CountStar();
+      q.window = window;
+      q.partition_attr = workload.partition_attr();
+      mgr->RegisterQuery(std::move(q));
+    } else if (roll == 1) {
+      const QueryId id = static_cast<QueryId>(churn_rng() % workload.size());
+      mgr->RetireQuery(id);
+    } else {
+      std::vector<QueryId> dead;
+      for (const Query& q : workload.queries()) {
+        if (!registry.live(q.id)) dead.push_back(q.id);
+      }
+      if (!dead.empty()) mgr->ReactivateQuery(dead[churn_rng() % dead.size()]);
+    }
   };
 
   // Rounds are fixed arrival-order chunks; the last round takes the
@@ -218,8 +261,12 @@ SoakReport RunSoak(const SoakConfig& config) {
     // checkpoint stops re-planning, and without new swap requests the
     // draining one retires within a round or two of stream time.
     // Otherwise epoch evaluations keep a swap in flight nearly
-    // continuously and starve the kill/restore axis.
-    const bool quiesce_planning = kill_pending || kill_due;
+    // continuously and starve the kill/restore axis. EXCEPT while churn
+    // ops are pending: their commit needs watermarks flowing through the
+    // manager (retries fire on punctuations), so quiescing then would
+    // deadlock the deferred kill.
+    const bool quiesce_planning =
+        (kill_pending || kill_due) && mgr->pending_churn() == 0;
     for (size_t i = begin; i < end; ++i) {
       const Event& e = arrivals[i];
       if (IsWatermark(e)) {
@@ -238,6 +285,16 @@ SoakReport RunSoak(const SoakConfig& config) {
           mgr->Ingest(e, p);
         }
         ++report.events_ingested;
+        // Churn rides the same quiescence rule as re-planning: an
+        // operator about to checkpoint stops changing the query set.
+        // (kill_due/kill_pending alone — before quiescence engages —
+        // already pauses churn, or fresh ops would re-defer the kill
+        // indefinitely.)
+        if (config.churn_every > 0 &&
+            ++churn_data_seen % config.churn_every == 0 &&
+            !quiesce_planning && !kill_due && !kill_pending) {
+          churn_step();
+        }
       }
     }
     ++report.rounds_run;
@@ -259,6 +316,14 @@ SoakReport RunSoak(const SoakConfig& config) {
     // final round — that one ends in Finish + the oracle diff).
     if (!kill_due && !kill_pending) continue;
     if (last_round) break;
+    if (mgr->pending_churn() > 0) {
+      // The checkpoint fingerprint pins the compiled query set; a cut
+      // with churn ops still pending would restore into a mask the
+      // manifest never saw. Let the ops commit at a swap boundary first.
+      kill_pending = true;
+      ++report.churn_deferred_kills;
+      continue;
+    }
 
     std::filesystem::remove_all(ckpt_dir);
     const ShardedRuntime::CheckpointResult cp = rt->Checkpoint(ckpt_dir);
@@ -304,6 +369,7 @@ SoakReport RunSoak(const SoakConfig& config) {
     }
     rt = std::move(restored.runtime);
     mgr = std::make_unique<PlanManager>(workload, rt.get(), incumbent, popts);
+    mgr->AttachRegistry(&registry);  // intervals persist across incarnations
     rt->Start();
     validator.Reset();
 
@@ -329,7 +395,18 @@ SoakReport RunSoak(const SoakConfig& config) {
   }
 
   // The verdict: finalized cells of the whole composed run, bit-identical
-  // to the two-step oracle over the sorted stream.
+  // to the two-step oracle over the sorted stream — restricted per query
+  // id to its committed live intervals (the churn result-surface
+  // contract; with churn disabled every interval is [0, ∞) and the filter
+  // passes everything).
+  CellMap oracle_cells;
+  ReferenceResults(workload, scenario.events)
+      .ForEachCell([&](const ResultKey& key, const AggState& state) {
+        if (registry.OwnsWindowClose(key.query, window.WindowEnd(key.window))) {
+          oracle_cells[{key.query, key.window, key.group}] = state;
+        }
+      });
+  if (oracle_cells.empty()) return fail("oracle produced no cells");
   const CellMap actual = CellsOf(rt->results());
   if (actual.size() != oracle_cells.size()) {
     return fail("cell count mismatch: oracle " +

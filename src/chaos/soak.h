@@ -69,6 +69,14 @@ struct SoakConfig {
   /// keep finalizing within a round.
   Duration max_lateness = Seconds(4);
 
+  /// Live query churn axis (src/query/registration.h): attempt one seeded
+  /// register/retire/reactivate every this many data events (0 disables).
+  /// Churn pauses while the harness quiesces into a kill, and a due kill
+  /// defers until pending churn ops have committed at a swap boundary —
+  /// the checkpoint fingerprint pins the compiled query set. The final
+  /// oracle diff restricts each id to its committed live intervals.
+  size_t churn_every = 0;
+
   /// Validate metrics snapshots and trace dumps each cycle (and once at
   /// the end). Off only for perf-focused soaks.
   bool validate_telemetry = true;
@@ -108,8 +116,12 @@ struct SoakReport {
   uint64_t events_ingested = 0;      ///< data events fed (all incarnations)
   std::vector<SoakCycleRecord> cycles;  ///< completed kill/restore cycles
   size_t checkpoint_retries = 0;  ///< kills deferred by an in-flight swap
+  size_t churn_deferred_kills = 0;  ///< kills deferred by pending churn
   uint64_t swaps_accepted = 0;    ///< over all incarnations (PlanManager)
   uint64_t swaps_rejected = 0;    ///< over all incarnations (PlanManager)
+  uint64_t queries_registered = 0;  ///< accepted register/reactivate calls
+  uint64_t queries_retired = 0;     ///< accepted retire calls
+  uint64_t churn_swaps = 0;         ///< churn-committing swaps accepted
   uint64_t telemetry_validations = 0;  ///< snapshot+trace passes that ran
   size_t cells_compared = 0;  ///< oracle cells checked in the final diff
   double wall_seconds = 0;    ///< whole-run wall time

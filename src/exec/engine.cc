@@ -26,6 +26,7 @@ struct Segment {
 std::string CompilePlan(const Workload& workload, const SharingPlan& plan,
                         CompiledEngine* out) {
   if (workload.empty()) return "empty workload";
+  if (workload.num_active() == 0) return "no active queries";
   if (!workload.Uniform()) {
     return "workload is not uniform (assumption 2): partition the stream "
            "first (section 7.2)";
@@ -58,6 +59,10 @@ std::string CompilePlan(const Workload& workload, const SharingPlan& plan,
   };
 
   for (const Query& q : workload.queries()) {
+    // A retired query compiles to nothing: no chains, no counters, so the
+    // engine never emits a cell for its id — its already-finalized windows
+    // live on in the shard archive (src/query/registration.h).
+    if (!workload.active(q.id)) continue;
     // Candidates of the plan that apply to this query.
     struct Placed {
       size_t begin, end;  // [begin, end) in q.pattern

@@ -77,6 +77,12 @@ RuntimeTelemetry::RuntimeTelemetry(size_t num_shards, size_t num_partitions,
       registry_.Counter("sharon_checkpoints_sealed_total", {});
   control_cells_.checkpoint_bytes =
       registry_.Counter("sharon_checkpoint_bytes_total", {});
+  control_cells_.queries_registered =
+      registry_.Counter("sharon_queries_registered_total", {});
+  control_cells_.queries_retired =
+      registry_.Counter("sharon_queries_retired_total", {});
+  control_cells_.churn_swaps =
+      registry_.Counter("sharon_churn_swaps_total", {});
   control_cells_.wall_micros = registry_.Gauge("sharon_wall_micros", {});
   control_cells_.completed_swaps =
       registry_.Gauge("sharon_completed_swaps", {});

@@ -80,6 +80,9 @@ struct ControlCells {
   CounterCell* checkpoints_rejected = nullptr;  ///< refused checkpoints
   CounterCell* checkpoints_sealed = nullptr;   ///< manifests written
   CounterCell* checkpoint_bytes = nullptr;     ///< total serialized bytes
+  CounterCell* queries_registered = nullptr;   ///< churn: queries added
+  CounterCell* queries_retired = nullptr;      ///< churn: queries removed
+  CounterCell* churn_swaps = nullptr;          ///< churn-committing swaps
   // Fold-time gauges (see ShardCells).
   GaugeCell* wall_micros = nullptr;
   GaugeCell* completed_swaps = nullptr;

@@ -39,6 +39,10 @@ const char* TraceKindName(TraceKind kind) {
       return "swap_rejected";
     case TraceKind::kCheckpointRejected:
       return "checkpoint_rejected";
+    case TraceKind::kQueryRegistered:
+      return "query_registered";
+    case TraceKind::kQueryRetired:
+      return "query_retired";
   }
   return "unknown";
 }

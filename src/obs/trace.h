@@ -59,6 +59,8 @@ enum class TraceKind : uint8_t {
   kReoptDecision = 13,    ///< control: a=outcome (see ReoptOutcome), b=gain ppm
   kSwapRejected = 14,        ///< control: a=OpRefusal code of the refusal
   kCheckpointRejected = 15,  ///< control: a=OpRefusal code of the refusal
+  kQueryRegistered = 16,  ///< control: a=query id, b=pending churn ops
+  kQueryRetired = 17,     ///< control: a=query id, b=pending churn ops
 };
 
 /// Payload values of TraceKind::kReoptDecision's `a` field.

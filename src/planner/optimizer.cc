@@ -134,6 +134,16 @@ OptimizerResult OptimizeSharon(const Workload& workload,
   return r;
 }
 
+OptimizerResult OptimizeCluster(const Workload& workload,
+                                const std::vector<Candidate>& cluster,
+                                const SharonGraph::WeightFn& weight,
+                                const OptimizerConfig& config) {
+  OptimizerResult go = OptimizeGreedy(workload, cluster, weight);
+  if (go.graph_edges == 0) return go;
+  OptimizerResult so = OptimizeSharon(workload, cluster, weight, config);
+  return so.score > go.score ? so : go;
+}
+
 OptimizerResult OptimizeGreedy(const Workload& workload, const CostModel& cm) {
   auto cands = FindSharableCandidates(workload);
   return OptimizeGreedy(workload, cands, [&](const Candidate& c) {

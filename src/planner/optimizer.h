@@ -89,6 +89,21 @@ OptimizerResult OptimizeSharon(const Workload& workload,
                                const SharonGraph::WeightFn& weight,
                                const OptimizerConfig& config = {});
 
+/// Solves ONE conflict cluster (a connected component of the sharing
+/// graph): runs GO, escalating to SO only when the cluster carries at
+/// least one conflict edge — a conflict-free cluster's GWMIN pick is
+/// already every positive vertex, so SO cannot improve it. Unlike
+/// Reoptimize's gain-based escalation this rule is STRUCTURAL, i.e. a
+/// pure function of (candidates, weights): a cluster born from a churn
+/// merge has no incumbent score to measure gain against, and the
+/// incremental optimizer (src/sharing/incremental.h) needs patched and
+/// rebuilt clusters to make bit-identical escalation decisions. Ties
+/// between the SO and GO scores keep GO's plan.
+OptimizerResult OptimizeCluster(const Workload& workload,
+                                const std::vector<Candidate>& cluster,
+                                const SharonGraph::WeightFn& weight,
+                                const OptimizerConfig& config = {});
+
 /// Convenience entry points: candidates via modified CCSpan, weights via
 /// the §3 cost model.
 OptimizerResult OptimizeGreedy(const Workload& workload, const CostModel& cm);

@@ -41,14 +41,23 @@ struct Query {
 /// have the same predicates, grouping and windows; `Uniform()` checks this.
 /// The §7.2 extension (different groupings / windows) is handled upstream by
 /// stream partitioning, so the core engines require Uniform() workloads.
+///
+/// Query churn (src/query/registration.h) never removes entries: ids are
+/// dense vector indices and a mountain of code relies on id == index
+/// (graph construction, cost model, the two-step oracle), so a retired
+/// query stays in the vector with its `active` flag cleared. Plan
+/// compilation and candidate mining skip inactive queries; result readers
+/// keep resolving retired ids against already-finalized cells.
 class Workload {
  public:
   Workload() = default;
 
-  /// Adds a query, assigning its id. Returns the id.
+  /// Adds a query, assigning its id. Returns the id. New queries start
+  /// active.
   QueryId Add(Query q) {
     q.id = static_cast<QueryId>(queries_.size());
     queries_.push_back(std::move(q));
+    active_.push_back(true);
     return queries_.back().id;
   }
 
@@ -56,6 +65,23 @@ class Workload {
   const Query& query(QueryId id) const { return queries_.at(id); }
   size_t size() const { return queries_.size(); }
   bool empty() const { return queries_.empty(); }
+
+  /// True while `id` is part of the standing query set. Compilation and
+  /// the sharing optimizer only consider active queries; the id itself
+  /// stays valid forever (see the class comment).
+  bool active(QueryId id) const { return active_.at(id); }
+
+  /// Flips a query's standing-set membership (ingest/churn thread only:
+  /// shard workers never read workload contents after construction, which
+  /// is what makes live churn safe without locks).
+  void SetActive(QueryId id, bool on) { active_.at(id) = on; }
+
+  /// Number of active (standing) queries.
+  size_t num_active() const {
+    size_t n = 0;
+    for (const bool a : active_) n += a ? 1 : 0;
+    return n;
+  }
 
   /// True if all queries agree on window and partitioning (assumption 2).
   bool Uniform() const {
@@ -76,6 +102,7 @@ class Workload {
 
  private:
   std::vector<Query> queries_;
+  std::vector<bool> active_;  ///< parallel to queries_; see class comment
 };
 
 }  // namespace sharon

@@ -1,0 +1,145 @@
+#include "src/query/registration.h"
+
+namespace sharon::query {
+
+const std::vector<LiveInterval> QueryRegistry::kNoIntervals;
+
+const char* ChurnRefusalName(ChurnRefusal code) {
+  switch (code) {
+    case ChurnRefusal::kNone:
+      return "none";
+    case ChurnRefusal::kUnknownQuery:
+      return "unknown_query";
+    case ChurnRefusal::kNotLive:
+      return "not_live";
+    case ChurnRefusal::kAlreadyLive:
+      return "already_live";
+    case ChurnRefusal::kLastActiveQuery:
+      return "last_active_query";
+    case ChurnRefusal::kNotUniform:
+      return "not_uniform";
+    case ChurnRefusal::kBadQuery:
+      return "bad_query";
+  }
+  return "unknown";
+}
+
+namespace {
+
+ChurnResult Refuse(ChurnRefusal code, std::string reason) {
+  ChurnResult r;
+  r.code = code;
+  r.reason = std::move(reason);
+  return r;
+}
+
+}  // namespace
+
+QueryRegistry::QueryRegistry(Workload* workload) : workload_(workload) {
+  // Queries present at construction are live since stream start: their
+  // one interval opens at 0 and is still open.
+  intervals_.resize(workload_->size());
+  for (QueryId id = 0; id < workload_->size(); ++id) {
+    if (workload_->active(id)) intervals_[id].push_back({0, kWatermarkMax});
+  }
+}
+
+ChurnResult QueryRegistry::Register(Query q) {
+  if (q.pattern.length() == 0) {
+    return Refuse(ChurnRefusal::kBadQuery, "register: empty pattern");
+  }
+  if (!workload_->empty()) {
+    // Assumption 2 (§2.1) holds for the whole vector — retired queries
+    // included — so Uniform() stays a cheap invariant everywhere else.
+    if (!(q.window == workload_->window()) ||
+        q.partition_attr != workload_->partition_attr()) {
+      return Refuse(ChurnRefusal::kNotUniform,
+                    "register: window/partition differs from the workload's "
+                    "(partition the stream instead, section 7.2)");
+    }
+  }
+  const QueryId id = workload_->Add(std::move(q));
+  intervals_.emplace_back();  // opens at the commit boundary
+  pending_.push_back({ChurnOp::Kind::kRegister, id});
+  ChurnResult r;
+  r.accepted = true;
+  r.id = id;
+  return r;
+}
+
+ChurnResult QueryRegistry::Retire(QueryId id) {
+  if (id >= workload_->size()) {
+    return Refuse(ChurnRefusal::kUnknownQuery,
+                  "retire: unknown query id " + std::to_string(id));
+  }
+  if (!workload_->active(id)) {
+    return Refuse(ChurnRefusal::kNotLive,
+                  "retire: query " + std::to_string(id) + " is not live");
+  }
+  if (workload_->num_active() == 1) {
+    return Refuse(ChurnRefusal::kLastActiveQuery,
+                  "retire: query " + std::to_string(id) +
+                      " is the last active query (an empty standing set has "
+                      "no compilable plan)");
+  }
+  workload_->SetActive(id, false);
+  pending_.push_back({ChurnOp::Kind::kRetire, id});
+  ChurnResult r;
+  r.accepted = true;
+  r.id = id;
+  return r;
+}
+
+ChurnResult QueryRegistry::Reactivate(QueryId id) {
+  if (id >= workload_->size()) {
+    return Refuse(ChurnRefusal::kUnknownQuery,
+                  "reactivate: unknown query id " + std::to_string(id));
+  }
+  if (workload_->active(id)) {
+    return Refuse(ChurnRefusal::kAlreadyLive,
+                  "reactivate: query " + std::to_string(id) +
+                      " is already live");
+  }
+  workload_->SetActive(id, true);
+  pending_.push_back({ChurnOp::Kind::kRegister, id});
+  ChurnResult r;
+  r.accepted = true;
+  r.id = id;
+  return r;
+}
+
+void QueryRegistry::CommitPending(Timestamp boundary) {
+  for (const ChurnOp& op : pending_) {
+    std::vector<LiveInterval>& iv = intervals_[op.id];
+    if (op.kind == ChurnOp::Kind::kRegister) {
+      iv.push_back({boundary, kWatermarkMax});
+      ++registrations_;
+    } else {
+      // A register+retire pair still pending together collapses to the
+      // empty interval (boundary, boundary] — never live, zero windows.
+      if (!iv.empty() && iv.back().until == kWatermarkMax) {
+        iv.back().until = boundary;
+      }
+      ++retirements_;
+    }
+  }
+  pending_.clear();
+}
+
+bool QueryRegistry::live(QueryId id) const {
+  return id < workload_->size() && workload_->active(id);
+}
+
+const std::vector<LiveInterval>& QueryRegistry::intervals(QueryId id) const {
+  if (id >= intervals_.size()) return kNoIntervals;
+  return intervals_[id];
+}
+
+bool QueryRegistry::OwnsWindowClose(QueryId id, Timestamp close) const {
+  for (const LiveInterval& iv : intervals(id)) {
+    if (iv.from < close && close <= iv.until) return true;
+  }
+  return false;
+}
+
+}  // namespace sharon::query

@@ -1,0 +1,153 @@
+// Live query churn: register/retire standing queries against a RUNNING
+// runtime (ROADMAP "Query churn at scale", modeled on RedisGears'
+// FlatExecutionPlan register/unregister lifecycle).
+//
+// The registry is the DESIRED standing query set; the runtime's compiled
+// plan is the CURRENT incarnation. A churn call validates, flips the
+// workload's active mask immediately (desired state), and enqueues a
+// ChurnOp. The ops take effect at the next watermark-aligned plan-swap
+// boundary — the driver (adaptive::PlanManager) compiles a plan over the
+// new active set and reuses the existing hot-swap protocol
+// (src/runtime/plan_swap.h), so a changed query set is just another
+// compiled-plan handoff. When the runtime ACCEPTS a swap with boundary B,
+// the driver calls CommitPending(B) and the registry records each op's
+// live interval:
+//
+//   - a REGISTERED query owns windows closing strictly after B: the new
+//     engine starts with SetResultsFloor(B), and the dual-run tee hands it
+//     every event of its first full window;
+//   - a RETIRED query keeps windows closing at or before B: the old engine
+//     finalizes them and retires into the shard archive, where the id
+//     stays readable forever (result-surface identity).
+//
+// Every (query, window) pair is therefore finalized by exactly ONE plan
+// incarnation (DESIGN.md invariant) — the differential churn suite
+// (tests/query_churn_diff_test.cc) checks the finalized cells of every id
+// bit-identically against an oracle restricted to that id's live
+// intervals.
+//
+// Threading: all methods are ingest-thread only, like the runtime's
+// swap/checkpoint requests. Mutating the workload while shard workers run
+// is safe because workers never read workload contents after engine
+// construction (they execute the immutable CompiledEngine).
+
+#ifndef SHARON_QUERY_REGISTRATION_H_
+#define SHARON_QUERY_REGISTRATION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/time.h"
+#include "src/common/watermark.h"
+#include "src/query/query.h"
+
+namespace sharon::query {
+
+/// Why a churn call was refused (the churn analogue of runtime::OpRefusal;
+/// refusals are typed so callers and tests can branch without string
+/// matching).
+enum class ChurnRefusal : uint8_t {
+  kNone = 0,
+  kUnknownQuery = 1,     ///< id was never registered
+  kNotLive = 2,          ///< retire of an already-retired id
+  kAlreadyLive = 3,      ///< re-register (reactivate) of a live id
+  kLastActiveQuery = 4,  ///< retiring would empty the standing set
+  kNotUniform = 5,       ///< window/partition differs from the workload's
+  kBadQuery = 6,         ///< empty pattern / no registry attached
+};
+
+/// Stable lower_snake_case name of `code` (diagnostics, OPERATIONS.md).
+const char* ChurnRefusalName(ChurnRefusal code);
+
+/// One queued churn operation, applied at the next accepted swap boundary.
+struct ChurnOp {
+  enum class Kind : uint8_t { kRegister = 0, kRetire = 1 };
+  Kind kind = Kind::kRegister;
+  QueryId id = 0;
+};
+
+/// Outcome of one churn call. `id` is the assigned query id on an
+/// accepted Register (callers need it before the op commits).
+struct ChurnResult {
+  bool accepted = false;
+  ChurnRefusal code = ChurnRefusal::kNone;
+  std::string reason;  ///< human diagnostic when !accepted
+  QueryId id = 0;
+};
+
+/// Half-open-below interval (from, until]: the query owns exactly the
+/// windows whose CLOSE time lies in this range. `from` == 0 means "since
+/// stream start"; `until` == kWatermarkMax means "still live".
+struct LiveInterval {
+  Timestamp from = 0;
+  Timestamp until = kWatermarkMax;
+};
+
+/// Desired-state registry over one master Workload. The workload must
+/// outlive the registry; queries present at construction are live since
+/// stream start.
+class QueryRegistry {
+ public:
+  explicit QueryRegistry(Workload* workload);
+
+  /// Registers a NEW standing query: validates uniformity against the
+  /// workload's common window/partition, appends it active (fresh dense
+  /// id), and queues a kRegister op. The query produces results beginning
+  /// at the next accepted swap boundary.
+  ChurnResult Register(Query q);
+
+  /// Retires a live query: its id keeps already-finalized windows
+  /// readable, but no window closing after the commit boundary is ever
+  /// computed for it. Refuses unknown ids, already-retired ids, and
+  /// retiring the last active query (an empty standing set has no
+  /// compilable plan).
+  ChurnResult Retire(QueryId id);
+
+  /// Re-registers a previously retired id (same pattern/agg), opening a
+  /// NEW live interval at the next boundary. Refuses unknown ids and ids
+  /// that are currently live.
+  ChurnResult Reactivate(QueryId id);
+
+  /// Ops enqueued but not yet committed at a swap boundary.
+  const std::vector<ChurnOp>& pending() const { return pending_; }
+
+  /// Called by the churn driver when a plan swap carrying the pending ops
+  /// was ACCEPTED with watermark-aligned boundary B: opens registered
+  /// queries' intervals at B, closes retired queries' intervals at B, and
+  /// clears the queue. ANY accepted swap commits — drift-triggered swaps
+  /// compile from the same active mask, so they realize pending churn at
+  /// their boundary too.
+  void CommitPending(Timestamp boundary);
+
+  /// Desired liveness of `id` (false for unknown ids).
+  bool live(QueryId id) const;
+
+  /// Number of queries desired live (committed or pending).
+  size_t num_live() const { return workload_->num_active(); }
+
+  /// Committed live intervals of `id` (empty vector for unknown ids). An
+  /// op still pending has not opened/closed its interval yet.
+  const std::vector<LiveInterval>& intervals(QueryId id) const;
+
+  /// True when a (query, window) cell belongs to `id`'s result surface:
+  /// some committed live interval contains the window's close time.
+  bool OwnsWindowClose(QueryId id, Timestamp close) const;
+
+  const Workload& workload() const { return *workload_; }
+
+  uint64_t registrations() const { return registrations_; }   ///< committed
+  uint64_t retirements() const { return retirements_; }       ///< committed
+
+ private:
+  Workload* workload_;
+  std::vector<ChurnOp> pending_;
+  std::vector<std::vector<LiveInterval>> intervals_;  ///< indexed by id
+  static const std::vector<LiveInterval> kNoIntervals;
+  uint64_t registrations_ = 0;
+  uint64_t retirements_ = 0;
+};
+
+}  // namespace sharon::query
+
+#endif  // SHARON_QUERY_REGISTRATION_H_

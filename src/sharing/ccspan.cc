@@ -9,6 +9,9 @@ std::vector<Candidate> FindSharableCandidates(const Workload& workload) {
   // H: pattern -> queries containing it (Alg. 7 lines 1-8).
   std::unordered_map<Pattern, QueryList, PatternHash> h;
   for (const Query& q : workload.queries()) {
+    // Retired queries keep their ids but leave the standing set: they
+    // must not attract sharing (src/query/registration.h).
+    if (!workload.active(q.id)) continue;
     const size_t l = q.pattern.length();
     for (size_t end = 1; end < l; ++end) {        // end index inclusive
       for (size_t start = 0; start < end; ++start) {

@@ -1,0 +1,260 @@
+#include "src/sharing/incremental.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+#include <utility>
+
+#include "src/graph/sharon_graph.h"
+
+namespace sharon::sharing {
+
+IncrementalSharingOptimizer::IncrementalSharingOptimizer(
+    const Workload* workload, CostModel cm, IncrementalConfig config)
+    : workload_(workload), cm_(std::move(cm)), config_(config) {
+  for (const Query& q : workload_->queries()) {
+    if (workload_->active(q.id)) IndexAdd(TouchedPatterns(q.id), q.id);
+  }
+  Rebuild();
+}
+
+double IncrementalSharingOptimizer::WeightOf(const Candidate& c) const {
+  return cm_.BValue(c, *workload_);
+}
+
+bool IncrementalSharingOptimizer::IsVertex(const Candidate& c) const {
+  return c.queries.size() > 1 && WeightOf(c) > 0;
+}
+
+std::vector<Pattern> IncrementalSharingOptimizer::TouchedPatterns(
+    QueryId id) const {
+  const Pattern& qp = workload_->query(id).pattern;
+  std::vector<Pattern> out;
+  std::unordered_set<Pattern, PatternHash> seen;
+  const size_t l = qp.length();
+  for (size_t end = 1; end < l; ++end) {
+    for (size_t start = 0; start < end; ++start) {
+      Pattern p = qp.Sub(start, end - start + 1);
+      if (seen.insert(p).second) out.push_back(std::move(p));
+    }
+  }
+  return out;
+}
+
+void IncrementalSharingOptimizer::IndexAdd(
+    const std::vector<Pattern>& patterns, QueryId id) {
+  for (const Pattern& p : patterns) {
+    QueryList& qs = index_[p];
+    auto it = std::lower_bound(qs.begin(), qs.end(), id);
+    if (it == qs.end() || *it != id) qs.insert(it, id);
+  }
+}
+
+void IncrementalSharingOptimizer::IndexRemove(
+    const std::vector<Pattern>& patterns, QueryId id) {
+  for (const Pattern& p : patterns) {
+    auto row = index_.find(p);
+    if (row == index_.end()) continue;
+    QueryList& qs = row->second;
+    auto it = std::lower_bound(qs.begin(), qs.end(), id);
+    if (it != qs.end() && *it == id) qs.erase(it);
+    if (qs.empty()) index_.erase(row);
+  }
+}
+
+void IncrementalSharingOptimizer::OnRegister(QueryId id) {
+  const std::vector<Pattern> touched = TouchedPatterns(id);
+  IndexAdd(touched, id);
+  Patch(touched);
+}
+
+void IncrementalSharingOptimizer::OnRetire(QueryId id) {
+  const std::vector<Pattern> touched = TouchedPatterns(id);
+  IndexRemove(touched, id);
+  Patch(touched);
+}
+
+void IncrementalSharingOptimizer::SetRates(TypeRates rates) {
+  cm_ = CostModel(std::move(rates));
+  Rebuild();
+}
+
+void IncrementalSharingOptimizer::Rebuild() {
+  clusters_.clear();
+  cluster_of_.clear();
+  std::vector<Candidate> pool;
+  pool.reserve(index_.size());
+  for (const auto& [p, qs] : index_) {
+    Candidate c{p, qs};
+    if (IsVertex(c)) pool.push_back(std::move(c));
+  }
+  ClusterAndSolve(std::move(pool));
+  AssemblePlan();
+  ++stats_.full_rebuilds;
+}
+
+void IncrementalSharingOptimizer::Patch(const std::vector<Pattern>& touched) {
+  // Fresh vertex versions of the touched patterns (a pattern missing from
+  // the index, or failing the vertex test, simply leaves the graph).
+  std::vector<Candidate> fresh;
+  size_t entering = 0;
+  for (const Pattern& p : touched) {
+    auto row = index_.find(p);
+    if (row == index_.end()) continue;
+    Candidate c{p, row->second};
+    if (!IsVertex(c)) continue;
+    if (!cluster_of_.count(p)) ++entering;
+    fresh.push_back(std::move(c));
+  }
+
+  // Clusters to dissolve: every cluster owning a touched vertex, plus —
+  // for ENTERING vertices only (see the file comment) — every cluster an
+  // entering vertex conflicts into.
+  std::set<size_t> affected;
+  for (const Pattern& p : touched) {
+    auto it = cluster_of_.find(p);
+    if (it != cluster_of_.end()) affected.insert(it->second);
+  }
+  for (const Candidate& c : fresh) {
+    if (cluster_of_.count(c.pattern)) continue;  // surviving, not entering
+    for (size_t idx = 0; idx < clusters_.size(); ++idx) {
+      if (affected.count(idx)) continue;
+      for (const Candidate& m : clusters_[idx].cands) {
+        if (SharonGraph::InConflict(c, m, *workload_)) {
+          affected.insert(idx);
+          break;
+        }
+      }
+    }
+  }
+
+  // Fallback: when the touched pool is most of the graph, patching redoes
+  // the work of a rebuild with bookkeeping on top.
+  size_t touched_vertices = entering;
+  for (const size_t idx : affected) {
+    touched_vertices += clusters_[idx].cands.size();
+  }
+  const size_t total = num_vertices() + entering;
+  if (total > 0 &&
+      static_cast<double>(touched_vertices) >
+          config_.fallback_fraction * static_cast<double>(total)) {
+    ++stats_.fallbacks;
+    Rebuild();
+    return;
+  }
+
+  // Dissolve the affected clusters into a candidate pool: their untouched
+  // members verbatim, touched patterns replaced by their fresh versions.
+  std::unordered_set<Pattern, PatternHash> touched_set(touched.begin(),
+                                                       touched.end());
+  std::vector<Candidate> pool = fresh;
+  for (const size_t idx : affected) {
+    for (const Candidate& m : clusters_[idx].cands) {
+      if (!touched_set.count(m.pattern)) pool.push_back(m);
+    }
+  }
+  for (auto it = affected.rbegin(); it != affected.rend(); ++it) {
+    EraseCluster(*it);
+  }
+  ClusterAndSolve(std::move(pool));
+  AssemblePlan();
+  ++stats_.patches;
+}
+
+void IncrementalSharingOptimizer::ClusterAndSolve(std::vector<Candidate> pool) {
+  if (pool.empty()) return;
+  std::sort(pool.begin(), pool.end());
+
+  // Union-find over the pool's conflict edges.
+  const size_t n = pool.size();
+  std::vector<size_t> parent(n);
+  for (size_t i = 0; i < n; ++i) parent[i] = i;
+  auto find = [&](size_t x) {
+    while (parent[x] != x) x = parent[x] = parent[parent[x]];
+    return x;
+  };
+  std::vector<std::pair<size_t, size_t>> edges;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      if (SharonGraph::InConflict(pool[i], pool[j], *workload_)) {
+        edges.emplace_back(i, j);
+        parent[find(i)] = find(j);
+      }
+    }
+  }
+
+  std::unordered_map<size_t, std::vector<size_t>> groups;
+  for (size_t i = 0; i < n; ++i) groups[find(i)].push_back(i);
+  std::unordered_set<size_t> conflicted;
+  for (const auto& [i, j] : edges) conflicted.insert(find(i));
+
+  for (auto& [root, members] : groups) {
+    Cluster cl;
+    cl.cands.reserve(members.size());
+    for (const size_t i : members) cl.cands.push_back(pool[i]);
+    // members ascend over the sorted pool, so cl.cands is sorted — the
+    // canonical solver input patch ≡ rebuild equality rests on.
+    const OptimizerResult solved = OptimizeCluster(
+        *workload_, cl.cands, [&](const Candidate& c) { return WeightOf(c); },
+        config_.optimizer);
+    cl.plan = solved.plan;
+    cl.score = solved.score;
+    cl.escalated = conflicted.count(root) > 0;
+    ++stats_.clusters_resolved;
+    if (cl.escalated) ++stats_.so_escalations;
+    const size_t idx = clusters_.size();
+    for (const Candidate& c : cl.cands) cluster_of_[c.pattern] = idx;
+    clusters_.push_back(std::move(cl));
+  }
+}
+
+void IncrementalSharingOptimizer::AssemblePlan() {
+  plan_.clear();
+  for (const Cluster& cl : clusters_) {
+    plan_.insert(plan_.end(), cl.plan.begin(), cl.plan.end());
+  }
+  std::sort(plan_.begin(), plan_.end());
+  score_ = PlanScore(plan_, *workload_, cm_);
+}
+
+void IncrementalSharingOptimizer::EraseCluster(size_t idx) {
+  for (const Candidate& c : clusters_[idx].cands) {
+    cluster_of_.erase(c.pattern);
+  }
+  const size_t last = clusters_.size() - 1;
+  if (idx != last) {
+    clusters_[idx] = std::move(clusters_[last]);
+    for (const Candidate& c : clusters_[idx].cands) {
+      cluster_of_[c.pattern] = idx;
+    }
+  }
+  clusters_.pop_back();
+}
+
+std::vector<std::vector<Candidate>> IncrementalSharingOptimizer::Clusters()
+    const {
+  std::vector<std::vector<Candidate>> out;
+  out.reserve(clusters_.size());
+  for (const Cluster& cl : clusters_) out.push_back(cl.cands);
+  std::sort(out.begin(), out.end(),
+            [](const std::vector<Candidate>& a,
+               const std::vector<Candidate>& b) { return a.front() < b.front(); });
+  return out;
+}
+
+size_t IncrementalSharingOptimizer::num_vertices() const {
+  size_t n = 0;
+  for (const Cluster& cl : clusters_) n += cl.cands.size();
+  return n;
+}
+
+void UpdateSharingGraph(IncrementalSharingOptimizer& opt,
+                        query::ChurnOp::Kind kind, QueryId id) {
+  if (kind == query::ChurnOp::Kind::kRegister) {
+    opt.OnRegister(id);
+  } else {
+    opt.OnRetire(id);
+  }
+}
+
+}  // namespace sharon::sharing

@@ -1,0 +1,169 @@
+// Incremental sharing optimizer for live query churn (ROADMAP "Query
+// churn at scale"; the dynamic-workload half of paper §7.4).
+//
+// Re-running the whole GO/SO pipeline on every register/retire wastes the
+// structure of the problem: conflict edges (Def. 6) need a COMMON query,
+// so one churned query q can only change the graph locally —
+//
+//   - the candidates whose query set changes are exactly the contiguous
+//     sub-patterns of q.pattern (the modified-CCSpan universe, Alg. 7);
+//   - an edge gained or lost by a SURVIVING candidate runs through q as
+//     the common query, so both endpoints are sub-patterns of q.pattern;
+//   - only a candidate ENTERING the graph (|Qp| just crossed 1, or its
+//     benefit turned positive) can bridge to untouched clusters, through
+//     the other queries it shares — a scan of its conflict edges finds
+//     every such cluster.
+//
+// The optimizer therefore keeps the CCSpan hash (pattern -> active query
+// list) and the conflict-cluster partition persistent, and on churn
+// dissolves only the touched clusters, re-clusters their candidate pool,
+// and re-solves each resulting cluster with planner::OptimizeCluster (GO,
+// escalating to SO on conflict-bearing clusters — see optimizer.h for why
+// the escalation is structural here). Untouched clusters keep their
+// solved sub-plans and scores verbatim. When the touched pool exceeds
+// `fallback_fraction` of all vertices the patch degenerates, so the
+// optimizer falls back to a full from-scratch pass.
+//
+// Every step is a pure function of (active query set, rates): a patched
+// optimizer and a freshly rebuilt one hold bit-identical clusters, plans
+// and scores — asserted across fuzzed edit scripts by
+// tests/incremental_optimizer_test.cc. Rate drift invalidates every
+// cluster weight at once (Eq. 8 is a function of rates), which is the
+// designed-for fallback: call SetRates() and the optimizer rebuilds.
+
+#ifndef SHARON_SHARING_INCREMENTAL_H_
+#define SHARON_SHARING_INCREMENTAL_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/planner/optimizer.h"
+#include "src/query/registration.h"
+#include "src/sharing/candidate.h"
+#include "src/sharing/cost_model.h"
+
+namespace sharon::sharing {
+
+/// Knobs of the incremental optimizer.
+struct IncrementalConfig {
+  /// Full re-optimization when the touched clusters hold more than this
+  /// fraction of all graph vertices (patching would redo most of the work
+  /// anyway, with bookkeeping on top).
+  double fallback_fraction = 0.5;
+  /// Pipeline configuration of the per-cluster SO escalation.
+  OptimizerConfig optimizer;
+};
+
+/// Monotone counters of one optimizer instance.
+struct IncrementalStats {
+  uint64_t patches = 0;        ///< incremental cluster repairs applied
+  uint64_t full_rebuilds = 0;  ///< from-scratch passes (ctor/SetRates/fallback)
+  uint64_t fallbacks = 0;      ///< rebuilds forced by the touched-set threshold
+  uint64_t clusters_resolved = 0;  ///< per-cluster solves run
+  uint64_t so_escalations = 0;     ///< solves that escalated to SO
+};
+
+/// Maintains the sharing graph and a solved plan across query churn.
+/// Single-threaded (the churn driver's thread). The workload must outlive
+/// the optimizer; its active mask must already reflect each operation
+/// when OnRegister/OnRetire runs (query::QueryRegistry does this at
+/// enqueue time).
+class IncrementalSharingOptimizer {
+ public:
+  IncrementalSharingOptimizer(const Workload* workload, CostModel cm,
+                              IncrementalConfig config = {});
+
+  /// Patches the graph for query `id` just added to the active set.
+  void OnRegister(QueryId id);
+
+  /// Patches the graph for query `id` just removed from the active set.
+  void OnRetire(QueryId id);
+
+  /// Replaces the rates (drift) and rebuilds from scratch: every cluster
+  /// weight changed, so there is nothing incremental left to save.
+  void SetRates(TypeRates rates);
+
+  /// Full from-scratch pass over the current active set (also the ctor's
+  /// initialization path). Patching must be indistinguishable from this.
+  void Rebuild();
+
+  /// The solved plan over the current active set (sorted candidates).
+  const SharingPlan& plan() const { return plan_; }
+
+  /// PlanScore of plan() under the current rates (Def. 8 sum).
+  double score() const { return score_; }
+
+  /// Canonical cluster view for the equivalence tests: each cluster's
+  /// candidate vertices sorted, clusters sorted by their first candidate.
+  std::vector<std::vector<Candidate>> Clusters() const;
+
+  /// Graph vertices currently alive (beneficial sharable candidates).
+  size_t num_vertices() const;
+
+  const IncrementalStats& stats() const { return stats_; }
+  const CostModel& cost_model() const { return cm_; }
+
+ private:
+  struct Cluster {
+    std::vector<Candidate> cands;  ///< sorted vertex candidates
+    SharingPlan plan;              ///< solved sub-plan (may hold expansions)
+    double score = 0;
+    bool escalated = false;  ///< cluster carried conflict edges -> SO ran
+  };
+
+  /// Benefit of the candidate under the current rates.
+  double WeightOf(const Candidate& c) const;
+
+  /// Vertex test: sharable (|Qp| > 1) and beneficial (weight > 0) —
+  /// exactly SharonGraph::Build's admission rule.
+  bool IsVertex(const Candidate& c) const;
+
+  /// Unique contiguous sub-patterns (length >= 2) of `id`'s pattern, the
+  /// candidate universe the churned query participates in.
+  std::vector<Pattern> TouchedPatterns(QueryId id) const;
+
+  /// Inserts/removes `id` in the CCSpan hash rows of `patterns`.
+  void IndexAdd(const std::vector<Pattern>& patterns, QueryId id);
+  void IndexRemove(const std::vector<Pattern>& patterns, QueryId id);
+
+  /// Shared patch body of OnRegister/OnRetire (the index is already
+  /// updated). `entering` lists fresh vertices with no prior cluster.
+  void Patch(const std::vector<Pattern>& touched);
+
+  /// Union-finds `pool` into conflict clusters, solves each with
+  /// OptimizeCluster, and appends them to clusters_.
+  void ClusterAndSolve(std::vector<Candidate> pool);
+
+  /// Rebuilds plan_/score_ from the cluster sub-plans.
+  void AssemblePlan();
+
+  /// Erases cluster `idx` (swap-with-last; cluster_of_ is re-pointed).
+  void EraseCluster(size_t idx);
+
+  const Workload* workload_;
+  CostModel cm_;
+  IncrementalConfig config_;
+  /// The persistent modified-CCSpan hash: every contiguous sub-pattern
+  /// (length >= 2) of every ACTIVE query -> sorted active query ids.
+  std::unordered_map<Pattern, QueryList, PatternHash> index_;
+  std::vector<Cluster> clusters_;
+  /// Vertex pattern -> owning cluster index. Every alive vertex belongs
+  /// to exactly one cluster (singletons included).
+  std::unordered_map<Pattern, size_t, PatternHash> cluster_of_;
+  SharingPlan plan_;
+  double score_ = 0;
+  IncrementalStats stats_;
+};
+
+/// The churn entry point the PlanManager drives: applies one enqueued
+/// register/retire operation to the optimizer's sharing graph, patching
+/// only the clusters the query touches (full re-optimization past the
+/// fallback threshold). The workload's active mask must already reflect
+/// the operation.
+void UpdateSharingGraph(IncrementalSharingOptimizer& opt,
+                        query::ChurnOp::Kind kind, QueryId id);
+
+}  // namespace sharon::sharing
+
+#endif  // SHARON_SHARING_INCREMENTAL_H_

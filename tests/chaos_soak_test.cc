@@ -87,6 +87,50 @@ TEST(ChaosSoak, DeterministicInTheSeed) {
   }
 }
 
+TEST(ChaosSoak, ChurnAxisCommitsAndStaysExact) {
+  // Churn on top of the full composition: the seeded schedule must
+  // actually register AND retire queries (or the axis soaks nothing),
+  // while the interval-filtered oracle diff inside RunSoak stays exact
+  // across kill/restore cycles. kill_every=4 keeps rounds 0-2 free of
+  // kill gating, so the 18 churn steps of that prefix fire at fixed
+  // data-event counts no matter how worker timing lands — the
+  // register/retire floor below is deterministic, not probabilistic.
+  SoakConfig config = SmallConfig(5);
+  config.kill_every = 4;
+  config.churn_every = 500;
+  const SoakReport report = RunSoak(config);
+  ASSERT_TRUE(report.ok) << report.error;
+  EXPECT_GT(report.queries_registered, 0u);
+  EXPECT_GT(report.queries_retired, 0u);
+  EXPECT_GT(report.cells_compared, 0u);
+  // The one kill due (after round 4; round 8 is the final round) either
+  // completes, defers on an in-flight swap, or defers on pending churn —
+  // all counted. Which of the three is worker-timing dependent.
+  EXPECT_GE(report.cycles.size() + report.checkpoint_retries +
+                report.churn_deferred_kills,
+            1u);
+}
+
+TEST(ChaosSoak, ChurnScheduleIsDeterministic) {
+  // Kills off: with no kill deferrals gating churn steps, the schedule
+  // fires at fixed global data-event counts and every accept/refuse
+  // decision depends only on registry state — so the accepted-op counts
+  // replay exactly. (WHICH boundary each op commits at still depends on
+  // worker timing, like swap completion in DeterministicInTheSeed; both
+  // runs diffed clean against their own interval-filtered oracle.)
+  SoakConfig config = SmallConfig(9);
+  config.kill_every = 0;
+  config.churn_every = 1500;
+  const SoakReport a = RunSoak(config);
+  const SoakReport b = RunSoak(config);
+  ASSERT_TRUE(a.ok) << a.error;
+  ASSERT_TRUE(b.ok) << b.error;
+  EXPECT_EQ(a.events_ingested, b.events_ingested);
+  EXPECT_EQ(a.queries_registered, b.queries_registered);
+  EXPECT_EQ(a.queries_retired, b.queries_retired);
+  EXPECT_GT(a.queries_registered, 0u);
+}
+
 TEST(ChaosSoak, RefusesNonsenseConfigs) {
   SoakConfig config = SmallConfig(1);
   config.rounds = 0;

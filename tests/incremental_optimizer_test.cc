@@ -1,0 +1,188 @@
+// Property suite for the incremental sharing optimizer
+// (src/sharing/incremental.h): across seeded query-set edit scripts —
+// register / retire / reactivate in random order — the PATCHED optimizer
+// must be indistinguishable from a FROM-SCRATCH rebuild over the same
+// active set: identical conflict clusters, identical sharing plan,
+// identical (bit-exact) plan score. Both the patch path and the fallback
+// threshold path are forced explicitly.
+//
+// Seeds honor SHARON_DISORDER_SEED_BASE like the other property suites,
+// so the CI seed matrix sweeps disjoint script families.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "src/planner/optimizer.h"
+#include "src/sharing/cost_model.h"
+#include "src/sharing/incremental.h"
+
+namespace sharon {
+namespace {
+
+using sharing::IncrementalConfig;
+using sharing::IncrementalSharingOptimizer;
+
+uint64_t SweepBaseSeed() {
+  const char* env = std::getenv("SHARON_DISORDER_SEED_BASE");
+  return env ? static_cast<uint64_t>(std::atoll(env)) : 0;
+}
+
+constexpr uint32_t kNumTypes = 6;
+const WindowSpec kWindow{Seconds(10), Seconds(5)};
+
+Query RandomQuery(std::mt19937_64& rng) {
+  std::uniform_int_distribution<size_t> len_dist(2, 4);
+  const size_t len = len_dist(rng);
+  // Distinct types (assumption 3), random order.
+  std::vector<EventTypeId> types(kNumTypes);
+  for (uint32_t t = 0; t < kNumTypes; ++t) types[t] = t;
+  std::shuffle(types.begin(), types.end(), rng);
+  types.resize(len);
+  Query q;
+  q.pattern = Pattern(types);
+  q.agg = AggSpec::CountStar();
+  q.window = kWindow;
+  q.partition_attr = 0;
+  return q;
+}
+
+TypeRates RandomRates(std::mt19937_64& rng) {
+  std::uniform_real_distribution<double> rate_dist(0.5, 12.0);
+  TypeRates rates;
+  for (uint32_t t = 0; t < kNumTypes; ++t) rates.Set(t, rate_dist(rng));
+  return rates;
+}
+
+Workload SeedWorkload(std::mt19937_64& rng, size_t n) {
+  Workload w;
+  for (size_t i = 0; i < n; ++i) w.Add(RandomQuery(rng));
+  return w;
+}
+
+/// The heart of the suite: a patched optimizer and a freshly constructed
+/// one (ctor = full Rebuild) must agree on EVERYTHING observable.
+void ExpectEquivalent(const IncrementalSharingOptimizer& patched,
+                      const Workload& w, const CostModel& cm,
+                      const IncrementalConfig& cfg, const std::string& label) {
+  IncrementalSharingOptimizer fresh(&w, cm, cfg);
+  EXPECT_EQ(patched.Clusters(), fresh.Clusters()) << label;
+  EXPECT_EQ(patched.plan(), fresh.plan()) << label;
+  // Bit-exact: both scores are PlanScore over the identical plan vector.
+  EXPECT_EQ(patched.score(), fresh.score()) << label;
+  EXPECT_EQ(patched.num_vertices(), fresh.num_vertices()) << label;
+}
+
+/// Runs one seeded edit script and checks patch ≡ rebuild after EVERY op.
+/// Returns the optimizer's final stats for path assertions.
+sharing::IncrementalStats RunEditScript(uint64_t seed,
+                                        const IncrementalConfig& cfg,
+                                        size_t ops = 14) {
+  std::mt19937_64 rng(seed);
+  Workload w = SeedWorkload(rng, 8);
+  CostModel cm(RandomRates(rng));
+  IncrementalSharingOptimizer inc(&w, cm, cfg);
+  ExpectEquivalent(inc, w, cm, cfg, "seed=" + std::to_string(seed) + " init");
+
+  for (size_t op = 0; op < ops; ++op) {
+    const std::string label = "seed=" + std::to_string(seed) +
+                              " fallback=" + std::to_string(cfg.fallback_fraction) +
+                              " op=" + std::to_string(op);
+    std::vector<QueryId> active, inactive;
+    for (const Query& q : w.queries()) {
+      (w.active(q.id) ? active : inactive).push_back(q.id);
+    }
+    const uint64_t roll = rng() % 3;
+    if (roll == 0 && active.size() > 1) {
+      // Retire a random active query.
+      const QueryId id = active[rng() % active.size()];
+      w.SetActive(id, false);
+      inc.OnRetire(id);
+    } else if (roll == 1 && !inactive.empty()) {
+      // Reactivate a random retired query.
+      const QueryId id = inactive[rng() % inactive.size()];
+      w.SetActive(id, true);
+      inc.OnRegister(id);
+    } else {
+      // Register a brand-new query.
+      const QueryId id = w.Add(RandomQuery(rng));
+      inc.OnRegister(id);
+    }
+    ExpectEquivalent(inc, w, cm, cfg, label);
+
+    // Sanity floor: the clustered per-component solve can never lose to
+    // a single global GWMIN pass (GWMIN decomposes across components and
+    // each cluster takes max(GO, SO)).
+    const OptimizerResult go = OptimizeGreedy(w, cm);
+    EXPECT_GE(inc.score() + 1e-9, go.score) << label;
+  }
+  return inc.stats();
+}
+
+TEST(IncrementalOptimizer, PatchEqualsRebuildAcrossEditScripts) {
+  const uint64_t base = SweepBaseSeed();
+  for (uint64_t s = 0; s < 5; ++s) {
+    IncrementalConfig cfg;  // default threshold: both paths can fire
+    RunEditScript(base + 101 + s, cfg);
+  }
+}
+
+// fallback_fraction = 1.0: touched can never exceed the whole graph, so
+// every op takes the PATCH path — the pure incremental algebra.
+TEST(IncrementalOptimizer, PatchPathOnlyStaysEquivalent) {
+  IncrementalConfig cfg;
+  cfg.fallback_fraction = 1.0;
+  const sharing::IncrementalStats stats = RunEditScript(SweepBaseSeed() + 7, cfg);
+  EXPECT_GT(stats.patches, 0u);
+  EXPECT_EQ(stats.fallbacks, 0u);
+}
+
+// fallback_fraction = 0.0: any touched vertex at all trips the threshold,
+// exercising the fallback path on (nearly) every op.
+TEST(IncrementalOptimizer, FallbackPathFiresAndStaysEquivalent) {
+  IncrementalConfig cfg;
+  cfg.fallback_fraction = 0.0;
+  const sharing::IncrementalStats stats = RunEditScript(SweepBaseSeed() + 7, cfg);
+  EXPECT_GT(stats.fallbacks, 0u);
+}
+
+// Rate drift invalidates every cluster weight: SetRates must rebuild and
+// land exactly where a fresh optimizer under the new rates lands.
+TEST(IncrementalOptimizer, SetRatesMatchesFreshRebuild) {
+  std::mt19937_64 rng(SweepBaseSeed() + 31);
+  Workload w = SeedWorkload(rng, 8);
+  CostModel cm0(RandomRates(rng));
+  IncrementalConfig cfg;
+  IncrementalSharingOptimizer inc(&w, cm0, cfg);
+
+  TypeRates drifted = RandomRates(rng);
+  inc.SetRates(drifted);
+  ExpectEquivalent(inc, w, CostModel(drifted), cfg, "post-drift");
+}
+
+// Deterministic replay: the same seed yields the same final plan object,
+// which is what makes CI's seed matrix reproducible.
+TEST(IncrementalOptimizer, ScriptsAreDeterministic) {
+  const uint64_t seed = SweepBaseSeed() + 57;
+  IncrementalConfig cfg;
+
+  auto run = [&]() {
+    std::mt19937_64 rng(seed);
+    Workload w = SeedWorkload(rng, 6);
+    CostModel cm(RandomRates(rng));
+    IncrementalSharingOptimizer inc(&w, cm, cfg);
+    for (size_t op = 0; op < 6; ++op) {
+      const QueryId id = w.Add(RandomQuery(rng));
+      inc.OnRegister(id);
+    }
+    return inc.plan();
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace sharon

@@ -1,0 +1,277 @@
+// Differential fuzz suite for live query churn (src/query/registration.h
+// + adaptive::PlanManager churn integration).
+//
+// The relaxation under test is "the standing query SET may change
+// mid-stream": a seeded random register/retire/reactivate schedule runs
+// interleaved with rate drift and bounded disorder through the adaptive
+// runtime at shards {1,2,8} x producers {1,3}. The oracle is the
+// independent per-window DP reference (src/twostep/reference.h) over the
+// FINAL workload and the sorted stream, restricted per query id to the
+// id's committed live intervals: a cell belongs to id's result surface
+// iff some interval contains its window-close time. For every id the
+// finalized cells must be bit-identical to that restriction —
+//
+//   - a REGISTERED id owns windows closing strictly after its commit
+//     boundary, at full-stream values (the dual-run tee hands the new
+//     engine every event of its first full window);
+//   - a RETIRED id keeps windows closing at or before its boundary
+//     readable forever (frozen into the shard archive), and nothing else;
+//   - an op still pending at shutdown never opened/closed its interval,
+//     so both sides agree it contributes nothing / everything untouched.
+//
+// Seeds honor SHARON_DISORDER_SEED_BASE (CI sweeps a seed matrix).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <random>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "src/adaptive/plan_manager.h"
+#include "src/planner/optimizer.h"
+#include "src/query/registration.h"
+#include "src/runtime/sharded_runtime.h"
+#include "src/streamgen/disorder.h"
+#include "src/streamgen/drift.h"
+#include "src/streamgen/rates.h"
+#include "src/twostep/reference.h"
+
+namespace sharon {
+namespace {
+
+using adaptive::PlanManager;
+using adaptive::PlanManagerOptions;
+using query::QueryRegistry;
+using runtime::RuntimeOptions;
+using runtime::ShardedRuntime;
+
+using CellMap = std::map<std::tuple<QueryId, WindowId, AttrValue>, AggState>;
+
+uint64_t SweepBaseSeed() {
+  const char* env = std::getenv("SHARON_DISORDER_SEED_BASE");
+  return env ? static_cast<uint64_t>(std::atoll(env)) : 0;
+}
+
+CellMap CellsOf(const ResultCollector& collector) {
+  CellMap cells;
+  collector.ForEachCell([&](const ResultKey& key, const AggState& state) {
+    cells[{key.query, key.window, key.group}] = state;
+  });
+  return cells;
+}
+
+CellMap CellsOf(const ShardedRuntime& rt) {
+  CellMap cells;
+  rt.results().ForEachCell([&](const ResultKey& key, const AggState& state) {
+    cells[{key.query, key.window, key.group}] = state;
+  });
+  return cells;
+}
+
+/// Restricts the full-stream oracle to each id's committed live
+/// intervals — the churn result-surface contract.
+CellMap FilterByIntervals(const CellMap& all, const QueryRegistry& reg,
+                          const WindowSpec& w) {
+  CellMap out;
+  for (const auto& [key, state] : all) {
+    const Timestamp close = w.WindowEnd(std::get<1>(key));
+    if (reg.OwnsWindowClose(std::get<0>(key), close)) out.emplace(key, state);
+  }
+  return out;
+}
+
+void ExpectBitIdentical(const CellMap& expected, const CellMap& actual,
+                        const std::string& label) {
+  ASSERT_EQ(expected.size(), actual.size()) << label;
+  for (const auto& [key, state] : expected) {
+    auto it = actual.find(key);
+    ASSERT_NE(it, actual.end())
+        << label << ": missing cell query=" << std::get<0>(key)
+        << " window=" << std::get<1>(key) << " group=" << std::get<2>(key);
+    EXPECT_EQ(state, it->second)
+        << label << ": cell differs at query=" << std::get<0>(key)
+        << " window=" << std::get<1>(key) << " group=" << std::get<2>(key);
+  }
+}
+
+struct ChurnCaseConfig {
+  DriftConfig drift;
+  WindowSpec window{Seconds(10), Seconds(4)};
+  Duration lateness = Seconds(2);
+  size_t churn_every = 3000;  ///< data events between churn attempts
+  uint64_t schedule_seed = 0;
+};
+
+ChurnCaseConfig MakeChurnConfig(uint64_t seed) {
+  ChurnCaseConfig c;
+  c.drift.num_types = 8;
+  c.drift.num_groups = 12;
+  c.drift.events_per_second = 600;
+  c.drift.phase_length = Seconds(20);
+  c.drift.num_phases = 2;
+  c.drift.seed = seed;
+  c.schedule_seed = seed * 977 + 13;
+  return c;
+}
+
+Query RandomChurnQuery(std::mt19937_64& rng, const ChurnCaseConfig& c) {
+  std::uniform_int_distribution<size_t> len_dist(2, 3);
+  const size_t len = len_dist(rng);
+  std::vector<EventTypeId> types(c.drift.num_types);
+  for (uint32_t t = 0; t < c.drift.num_types; ++t) types[t] = t;
+  std::shuffle(types.begin(), types.end(), rng);
+  types.resize(len);
+  Query q;
+  q.pattern = Pattern(types);
+  q.agg = AggSpec::CountStar();
+  q.window = c.window;
+  q.partition_attr = 0;
+  return q;
+}
+
+struct ChurnRunResult {
+  uint64_t registered = 0;   ///< accepted register/reactivate calls
+  uint64_t retired = 0;      ///< accepted retire calls
+  uint64_t churn_swaps = 0;  ///< churn-committing swaps accepted
+};
+
+/// One topology run: fresh workload + registry + runtime, seeded churn
+/// schedule interleaved with the drifting disordered stream, finalized
+/// cells diffed per id against the interval-filtered oracle.
+ChurnRunResult RunChurnDifferentialOne(const ChurnCaseConfig& c,
+                                       size_t shards, size_t producers) {
+  Scenario s = GenerateDrift(c.drift);
+  Workload workload = DriftWorkload(c.drift, c.window, /*anchors_per_side=*/6,
+                                    /*bridges=*/3);
+  const std::vector<Event> sorted = s.events;
+
+  DisorderConfig inj;
+  inj.max_lateness = c.lateness;
+  inj.punctuation_period = Seconds(1);
+  inj.seed = c.schedule_seed ^ 0xabadcafe;
+  const std::vector<Event> arrivals = InjectDisorder(sorted, inj);
+
+  CostModel cm0(RatesOfSlice(sorted, 0, c.drift.phase_length,
+                             c.drift.num_types));
+  const SharingPlan initial_plan = OptimizeGreedy(workload, cm0).plan;
+
+  RuntimeOptions opts;
+  opts.num_shards = shards;
+  opts.ingest_partitions = producers;
+  opts.batch_size = 32;
+  opts.queue_capacity = 2;
+  opts.disorder.enabled = true;
+  opts.disorder.max_lateness = c.lateness;
+  ShardedRuntime rt(workload, initial_plan, opts);
+  EXPECT_TRUE(rt.ok()) << rt.error();
+  if (!rt.ok()) return {};
+
+  PlanManagerOptions popts;
+  popts.epoch = Seconds(4);
+  popts.window_epochs = 2;
+  popts.drift_threshold = 0.3;
+  popts.hysteresis = 0.05;
+  PlanManager mgr(workload, &rt, initial_plan, popts);
+  QueryRegistry registry(&workload);
+  mgr.AttachRegistry(&registry);
+
+  std::mt19937_64 sched(c.schedule_seed);
+  std::vector<QueryId> churn_registered;  ///< ids this schedule added
+
+  rt.Start();
+  size_t rr = 0;
+  size_t data_seen = 0;
+  for (const Event& e : arrivals) {
+    if (IsWatermark(e)) {
+      for (size_t p = 0; p < producers; ++p) mgr.Ingest(e, p);
+      continue;
+    }
+    mgr.Ingest(e, rr++ % producers);
+    if (++data_seen % c.churn_every != 0) continue;
+
+    // One schedule step. Refusals (last active query, already-retired id)
+    // are normal outcomes of a random schedule; the registry's typed
+    // refusal keeps the run going.
+    const uint64_t roll = sched() % 4;
+    if (roll == 0) {
+      query::ChurnResult r = mgr.RegisterQuery(RandomChurnQuery(sched, c));
+      if (r.accepted) churn_registered.push_back(r.id);
+    } else if (roll == 1 && !churn_registered.empty()) {
+      // Retire the oldest schedule-registered id still live.
+      for (const QueryId id : churn_registered) {
+        if (registry.live(id) && mgr.RetireQuery(id).accepted) break;
+      }
+    } else if (roll == 2) {
+      // Retire a random query, original drift queries included — the
+      // archive path must also hold for ids with long history.
+      const QueryId id =
+          static_cast<QueryId>(sched() % workload.size());
+      mgr.RetireQuery(id);
+    } else {
+      // Reactivate a random retired id: its surface re-opens with a
+      // SECOND live interval.
+      std::vector<QueryId> dead;
+      for (const Query& q : workload.queries()) {
+        if (!registry.live(q.id)) dead.push_back(q.id);
+      }
+      if (!dead.empty()) mgr.ReactivateQuery(dead[sched() % dead.size()]);
+    }
+  }
+  rt.Finish();
+
+  const std::string label = "churn shards=" + std::to_string(shards) +
+                            " producers=" + std::to_string(producers) +
+                            " seed=" + std::to_string(c.schedule_seed);
+
+  // The oracle never saw churn: full-stream reference over EVERY query
+  // ever known, then restricted per id to its committed live intervals.
+  const CellMap full = CellsOf(ReferenceResults(workload, sorted));
+  const CellMap expected =
+      FilterByIntervals(full, registry, c.window);
+  ExpectBitIdentical(expected, CellsOf(rt), label);
+  for (const auto& [key, state] : expected) {
+    EXPECT_TRUE(rt.results().Finalized(std::get<0>(key), std::get<1>(key)))
+        << label << " query=" << std::get<0>(key)
+        << " window=" << std::get<1>(key);
+  }
+  EXPECT_EQ(rt.stats().TotalLateDropped(), 0u) << label;
+
+  ChurnRunResult result;
+  result.registered = mgr.stats().queries_registered;
+  result.retired = mgr.stats().queries_retired;
+  result.churn_swaps = mgr.stats().churn_swaps;
+  return result;
+}
+
+/// The full topology sweep. At least one register AND one retire must
+/// commit somewhere, or the suite would pass vacuously.
+void RunChurnDifferential(uint64_t seed) {
+  const ChurnCaseConfig c = MakeChurnConfig(seed);
+  uint64_t committed_swaps = 0, registered = 0, retired = 0;
+  for (size_t shards : {1u, 2u, 8u}) {
+    for (size_t producers : {1u, 3u}) {
+      const ChurnRunResult r = RunChurnDifferentialOne(c, shards, producers);
+      committed_swaps += r.churn_swaps;
+      registered += r.registered;
+      retired += r.retired;
+    }
+  }
+  EXPECT_GT(committed_swaps, 0u) << "no churn swap ever committed";
+  EXPECT_GT(registered, 0u) << "schedule never registered a query";
+  EXPECT_GT(retired, 0u) << "schedule never retired a query";
+}
+
+TEST(QueryChurnDiff, SeededScheduleMatchesIntervalOracle) {
+  RunChurnDifferential(SweepBaseSeed() + 11);
+}
+
+TEST(QueryChurnDiff, SecondSeedMatchesIntervalOracle) {
+  RunChurnDifferential(SweepBaseSeed() + 29);
+}
+
+}  // namespace
+}  // namespace sharon

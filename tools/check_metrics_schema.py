@@ -39,6 +39,7 @@ TRACE_EVENTS = {
     "checkpoint_sealed", "watermark_advance", "reorder_release", "late_drop",
     "queue_full_stall", "reopt_triggered", "reopt_decision",
     "swap_rejected", "checkpoint_rejected",
+    "query_registered", "query_retired",
 }
 
 
